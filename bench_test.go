@@ -1,0 +1,262 @@
+// Benchmarks regenerating every table and figure of the thesis' evaluation,
+// one benchmark per artifact, at a scale that keeps `go test -bench=.`
+// tractable. Reported custom metrics carry the figures' headline numbers
+// (median pkt/s per protocol, gains, gaps); cmd/morebench prints the full
+// tables at arbitrary scale. Absolute throughputs are simulator-relative;
+// the paper-vs-measured comparison lives in EXPERIMENTS.md.
+package repro
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/coding"
+	"repro/internal/experiments"
+	"repro/internal/routing"
+	"repro/internal/stats"
+)
+
+// benchOpts is the reduced workload shared by the throughput benches.
+func benchOpts() experiments.Options {
+	o := experiments.DefaultOptions()
+	o.FileBytes = 96 * 1500
+	return o
+}
+
+// BenchmarkFig42UnicastThroughput regenerates the Fig 4-2 comparison:
+// median unicast throughput of MORE, ExOR, and Srcr over random pairs.
+func BenchmarkFig42UnicastThroughput(b *testing.B) {
+	topo := experiments.TestbedTopology()
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig42UnicastThroughput(topo, 10, benchOpts())
+		b.ReportMetric(stats.Median(res.Throughput[experiments.MORE]), "MORE-pkt/s")
+		b.ReportMetric(stats.Median(res.Throughput[experiments.ExOR]), "ExOR-pkt/s")
+		b.ReportMetric(stats.Median(res.Throughput[experiments.Srcr]), "Srcr-pkt/s")
+		b.ReportMetric(res.MedianGain(experiments.MORE, experiments.ExOR), "gain-vs-ExOR-%")
+		b.ReportMetric(res.MedianGain(experiments.MORE, experiments.Srcr), "gain-vs-Srcr-%")
+	}
+}
+
+// BenchmarkFig43Scatter regenerates Fig 4-3's observation: the median gain
+// over Srcr among challenged flows vs good flows.
+func BenchmarkFig43Scatter(b *testing.B) {
+	topo := experiments.TestbedTopology()
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig42UnicastThroughput(topo, 10, benchOpts())
+		bottom, top := res.ChallengedGain(experiments.MORE)
+		b.ReportMetric(bottom, "challenged-gain-x")
+		b.ReportMetric(top, "good-flow-gain-x")
+	}
+}
+
+// BenchmarkFig44SpatialReuse regenerates Fig 4-4: MORE vs ExOR on >=4-hop
+// flows whose first and last hop can transmit concurrently.
+func BenchmarkFig44SpatialReuse(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig44SpatialReuse(4, benchOpts())
+		b.ReportMetric(res.MedianGain(experiments.MORE, experiments.ExOR), "gain-vs-ExOR-%")
+		b.ReportMetric(stats.Median(res.Throughput[experiments.MORE]), "MORE-pkt/s")
+		b.ReportMetric(stats.Median(res.Throughput[experiments.ExOR]), "ExOR-pkt/s")
+	}
+}
+
+// BenchmarkFig45MultiFlow regenerates Fig 4-5: average per-flow throughput
+// with 1..3 concurrent flows.
+func BenchmarkFig45MultiFlow(b *testing.B) {
+	topo := experiments.TestbedTopology()
+	o := benchOpts()
+	o.FileBytes = 64 * 1500
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig45MultiFlow(topo, 3, 2, o)
+		b.ReportMetric(res.Avg[experiments.MORE][0], "MORE-1flow-pkt/s")
+		b.ReportMetric(res.Avg[experiments.MORE][2], "MORE-3flows-pkt/s")
+		b.ReportMetric(res.Avg[experiments.Srcr][2], "Srcr-3flows-pkt/s")
+	}
+}
+
+// BenchmarkFig46Autorate regenerates Fig 4-6: Srcr with Onoe autorate vs
+// opportunistic routing at a fixed 11 Mb/s over a rate-dependent channel.
+func BenchmarkFig46Autorate(b *testing.B) {
+	topo := experiments.TestbedTopology()
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig46Autorate(topo, 6, benchOpts())
+		b.ReportMetric(stats.Median(res.Throughput["MORE@11"]), "MORE@11-pkt/s")
+		b.ReportMetric(stats.Median(res.Throughput["Srcr-auto"]), "Srcr-auto-pkt/s")
+		b.ReportMetric(100*res.LowRateTxFrac, "1Mbps-tx-%")
+		b.ReportMetric(100*res.LowRateAirFrac, "1Mbps-airtime-%")
+	}
+}
+
+// BenchmarkFig47BatchSize regenerates Fig 4-7: throughput sensitivity to
+// the batch size K for MORE and ExOR.
+func BenchmarkFig47BatchSize(b *testing.B) {
+	topo := experiments.TestbedTopology()
+	o := benchOpts()
+	o.FileBytes = 128 * 1500
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig47BatchSize(topo, []int{8, 32, 128}, 4, o)
+		b.ReportMetric(res.Sensitivity(res.MORE), "MORE-sensitivity-x")
+		b.ReportMetric(res.Sensitivity(res.ExOR), "ExOR-sensitivity-x")
+	}
+}
+
+// --- Table 4.1: the three packet operations, measured directly ---------------
+
+func table41Fixture(b *testing.B) (*coding.Source, [][]byte) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	natives := make([][]byte, 32)
+	for i := range natives {
+		natives[i] = make([]byte, 1500)
+		rng.Read(natives[i])
+	}
+	src, err := coding.NewSource(natives, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return src, natives
+}
+
+// BenchmarkTable41IndependenceCheck measures the row-echelon innovativeness
+// check against a full K=32 buffer (paper: 10 µs on a Celeron 800).
+func BenchmarkTable41IndependenceCheck(b *testing.B) {
+	src, _ := table41Fixture(b)
+	buf := coding.NewBuffer(32, 1500)
+	for !buf.Full() {
+		buf.Add(src.Next())
+	}
+	vectors := make([][]byte, 256)
+	for i := range vectors {
+		vectors[i] = src.Next().Vector
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Innovative(vectors[i%len(vectors)])
+	}
+}
+
+// BenchmarkTable41SourceCoding measures coding one packet at the source:
+// K=32 multiplications per payload byte (paper: 270 µs).
+func BenchmarkTable41SourceCoding(b *testing.B) {
+	src, _ := table41Fixture(b)
+	b.SetBytes(1500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src.Next()
+	}
+}
+
+// BenchmarkTable41Decoding measures per-packet decode cost: progressive
+// elimination plus the amortized final back-substitution (paper: 260 µs).
+func BenchmarkTable41Decoding(b *testing.B) {
+	src, _ := table41Fixture(b)
+	pkts := make([]*coding.Packet, 40)
+	for i := range pkts {
+		pkts[i] = src.Next()
+	}
+	b.SetBytes(1500)
+	b.ResetTimer()
+	decoded := 0
+	for decoded < b.N {
+		dec := coding.NewDecoder(32, 1500)
+		for i := 0; !dec.Complete() && i < len(pkts); i++ {
+			dec.Add(pkts[i].Clone())
+		}
+		if dec.Complete() {
+			if _, err := dec.Decode(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		decoded += 32
+	}
+}
+
+// --- Chapter 5 ---------------------------------------------------------------
+
+// BenchmarkFig51CostGap regenerates the Fig 5-1 curve: the ETX-vs-EOTX
+// cost-gap at k=8 as the link probability falls.
+func BenchmarkFig51CostGap(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts := experiments.Fig51CostGap(8, []float64{0.3, 0.1, 0.03, 0.01})
+		b.ReportMetric(pts[len(pts)-1].Gap, "gap-at-p0.01-x")
+	}
+}
+
+// BenchmarkSec57EOTXvsETX regenerates the §5.7 testbed statistics.
+func BenchmarkSec57EOTXvsETX(b *testing.B) {
+	topo := experiments.TestbedTopology()
+	for i := 0; i < b.N; i++ {
+		res := experiments.Sec57EOTXvsETX(topo)
+		b.ReportMetric(100*float64(res.Unaffected)/float64(res.Pairs), "unaffected-%")
+		b.ReportMetric(res.MedianAffectedGapPct, "median-gap-%")
+	}
+}
+
+// BenchmarkEOTXComputation measures the Algorithm 5 metric computation
+// itself on the 20-node testbed (the O(n^2) claim of §5.5).
+func BenchmarkEOTXComputation(b *testing.B) {
+	topo := experiments.TestbedTopology()
+	for i := 0; i < b.N; i++ {
+		routing.EOTX(topo, 0, routing.DefaultEOTXOptions())
+	}
+}
+
+// --- Ablations of MORE's design choices (DESIGN.md §5) ------------------------
+
+func ablationPair() (opts experiments.Options, pair experiments.Pair) {
+	opts = benchOpts()
+	topo := experiments.TestbedTopology()
+	pair = experiments.RandomPairs(topo, 4, 2)[3] // a multi-hop pair
+	return opts, pair
+}
+
+func runAblation(b *testing.B, mutate func(*experiments.Options)) {
+	topo := experiments.TestbedTopology()
+	opts, pair := ablationPair()
+	base := experiments.Run(topo, experiments.MORE, pair, opts)
+	mutate(&opts)
+	ablated := experiments.Run(topo, experiments.MORE, pair, opts)
+	b.ReportMetric(base.Throughput(), "baseline-pkt/s")
+	b.ReportMetric(ablated.Throughput(), "ablated-pkt/s")
+	if ablated.Throughput() > 0 {
+		b.ReportMetric(base.Throughput()/ablated.Throughput(), "speedup-x")
+	}
+}
+
+// BenchmarkAblationPreCoding disables §3.2.3(c) pre-coding.
+func BenchmarkAblationPreCoding(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runAblation(b, func(o *experiments.Options) { o.PreCoding = false })
+	}
+}
+
+// BenchmarkAblationInnovativeOnly disables §3.2.3(a) innovative-only
+// buffering (forwarders code over every reception).
+func BenchmarkAblationInnovativeOnly(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runAblation(b, func(o *experiments.Options) { o.InnovativeOnly = false })
+	}
+}
+
+// BenchmarkAblationPruning disables §3.2.1 forwarder pruning.
+func BenchmarkAblationPruning(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runAblation(b, func(o *experiments.Options) { o.PruneFraction = 0 })
+	}
+}
+
+// BenchmarkAblationEOTXOrder switches the forwarder ordering from ETX to
+// the optimal EOTX metric (§5.7).
+func BenchmarkAblationEOTXOrder(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runAblation(b, func(o *experiments.Options) { o.Metric = routing.OrderEOTX })
+	}
+}
+
+// BenchmarkAblationCrediting credits only innovative upstream receptions
+// instead of every upstream reception (Eq. 3.3's assumption).
+func BenchmarkAblationCrediting(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runAblation(b, func(o *experiments.Options) { o.CreditOnInnovativeOnly = true })
+	}
+}

@@ -1,0 +1,105 @@
+// Command eotx computes the routing metrics of Chapter 5 for a topology:
+// per-node ETX and EOTX distances to a destination, the forwarding plan
+// (Algorithm 1 transmission counts and Eq. 3.3 credits), and the
+// ETX-vs-EOTX cost gap.
+//
+//	eotx -topo testbed -dst 0
+//	eotx -topo gap -k 8 -p 0.05 -src 0
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/graph"
+	"repro/internal/routing"
+)
+
+func main() {
+	var (
+		topoName = flag.String("topo", "testbed", "topology: testbed, chain, diamond, gap, corridor")
+		dst      = flag.Int("dst", 0, "destination node")
+		src      = flag.Int("src", -1, "source node for plan + gap output (-1: metrics only)")
+		k        = flag.Int("k", 8, "gap topology branch count")
+		p        = flag.Float64("p", 0.1, "gap topology link delivery probability")
+		nodes    = flag.Int("nodes", 6, "node count for chain/corridor")
+		seed     = flag.Int64("seed", 1, "generator seed")
+		verify   = flag.Bool("verify", false, "Monte-Carlo-validate the EOTX metric (Prop. 4)")
+		trials   = flag.Int("trials", 20000, "Monte Carlo trials for -verify")
+	)
+	flag.Parse()
+
+	var topo *graph.Topology
+	switch *topoName {
+	case "testbed":
+		topo = experiments.TestbedTopology()
+	case "chain":
+		topo = graph.LossyChain(*nodes, 15, 30)
+	case "diamond":
+		topo = graph.Diamond()
+	case "gap":
+		topo = graph.GapTopology(*k, *p)
+		if *src < 0 {
+			*src = 0
+		}
+		*dst = 3 + *k
+	case "corridor":
+		topo = graph.Corridor(*nodes, float64(*nodes)*26, 15, 28, *seed)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown topology %q\n", *topoName)
+		os.Exit(2)
+	}
+
+	d := graph.NodeID(*dst)
+	etx := routing.ETXToDestination(topo, d, routing.ETXOptions{Threshold: 0, AckAware: false})
+	eotx := routing.EOTX(topo, d, routing.DefaultEOTXOptions())
+
+	fmt.Printf("metrics toward node %d:\n", d)
+	fmt.Printf("%-6s %10s %10s %10s\n", "node", "ETX", "EOTX", "savings")
+	for i := 0; i < topo.N(); i++ {
+		sv := "-"
+		if !math.IsInf(etx.Dist[i], 1) && eotx[i] > 0 {
+			sv = fmt.Sprintf("%.1f%%", 100*(1-eotx[i]/etx.Dist[i]))
+		}
+		fmt.Printf("%-6d %10.3f %10.3f %10s\n", i, etx.Dist[i], eotx[i], sv)
+	}
+
+	if *src >= 0 {
+		s := graph.NodeID(*src)
+		fmt.Printf("\nforwarding plan %d -> %d:\n", s, d)
+		for _, m := range []routing.OrderMetric{routing.OrderETX, routing.OrderEOTX} {
+			opt := routing.PlanOptions{
+				Metric: m,
+				ETX:    routing.ETXOptions{Threshold: 0, AckAware: false},
+				EOTX:   routing.DefaultEOTXOptions(),
+			}
+			plan, err := routing.BuildPlan(topo, s, d, opt)
+			if err != nil {
+				fmt.Printf("  %s order: %v\n", m, err)
+				continue
+			}
+			fmt.Printf("  %s order: cost %.3f, forwarders %v\n", m, plan.TotalCost, plan.Forwarders())
+			for _, id := range plan.Participants() {
+				fmt.Printf("    node %-3d z=%-8.3f credit=%.3f\n", id, plan.Z[id], plan.Credit[id])
+			}
+		}
+		gap, err := routing.CostGap(topo, s, d,
+			routing.ETXOptions{Threshold: 0, AckAware: false}, routing.DefaultEOTXOptions())
+		if err == nil {
+			fmt.Printf("  ETX-order / EOTX-order cost gap: %.3fx\n", gap)
+		}
+		if *verify {
+			emp, err := routing.SimulateOpportunistic(topo, s, d, eotx, *trials, 99)
+			if err != nil {
+				fmt.Printf("  Monte Carlo: %v\n", err)
+			} else {
+				fmt.Printf("  Monte Carlo (%d trials of the §5.4 forwarding rule): %.3f tx/pkt vs EOTX %.3f (%+.1f%%)\n",
+					*trials, emp, eotx[s], 100*(emp/eotx[s]-1))
+			}
+		}
+	}
+
+}

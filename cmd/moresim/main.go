@@ -1,0 +1,137 @@
+// Command moresim runs a single file transfer over a chosen topology and
+// protocol and reports the result — the quick way to poke at the system.
+//
+//	moresim -proto more -topo testbed -src 3 -dst 17 -file 786432
+//	moresim -proto exor -topo chain -nodes 6
+//	moresim -proto srcr -topo diamond -verbose
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/graph"
+	"repro/internal/routing"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		protoName = flag.String("proto", "more", "protocol: more, exor, srcr, srcr-auto")
+		topoName  = flag.String("topo", "testbed", "topology: testbed, chain, diamond, corridor, grid")
+		nodes     = flag.Int("nodes", 6, "node count for chain/corridor topologies")
+		src       = flag.Int("src", -1, "source node (default: topology-specific)")
+		dst       = flag.Int("dst", -1, "destination node (default: topology-specific)")
+		fileBytes = flag.Int("file", 512<<10, "transfer size in bytes")
+		batch     = flag.Int("k", 32, "batch size K for MORE/ExOR")
+		seed      = flag.Int64("seed", 1, "simulation seed")
+		metric    = flag.String("metric", "etx", "forwarder ordering: etx or eotx")
+		verbose   = flag.Bool("verbose", false, "print the forwarding plan")
+		showTrace = flag.Bool("trace", false, "print a per-node medium activity timeline")
+	)
+	flag.Parse()
+
+	var topo *graph.Topology
+	defSrc, defDst := 0, 0
+	switch *topoName {
+	case "testbed":
+		topo = experiments.TestbedTopology()
+		defSrc, defDst = 3, 17
+	case "chain":
+		topo = graph.LossyChain(*nodes, 15, 30)
+		defSrc, defDst = 0, *nodes-1
+	case "diamond":
+		topo = graph.Diamond()
+		defSrc, defDst = 0, 2
+	case "corridor":
+		topo = graph.Corridor(*nodes, float64(*nodes)*26, 15, 28, *seed)
+		defSrc, defDst = 0, *nodes-1
+	case "grid":
+		topo = graph.Grid(4, 5, 14, 30)
+		defSrc, defDst = 0, topo.N()-1
+	default:
+		fmt.Fprintf(os.Stderr, "unknown topology %q\n", *topoName)
+		os.Exit(2)
+	}
+	if *src < 0 {
+		*src = defSrc
+	}
+	if *dst < 0 {
+		*dst = defDst
+	}
+
+	var proto experiments.Protocol
+	switch *protoName {
+	case "more":
+		proto = experiments.MORE
+	case "exor":
+		proto = experiments.ExOR
+	case "srcr":
+		proto = experiments.Srcr
+	case "srcr-auto":
+		proto = experiments.SrcrAutorate
+	default:
+		fmt.Fprintf(os.Stderr, "unknown protocol %q\n", *protoName)
+		os.Exit(2)
+	}
+
+	opts := experiments.DefaultOptions()
+	opts.FileBytes = *fileBytes
+	opts.BatchSize = *batch
+	opts.Seed = *seed
+	if proto == experiments.SrcrAutorate {
+		opts.RateDependentChannel = true
+	}
+	if *metric == "eotx" {
+		opts.Metric = routing.OrderEOTX
+	}
+
+	pair := experiments.Pair{Src: graph.NodeID(*src), Dst: graph.NodeID(*dst)}
+	if *verbose {
+		s := topo.LinkStats(graph.RouteThreshold)
+		fmt.Printf("topology: %d nodes, %d usable links, mean loss %.2f\n",
+			topo.N(), s.Links, s.MeanLoss)
+		if plan, err := routing.BuildPlan(topo, pair.Src, pair.Dst, planOpts(opts)); err == nil {
+			fmt.Printf("plan %d->%d (%s order): cost %.2f\n", pair.Src, pair.Dst, opts.Metric, plan.TotalCost)
+			for _, id := range plan.Participants() {
+				fmt.Printf("  node %-3d dist=%-7.2f z=%-6.2f credit=%.2f\n",
+					id, plan.Dist[id], plan.Z[id], plan.Credit[id])
+			}
+		}
+		etx := routing.ETXToDestination(topo, pair.Dst, routing.DefaultETXOptions())
+		fmt.Printf("best ETX path: %v (ETX %.2f)\n\n", etx.Path(pair.Src), etx.Dist[pair.Src])
+	}
+
+	var rec *trace.Recorder
+	if *showTrace {
+		rec = trace.NewRecorder(1 << 16)
+		opts.Trace = rec.Hook()
+	}
+	rs, counters := experiments.RunWithCounters(topo, proto, []experiments.Pair{pair}, opts)
+	r := rs[0]
+	if rec != nil {
+		end := r.End
+		if end == 0 {
+			end = sim.Second
+		}
+		fmt.Print(rec.Timeline(0, end, 96))
+	}
+	fmt.Printf("protocol: %v\n", proto)
+	fmt.Printf("%s\n", r)
+	fmt.Printf("medium: %d data tx, %d MAC acks, %d collisions, %d channel losses, air time %v\n",
+		counters.Transmissions, counters.MACAcks, counters.Collisions,
+		counters.ChannelLosses, counters.AirTime)
+	if !r.Completed {
+		os.Exit(1)
+	}
+}
+
+func planOpts(o experiments.Options) routing.PlanOptions {
+	p := routing.DefaultPlanOptions()
+	p.Metric = o.Metric
+	p.ETX = routing.ETXOptions{Threshold: graph.RouteThreshold, AckAware: true}
+	return p
+}

@@ -1,0 +1,19 @@
+// Package repro is a from-scratch Go reproduction of "Trading Structure for
+// Randomness in Wireless Opportunistic Routing" (Chachulski, MIT M.S.
+// thesis, 2007 — the thesis form of the SIGCOMM 2007 MORE paper).
+//
+// The system under internal/ comprises the MORE protocol (internal/core),
+// its GF(2^8) random linear network coding (internal/gf256,
+// internal/coding), the ETX/EOTX routing theory of Chapter 5
+// (internal/routing), a deterministic discrete-event 802.11b simulator
+// standing in for the paper's 20-node testbed (internal/sim,
+// internal/graph), the ExOR and Srcr baselines (internal/exor,
+// internal/srcr), link probing (internal/probe), and the experiment drivers
+// that regenerate every table and figure of the evaluation
+// (internal/experiments).
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// experiment index, and EXPERIMENTS.md for paper-vs-measured results. The
+// benchmarks in bench_test.go regenerate each table and figure at reduced
+// scale; cmd/morebench runs them at any scale.
+package repro

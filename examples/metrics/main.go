@@ -1,0 +1,53 @@
+// Metrics (Chapter 5): computes ETX and EOTX side by side, demonstrates the
+// unbounded cost gap of Fig 5-1, and checks the §5.6.2 identity that the
+// per-node transmission counts of Algorithm 1 under the EOTX order sum to
+// the source's EOTX.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/experiments"
+	"repro/internal/graph"
+	"repro/internal/routing"
+)
+
+func main() {
+	// 1. The Fig 5-1 gap topology: ETX discards forwarder B, EOTX embraces
+	// its k lossy-but-parallel branches.
+	k, p := 8, 0.05
+	topo := graph.GapTopology(k, p)
+	src, dst := graph.NodeID(0), graph.NodeID(3+k)
+	etx := routing.ETXToDestination(topo, dst, routing.ETXOptions{Threshold: 0, AckAware: false})
+	eotx := routing.EOTX(topo, dst, routing.DefaultEOTXOptions())
+	fmt.Printf("gap topology (k=%d, p=%.2f):\n", k, p)
+	fmt.Printf("  ETX(src) = %.2f   EOTX(src) = %.2f\n", etx.Dist[src], eotx[src])
+	gap, err := routing.CostGap(topo, src, dst,
+		routing.ETXOptions{Threshold: 0, AckAware: false}, routing.DefaultEOTXOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  ETX-ordered forwarding costs %.2fx the EOTX-ordered optimum\n", gap)
+	fmt.Printf("  (Prop. 6: the ratio approaches k=%d as p -> 0)\n\n", k)
+
+	// 2. §5.6.2: under the EOTX order, Algorithm 1's Σ z_i equals the
+	// source's EOTX exactly.
+	plan, err := routing.BuildPlan(topo, src, dst, routing.PlanOptions{
+		Metric: routing.OrderEOTX,
+		ETX:    routing.ETXOptions{Threshold: 0, AckAware: false},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Σ z_i under EOTX order = %.4f, EOTX(src) = %.4f (identical, §5.6.2)\n\n",
+		plan.TotalCost, eotx[src])
+
+	// 3. On a realistic mesh the two orders barely differ (§5.7).
+	res := experiments.Sec57EOTXvsETX(experiments.TestbedTopology())
+	fmt.Println("on the simulated 20-node testbed:")
+	fmt.Print(res.Table())
+	fmt.Println("\n(§5.7's conclusion: EOTX is the right baseline, but ETX ordering")
+	fmt.Println(" costs almost nothing on real meshes — the contrived gap topology")
+	fmt.Println(" needs many forwarders and extreme loss)")
+}

@@ -1,0 +1,80 @@
+// Multicast: the extension the thesis motivates in Chapter 1 — ExOR's
+// structured schedule is hard to extend to multicast, while MORE's random
+// coding needs no per-receiver coordination: one coded broadcast can be
+// innovative for many destinations at once. This example multicasts a file
+// to three destinations and compares the transmission cost against three
+// separate unicast transfers.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/flow"
+	"repro/internal/graph"
+	"repro/internal/routing"
+	"repro/internal/sim"
+)
+
+func main() {
+	topo := experiments.TestbedTopology()
+	file := flow.NewFile(128*1500, 1500, 9)
+	// Destinations 5, 7, and 9 all hang off the same 3->6->14->17 artery,
+	// so one coded broadcast along it serves all three.
+	src := graph.NodeID(3)
+	dsts := []graph.NodeID{5, 7, 9}
+
+	newSim := func() (*sim.Simulator, []*core.Node) {
+		simCfg := sim.DefaultConfig()
+		simCfg.SenseRange = 84
+		simCfg.RefFrameBytes = 1500
+		s := sim.New(topo, simCfg)
+		oracle := flow.NewOracle(topo, routing.ETXOptions{
+			Threshold: graph.RouteThreshold, AckAware: true,
+		})
+		nodes := make([]*core.Node, topo.N())
+		for i := range nodes {
+			nodes[i] = core.NewNode(core.DefaultConfig(), oracle)
+			s.Attach(graph.NodeID(i), nodes[i])
+		}
+		return s, nodes
+	}
+
+	// One multicast flow to all three destinations.
+	s, nodes := newSim()
+	for _, d := range dsts {
+		nodes[d].ExpectFlow(1, file, nil)
+	}
+	done := false
+	if err := nodes[src].StartMulticastFlow(1, dsts, file, func(flow.Result) { done = true }); err != nil {
+		log.Fatal(err)
+	}
+	s.RunWhile(3600*sim.Second, func() bool { return !done })
+	multicastTx := s.Counters.Transmissions
+	fmt.Printf("multicast %d -> %v: %v simulated, %d transmissions\n",
+		src, dsts, s.Now(), multicastTx)
+	for _, d := range dsts {
+		r := nodes[d].Result(1)
+		fmt.Printf("  dst %d: %d/%d packets, verified=%v\n",
+			d, r.PacketsDelivered, r.PacketsTotal, r.Verified)
+	}
+
+	// Baseline: three sequential unicasts of the same file.
+	var unicastTx int64
+	for i, d := range dsts {
+		s2, nodes2 := newSim()
+		done2 := false
+		nodes2[d].ExpectFlow(flow.ID(10+i), file, nil)
+		if err := nodes2[src].StartFlow(flow.ID(10+i), d, file, func(flow.Result) { done2 = true }); err != nil {
+			log.Fatal(err)
+		}
+		s2.RunWhile(3600*sim.Second, func() bool { return !done2 })
+		unicastTx += s2.Counters.Transmissions
+	}
+	fmt.Printf("\nthree separate unicasts: %d transmissions\n", unicastTx)
+	fmt.Printf("multicast saves %.0f%% — one coded broadcast is innovative for\n",
+		100*(1-float64(multicastTx)/float64(unicastTx)))
+	fmt.Println("every destination that hears it, no per-receiver scheduling needed.")
+}

@@ -1,0 +1,386 @@
+// Package coding implements MORE's intra-flow random linear network coding
+// (Chapter 3 of the thesis).
+//
+// A batch consists of K native packets p_1 … p_K of equal size. Every data
+// transmission carries a coded packet p' = Σ c_i p_i together with its code
+// vector c = (c_1, …, c_K) over GF(2^8). The package provides:
+//
+//   - Packet: a coded packet (code vector + payload).
+//   - Source: codes random combinations of the K native packets (§3.1.1).
+//   - Buffer: a forwarder/destination batch buffer that keeps the code
+//     vectors of stored packets in row-echelon form and admits only
+//     innovative packets using Algorithm 2 (§3.2.3(a),(b)).
+//   - PreCoder: the pre-computed next transmission, updated incrementally as
+//     innovative packets arrive (§3.2.3(c)).
+//   - Decoder: progressive Gaussian elimination at the destination; once K
+//     innovative packets arrive the natives are recovered (§3.1.3).
+//
+// All randomness is drawn from a caller-supplied *rand.Rand so simulations
+// are deterministic under a fixed seed.
+package coding
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/gf256"
+)
+
+// Packet is a coded packet: the code vector describing how it was derived
+// from the batch's native packets, plus the coded payload bytes.
+type Packet struct {
+	// Vector has length K (the batch size). Vector[i] is the coefficient
+	// of native packet i.
+	Vector []byte
+	// Payload is the coded data, the same length for every packet of a
+	// batch.
+	Payload []byte
+}
+
+// Clone returns a deep copy of p.
+func (p *Packet) Clone() *Packet {
+	q := &Packet{
+		Vector:  make([]byte, len(p.Vector)),
+		Payload: make([]byte, len(p.Payload)),
+	}
+	copy(q.Vector, p.Vector)
+	copy(q.Payload, p.Payload)
+	return q
+}
+
+// IsZero reports whether the packet's code vector is all-zero (it then
+// carries no information).
+func (p *Packet) IsZero() bool {
+	for _, c := range p.Vector {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// String summarizes the packet for debugging.
+func (p *Packet) String() string {
+	return fmt.Sprintf("coded{K=%d,S=%d}", len(p.Vector), len(p.Payload))
+}
+
+// randNonZero returns a uniformly random nonzero field element.
+func randNonZero(rng *rand.Rand) byte {
+	return byte(1 + rng.Intn(255))
+}
+
+// Source codes transmissions at the flow's origin: a random linear
+// combination of all K native packets of the current batch (§3.1.1). In
+// MORE, data packets are always coded, even at the source.
+type Source struct {
+	native  [][]byte // the K native payloads
+	k       int
+	size    int
+	rng     *rand.Rand
+	scratch []byte
+}
+
+// NewSource builds a Source for one batch of native payloads. All payloads
+// must have equal nonzero length. The slice is retained, not copied.
+func NewSource(native [][]byte, rng *rand.Rand) (*Source, error) {
+	if len(native) == 0 {
+		return nil, errors.New("coding: empty batch")
+	}
+	size := len(native[0])
+	if size == 0 {
+		return nil, errors.New("coding: zero-size payloads")
+	}
+	for i, p := range native {
+		if len(p) != size {
+			return nil, fmt.Errorf("coding: payload %d has size %d, want %d", i, len(p), size)
+		}
+	}
+	return &Source{native: native, k: len(native), size: size, rng: rng}, nil
+}
+
+// K returns the batch size.
+func (s *Source) K() int { return s.k }
+
+// PayloadSize returns the common payload length.
+func (s *Source) PayloadSize() int { return s.size }
+
+// Next produces a freshly coded packet: random coefficients over all K
+// natives. The coefficient of at least one native is forced nonzero so the
+// packet is never the useless all-zero combination.
+func (s *Source) Next() *Packet {
+	p := &Packet{
+		Vector:  make([]byte, s.k),
+		Payload: make([]byte, s.size),
+	}
+	zero := true
+	for i := range p.Vector {
+		c := byte(s.rng.Intn(256))
+		p.Vector[i] = c
+		if c != 0 {
+			zero = false
+			gf256.MulAddSlice(p.Payload, s.native[i], c)
+		}
+	}
+	if zero {
+		// Exponentially unlikely for realistic K, but fix it up: pick a
+		// random native to include with a nonzero coefficient.
+		i := s.rng.Intn(s.k)
+		c := randNonZero(s.rng)
+		p.Vector[i] = c
+		gf256.MulAddSlice(p.Payload, s.native[i], c)
+	}
+	return p
+}
+
+// Buffer is the per-batch store of innovative packets kept by forwarders and
+// destinations. Code vectors are maintained in row-echelon form: row i, if
+// present, has its first nonzero element at index i and that element is
+// normalized to 1 (Algorithm 2). Payloads receive the same row operations so
+// each stored row remains a valid coded packet.
+type Buffer struct {
+	k    int
+	size int
+	rows []*Packet // rows[i] == nil if the slot is empty
+	rank int
+}
+
+// NewBuffer creates an empty buffer for batch size k and payload size.
+func NewBuffer(k, size int) *Buffer {
+	return &Buffer{k: k, size: size, rows: make([]*Packet, k)}
+}
+
+// K returns the batch size.
+func (b *Buffer) K() int { return b.k }
+
+// PayloadSize returns the payload size.
+func (b *Buffer) PayloadSize() int { return b.size }
+
+// Rank returns the number of innovative packets stored (the dimension of
+// the span of everything received so far).
+func (b *Buffer) Rank() int { return b.rank }
+
+// Full reports whether the buffer holds K innovative packets, i.e. the
+// whole batch can be decoded.
+func (b *Buffer) Full() bool { return b.rank == b.k }
+
+// Innovative reports whether a packet with the given code vector would be
+// innovative (linearly independent of the stored packets) without modifying
+// the buffer. It runs the elimination on a scratch copy of the vector only —
+// checking for innovativeness never touches payload bytes (§3.2.3(b)).
+func (b *Buffer) Innovative(vector []byte) bool {
+	if len(vector) != b.k {
+		return false
+	}
+	u := make([]byte, b.k)
+	copy(u, vector)
+	for i := 0; i < b.k; i++ {
+		if u[i] == 0 {
+			continue
+		}
+		if b.rows[i] == nil {
+			return true
+		}
+		gf256.MulAddSlice(u, b.rows[i].Vector, u[i]) // u -= rows[i]*u[i]
+	}
+	return false
+}
+
+// Add runs Algorithm 2: it reduces the packet against the stored rows and,
+// if the result is nonzero, admits it into the empty slot it lands in and
+// returns true (rank increased). Non-innovative packets are discarded and
+// Add returns false. The packet is consumed: Add may modify it in place.
+func (b *Buffer) Add(p *Packet) bool {
+	if len(p.Vector) != b.k || len(p.Payload) != b.size {
+		return false
+	}
+	for i := 0; i < b.k; i++ {
+		c := p.Vector[i]
+		if c == 0 {
+			continue
+		}
+		row := b.rows[i]
+		if row == nil {
+			// Admit: normalize the leading coefficient to 1.
+			inv := gf256.Inv(c)
+			gf256.ScaleSlice(p.Vector, inv)
+			gf256.ScaleSlice(p.Payload, inv)
+			b.rows[i] = p
+			b.rank++
+			return true
+		}
+		// p -= row * c  (row's leading element is 1 at index i).
+		gf256.MulAddSlice(p.Vector, row.Vector, c)
+		gf256.MulAddSlice(p.Payload, row.Payload, c)
+	}
+	return false
+}
+
+// Rows returns the stored innovative packets in echelon order. The returned
+// slice is freshly allocated but the packets are the buffer's own; callers
+// must not mutate them.
+func (b *Buffer) Rows() []*Packet {
+	out := make([]*Packet, 0, b.rank)
+	for _, r := range b.rows {
+		if r != nil {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Recode produces a fresh random linear combination of the stored innovative
+// packets (what a forwarder transmits, §3.1.2). It returns nil if the buffer
+// is empty. A linear combination of coded packets is itself a coded packet
+// whose vector is expressed in terms of the natives.
+func (b *Buffer) Recode(rng *rand.Rand) *Packet {
+	if b.rank == 0 {
+		return nil
+	}
+	p := &Packet{Vector: make([]byte, b.k), Payload: make([]byte, b.size)}
+	any := false
+	var last *Packet
+	for _, row := range b.rows {
+		if row == nil {
+			continue
+		}
+		last = row
+		r := byte(rng.Intn(256))
+		if r == 0 {
+			continue
+		}
+		any = true
+		gf256.MulAddSlice(p.Vector, row.Vector, r)
+		gf256.MulAddSlice(p.Payload, row.Payload, r)
+	}
+	if !any {
+		// All coefficients drew zero; include the last row with a nonzero
+		// coefficient so the transmission is never vacuous.
+		r := randNonZero(rng)
+		gf256.MulAddSlice(p.Vector, last.Vector, r)
+		gf256.MulAddSlice(p.Payload, last.Payload, r)
+	}
+	return p
+}
+
+// Reset drops all stored packets (batch flush: overheard ACK or newer batch,
+// §3.2.2).
+func (b *Buffer) Reset() {
+	for i := range b.rows {
+		b.rows[i] = nil
+	}
+	b.rank = 0
+}
+
+// PreCoder maintains one pre-computed coded packet so that a transmission is
+// ready the instant the MAC offers an opportunity (§3.2.3(c)). After handing
+// a packet out, call Refresh to precompute the next one; when an innovative
+// packet arrives in between, call Update to fold it in with a fresh random
+// coefficient, so the prepared packet reflects everything the node knows.
+type PreCoder struct {
+	buf  *Buffer
+	rng  *rand.Rand
+	next *Packet
+}
+
+// NewPreCoder creates a PreCoder over the given buffer.
+func NewPreCoder(buf *Buffer, rng *rand.Rand) *PreCoder {
+	return &PreCoder{buf: buf, rng: rng}
+}
+
+// Ready reports whether a pre-coded packet is prepared.
+func (pc *PreCoder) Ready() bool { return pc.next != nil }
+
+// Refresh precomputes the next transmission from the current buffer
+// contents. It is a no-op if the buffer is empty.
+func (pc *PreCoder) Refresh() {
+	pc.next = pc.buf.Recode(pc.rng)
+}
+
+// Update folds a newly arrived innovative packet into the prepared
+// transmission: next += r * p for a random nonzero r. If nothing is
+// prepared yet it performs a Refresh instead. p must already have been
+// admitted to the buffer (so sizes agree).
+func (pc *PreCoder) Update(p *Packet) {
+	if pc.next == nil {
+		pc.Refresh()
+		return
+	}
+	r := randNonZero(pc.rng)
+	gf256.MulAddSlice(pc.next.Vector, p.Vector, r)
+	gf256.MulAddSlice(pc.next.Payload, p.Payload, r)
+}
+
+// Take hands out the prepared packet (or codes one on the spot if none is
+// prepared — the "naive" path pre-coding exists to avoid) and immediately
+// prepares the next. Returns nil if the buffer is empty.
+func (pc *PreCoder) Take() *Packet {
+	p := pc.next
+	if p == nil {
+		p = pc.buf.Recode(pc.rng)
+		if p == nil {
+			return nil
+		}
+	}
+	pc.Refresh()
+	return p
+}
+
+// Reset discards any prepared packet (used when the batch is flushed).
+func (pc *PreCoder) Reset() { pc.next = nil }
+
+// Decoder recovers the K native packets at the destination. It reuses
+// Buffer's progressive elimination and, when the buffer is full,
+// back-substitutes to reduced row-echelon form so row i is exactly native
+// packet i (§3.1.3). Decoding costs ~2NS multiplications per packet as the
+// thesis notes; the forward phase happens as packets arrive, spreading the
+// work.
+type Decoder struct {
+	buf *Buffer
+}
+
+// NewDecoder creates a decoder for batch size k and payload size.
+func NewDecoder(k, size int) *Decoder {
+	return &Decoder{buf: NewBuffer(k, size)}
+}
+
+// Buffer exposes the underlying batch buffer (shared with the forwarder
+// logic when the destination also forwards).
+func (d *Decoder) Buffer() *Buffer { return d.buf }
+
+// Rank returns the number of innovative packets received.
+func (d *Decoder) Rank() int { return d.buf.Rank() }
+
+// Add feeds a received packet into the decoder, returning true if it was
+// innovative.
+func (d *Decoder) Add(p *Packet) bool { return d.buf.Add(p) }
+
+// Complete reports whether enough innovative packets have arrived to decode
+// the whole batch.
+func (d *Decoder) Complete() bool { return d.buf.Full() }
+
+// Decode returns the K native payloads in order. It errors if the batch is
+// not yet complete. Decode back-substitutes in place; it is idempotent.
+func (d *Decoder) Decode() ([][]byte, error) {
+	if !d.buf.Full() {
+		return nil, fmt.Errorf("coding: batch incomplete, rank %d of %d", d.buf.Rank(), d.buf.k)
+	}
+	rows := d.buf.rows
+	k := d.buf.k
+	// Back-substitution: clear everything above each pivot, bottom-up.
+	for i := k - 1; i >= 0; i-- {
+		for j := 0; j < i; j++ {
+			c := rows[j].Vector[i]
+			if c == 0 {
+				continue
+			}
+			gf256.MulAddSlice(rows[j].Vector, rows[i].Vector, c)
+			gf256.MulAddSlice(rows[j].Payload, rows[i].Payload, c)
+		}
+	}
+	out := make([][]byte, k)
+	for i := range out {
+		out[i] = rows[i].Payload
+	}
+	return out, nil
+}

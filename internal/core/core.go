@@ -1,0 +1,794 @@
+// Package core implements MORE — MAC-independent Opportunistic Routing &
+// Encoding — the primary contribution of the thesis (Chapter 3).
+//
+// Every node runs one *Node attached to the simulator. A source breaks the
+// file into batches of K native packets and, whenever the MAC offers a
+// transmission opportunity, broadcasts a fresh random linear combination of
+// the current batch (§3.1.1). Forwarders listen promiscuously: packets that
+// list them in the forwarder list add TX credit (Eq. 3.3); innovative
+// packets enter the batch buffer; when the MAC polls a forwarder with
+// positive credit it broadcasts a pre-coded random recombination and
+// decrements the counter (§3.2.1, §3.3.3). The destination collects K
+// innovative packets, decodes by matrix inversion, and sends a batch ACK
+// back along the shortest ETX path — prioritized over data and reliably
+// delivered hop by hop; every node that overhears the ACK purges the batch
+// (§3.2.2).
+//
+// The implementation mirrors the practical machinery of §3.2–§3.3:
+// innovation-gated buffering via row-echelon code vectors, pre-coding so a
+// packet is ready when the medium clears, per-flow state initialized by the
+// first overheard packet and expired on inactivity, forwarder pruning, and
+// the compressed header format whose on-air size every frame is charged.
+package core
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/coding"
+	"repro/internal/flow"
+	"repro/internal/gf256"
+	"repro/internal/graph"
+	"repro/internal/packet"
+	"repro/internal/routing"
+	"repro/internal/sim"
+)
+
+// Config parameterizes MORE.
+type Config struct {
+	// BatchSize is K, the number of native packets coded together
+	// (default 32, §4.1.2).
+	BatchSize int
+	// PayloadSize is the native packet payload in bytes. The frame also
+	// carries the MORE header; the paper uses 1500 B packets.
+	PayloadSize int
+	// Plan configures forwarder selection (metric, pruning, list bound).
+	Plan routing.PlanOptions
+	// PreCoding enables the §3.2.3(c) optimization (on in MORE; off only
+	// for ablation).
+	PreCoding bool
+	// InnovativeOnly discards non-innovative packets before buffering
+	// (§3.2.3(a)); disabling it is the "code everything" ablation, which
+	// buffers every reception (bounded) and codes over all of them.
+	InnovativeOnly bool
+	// CreditOnInnovativeOnly is an ablation of the §3.3.3 crediting rule:
+	// when set, only innovative receptions from upstream add TX credit,
+	// instead of every upstream reception as Eq. (3.3) assumes. It starves
+	// forwarders whose upstream traffic is largely redundant.
+	CreditOnInnovativeOnly bool
+	// FlowTimeout expires idle per-flow state (§3.3.2 uses 5 minutes).
+	FlowTimeout sim.Time
+	// AckRedundancy re-queues the batch ACK after this many redundant
+	// receptions of an already-decoded batch (the stopping rule's guard
+	// against a lost ACK). Zero uses the default of 8.
+	AckRedundancy int
+}
+
+// DefaultConfig matches the deployed MORE parameters.
+func DefaultConfig() Config {
+	return Config{
+		BatchSize:      32,
+		PayloadSize:    1500,
+		Plan:           routing.DefaultPlanOptions(),
+		PreCoding:      true,
+		InnovativeOnly: true,
+		FlowTimeout:    5 * 60 * sim.Second,
+		AckRedundancy:  8,
+	}
+}
+
+// DataMsg is the payload of a MORE data frame: the Fig 3-1 header fields
+// plus the coded packet. Frames are charged the encoded header size plus the
+// coded payload on the air.
+type DataMsg struct {
+	Flow flow.ID
+	Src  graph.NodeID
+	Dst  graph.NodeID
+	// Dsts is set for multicast flows: every listed node is a destination.
+	Dsts  []graph.NodeID
+	Batch uint32
+	K     int
+	// TotalBatches lets the destination recognize the final batch.
+	TotalBatches int
+	// Packet is the coded packet (code vector + payload).
+	Packet *coding.Packet
+	// Forwarders is the ordered candidate list with TX credits, copied
+	// from the source's plan into every packet (§3.3.1).
+	Forwarders []FwdEntry
+}
+
+// FwdEntry is one forwarder-list entry.
+type FwdEntry struct {
+	Node   graph.NodeID
+	Credit float64
+}
+
+// wireBytes returns the on-air frame size for the message.
+func (m *DataMsg) wireBytes() int {
+	h := packet.MOREHeader{
+		Type:       packet.TypeData,
+		CodeVector: m.Packet.Vector,
+		Forwarders: make([]packet.Forwarder, len(m.Forwarders)),
+	}
+	// Multicast destinations ride as one extra hashed byte each.
+	return h.EncodedSize() + len(m.Dsts) + len(m.Packet.Payload)
+}
+
+// AckMsg is the payload of a MORE batch ACK, unicast hop by hop along the
+// reverse ETX path toward Target (the flow's source).
+type AckMsg struct {
+	Flow   flow.ID
+	Batch  uint32
+	Final  bool
+	Target graph.NodeID
+	// Origin is the destination that generated the ACK (multicast sources
+	// count ACKs per destination).
+	Origin graph.NodeID
+	// Multicast marks ACKs of multicast flows: forwarders must not purge
+	// the batch on overhearing them, because other destinations may still
+	// need it.
+	Multicast bool
+}
+
+func (m *AckMsg) wireBytes() int {
+	h := packet.MOREHeader{Type: packet.TypeACK}
+	a := packet.ACK{}
+	return h.EncodedSize() + a.EncodedSize()
+}
+
+// Node is the MORE protocol instance on one router.
+type Node struct {
+	cfg    Config
+	node   *sim.Node
+	oracle *flow.Oracle
+
+	sources map[flow.ID]*sourceState
+	relays  map[flow.ID]*relayState
+	sinks   map[flow.ID]*sinkState
+
+	// ackQueue holds ACKs awaiting transmission; they take priority over
+	// data at every node (§3.2.2).
+	ackQueue []*AckMsg
+
+	// rr cycles among backlogged flows (§3.3.3 round-robin).
+	rr []flow.ID
+
+	// OnDeliver, when set, is called as each batch is decoded at this
+	// node (it is the flow destination), with the native payloads in order.
+	OnDeliver func(id flow.ID, batch uint32, natives [][]byte)
+
+	// Counters.
+	DataSent      int64
+	AcksSent      int64
+	Innovative    int64
+	NonInnovative int64
+	CreditDenied  int64
+}
+
+// NewNode creates a MORE node; attach it with sim.Attach.
+func NewNode(cfg Config, oracle *flow.Oracle) *Node {
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 32
+	}
+	if cfg.AckRedundancy <= 0 {
+		cfg.AckRedundancy = 8
+	}
+	return &Node{
+		cfg:     cfg,
+		oracle:  oracle,
+		sources: make(map[flow.ID]*sourceState),
+		relays:  make(map[flow.ID]*relayState),
+		sinks:   make(map[flow.ID]*sinkState),
+	}
+}
+
+// Init implements sim.Protocol.
+func (n *Node) Init(sn *sim.Node) {
+	n.node = sn
+	if n.cfg.FlowTimeout > 0 {
+		n.scheduleSweep()
+	}
+}
+
+func (n *Node) scheduleSweep() {
+	n.node.After(n.cfg.FlowTimeout/2, func() {
+		n.sweepStale()
+		n.scheduleSweep()
+	})
+}
+
+func (n *Node) sweepStale() {
+	cutoff := n.node.Now() - n.cfg.FlowTimeout
+	for id, r := range n.relays {
+		if r.lastActivity < cutoff {
+			delete(n.relays, id)
+		}
+	}
+	for id, s := range n.sinks {
+		if s.lastActivity < cutoff && !s.done {
+			delete(n.sinks, id)
+		}
+	}
+}
+
+// --- Source ------------------------------------------------------------------
+
+type sourceState struct {
+	id        flow.ID
+	dst       graph.NodeID
+	batches   [][][]byte // native payloads per batch
+	curBatch  int
+	src       *coding.Source
+	fwd       []FwdEntry
+	result    flow.Result
+	done      bool
+	onDone    func(flow.Result)
+	txAtStart int64
+	// multicast is non-nil for multicast flows.
+	multicast *multicastState
+}
+
+// StartFlow makes this node the source of a reliable file transfer to dst.
+// It computes the forwarding plan (forwarder list, TX credits) from the
+// oracle's link state and starts pumping coded packets. onDone, if non-nil,
+// fires when the final batch is acked.
+func (n *Node) StartFlow(id flow.ID, dst graph.NodeID, file flow.File, onDone func(flow.Result)) error {
+	if _, dup := n.sources[id]; dup {
+		return fmt.Errorf("core: duplicate flow %d", id)
+	}
+	plan, err := routing.BuildPlan(n.oracle.Topo, n.node.ID(), dst, n.cfg.Plan)
+	if err != nil {
+		return fmt.Errorf("core: flow %d: %w", id, err)
+	}
+	payloads := file.Payloads()
+	batches := splitBatches(payloads, n.cfg.BatchSize)
+	if len(batches) == 0 {
+		return fmt.Errorf("core: flow %d: empty file", id)
+	}
+	fwd := make([]FwdEntry, 0, len(plan.Order))
+	for _, fid := range plan.Forwarders() {
+		fwd = append(fwd, FwdEntry{Node: fid, Credit: plan.Credit[fid]})
+	}
+	st := &sourceState{
+		id:        id,
+		dst:       dst,
+		batches:   batches,
+		fwd:       fwd,
+		onDone:    onDone,
+		txAtStart: n.node.Sim().Counters.Transmissions,
+	}
+	st.result = flow.Result{
+		Src: n.node.ID(), Dst: dst,
+		PacketsTotal: len(payloads),
+		Start:        n.node.Now(),
+	}
+	src, err := coding.NewSource(batches[0], n.node.Rand())
+	if err != nil {
+		return err
+	}
+	st.src = src
+	n.sources[id] = st
+	n.rrAdd(id)
+	n.node.Wake()
+	return nil
+}
+
+// advanceBatch moves the source to the next batch after an ACK.
+func (n *Node) advanceBatch(st *sourceState, acked uint32) {
+	if st.done || int(acked) != st.curBatch {
+		return
+	}
+	st.curBatch++
+	if st.curBatch >= len(st.batches) {
+		st.done = true
+		st.result.Completed = true
+		st.result.End = n.node.Now()
+		st.result.PacketsDelivered = st.result.PacketsTotal
+		st.result.Transmissions = n.node.Sim().Counters.Transmissions - st.txAtStart
+		if st.onDone != nil {
+			st.onDone(st.result)
+		}
+		return
+	}
+	src, err := coding.NewSource(st.batches[st.curBatch], n.node.Rand())
+	if err != nil {
+		panic(err) // batches are validated at StartFlow
+	}
+	st.src = src
+	n.node.Wake()
+}
+
+// --- Forwarder ---------------------------------------------------------------
+
+type relayState struct {
+	id           flow.ID
+	src, dst     graph.NodeID
+	curBatch     uint32
+	ackedThrough int64 // highest batch known acked (-1 none)
+	k            int
+	buffer       *coding.Buffer
+	pre          *coding.PreCoder
+	raw          []*coding.Packet // only when InnovativeOnly is off
+	credit       float64
+	myCredit     float64
+	fwdList      []FwdEntry
+	dsts         []graph.NodeID // multicast destinations, nil for unicast
+	totalBatches int
+	lastActivity sim.Time
+}
+
+func (n *Node) relayFor(m *DataMsg, myCredit float64) *relayState {
+	r, ok := n.relays[m.Flow]
+	if !ok {
+		r = &relayState{
+			id:           m.Flow,
+			src:          m.Src,
+			dst:          m.Dst,
+			curBatch:     m.Batch,
+			ackedThrough: -1,
+			myCredit:     myCredit,
+		}
+		r.resetBatch(n, m)
+		n.relays[m.Flow] = r
+		n.rrAdd(m.Flow)
+	}
+	return r
+}
+
+func (r *relayState) resetBatch(n *Node, m *DataMsg) {
+	r.curBatch = m.Batch
+	r.k = m.K
+	r.buffer = coding.NewBuffer(m.K, len(m.Packet.Payload))
+	r.pre = coding.NewPreCoder(r.buffer, n.node.Rand())
+	r.raw = nil
+	r.credit = 0
+}
+
+// --- Destination -------------------------------------------------------------
+
+type sinkState struct {
+	id            flow.ID
+	multicast     bool
+	src           graph.NodeID
+	curBatch      uint32
+	k             int
+	totalBatches  int
+	decoder       *coding.Decoder
+	redundant     int
+	decodedUpTo   int64 // highest batch decoded (-1 none)
+	delivered     int
+	done          bool
+	lastActivity  sim.Time
+	result        flow.Result
+	onDone        func(flow.Result)
+	verifyAgainst [][]byte
+}
+
+// ExpectFlow registers the receive side: optional completion callback and
+// byte-exact verification of the delivered file. Registration is not
+// required for operation (state initializes from the first packet, §3.3.2);
+// it only wires up result reporting.
+func (n *Node) ExpectFlow(id flow.ID, file flow.File, onDone func(flow.Result)) {
+	s := n.sinkFor(id)
+	s.onDone = onDone
+	s.verifyAgainst = file.Payloads()
+	s.result.PacketsTotal = file.NumPackets()
+}
+
+func (n *Node) sinkFor(id flow.ID) *sinkState {
+	s, ok := n.sinks[id]
+	if !ok {
+		s = &sinkState{id: id, decodedUpTo: -1}
+		s.result.Dst = n.node.ID()
+		s.result.Verified = true
+		n.sinks[id] = s
+	}
+	return s
+}
+
+// Result returns the destination-side result for a flow (zero Result if
+// unknown).
+func (n *Node) Result(id flow.ID) flow.Result {
+	if s, ok := n.sinks[id]; ok {
+		return s.result
+	}
+	if s, ok := n.sources[id]; ok {
+		return s.result
+	}
+	return flow.Result{}
+}
+
+// --- sim.Protocol ------------------------------------------------------------
+
+// Receive implements sim.Protocol.
+func (n *Node) Receive(f *sim.Frame) {
+	switch m := f.Payload.(type) {
+	case *DataMsg:
+		n.receiveData(f, m)
+	case *AckMsg:
+		n.receiveAck(f, m)
+	}
+}
+
+func (n *Node) receiveData(f *sim.Frame, m *DataMsg) {
+	me := n.node.ID()
+	if m.Dst == me {
+		n.sinkReceive(m)
+		return
+	}
+	for _, d := range m.Dsts {
+		if d == me {
+			n.sinkReceive(m)
+			return
+		}
+	}
+	if src, ok := n.sources[m.Flow]; ok && m.Src == me {
+		_ = src // our own flow echoed back through the mesh; ignore.
+		return
+	}
+	// Forwarder path: only if listed in the packet's forwarder list.
+	myCredit := -1.0
+	for _, e := range m.Forwarders {
+		if e.Node == me {
+			myCredit = e.Credit
+			break
+		}
+	}
+	if myCredit < 0 {
+		return
+	}
+	r := n.relayFor(m, myCredit)
+	r.lastActivity = n.node.Now()
+	r.myCredit = myCredit
+	r.fwdList = m.Forwarders
+	r.dsts = m.Dsts
+	r.totalBatches = m.TotalBatches
+	if int64(m.Batch) <= r.ackedThrough {
+		return // stale batch already acked
+	}
+	if m.Batch < r.curBatch {
+		return // older than the active batch: ignore (§3.3.3)
+	}
+	if m.Batch > r.curBatch {
+		// Newer batch from the sender: flush buffered packets (§3.2.2).
+		r.resetBatch(n, m)
+	}
+	innovative := r.buffer.Innovative(m.Packet.Vector)
+	// Credit for receptions from upstream: the source or a forwarder
+	// farther from the destination (listed after us). Eq. (3.3) credits
+	// every upstream reception; the ablation credits only innovative ones.
+	if n.isUpstream(f.From, me, m) && (!n.cfg.CreditOnInnovativeOnly || innovative) {
+		r.credit += r.myCredit
+	}
+	if innovative {
+		pkt := m.Packet.Clone()
+		r.buffer.Add(pkt)
+		n.Innovative++
+		if n.cfg.PreCoding {
+			// Fold the fresh arrival into the prepared packet (§3.2.3(c)).
+			r.pre.Update(r.buffer.Rows()[len(r.buffer.Rows())-1])
+		}
+	} else {
+		n.NonInnovative++
+		if !n.cfg.InnovativeOnly && len(r.raw) < 4*r.k {
+			r.raw = append(r.raw, m.Packet.Clone())
+		}
+	}
+	if r.credit > 0 && r.buffer.Rank() > 0 {
+		n.node.Wake()
+	}
+}
+
+// isUpstream reports whether sender is farther from the destination than
+// me within the packet's forwarder ordering (the source is the farthest).
+func (n *Node) isUpstream(sender, me graph.NodeID, m *DataMsg) bool {
+	if sender == m.Src {
+		return true
+	}
+	if sender == m.Dst {
+		return false
+	}
+	myIdx, senderIdx := -1, -1
+	for i, e := range m.Forwarders {
+		if e.Node == me {
+			myIdx = i
+		}
+		if e.Node == sender {
+			senderIdx = i
+		}
+	}
+	// Forwarder list is ordered by proximity to the destination, closest
+	// first; a later index is farther, i.e. upstream of an earlier one.
+	return senderIdx > myIdx
+}
+
+func (n *Node) sinkReceive(m *DataMsg) {
+	s := n.sinkFor(m.Flow)
+	s.lastActivity = n.node.Now()
+	s.src = m.Src
+	s.multicast = len(m.Dsts) > 0
+	s.totalBatches = m.TotalBatches
+	if s.result.Src != m.Src {
+		s.result.Src = m.Src
+	}
+	if int64(m.Batch) <= s.decodedUpTo {
+		// Redundant packet from an already-decoded batch: the ACK must
+		// have been lost — re-queue it every few receptions (§3.2.2).
+		// This runs even after the flow is done: the source may still be
+		// waiting on the final batch's ACK.
+		s.redundant++
+		if s.redundant%n.cfg.AckRedundancy == 0 {
+			n.queueAck(s, uint32(s.decodedUpTo))
+		}
+		return
+	}
+	if s.done {
+		return
+	}
+	if s.decoder == nil || m.Batch != s.curBatch {
+		if m.Batch < s.curBatch {
+			return
+		}
+		s.curBatch = m.Batch
+		s.k = m.K
+		s.decoder = coding.NewDecoder(m.K, len(m.Packet.Payload))
+		if s.result.Start == 0 && s.result.PacketsDelivered == 0 {
+			s.result.Start = n.node.Now()
+		}
+	}
+	if !s.decoder.Add(m.Packet.Clone()) {
+		return
+	}
+	if !s.decoder.Complete() {
+		return
+	}
+	// Kth innovative packet: ACK before decoding (§3.2.2), then decode.
+	n.queueAck(s, m.Batch)
+	natives, err := s.decoder.Decode()
+	if err != nil {
+		panic("core: decode of complete batch failed: " + err.Error())
+	}
+	s.decodedUpTo = int64(m.Batch)
+	s.redundant = 0
+	base := int(m.Batch) * n.cfg.BatchSize
+	for i, p := range natives {
+		if s.verifyAgainst != nil {
+			idx := base + i
+			if idx >= len(s.verifyAgainst) || !bytes.Equal(p, s.verifyAgainst[idx]) {
+				s.result.Verified = false
+			}
+		}
+	}
+	s.delivered += len(natives)
+	s.result.PacketsDelivered = s.delivered
+	s.result.End = n.node.Now()
+	if n.OnDeliver != nil {
+		n.OnDeliver(s.id, m.Batch, natives)
+	}
+	s.decoder = nil
+	if m.TotalBatches > 0 && int(m.Batch) == m.TotalBatches-1 {
+		s.done = true
+		s.result.Completed = true
+		if s.onDone != nil {
+			s.onDone(s.result)
+		}
+	}
+}
+
+// queueAck enqueues a batch ACK (prioritized over data) for hop-by-hop
+// unicast delivery toward the flow source.
+func (n *Node) queueAck(s *sinkState, batch uint32) {
+	final := s.totalBatches > 0 && int(batch) == s.totalBatches-1
+	n.enqueueAck(&AckMsg{
+		Flow: s.id, Batch: batch, Final: final, Target: s.src,
+		Origin: n.node.ID(), Multicast: s.multicast,
+	})
+}
+
+func (n *Node) enqueueAck(a *AckMsg) {
+	for _, q := range n.ackQueue {
+		// Distinct multicast destinations' ACKs for the same batch must
+		// both get through: the origin is part of the identity.
+		if q.Flow == a.Flow && q.Batch == a.Batch && q.Target == a.Target && q.Origin == a.Origin {
+			return // already queued
+		}
+	}
+	n.ackQueue = append(n.ackQueue, a)
+	n.node.Wake()
+}
+
+func (n *Node) receiveAck(f *sim.Frame, a *AckMsg) {
+	// Every node that hears an ACK purges the batch (§3.2.2) — overheard
+	// or addressed. Multicast ACKs come from a single destination while
+	// others may still need the batch, so forwarders keep their buffers
+	// and rely on the newer-batch flush.
+	if r, ok := n.relays[a.Flow]; ok && !a.Multicast {
+		if int64(a.Batch) > r.ackedThrough {
+			r.ackedThrough = int64(a.Batch)
+		}
+		if a.Batch >= r.curBatch {
+			r.buffer.Reset()
+			r.pre.Reset()
+			r.raw = nil
+			r.credit = 0
+		}
+		if a.Final {
+			delete(n.relays, a.Flow)
+		}
+	}
+	if f.To != n.node.ID() {
+		return
+	}
+	if src, ok := n.sources[a.Flow]; ok && a.Target == n.node.ID() {
+		if src.multicast != nil {
+			n.multicastAck(src, a)
+		} else {
+			n.advanceBatch(src, a.Batch)
+		}
+		return
+	}
+	// Forward the ACK another hop toward the flow source.
+	n.enqueueAck(a)
+}
+
+// Pull implements sim.Protocol: ACKs first, then round-robin over
+// backlogged flows (§3.3.3).
+func (n *Node) Pull() *sim.Frame {
+	if len(n.ackQueue) > 0 {
+		a := n.ackQueue[0]
+		next := n.oracle.NextHop(n.node.ID(), a.Target)
+		if next < 0 {
+			n.ackQueue = n.ackQueue[1:]
+			return n.Pull()
+		}
+		f := &sim.Frame{
+			From:    n.node.ID(),
+			To:      next,
+			Bytes:   a.wireBytes(),
+			Payload: a,
+		}
+		return f
+	}
+	for range n.rr {
+		id := n.rr[0]
+		n.rr = append(n.rr[1:], id)
+		if f := n.pullFlow(id); f != nil {
+			return f
+		}
+	}
+	return nil
+}
+
+func (n *Node) pullFlow(id flow.ID) *sim.Frame {
+	if st, ok := n.sources[id]; ok && !st.done {
+		pkt := st.src.Next()
+		m := &DataMsg{
+			Flow:         id,
+			Src:          n.node.ID(),
+			Dst:          st.dst,
+			Batch:        uint32(st.curBatch),
+			K:            st.src.K(),
+			TotalBatches: len(st.batches),
+			Packet:       pkt,
+			Forwarders:   st.fwd,
+		}
+		if st.multicast != nil {
+			m.Dsts = st.multicast.dsts
+		}
+		n.DataSent++
+		return &sim.Frame{From: n.node.ID(), To: graph.Broadcast, Bytes: m.wireBytes(), Payload: m}
+	}
+	if r, ok := n.relays[id]; ok && r.credit > 0 && r.buffer.Rank() > 0 {
+		var pkt *coding.Packet
+		switch {
+		case !n.cfg.InnovativeOnly && len(r.raw) > 0:
+			pkt = n.recodeAll(r)
+		case n.cfg.PreCoding:
+			pkt = r.pre.Take()
+		default:
+			pkt = r.buffer.Recode(n.node.Rand())
+		}
+		if pkt == nil {
+			return nil
+		}
+		r.credit--
+		m := &DataMsg{
+			Flow:         id,
+			Src:          r.src,
+			Dst:          r.dst,
+			Dsts:         r.dsts,
+			Batch:        r.curBatch,
+			K:            r.k,
+			TotalBatches: r.totalBatchesHint(),
+			Packet:       pkt,
+			Forwarders:   n.fwdListFor(r),
+		}
+		n.DataSent++
+		return &sim.Frame{From: n.node.ID(), To: graph.Broadcast, Bytes: m.wireBytes(), Payload: m}
+	}
+	if r, ok := n.relays[id]; ok && r.credit <= 0 && r.buffer != nil && r.buffer.Rank() > 0 {
+		n.CreditDenied++
+	}
+	return nil
+}
+
+// recodeAll is the InnovativeOnly=false path: code over the innovative rows
+// plus every buffered raw packet.
+func (n *Node) recodeAll(r *relayState) *coding.Packet {
+	pkt := r.buffer.Recode(n.node.Rand())
+	if pkt == nil {
+		return nil
+	}
+	for _, raw := range r.raw {
+		c := byte(n.node.Rand().Intn(256))
+		if c == 0 {
+			continue
+		}
+		gf256.MulAddSlice(pkt.Vector, raw.Vector, c)
+		gf256.MulAddSlice(pkt.Payload, raw.Payload, c)
+	}
+	return pkt
+}
+
+// relayState carries the forwarder list it last saw so recoded packets can
+// restate it (§3.3.1: fields are copied from received packets).
+func (n *Node) fwdListFor(r *relayState) []FwdEntry {
+	return r.fwdList
+}
+
+func (r *relayState) totalBatchesHint() int { return r.totalBatches }
+
+// Sent implements sim.Protocol.
+func (n *Node) Sent(f *sim.Frame, ok bool) {
+	switch m := f.Payload.(type) {
+	case *AckMsg:
+		// Remove from queue on success; keep retrying otherwise (§3.3.4:
+		// unless the transmission succeeds the ACK is queued again).
+		if ok {
+			for i, q := range n.ackQueue {
+				if q == m {
+					n.ackQueue = append(n.ackQueue[:i], n.ackQueue[i+1:]...)
+					break
+				}
+			}
+			n.AcksSent++
+		}
+		if len(n.ackQueue) > 0 {
+			n.node.Wake()
+		}
+	case *DataMsg:
+		// Broadcasts always "succeed"; nothing to do. The stopping rule
+		// (ACKs, batch advance) governs whether more traffic exists.
+		n.wakeIfBacklogged()
+	}
+}
+
+func (n *Node) wakeIfBacklogged() {
+	if len(n.ackQueue) > 0 {
+		n.node.Wake()
+		return
+	}
+	for id, st := range n.sources {
+		_ = id
+		if !st.done {
+			n.node.Wake()
+			return
+		}
+	}
+	for _, r := range n.relays {
+		if r.credit > 0 && r.buffer != nil && r.buffer.Rank() > 0 {
+			n.node.Wake()
+			return
+		}
+	}
+}
+
+// rrAdd registers a flow in the round-robin cycle once.
+func (n *Node) rrAdd(id flow.ID) {
+	for _, v := range n.rr {
+		if v == id {
+			return
+		}
+	}
+	n.rr = append(n.rr, id)
+}

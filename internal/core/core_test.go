@@ -1,0 +1,303 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/flow"
+	"repro/internal/graph"
+	"repro/internal/routing"
+	"repro/internal/sim"
+)
+
+// runMORE wires a MORE node onto every router, starts one flow, and runs
+// until completion or the deadline.
+func runMORE(t *testing.T, topo *graph.Topology, cfg Config, simCfg sim.Config,
+	src, dst graph.NodeID, file flow.File, deadline sim.Time) (flow.Result, *sim.Simulator, []*Node) {
+	t.Helper()
+	s := sim.New(topo, simCfg)
+	oracle := flow.NewOracle(topo, cfg.Plan.ETX)
+	nodes := make([]*Node, topo.N())
+	for i := range nodes {
+		nodes[i] = NewNode(cfg, oracle)
+		s.Attach(graph.NodeID(i), nodes[i])
+	}
+	done := false
+	nodes[dst].ExpectFlow(1, file, func(r flow.Result) {})
+	if err := nodes[src].StartFlow(1, dst, file, func(r flow.Result) { done = true }); err != nil {
+		t.Fatal(err)
+	}
+	s.RunWhile(deadline, func() bool { return !done })
+	res := nodes[dst].Result(1)
+	return res, s, nodes
+}
+
+func smallCfg(k int) Config {
+	cfg := DefaultConfig()
+	cfg.BatchSize = k
+	cfg.PayloadSize = 1500
+	cfg.Plan.ETX = routing.ETXOptions{Threshold: 0.15, AckAware: true}
+	return cfg
+}
+
+func TestSingleHopTransfer(t *testing.T) {
+	topo := graph.New(2)
+	topo.SetLink(0, 1, 0.8)
+	file := flow.NewFile(16*1500, 1500, 42) // 16 packets, one K=16 batch
+	res, _, _ := runMORE(t, topo, smallCfg(16), sim.DefaultConfig(), 0, 1, file, 60*sim.Second)
+	if !res.Completed {
+		t.Fatalf("transfer incomplete: %v", res)
+	}
+	if !res.Verified {
+		t.Fatal("delivered bytes mismatch")
+	}
+	if res.PacketsDelivered != 16 {
+		t.Fatalf("delivered %d packets", res.PacketsDelivered)
+	}
+}
+
+func TestTwoHopRelay(t *testing.T) {
+	topo := graph.New(3)
+	topo.SetLink(0, 1, 0.9)
+	topo.SetLink(1, 2, 0.9)
+	file := flow.NewFile(32*1500, 1500, 7)
+	res, s, _ := runMORE(t, topo, smallCfg(32), sim.DefaultConfig(), 0, 2, file, 120*sim.Second)
+	if !res.Completed || !res.Verified {
+		t.Fatalf("relay transfer failed: %v", res)
+	}
+	// The relay must have transmitted: ≥ K data frames from node 1.
+	if s.Counters.TxByNode[1] < 16 {
+		t.Fatalf("relay transmitted only %d frames", s.Counters.TxByNode[1])
+	}
+}
+
+func TestMotivatingExampleDiamond(t *testing.T) {
+	// Fig 1-1: dst overhears some source packets directly; R forwards
+	// roughly the complement, so R's transmissions per batch stay well
+	// below K.
+	topo := graph.New(3)
+	topo.SetLink(0, 1, 0.95) // src -> R
+	topo.SetLink(1, 2, 0.95) // R -> dst
+	topo.SetLink(0, 2, 0.49) // src -> dst overhear
+	file := flow.NewFile(64*1500, 1500, 3)
+	res, s, _ := runMORE(t, topo, smallCfg(32), sim.DefaultConfig(), 0, 2, file, 120*sim.Second)
+	if !res.Completed || !res.Verified {
+		t.Fatalf("diamond transfer failed: %v", res)
+	}
+	srcTx := float64(s.Counters.TxByNode[0])
+	relayTx := float64(s.Counters.TxByNode[1])
+	// Expected per Algorithm 1: z_R ≈ (1-0.49)·z_src. Allow slack for
+	// batch boundaries and ACK-lost retransmissions.
+	if relayTx > 0.8*srcTx {
+		t.Fatalf("relay sent %.0f vs src %.0f; overhearing not exploited", relayTx, srcTx)
+	}
+	if relayTx < 0.2*srcTx {
+		t.Fatalf("relay sent %.0f vs src %.0f; relay underused", relayTx, srcTx)
+	}
+}
+
+func TestLossyChainTransfer(t *testing.T) {
+	topo := graph.LossyChain(5, 15, 30)
+	file := flow.NewFile(2*32*1500, 1500, 11)
+	res, _, _ := runMORE(t, topo, smallCfg(32), sim.DefaultConfig(), 0, 4, file, 600*sim.Second)
+	if !res.Completed || !res.Verified {
+		t.Fatalf("chain transfer failed: %v", res)
+	}
+	if res.Throughput() <= 0 {
+		t.Fatal("zero throughput")
+	}
+}
+
+func TestMultiBatchProgression(t *testing.T) {
+	topo := graph.New(2)
+	topo.SetLink(0, 1, 0.9)
+	// 5 batches of K=8 plus a short final batch of 4.
+	file := flow.NewFile(44*100, 100, 5)
+	cfg := smallCfg(8)
+	cfg.PayloadSize = 100
+	res, _, _ := runMORE(t, topo, cfg, sim.DefaultConfig(), 0, 1, file, 120*sim.Second)
+	if !res.Completed || !res.Verified {
+		t.Fatalf("multi-batch failed: %v", res)
+	}
+	if res.PacketsDelivered != 44 {
+		t.Fatalf("delivered %d of 44", res.PacketsDelivered)
+	}
+}
+
+func TestStoppingRuleQuiesces(t *testing.T) {
+	// After the destination acks the last batch, the network must go
+	// quiet: no unbounded spurious transmissions.
+	topo := graph.New(3)
+	topo.SetLink(0, 1, 0.9)
+	topo.SetLink(1, 2, 0.9)
+	file := flow.NewFile(16*1500, 1500, 9)
+	res, s, _ := runMORE(t, topo, smallCfg(16), sim.DefaultConfig(), 0, 2, file, 120*sim.Second)
+	if !res.Completed {
+		t.Fatalf("incomplete: %v", res)
+	}
+	txAtDone := s.Counters.Transmissions
+	s.Run(s.Now() + 5*sim.Second)
+	extra := s.Counters.Transmissions - txAtDone
+	if extra > 5 {
+		t.Fatalf("%d spurious transmissions after completion", extra)
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	topo := graph.LossyChain(4, 15, 30)
+	file := flow.NewFile(32*1500, 1500, 2)
+	r1, s1, _ := runMORE(t, topo, smallCfg(32), sim.DefaultConfig(), 0, 3, file, 300*sim.Second)
+	r2, s2, _ := runMORE(t, topo, smallCfg(32), sim.DefaultConfig(), 0, 3, file, 300*sim.Second)
+	if r1.End != r2.End || s1.Counters.Transmissions != s2.Counters.Transmissions {
+		t.Fatalf("nondeterministic: %v/%d vs %v/%d",
+			r1.End, s1.Counters.Transmissions, r2.End, s2.Counters.Transmissions)
+	}
+}
+
+func TestPreCodingOffStillWorks(t *testing.T) {
+	topo := graph.LossyChain(4, 15, 30)
+	cfg := smallCfg(16)
+	cfg.PreCoding = false
+	file := flow.NewFile(32*1500, 1500, 13)
+	res, _, _ := runMORE(t, topo, cfg, sim.DefaultConfig(), 0, 3, file, 300*sim.Second)
+	if !res.Completed || !res.Verified {
+		t.Fatalf("no-precoding transfer failed: %v", res)
+	}
+}
+
+func TestInnovativeOnlyOffStillWorks(t *testing.T) {
+	topo := graph.LossyChain(4, 15, 30)
+	cfg := smallCfg(16)
+	cfg.InnovativeOnly = false
+	file := flow.NewFile(32*1500, 1500, 14)
+	res, _, _ := runMORE(t, topo, cfg, sim.DefaultConfig(), 0, 3, file, 300*sim.Second)
+	if !res.Completed || !res.Verified {
+		t.Fatalf("code-everything transfer failed: %v", res)
+	}
+}
+
+func TestEOTXOrderingWorks(t *testing.T) {
+	topo := graph.LossyChain(4, 15, 30)
+	cfg := smallCfg(16)
+	cfg.Plan.Metric = routing.OrderEOTX
+	file := flow.NewFile(32*1500, 1500, 15)
+	res, _, _ := runMORE(t, topo, cfg, sim.DefaultConfig(), 0, 3, file, 300*sim.Second)
+	if !res.Completed || !res.Verified {
+		t.Fatalf("EOTX-ordered transfer failed: %v", res)
+	}
+}
+
+func TestTestbedRandomPair(t *testing.T) {
+	topo, _ := graph.ConnectedTestbed(graph.DefaultTestbed(), 1)
+	file := flow.NewFile(2*32*1500, 1500, 21)
+	res, _, _ := runMORE(t, topo, smallCfg(32), sim.DefaultConfig(), 3, 17, file, 600*sim.Second)
+	if !res.Completed || !res.Verified {
+		t.Fatalf("testbed transfer failed: %v", res)
+	}
+}
+
+func TestUnreachableDestinationErrors(t *testing.T) {
+	topo := graph.New(3)
+	topo.SetLink(0, 1, 0.9)
+	s := sim.New(topo, sim.DefaultConfig())
+	oracle := flow.NewOracle(topo, routing.DefaultETXOptions())
+	n := NewNode(DefaultConfig(), oracle)
+	s.Attach(0, n)
+	err := n.StartFlow(1, 2, flow.NewFile(1500, 1500, 1), nil)
+	if err == nil {
+		t.Fatal("StartFlow to unreachable destination succeeded")
+	}
+}
+
+func TestDeadForwarderDoesNotStall(t *testing.T) {
+	// Failure injection: the best forwarder exists in the plan but its
+	// radio never delivers (loss spikes to 100% after planning). The
+	// source's own weak direct link must still complete the transfer.
+	planTopo := graph.New(3)
+	planTopo.SetLink(0, 1, 0.9)
+	planTopo.SetLink(1, 2, 0.9)
+	planTopo.SetLink(0, 2, 0.3)
+	runTopo := planTopo.Clone()
+	runTopo.SetLink(0, 1, 0)
+	runTopo.SetLink(1, 2, 0)
+
+	s := sim.New(runTopo, sim.DefaultConfig())
+	oracle := flow.NewOracle(planTopo, routing.ETXOptions{Threshold: 0.15, AckAware: true})
+	cfg := smallCfg(8)
+	nodes := make([]*Node, 3)
+	for i := range nodes {
+		nodes[i] = NewNode(cfg, oracle)
+		s.Attach(graph.NodeID(i), nodes[i])
+	}
+	file := flow.NewFile(8*1500, 1500, 8)
+	done := false
+	nodes[2].ExpectFlow(1, file, nil)
+	if err := nodes[0].StartFlow(1, 2, file, func(flow.Result) { done = true }); err != nil {
+		t.Fatal(err)
+	}
+	s.RunWhile(600*sim.Second, func() bool { return !done })
+	res := nodes[2].Result(1)
+	if !res.Completed || !res.Verified {
+		t.Fatalf("transfer with dead forwarder failed: %v", res)
+	}
+}
+
+func TestFlowStateTimeout(t *testing.T) {
+	// A forwarder that stops hearing a flow must expire its state.
+	topo := graph.New(3)
+	topo.SetLink(0, 1, 0.9)
+	topo.SetLink(1, 2, 0.9)
+	s := sim.New(topo, sim.DefaultConfig())
+	oracle := flow.NewOracle(topo, routing.ETXOptions{Threshold: 0.15, AckAware: true})
+	cfg := smallCfg(8)
+	cfg.FlowTimeout = 2 * sim.Second
+	nodes := make([]*Node, 3)
+	for i := range nodes {
+		nodes[i] = NewNode(cfg, oracle)
+		s.Attach(graph.NodeID(i), nodes[i])
+	}
+	file := flow.NewFile(8*1500, 1500, 8)
+	done := false
+	nodes[2].ExpectFlow(1, file, nil)
+	nodes[0].StartFlow(1, 2, dummyFileOnce(file), func(flow.Result) { done = true })
+	s.RunWhile(60*sim.Second, func() bool { return !done })
+	if !done {
+		t.Fatal("transfer did not complete")
+	}
+	s.Run(s.Now() + 10*sim.Second)
+	if len(nodes[1].relays) != 0 {
+		t.Fatalf("relay state survived timeout: %d flows", len(nodes[1].relays))
+	}
+}
+
+func dummyFileOnce(f flow.File) flow.File { return f }
+
+func TestDuplicateFlowRejected(t *testing.T) {
+	topo := graph.New(2)
+	topo.SetLink(0, 1, 0.9)
+	s := sim.New(topo, sim.DefaultConfig())
+	oracle := flow.NewOracle(topo, routing.DefaultETXOptions())
+	n := NewNode(DefaultConfig(), oracle)
+	s.Attach(0, n)
+	s.Attach(1, NewNode(DefaultConfig(), oracle))
+	file := flow.NewFile(1500, 1500, 1)
+	if err := n.StartFlow(1, 1, file, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.StartFlow(1, 1, file, nil); err == nil {
+		t.Fatal("duplicate flow accepted")
+	}
+}
+
+func TestInnovativeCountersAdvance(t *testing.T) {
+	topo := graph.New(3)
+	topo.SetLink(0, 1, 0.9)
+	topo.SetLink(1, 2, 0.9)
+	file := flow.NewFile(16*1500, 1500, 99)
+	_, _, nodes := runMORE(t, topo, smallCfg(16), sim.DefaultConfig(), 0, 2, file, 120*sim.Second)
+	if nodes[1].Innovative == 0 {
+		t.Fatal("relay admitted no innovative packets")
+	}
+	if nodes[1].DataSent == 0 {
+		t.Fatal("relay sent no data")
+	}
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/flow"
+	"repro/internal/graph"
+	"repro/internal/routing"
+	"repro/internal/sim"
+)
+
+func runMulticast(t *testing.T, topo *graph.Topology, cfg Config, src graph.NodeID,
+	dsts []graph.NodeID, file flow.File, deadline sim.Time) (map[graph.NodeID]flow.Result, *sim.Simulator) {
+	t.Helper()
+	s := sim.New(topo, sim.DefaultConfig())
+	oracle := flow.NewOracle(topo, cfg.Plan.ETX)
+	nodes := make([]*Node, topo.N())
+	for i := range nodes {
+		nodes[i] = NewNode(cfg, oracle)
+		s.Attach(graph.NodeID(i), nodes[i])
+	}
+	for _, d := range dsts {
+		nodes[d].ExpectFlow(1, file, nil)
+	}
+	done := false
+	if err := nodes[src].StartMulticastFlow(1, dsts, file, func(flow.Result) { done = true }); err != nil {
+		t.Fatal(err)
+	}
+	s.RunWhile(deadline, func() bool { return !done })
+	if !done {
+		t.Fatalf("multicast did not complete by %v", deadline)
+	}
+	out := make(map[graph.NodeID]flow.Result, len(dsts))
+	for _, d := range dsts {
+		out[d] = nodes[d].Result(1)
+	}
+	return out, s
+}
+
+func TestMulticastTwoDestinations(t *testing.T) {
+	// Y topology: src -> relay, relay -> two destinations.
+	topo := graph.New(4)
+	topo.SetLink(0, 1, 0.9)
+	topo.SetLink(1, 2, 0.85)
+	topo.SetLink(1, 3, 0.85)
+	file := flow.NewFile(32*1500, 1500, 3)
+	res, _ := runMulticast(t, topo, smallCfg(16), 0, []graph.NodeID{2, 3}, file, 300*sim.Second)
+	for d, r := range res {
+		if !r.Completed || !r.Verified {
+			t.Fatalf("destination %d failed: %v", d, r)
+		}
+		if r.PacketsDelivered != 32 {
+			t.Fatalf("destination %d got %d packets", d, r.PacketsDelivered)
+		}
+	}
+}
+
+func TestMulticastSharesTransmissions(t *testing.T) {
+	// Both destinations sit at the end of a shared 3-relay artery:
+	// multicast amortizes the artery's transmissions across destinations,
+	// so it must cost well under two separate unicasts.
+	topo := graph.New(6)
+	topo.SetLink(0, 1, 0.9)
+	topo.SetLink(1, 2, 0.9)
+	topo.SetLink(2, 3, 0.9)
+	topo.SetLink(3, 4, 0.85)
+	topo.SetLink(3, 5, 0.85)
+	file := flow.NewFile(64*1500, 1500, 4)
+	cfg := smallCfg(32)
+
+	_, sm := runMulticast(t, topo, cfg, 0, []graph.NodeID{4, 5}, file, 600*sim.Second)
+	multicastTx := sm.Counters.Transmissions
+
+	var unicastTx int64
+	for _, d := range []graph.NodeID{4, 5} {
+		res, s, _ := runMORE(t, topo, cfg, sim.DefaultConfig(), 0, d, file, 600*sim.Second)
+		if !res.Completed {
+			t.Fatalf("unicast to %d failed", d)
+		}
+		unicastTx += s.Counters.Transmissions
+	}
+	if float64(multicastTx) > 0.8*float64(unicastTx) {
+		t.Fatalf("multicast used %d tx vs %d for two unicasts; no sharing", multicastTx, unicastTx)
+	}
+}
+
+func TestMulticastLaggardGatesBatches(t *testing.T) {
+	// One destination is adjacent, the other is behind a lossy hop: the
+	// source must not advance past the laggard, and both must finish.
+	topo := graph.New(4)
+	topo.SetLink(0, 1, 0.95) // fast destination is 1
+	topo.SetLink(0, 2, 0.9)
+	topo.SetLink(2, 3, 0.5) // slow destination 3 behind lossy link
+	file := flow.NewFile(48*1500, 1500, 5)
+	res, _ := runMulticast(t, topo, smallCfg(16), 0, []graph.NodeID{1, 3}, file, 600*sim.Second)
+	for d, r := range res {
+		if !r.Completed || !r.Verified {
+			t.Fatalf("destination %d failed: %v", d, r)
+		}
+	}
+}
+
+func TestMulticastErrors(t *testing.T) {
+	topo := graph.New(3)
+	topo.SetLink(0, 1, 0.9)
+	s := sim.New(topo, sim.DefaultConfig())
+	oracle := flow.NewOracle(topo, routing.DefaultETXOptions())
+	n := NewNode(DefaultConfig(), oracle)
+	s.Attach(0, n)
+	file := flow.NewFile(1500, 1500, 1)
+	if err := n.StartMulticastFlow(1, nil, file, nil); err == nil {
+		t.Error("empty destination set accepted")
+	}
+	if err := n.StartMulticastFlow(1, []graph.NodeID{2}, file, nil); err == nil {
+		t.Error("unreachable destination accepted")
+	}
+	if err := n.StartMulticastFlow(1, []graph.NodeID{1}, file, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.StartMulticastFlow(1, []graph.NodeID{1}, file, nil); err == nil {
+		t.Error("duplicate flow accepted")
+	}
+}

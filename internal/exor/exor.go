@@ -1,0 +1,767 @@
+// Package exor implements the ExOR baseline (Biswas & Morris, §2.2.1): the
+// prior opportunistic routing protocol MORE is evaluated against.
+//
+// ExOR gathers packets into batches and defers the forwarding decision to
+// after reception: of all nodes that decode a transmission, the one closest
+// to the destination (by ETX) should forward it. Coordination is achieved
+// with structure instead of randomness — a strict schedule walks the
+// prioritized forwarder list, one transmitter at a time. Each data packet
+// piggybacks the sender's batch map (for every packet, the highest-priority
+// node known to hold it); listeners merge maps so a node forwards only
+// packets no higher-priority node holds. Turn handoff keys off overheard
+// fragment-end markers, with staggered timeouts standing in for ExOR's
+// fragile timing estimates. Because exactly one forwarder may transmit at a
+// time, a flow cannot exploit spatial reuse — the property §4.2.3 measures.
+//
+// When the batch map shows the destination holding at least 90% of the
+// batch, the remaining packets travel by traditional unicast along the ETX
+// path (ExOR's cleanup rule), and the destination confirms batch completion
+// to the source with a hop-by-hop acknowledgment.
+package exor
+
+import (
+	"fmt"
+
+	"repro/internal/flow"
+	"repro/internal/graph"
+	"repro/internal/packet"
+	"repro/internal/routing"
+	"repro/internal/sim"
+)
+
+// Config parameterizes ExOR.
+type Config struct {
+	// BatchSize is K.
+	BatchSize int
+	// PayloadSize is the per-packet payload (1500 B in the paper).
+	PayloadSize int
+	// Plan configures forwarder selection (shared with MORE for a fair
+	// comparison).
+	Plan routing.PlanOptions
+	// CleanupFraction: once the destination holds this fraction of the
+	// batch, the tail moves via traditional routing (ExOR uses 0.9).
+	CleanupFraction float64
+	// TurnGap staggers successive priorities' turn starts. Zero derives
+	// one data-packet time from the simulator config at Init.
+	TurnGap sim.Time
+	// DstGossipRepeat is how many times the destination transmits its
+	// batch map during its turn. ExOR's ultimate destination sends its
+	// map ten times per round to make the highest-priority reception
+	// state survive losses.
+	DstGossipRepeat int
+}
+
+// DefaultConfig matches the paper's ExOR setup.
+func DefaultConfig() Config {
+	return Config{
+		BatchSize:       32,
+		PayloadSize:     1500,
+		Plan:            routing.DefaultPlanOptions(),
+		CleanupFraction: 0.9,
+		DstGossipRepeat: 10,
+	}
+}
+
+// DataMsg is an ExOR batch fragment packet (or a map-only gossip packet).
+type DataMsg struct {
+	Flow     flow.ID
+	Src, Dst graph.NodeID
+	Batch    int
+	K        int
+	// BatchBase is the index of the batch's first packet within the file.
+	BatchBase     int
+	TotalBatches  int
+	PktIdx        int // -1 for map-only gossip
+	FragRemaining int
+	SenderPrio    int
+	BMap          []uint8
+	Prio          []graph.NodeID // priority list: [dst, forwarders..., src]
+	Payload       []byte
+}
+
+func (m *DataMsg) wireBytes() int {
+	h := packet.ExORHeader{
+		BatchMap:   m.BMap,
+		Forwarders: make([]uint8, len(m.Prio)),
+	}
+	return h.EncodedSize() + len(m.Payload)
+}
+
+// CleanupMsg carries one tail packet via traditional unicast routing.
+type CleanupMsg struct {
+	Flow    flow.ID
+	Batch   int
+	PktIdx  int
+	Target  graph.NodeID // the flow destination
+	Payload []byte
+}
+
+func (m *CleanupMsg) wireBytes() int {
+	h := packet.SrcrHeader{Route: make([]graph.NodeID, 4)}
+	return h.EncodedSize() + len(m.Payload)
+}
+
+// DoneMsg tells the source (hop-by-hop unicast) that the destination holds
+// the whole batch.
+type DoneMsg struct {
+	Flow   flow.ID
+	Batch  int
+	Final  bool
+	Target graph.NodeID // the flow source
+}
+
+func (m *DoneMsg) wireBytes() int {
+	h := packet.MOREHeader{Type: packet.TypeACK}
+	return h.EncodedSize() + 9
+}
+
+// Node is the ExOR instance on one router.
+type Node struct {
+	cfg    Config
+	node   *sim.Node
+	oracle *flow.Oracle
+
+	flows     map[flow.ID]*exorFlow
+	flowOrder []flow.ID    // deterministic iteration order
+	unicast   []*sim.Frame // cleanup/done frames awaiting transmission
+
+	// Counters.
+	DataSent   int64
+	MapOnly    int64
+	CleanupTx  int64
+	TurnsTaken int64
+}
+
+// exorFlow is per-flow state (§2.2.1's batch buffer + batch map + schedule).
+type exorFlow struct {
+	id           flow.ID
+	src, dst     graph.NodeID
+	prio         []graph.NodeID
+	myPrio       int // index in prio, -1 if not a participant
+	batch        int
+	k            int
+	totalBatches int
+
+	have    []bool
+	payload [][]byte
+	bmap    []uint8
+	base    int // file index of the batch's first packet
+
+	// Source-only.
+	isSource bool
+	batches  [][][]byte
+	result   flow.Result
+	done     bool
+	onDone   func(flow.Result)
+
+	// Sink-only.
+	verify    [][]byte
+	delivered int
+	sinkRes   flow.Result
+	sinkDone  func(flow.Result)
+	doneSent  bool
+
+	// Scheduling.
+	turnTimer  *sim.Event
+	watchdog   *sim.Event
+	inTurn     bool
+	fragQueue  []int
+	gossipLeft int // map-only packets still to send this turn
+	mapDirty   bool
+	cleanup    bool
+	cleanedIdx map[int]bool
+}
+
+// NewNode creates an ExOR node; attach with sim.Attach.
+func NewNode(cfg Config, oracle *flow.Oracle) *Node {
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 32
+	}
+	if cfg.CleanupFraction <= 0 {
+		cfg.CleanupFraction = 0.9
+	}
+	if cfg.DstGossipRepeat <= 0 {
+		cfg.DstGossipRepeat = 10
+	}
+	return &Node{
+		cfg:    cfg,
+		oracle: oracle,
+		flows:  make(map[flow.ID]*exorFlow),
+	}
+}
+
+// Init implements sim.Protocol.
+func (n *Node) Init(sn *sim.Node) {
+	n.node = sn
+	if n.cfg.TurnGap == 0 {
+		c := sn.Sim().Config()
+		h := packet.ExORHeader{BatchMap: make([]uint8, n.cfg.BatchSize), Forwarders: make([]uint8, 8)}
+		n.cfg.TurnGap = sim.AirTime(h.EncodedSize()+n.cfg.PayloadSize, c.DataRate) +
+			c.DIFS + sim.Time(c.CWMin/2)*c.SlotTime
+	}
+}
+
+// pktTime estimates one data transmission's wall time.
+func (n *Node) pktTime() sim.Time { return n.cfg.TurnGap }
+
+// StartFlow begins a batched ExOR transfer to dst.
+func (n *Node) StartFlow(id flow.ID, dst graph.NodeID, file flow.File, onDone func(flow.Result)) error {
+	if _, dup := n.flows[id]; dup {
+		return fmt.Errorf("exor: duplicate flow %d", id)
+	}
+	plan, err := routing.BuildPlan(n.oracle.Topo, n.node.ID(), dst, n.cfg.Plan)
+	if err != nil {
+		return fmt.Errorf("exor: flow %d: %w", id, err)
+	}
+	prio := append([]graph.NodeID{dst}, plan.Forwarders()...)
+	prio = append(prio, n.node.ID())
+	payloads := file.Payloads()
+	k := n.cfg.BatchSize
+	var batches [][][]byte
+	for i := 0; i < len(payloads); i += k {
+		end := i + k
+		if end > len(payloads) {
+			end = len(payloads)
+		}
+		batches = append(batches, payloads[i:end])
+	}
+	if len(batches) == 0 {
+		return fmt.Errorf("exor: flow %d: empty file", id)
+	}
+	f := &exorFlow{
+		id: id, src: n.node.ID(), dst: dst,
+		prio: prio, myPrio: len(prio) - 1,
+		totalBatches: len(batches),
+		isSource:     true,
+		batches:      batches,
+		onDone:       onDone,
+		cleanedIdx:   make(map[int]bool),
+	}
+	f.result = flow.Result{Src: n.node.ID(), Dst: dst, PacketsTotal: len(payloads), Start: n.node.Now()}
+	n.flows[id] = f
+	n.flowOrder = append(n.flowOrder, id)
+	n.loadSourceBatch(f, 0)
+	n.startTurn(f)
+	return nil
+}
+
+// loadSourceBatch resets the source's per-batch state.
+func (n *Node) loadSourceBatch(f *exorFlow, b int) {
+	f.batch = b
+	f.base = b * n.cfg.BatchSize
+	nat := f.batches[b]
+	f.k = len(nat)
+	f.have = make([]bool, f.k)
+	f.payload = make([][]byte, f.k)
+	f.bmap = make([]uint8, f.k)
+	for i := range nat {
+		f.have[i] = true
+		f.payload[i] = nat[i]
+		f.bmap[i] = uint8(f.myPrio)
+	}
+	f.cleanup = false
+	f.cleanedIdx = make(map[int]bool)
+	f.inTurn = false
+	f.fragQueue = nil
+}
+
+// ExpectFlow wires destination-side reporting and verification.
+func (n *Node) ExpectFlow(id flow.ID, file flow.File, onDone func(flow.Result)) {
+	f := n.flowFor(id)
+	f.verify = file.Payloads()
+	f.sinkDone = onDone
+	f.sinkRes.PacketsTotal = file.NumPackets()
+	f.sinkRes.Dst = n.node.ID()
+	f.sinkRes.Verified = true
+}
+
+func (n *Node) flowFor(id flow.ID) *exorFlow {
+	f, ok := n.flows[id]
+	if !ok {
+		f = &exorFlow{id: id, myPrio: -1, batch: -1, cleanedIdx: make(map[int]bool)}
+		n.flows[id] = f
+		n.flowOrder = append(n.flowOrder, id)
+	}
+	return f
+}
+
+// Result returns this node's view of the flow.
+func (n *Node) Result(id flow.ID) flow.Result {
+	f, ok := n.flows[id]
+	if !ok {
+		return flow.Result{}
+	}
+	if f.isSource {
+		return f.result
+	}
+	return f.sinkRes
+}
+
+// --- Scheduling ---------------------------------------------------------------
+
+// cyclicDist is the number of turn slots from priority a to priority b.
+func cyclicDist(a, b, l int) int {
+	d := (b - a) % l
+	if d <= 0 {
+		d += l
+	}
+	return d
+}
+
+// armTurn schedules this node's turn based on the latest overheard packet.
+// As in ExOR, nodes estimate when their turn comes from transmission
+// timings: the sender's remaining fragment plus, for every priority
+// scheduled between the sender and us, an estimated fragment length derived
+// from our batch map (the packets that node is the best known holder of).
+func (n *Node) armTurn(f *exorFlow, senderPrio, fragRemaining int) {
+	if f.myPrio < 0 {
+		return
+	}
+	wait := sim.Time(fragRemaining+1) * n.pktTime()
+	l := len(f.prio)
+	for p := (senderPrio + 1) % l; p != f.myPrio; p = (p + 1) % l {
+		if p == 0 {
+			// The destination only gossips its map.
+			wait += n.pktTime()
+			continue
+		}
+		held := 0
+		for i := 0; i < f.k; i++ {
+			if int(f.bmap[i]) == p {
+				held++
+			}
+		}
+		wait += sim.Time(held+1) * n.pktTime()
+	}
+	if f.turnTimer != nil {
+		f.turnTimer.Cancel()
+	}
+	f.turnTimer = n.node.After(wait, func() { n.takeTurn(f) })
+	n.armWatchdog(f)
+}
+
+// armWatchdog guarantees liveness: if the flow goes silent with the batch
+// incomplete, the node re-enters the schedule (staggered by priority).
+func (n *Node) armWatchdog(f *exorFlow) {
+	if f.watchdog != nil {
+		f.watchdog.Cancel()
+	}
+	quiet := sim.Time(f.k+2*len(f.prio)+2)*n.pktTime() + sim.Time(f.myPrio+1)*n.pktTime()
+	f.watchdog = n.node.After(quiet, func() {
+		if !n.batchDone(f) {
+			n.takeTurn(f)
+		}
+	})
+}
+
+// batchDone reports whether this node's map shows the destination holding
+// the whole batch.
+func (n *Node) batchDone(f *exorFlow) bool {
+	if f.k == 0 {
+		return false
+	}
+	for _, b := range f.bmap {
+		if b != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// dstHolds counts packets the destination is known to hold.
+func dstHolds(f *exorFlow) int {
+	c := 0
+	for _, b := range f.bmap {
+		if b == 0 {
+			c++
+		}
+	}
+	return c
+}
+
+// takeTurn computes the fragment and starts transmitting it.
+func (n *Node) takeTurn(f *exorFlow) {
+	if f.myPrio < 0 || f.done || n.batchDone(f) && f.isSource {
+		return
+	}
+	var eligible []int
+	for i := 0; i < f.k; i++ {
+		if f.have[i] && int(f.bmap[i]) >= f.myPrio && f.bmap[i] != 0 {
+			eligible = append(eligible, i)
+		}
+	}
+	if len(eligible) == 0 && !f.mapDirty {
+		n.armWatchdog(f)
+		return
+	}
+	f.fragQueue = eligible
+	if len(eligible) == 0 {
+		// Map-only turn: the destination repeats its batch map to make it
+		// survive losses; other nodes gossip once.
+		if f.myPrio == 0 {
+			f.gossipLeft = n.cfg.DstGossipRepeat
+		} else {
+			f.gossipLeft = 1
+		}
+	}
+	f.inTurn = true
+	n.TurnsTaken++
+	n.node.Wake()
+}
+
+// startTurn is the source's initial entry into the schedule.
+func (n *Node) startTurn(f *exorFlow) {
+	f.mapDirty = true
+	n.takeTurn(f)
+}
+
+// --- sim.Protocol ---------------------------------------------------------------
+
+// Receive implements sim.Protocol.
+func (n *Node) Receive(fr *sim.Frame) {
+	switch m := fr.Payload.(type) {
+	case *DataMsg:
+		n.receiveData(m)
+	case *CleanupMsg:
+		n.receiveCleanup(fr, m)
+	case *DoneMsg:
+		n.receiveDone(fr, m)
+	}
+}
+
+func (n *Node) receiveData(m *DataMsg) {
+	f := n.flowFor(m.Flow)
+	if f.done {
+		return
+	}
+	me := n.node.ID()
+	if f.prio == nil || f.batch != m.Batch {
+		// (Re)initialize from the packet (state born from first reception,
+		// like MORE §3.3.2). The source manages its own batches.
+		if f.isSource {
+			if m.Batch != f.batch {
+				return
+			}
+		} else {
+			if f.batch > m.Batch {
+				return // stale batch
+			}
+			f.src, f.dst = m.Src, m.Dst
+			f.prio = m.Prio
+			f.myPrio = -1
+			for i, id := range m.Prio {
+				if id == me {
+					f.myPrio = i
+				}
+			}
+			f.batch = m.Batch
+			f.base = m.BatchBase
+			f.k = m.K
+			f.totalBatches = m.TotalBatches
+			f.have = make([]bool, m.K)
+			f.payload = make([][]byte, m.K)
+			f.bmap = make([]uint8, m.K)
+			for i := range f.bmap {
+				f.bmap[i] = packet.BatchMapUnknown
+			}
+			f.cleanup = false
+			f.cleanedIdx = make(map[int]bool)
+			f.inTurn = false
+			f.fragQueue = nil
+			f.doneSent = false
+		}
+	}
+	if m.Batch != f.batch {
+		return
+	}
+	// Merge the sender's batch map.
+	for i := 0; i < f.k && i < len(m.BMap); i++ {
+		if m.BMap[i] < f.bmap[i] {
+			f.bmap[i] = m.BMap[i]
+			f.mapDirty = true
+		}
+	}
+	if m.PktIdx >= 0 && m.PktIdx < f.k {
+		if uint8(m.SenderPrio) < f.bmap[m.PktIdx] {
+			f.bmap[m.PktIdx] = uint8(m.SenderPrio)
+			f.mapDirty = true
+		}
+		if !f.have[m.PktIdx] && m.Payload != nil {
+			f.have[m.PktIdx] = true
+			f.payload[m.PktIdx] = m.Payload
+			if f.myPrio >= 0 && uint8(f.myPrio) < f.bmap[m.PktIdx] {
+				f.bmap[m.PktIdx] = uint8(f.myPrio)
+				f.mapDirty = true
+			}
+		}
+	}
+	// A higher-priority transmission preempts our fragment.
+	if f.inTurn && m.SenderPrio < f.myPrio {
+		f.inTurn = false
+		f.fragQueue = nil
+	}
+	n.sinkProgress(f)
+	n.maybeCleanup(f)
+	if n.batchDone(f) {
+		n.onBatchDone(f)
+		return
+	}
+	n.armTurn(f, m.SenderPrio, m.FragRemaining)
+}
+
+// sinkProgress handles destination-side delivery accounting.
+func (n *Node) sinkProgress(f *exorFlow) {
+	if n.node.ID() != f.dst || f.k == 0 {
+		return
+	}
+	if f.sinkRes.Start == 0 && f.sinkRes.PacketsDelivered == 0 {
+		f.sinkRes.Start = n.node.Now()
+		f.sinkRes.Src = f.src
+	}
+	count := 0
+	for i := 0; i < f.k; i++ {
+		if f.have[i] {
+			count++
+			if f.verify != nil {
+				idx := f.base + i
+				if idx >= len(f.verify) || !bytesEqual(f.payload[i], f.verify[idx]) {
+					f.sinkRes.Verified = false
+				}
+			}
+		}
+	}
+	total := f.base + count
+	if total > f.sinkRes.PacketsDelivered {
+		f.sinkRes.PacketsDelivered = total
+		f.sinkRes.End = n.node.Now()
+	}
+	// Destination holds everything: announce completion.
+	if count == f.k && !f.doneSent {
+		f.doneSent = true
+		for i := range f.bmap {
+			f.bmap[i] = 0
+		}
+		f.mapDirty = true
+		final := f.totalBatches > 0 && f.batch == f.totalBatches-1
+		n.queueUnicast(&DoneMsg{Flow: f.id, Batch: f.batch, Final: final, Target: f.src}, f.src)
+		// Gossip the completed map so forwarders stop.
+		n.takeTurn(f)
+		if final && !f.done {
+			f.done = true
+			f.sinkRes.Completed = true
+			if f.sinkDone != nil {
+				f.sinkDone(f.sinkRes)
+			}
+		}
+	}
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// maybeCleanup enters the 90% cleanup phase: best-known holders unicast the
+// packets the destination still misses along the ETX path.
+func (n *Node) maybeCleanup(f *exorFlow) {
+	if f.myPrio <= 0 || f.k == 0 {
+		return // destination doesn't clean up to itself; non-participants idle
+	}
+	if float64(dstHolds(f)) < n.cfg.CleanupFraction*float64(f.k) {
+		return
+	}
+	f.cleanup = true
+	for i := 0; i < f.k; i++ {
+		if f.bmap[i] == 0 || !f.have[i] || f.cleanedIdx[i] {
+			continue
+		}
+		if int(f.bmap[i]) != f.myPrio {
+			continue // someone closer holds it; they clean it up
+		}
+		f.cleanedIdx[i] = true
+		n.queueUnicast(&CleanupMsg{
+			Flow: f.id, Batch: f.batch, PktIdx: i, Target: f.dst, Payload: f.payload[i],
+		}, f.dst)
+	}
+}
+
+// queueUnicast enqueues a hop-by-hop unicast frame toward target.
+func (n *Node) queueUnicast(payload interface{}, target graph.NodeID) {
+	next := n.oracle.NextHop(n.node.ID(), target)
+	if next < 0 {
+		return
+	}
+	var bytes int
+	switch m := payload.(type) {
+	case *CleanupMsg:
+		bytes = m.wireBytes()
+	case *DoneMsg:
+		bytes = m.wireBytes()
+	}
+	n.unicast = append(n.unicast, &sim.Frame{
+		From: n.node.ID(), To: next, Bytes: bytes, Payload: payload,
+	})
+	n.node.Wake()
+}
+
+func (n *Node) receiveCleanup(fr *sim.Frame, m *CleanupMsg) {
+	if fr.To != n.node.ID() {
+		return
+	}
+	f := n.flowFor(m.Flow)
+	if n.node.ID() == m.Target {
+		if f.k > 0 && m.Batch == f.batch && m.PktIdx < f.k && !f.have[m.PktIdx] {
+			f.have[m.PktIdx] = true
+			f.payload[m.PktIdx] = m.Payload
+			f.bmap[m.PktIdx] = 0
+			f.mapDirty = true
+			n.sinkProgress(f)
+		}
+		return
+	}
+	n.queueUnicast(m, m.Target)
+}
+
+func (n *Node) receiveDone(fr *sim.Frame, m *DoneMsg) {
+	f := n.flowFor(m.Flow)
+	// Anyone hearing the done message can mark the batch complete.
+	if f.k > 0 && m.Batch == f.batch {
+		for i := range f.bmap {
+			f.bmap[i] = 0
+		}
+	}
+	if fr.To != n.node.ID() {
+		return
+	}
+	if n.node.ID() == m.Target {
+		if f.isSource {
+			n.sourceBatchComplete(f, m)
+		}
+		return
+	}
+	n.queueUnicast(m, m.Target)
+}
+
+func (n *Node) sourceBatchComplete(f *exorFlow, m *DoneMsg) {
+	if f.done || m.Batch != f.batch {
+		return
+	}
+	if f.batch+1 >= f.totalBatches {
+		f.done = true
+		f.result.Completed = true
+		f.result.PacketsDelivered = f.result.PacketsTotal
+		f.result.End = n.node.Now()
+		if f.onDone != nil {
+			f.onDone(f.result)
+		}
+		return
+	}
+	n.loadSourceBatch(f, f.batch+1)
+	n.startTurn(f)
+}
+
+func (n *Node) onBatchDone(f *exorFlow) {
+	// Stop transmitting this batch; state resets when the next batch (or a
+	// DoneMsg round trip) arrives.
+	f.inTurn = false
+	f.fragQueue = nil
+	if f.turnTimer != nil {
+		f.turnTimer.Cancel()
+	}
+	if f.watchdog != nil {
+		f.watchdog.Cancel()
+	}
+}
+
+// Pull implements sim.Protocol: unicast control first, then fragment data.
+func (n *Node) Pull() *sim.Frame {
+	for len(n.unicast) > 0 {
+		fr := n.unicast[0]
+		n.unicast = n.unicast[1:]
+		// Drop stale cleanup for completed/advanced batches.
+		if c, ok := fr.Payload.(*CleanupMsg); ok {
+			f := n.flowFor(c.Flow)
+			if f.k > 0 && (c.Batch != f.batch || f.bmap[c.PktIdx] == 0) {
+				continue
+			}
+			n.CleanupTx++
+		}
+		return fr
+	}
+	for _, fid := range n.flowOrder {
+		f := n.flows[fid]
+		if !f.inTurn {
+			continue
+		}
+		if len(f.fragQueue) == 0 {
+			// Map-only gossip turn.
+			f.gossipLeft--
+			if f.gossipLeft <= 0 {
+				f.inTurn = false
+				f.mapDirty = false
+			}
+			n.MapOnly++
+			return n.dataFrame(f, -1, f.gossipLeft)
+		}
+		idx := f.fragQueue[0]
+		f.fragQueue = f.fragQueue[1:]
+		remaining := len(f.fragQueue)
+		if remaining == 0 {
+			f.inTurn = false
+			f.mapDirty = false
+			n.armWatchdog(f)
+		}
+		n.DataSent++
+		return n.dataFrame(f, idx, remaining)
+	}
+	return nil
+}
+
+func (n *Node) dataFrame(f *exorFlow, idx, remaining int) *sim.Frame {
+	m := &DataMsg{
+		Flow: f.id, Src: f.src, Dst: f.dst,
+		Batch: f.batch, K: f.k, BatchBase: f.base, TotalBatches: f.totalBatches,
+		PktIdx: idx, FragRemaining: remaining, SenderPrio: f.myPrio,
+		BMap: append([]uint8(nil), f.bmap...),
+		Prio: f.prio,
+	}
+	if idx >= 0 {
+		m.Payload = f.payload[idx]
+	}
+	return &sim.Frame{From: n.node.ID(), To: graph.Broadcast, Bytes: m.wireBytes(), Payload: m}
+}
+
+// Sent implements sim.Protocol.
+func (n *Node) Sent(fr *sim.Frame, ok bool) {
+	switch m := fr.Payload.(type) {
+	case *CleanupMsg:
+		if !ok {
+			// Retry until the batch moves on.
+			f := n.flowFor(m.Flow)
+			if f.k > 0 && m.Batch == f.batch && f.bmap[m.PktIdx] != 0 {
+				n.unicast = append(n.unicast, fr)
+			}
+		}
+	case *DoneMsg:
+		if !ok {
+			n.unicast = append(n.unicast, fr)
+		}
+	}
+	if len(n.unicast) > 0 {
+		n.node.Wake()
+		return
+	}
+	for _, fid := range n.flowOrder {
+		if n.flows[fid].inTurn {
+			n.node.Wake()
+			return
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package exor
+
+import (
+	"testing"
+
+	"repro/internal/flow"
+	"repro/internal/graph"
+	"repro/internal/routing"
+	"repro/internal/sim"
+)
+
+func TestCyclicDist(t *testing.T) {
+	cases := []struct {
+		a, b, l, want int
+	}{
+		{0, 1, 5, 1}, // dst to first forwarder
+		{1, 2, 5, 1}, // next in schedule
+		{4, 0, 5, 1}, // source wraps to destination
+		{2, 1, 5, 4}, // going "backwards" costs a full cycle minus one
+		{3, 3, 5, 5}, // own slot comes a full round later
+		{0, 4, 5, 4}, // dst to source
+	}
+	for _, c := range cases {
+		if got := cyclicDist(c.a, c.b, c.l); got != c.want {
+			t.Errorf("cyclicDist(%d,%d,%d) = %d, want %d", c.a, c.b, c.l, got, c.want)
+		}
+	}
+}
+
+func TestBatchMapMerge(t *testing.T) {
+	// Receiving a packet must merge batch maps element-wise toward lower
+	// (better) priorities and record the sender and self as holders.
+	topo := graph.New(3)
+	topo.SetLink(0, 1, 1)
+	topo.SetLink(1, 2, 1)
+	s := sim.New(topo, sim.DefaultConfig())
+	oracle := flow.NewOracle(topo, routing.ETXOptions{Threshold: 0.15, AckAware: true})
+	n := NewNode(smallCfg(4), oracle)
+	s.Attach(1, n)
+
+	prio := []graph.NodeID{2, 1, 0} // dst=2, fwd=1, src=0
+	bmap := []uint8{2, 0, 2, 2}     // src claims pkt 1 already at dst
+	m := &DataMsg{
+		Flow: 1, Src: 0, Dst: 2,
+		Batch: 0, K: 4, TotalBatches: 1,
+		PktIdx: 0, FragRemaining: 0, SenderPrio: 2,
+		BMap: bmap, Prio: prio,
+		Payload: make([]byte, 10),
+	}
+	n.receiveData(m)
+	f := n.flows[1]
+	if f.myPrio != 1 {
+		t.Fatalf("myPrio = %d", f.myPrio)
+	}
+	if !f.have[0] || f.payload[0] == nil {
+		t.Fatal("payload not stored")
+	}
+	// Packet 0: we hold it now, so our own priority (1) beats the
+	// sender's (2).
+	if f.bmap[0] != 1 {
+		t.Fatalf("bmap[0] = %d, want 1 (self)", f.bmap[0])
+	}
+	// Packet 1: the sender's map says the destination (0 == highest
+	// priority index) already has it.
+	if f.bmap[1] != 0 {
+		t.Fatalf("bmap[1] = %d, want 0 (dst)", f.bmap[1])
+	}
+	// A later packet with a worse map must not regress ours.
+	worse := *m
+	worse.PktIdx = 2
+	worse.BMap = []uint8{2, 2, 2, 2}
+	n.receiveData(&worse)
+	if f.bmap[1] != 0 {
+		t.Fatal("merge regressed bmap[1]")
+	}
+	if f.bmap[2] != 1 {
+		t.Fatalf("bmap[2] = %d after receiving pkt 2", f.bmap[2])
+	}
+}
+
+func TestEligibilityRespectsPriority(t *testing.T) {
+	// A forwarder only schedules packets for which it is the best known
+	// holder.
+	topo := graph.New(3)
+	topo.SetLink(0, 1, 1)
+	topo.SetLink(1, 2, 1)
+	s := sim.New(topo, sim.DefaultConfig())
+	oracle := flow.NewOracle(topo, routing.ETXOptions{Threshold: 0.15, AckAware: true})
+	n := NewNode(smallCfg(3), oracle)
+	s.Attach(1, n)
+	prio := []graph.NodeID{2, 1, 0}
+	for idx := 0; idx < 3; idx++ {
+		n.receiveData(&DataMsg{
+			Flow: 1, Src: 0, Dst: 2, Batch: 0, K: 3, TotalBatches: 1,
+			PktIdx: idx, FragRemaining: 2 - idx, SenderPrio: 2,
+			BMap: []uint8{packet3(), packet3(), packet3()}, Prio: prio,
+			Payload: make([]byte, 10),
+		})
+	}
+	f := n.flows[1]
+	// Mark packet 1 as already held by the destination.
+	f.bmap[1] = 0
+	n.takeTurn(f)
+	if !f.inTurn {
+		t.Fatal("turn not taken")
+	}
+	if len(f.fragQueue) != 2 {
+		t.Fatalf("fragment has %d packets, want 2 (pkt 1 excluded)", len(f.fragQueue))
+	}
+	for _, idx := range f.fragQueue {
+		if idx == 1 {
+			t.Fatal("fragment includes a packet the destination already holds")
+		}
+	}
+}
+
+func packet3() uint8 { return 2 } // src prio in a 3-node list
+
+func TestDataFrameChargesBatchMap(t *testing.T) {
+	// Every ExOR data frame pays for its batch map and forwarder list on
+	// the air: bigger K means bigger frames.
+	topo := graph.New(2)
+	topo.SetLink(0, 1, 1)
+	s := sim.New(topo, sim.DefaultConfig())
+	oracle := flow.NewOracle(topo, routing.ETXOptions{Threshold: 0.15, AckAware: true})
+	small := NewNode(smallCfg(8), oracle)
+	s.Attach(0, small)
+	file := flow.NewFile(8*1500, 1500, 1)
+	if err := small.StartFlow(1, 1, file, nil); err != nil {
+		t.Fatal(err)
+	}
+	fr := small.Pull()
+	if fr == nil {
+		t.Fatal("no frame")
+	}
+	m := fr.Payload.(*DataMsg)
+	if len(m.BMap) != 8 {
+		t.Fatalf("batch map has %d entries", len(m.BMap))
+	}
+	if fr.Bytes <= 1500+8 {
+		t.Fatalf("frame %d bytes does not include header overhead", fr.Bytes)
+	}
+}
+
+func TestWatchdogRecoversFromTotalSilence(t *testing.T) {
+	// If every handoff packet is lost, the watchdog must still push the
+	// transfer forward.
+	topo := graph.New(3)
+	topo.SetLink(0, 1, 0.35)
+	topo.SetLink(1, 2, 0.35)
+	file := flow.NewFile(8*1500, 1500, 2)
+	res, _, _ := runExOR(t, topo, smallCfg(8), sim.DefaultConfig(), 0, 2, file, 900*sim.Second)
+	if !res.Completed {
+		t.Fatalf("transfer over terrible links never completed: %v", res)
+	}
+}

@@ -1,0 +1,322 @@
+// Package experiments reproduces the thesis' evaluation (Chapter 4) and
+// theory measurements (Chapter 5): one driver per table and figure, all
+// running the three protocols over the simulated testbed. DESIGN.md carries
+// the experiment index; EXPERIMENTS.md records paper-vs-measured numbers.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/exor"
+	"repro/internal/flow"
+	"repro/internal/graph"
+	"repro/internal/routing"
+	"repro/internal/sim"
+	"repro/internal/srcr"
+)
+
+// Protocol selects the routing protocol under test.
+type Protocol int
+
+// The compared protocols (§4.1.1), plus Srcr with Onoe autorate (§4.4).
+const (
+	MORE Protocol = iota
+	ExOR
+	Srcr
+	SrcrAutorate
+)
+
+func (p Protocol) String() string {
+	switch p {
+	case MORE:
+		return "MORE"
+	case ExOR:
+		return "ExOR"
+	case Srcr:
+		return "Srcr"
+	case SrcrAutorate:
+		return "Srcr-autorate"
+	default:
+		return fmt.Sprintf("Protocol(%d)", int(p))
+	}
+}
+
+// Options parameterizes a transfer run.
+type Options struct {
+	// FileBytes per transfer (paper: 5 MB; scaled down by default so the
+	// full suite runs in minutes).
+	FileBytes int
+	// PktSize is the packet payload size (1500 B).
+	PktSize int
+	// BatchSize is K for MORE and ExOR (32).
+	BatchSize int
+	// DataRate fixes the 802.11b data rate (5.5 Mb/s in most experiments).
+	DataRate sim.Bitrate
+	// RateDependentChannel scales delivery probabilities with the transmit
+	// rate (graph.RateScale); required for the autorate experiment.
+	RateDependentChannel bool
+	// CaptureMargin overrides the capture log-odds margin when nonzero.
+	CaptureMargin float64
+	// SenseRange extends carrier sense by geometry (meters); see
+	// sim.Config.SenseRange. The testbed default is 3x the channel's
+	// 50%-delivery distance, so a flow's source and forwarders mostly
+	// share the medium, as on the paper's 20-node indoor testbed.
+	SenseRange float64
+	// Seed drives the simulator and workload.
+	Seed int64
+	// Deadline bounds each run's simulated time.
+	Deadline sim.Time
+	// Trace, when set, receives the simulator's medium trace (see
+	// internal/trace for a structured recorder).
+	Trace func(format string, args ...interface{})
+	// Metric selects forwarder ordering for MORE/ExOR (default ETX).
+	Metric routing.OrderMetric
+	// MORE ablation switches.
+	PreCoding              bool
+	InnovativeOnly         bool
+	CreditOnInnovativeOnly bool
+	PruneFraction          float64
+}
+
+// DefaultOptions returns the paper's setup at a simulation-friendly file
+// size (512 KB instead of 5 MB; the throughput *ratios* are file-size
+// independent once transfers span many batches).
+func DefaultOptions() Options {
+	return Options{
+		FileBytes:      512 << 10,
+		PktSize:        1500,
+		BatchSize:      32,
+		DataRate:       sim.Rate5_5,
+		SenseRange:     3 * graph.DefaultTestbed().MidRange,
+		Seed:           1,
+		Deadline:       3600 * sim.Second,
+		Metric:         routing.OrderETX,
+		PreCoding:      true,
+		InnovativeOnly: true,
+		PruneFraction:  0.1,
+	}
+}
+
+func (o Options) file(seed int64) flow.File {
+	return flow.NewFile(o.FileBytes, o.PktSize, seed)
+}
+
+func (o Options) simConfig() sim.Config {
+	cfg := sim.DefaultConfig()
+	cfg.Seed = o.Seed
+	cfg.DataRate = o.DataRate
+	cfg.SenseRange = o.SenseRange
+	cfg.RefFrameBytes = o.PktSize
+	if o.CaptureMargin != 0 {
+		cfg.CaptureMargin = o.CaptureMargin
+	}
+	if o.RateDependentChannel {
+		cfg.RateAdjust = sim.AdaptRateScale(graph.RateScale)
+	}
+	return cfg
+}
+
+func (o Options) etxOptions() routing.ETXOptions {
+	return routing.ETXOptions{Threshold: graph.RouteThreshold, AckAware: true}
+}
+
+func (o Options) planOptions() routing.PlanOptions {
+	p := routing.DefaultPlanOptions()
+	p.Metric = o.Metric
+	p.ETX = o.etxOptions()
+	p.PruneFraction = o.PruneFraction
+	return p
+}
+
+// Pair is a source-destination pair.
+type Pair struct {
+	Src, Dst graph.NodeID
+}
+
+// RandomPairs draws n distinct reachable pairs over the topology.
+func RandomPairs(topo *graph.Topology, n int, seed int64) []Pair {
+	rng := rand.New(rand.NewSource(seed))
+	opt := routing.ETXOptions{Threshold: graph.RouteThreshold, AckAware: true}
+	seen := map[Pair]bool{}
+	var out []Pair
+	guard := 0
+	for len(out) < n {
+		guard++
+		if guard > 100*n+1000 {
+			break
+		}
+		p := Pair{
+			Src: graph.NodeID(rng.Intn(topo.N())),
+			Dst: graph.NodeID(rng.Intn(topo.N())),
+		}
+		if p.Src == p.Dst || seen[p] {
+			continue
+		}
+		tab := routing.ETXToDestination(topo, p.Dst, opt)
+		if math.IsInf(tab.Dist[p.Src], 1) {
+			continue
+		}
+		seen[p] = true
+		out = append(out, p)
+	}
+	return out
+}
+
+// Run transfers one file between a single source-destination pair with the
+// given protocol and returns the destination-side result.
+func Run(topo *graph.Topology, proto Protocol, p Pair, opts Options) flow.Result {
+	results := RunFlows(topo, proto, []Pair{p}, opts)
+	return results[0]
+}
+
+// RunFlows runs len(pairs) concurrent flows of the same protocol and
+// returns the per-flow destination-side results (the multi-flow experiment
+// of §4.3 uses several pairs; single-flow experiments pass one).
+func RunFlows(topo *graph.Topology, proto Protocol, pairs []Pair, opts Options) []flow.Result {
+	rs, _ := RunWithCounters(topo, proto, pairs, opts)
+	return rs
+}
+
+// RunWithCounters is RunFlows plus the run's medium-level counters (used by
+// the autorate analysis, §4.4).
+func RunWithCounters(topo *graph.Topology, proto Protocol, pairs []Pair, opts Options) ([]flow.Result, sim.Counters) {
+	s := sim.New(topo, opts.simConfig())
+	if opts.Trace != nil {
+		s.Trace = opts.Trace
+	}
+	oracle := flow.NewOracle(topo, opts.etxOptions())
+	remaining := len(pairs)
+	results := make([]flow.Result, len(pairs))
+	markDone := func(i int) func(flow.Result) {
+		return func(r flow.Result) {
+			remaining--
+		}
+	}
+
+	switch proto {
+	case MORE:
+		cfg := core.DefaultConfig()
+		cfg.BatchSize = opts.BatchSize
+		cfg.PayloadSize = opts.PktSize
+		cfg.Plan = opts.planOptions()
+		cfg.PreCoding = opts.PreCoding
+		cfg.InnovativeOnly = opts.InnovativeOnly
+		cfg.CreditOnInnovativeOnly = opts.CreditOnInnovativeOnly
+		nodes := make([]*core.Node, topo.N())
+		for i := range nodes {
+			nodes[i] = core.NewNode(cfg, oracle)
+			s.Attach(graph.NodeID(i), nodes[i])
+		}
+		for i, p := range pairs {
+			f := opts.file(opts.Seed + int64(i))
+			nodes[p.Dst].ExpectFlow(flow.ID(i+1), f, nil)
+			if err := nodes[p.Src].StartFlow(flow.ID(i+1), p.Dst, f, markDone(i)); err != nil {
+				remaining--
+			}
+		}
+		s.RunWhile(opts.Deadline, func() bool { return remaining > 0 })
+		for i, p := range pairs {
+			results[i] = nodes[p.Dst].Result(flow.ID(i + 1))
+		}
+	case ExOR:
+		cfg := exor.DefaultConfig()
+		cfg.BatchSize = opts.BatchSize
+		cfg.PayloadSize = opts.PktSize
+		cfg.Plan = opts.planOptions()
+		nodes := make([]*exor.Node, topo.N())
+		for i := range nodes {
+			nodes[i] = exor.NewNode(cfg, oracle)
+			s.Attach(graph.NodeID(i), nodes[i])
+		}
+		for i, p := range pairs {
+			f := opts.file(opts.Seed + int64(i))
+			nodes[p.Dst].ExpectFlow(flow.ID(i+1), f, markDone(i))
+			if err := nodes[p.Src].StartFlow(flow.ID(i+1), p.Dst, f, nil); err != nil {
+				remaining--
+			}
+		}
+		s.RunWhile(opts.Deadline, func() bool { return remaining > 0 })
+		for i, p := range pairs {
+			results[i] = nodes[p.Dst].Result(flow.ID(i + 1))
+		}
+	case Srcr, SrcrAutorate:
+		cfg := srcr.DefaultConfig()
+		cfg.PayloadSize = opts.PktSize
+		cfg.Autorate = proto == SrcrAutorate
+		cfg.Reliable = true // fair baseline: complete the file like MORE/ExOR
+		nodes := make([]*srcr.Node, topo.N())
+		for i := range nodes {
+			nodes[i] = srcr.NewNode(cfg, oracle)
+			s.Attach(graph.NodeID(i), nodes[i])
+		}
+		for i, p := range pairs {
+			f := opts.file(opts.Seed + int64(i))
+			nodes[p.Dst].ExpectFlow(flow.ID(i+1), f, nil)
+			if err := nodes[p.Src].StartFlow(flow.ID(i+1), p.Dst, f, markDone(i)); err != nil {
+				remaining--
+			}
+		}
+		s.RunWhile(opts.Deadline, func() bool { return remaining > 0 })
+		for i, p := range pairs {
+			results[i] = nodes[p.Dst].Result(flow.ID(i + 1))
+		}
+	default:
+		panic("experiments: unknown protocol")
+	}
+
+	// Normalize: incomplete transfers end at the deadline.
+	for i := range results {
+		if results[i].End == 0 {
+			results[i].End = s.Now()
+		}
+		if !results[i].Completed && results[i].End < s.Now() {
+			// Throughput of an unfinished flow is measured over the whole
+			// run, as a stalled flow occupies its slot the whole time.
+			results[i].End = s.Now()
+		}
+		results[i].Src = pairs[i].Src
+		results[i].Dst = pairs[i].Dst
+	}
+	return results, s.Counters
+}
+
+// SpatialReusePairs finds source-destination pairs whose best ETX path has
+// at least minHops hops and whose first-hop transmitter is outside carrier
+// sense range of the last-hop transmitter — Fig 4-4's selection rule ("the
+// last hop can transmit concurrently with the first hop"). senseThreshold
+// and senseRange must match the simulator configuration.
+func SpatialReusePairs(topo *graph.Topology, minHops int, senseThreshold, senseRange float64) []Pair {
+	opt := routing.ETXOptions{Threshold: graph.RouteThreshold, AckAware: true}
+	senses := func(a, b graph.NodeID) bool {
+		if topo.Prob(a, b) > senseThreshold {
+			return true
+		}
+		return senseRange > 0 && topo.Pos[a].Distance(topo.Pos[b]) <= senseRange
+	}
+	var out []Pair
+	for dst := 0; dst < topo.N(); dst++ {
+		tab := routing.ETXToDestination(topo, graph.NodeID(dst), opt)
+		for src := 0; src < topo.N(); src++ {
+			if src == dst {
+				continue
+			}
+			path := tab.Path(graph.NodeID(src))
+			if path == nil || len(path)-1 < minHops {
+				continue
+			}
+			firstTx := path[0]
+			lastTx := path[len(path)-2]
+			if !senses(firstTx, lastTx) && !senses(lastTx, firstTx) {
+				out = append(out, Pair{Src: graph.NodeID(src), Dst: graph.NodeID(dst)})
+			}
+		}
+	}
+	return out
+}
+
+// routingOrderEOTX re-exports the EOTX ordering constant for callers that
+// do not import routing directly.
+func routingOrderEOTX() routing.OrderMetric { return routing.OrderEOTX }

@@ -1,0 +1,383 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// quickOpts returns a reduced-scale configuration so the experiment suite
+// exercises every driver in seconds. The paper-scale numbers live in
+// cmd/morebench and EXPERIMENTS.md.
+func quickOpts() Options {
+	o := DefaultOptions()
+	o.FileBytes = 96 * 1500 // 3 batches at K=32
+	return o
+}
+
+func TestFig42Shape(t *testing.T) {
+	topo := TestbedTopology()
+	res := Fig42UnicastThroughput(topo, 12, quickOpts())
+	if len(res.Pairs) != 12 {
+		t.Fatalf("got %d pairs", len(res.Pairs))
+	}
+	for _, proto := range []Protocol{MORE, ExOR, Srcr} {
+		if len(res.Throughput[proto]) != 12 {
+			t.Fatalf("%v has %d samples", proto, len(res.Throughput[proto]))
+		}
+		for _, x := range res.Throughput[proto] {
+			if x <= 0 || math.IsNaN(x) {
+				t.Fatalf("%v produced throughput %v", proto, x)
+			}
+		}
+	}
+	// The headline orderings of Fig 4-2.
+	gainExor := res.MedianGain(MORE, ExOR)
+	gainSrcr := res.MedianGain(MORE, Srcr)
+	if gainExor < 0 {
+		t.Errorf("MORE median below ExOR: %+.0f%% (paper: +22%%)", gainExor)
+	}
+	if gainSrcr < 40 {
+		t.Errorf("MORE vs Srcr gain %+.0f%% too small (paper: +95%%)", gainSrcr)
+	}
+	if res.MaxGain(MORE, Srcr) < 2 {
+		t.Errorf("max MORE/Srcr gain %.1fx lacks a challenged tail", res.MaxGain(MORE, Srcr))
+	}
+	if !strings.Contains(res.Table(), "MORE") {
+		t.Error("table rendering broken")
+	}
+	if !strings.Contains(res.ScatterTSV(Srcr, MORE), "\t") {
+		t.Error("scatter TSV broken")
+	}
+}
+
+func TestFig43ChallengedFlowsGainMost(t *testing.T) {
+	topo := TestbedTopology()
+	res := Fig42UnicastThroughput(topo, 12, quickOpts())
+	bottom, top := res.ChallengedGain(MORE)
+	if bottom <= top {
+		t.Errorf("challenged flows gain %.2fx <= good flows %.2fx; Fig 4-3 shape lost", bottom, top)
+	}
+	if bottom < 1.2 {
+		t.Errorf("challenged gain %.2fx too small", bottom)
+	}
+}
+
+func TestFig44SpatialReuseShape(t *testing.T) {
+	opts := quickOpts()
+	res := Fig44SpatialReuse(5, opts)
+	if len(res.Pairs) < 3 {
+		t.Fatalf("found only %d spatial-reuse pairs", len(res.Pairs))
+	}
+	gain := res.MedianGain(MORE, ExOR)
+	// Paper: +50% visible on these flows, clearly above the testbed-wide
+	// (+22%) figure. Accept anything solidly positive at test scale.
+	if gain < 15 {
+		t.Errorf("spatial-reuse MORE vs ExOR gain %+.0f%% too small (paper: +50%%)", gain)
+	}
+	if !strings.Contains(res.Table(), "spatial-reuse") {
+		t.Error("table rendering broken")
+	}
+}
+
+func TestFig45MultiFlowShape(t *testing.T) {
+	topo := TestbedTopology()
+	opts := quickOpts()
+	opts.FileBytes = 64 * 1500
+	res := Fig45MultiFlow(topo, 3, 3, opts)
+	if len(res.FlowCounts) != 3 {
+		t.Fatalf("flow counts %v", res.FlowCounts)
+	}
+	for _, proto := range []Protocol{MORE, ExOR, Srcr} {
+		if len(res.Avg[proto]) != 3 {
+			t.Fatalf("%v has %d points", proto, len(res.Avg[proto]))
+		}
+		// Per-flow average throughput should fall as flows are added.
+		if res.Avg[proto][2] >= res.Avg[proto][0] {
+			t.Errorf("%v: per-flow throughput did not fall with congestion: %v", proto, res.Avg[proto])
+		}
+	}
+	// Opportunistic routing keeps its lead under light load and degrades
+	// gracefully toward traditional routing under congestion (§4.3: "it
+	// smoothly degenerates to the behavior of traditional routing").
+	if res.Avg[MORE][0] < res.Avg[Srcr][0] {
+		t.Errorf("MORE below Srcr for a single flow: %.1f vs %.1f",
+			res.Avg[MORE][0], res.Avg[Srcr][0])
+	}
+	for i := range res.FlowCounts {
+		if res.Avg[MORE][i] < 0.8*res.Avg[Srcr][i] {
+			t.Errorf("MORE collapsed below Srcr at %d flows: %.1f vs %.1f",
+				res.FlowCounts[i], res.Avg[MORE][i], res.Avg[Srcr][i])
+		}
+	}
+	if !strings.Contains(res.Table(), "flows") {
+		t.Error("table rendering broken")
+	}
+}
+
+func TestFig46AutorateShape(t *testing.T) {
+	topo := TestbedTopology()
+	opts := quickOpts()
+	res := Fig46Autorate(topo, 8, opts)
+	medMORE := stats.Median(res.Throughput["MORE@11"])
+	medAuto := stats.Median(res.Throughput["Srcr-auto"])
+	if medMORE <= medAuto {
+		t.Errorf("MORE@11 (%.1f) did not preserve its gain over Srcr autorate (%.1f)", medMORE, medAuto)
+	}
+	// §4.4: a noticeable share of autorate transmissions happen at 1 Mb/s
+	// and consume a disproportionate share of air time.
+	if res.LowRateTxFrac > 0 && res.LowRateAirFrac <= res.LowRateTxFrac {
+		t.Errorf("1 Mb/s air-time share %.2f should exceed its tx share %.2f",
+			res.LowRateAirFrac, res.LowRateTxFrac)
+	}
+	if !strings.Contains(res.Table(), "autorate") {
+		t.Error("table rendering broken")
+	}
+}
+
+func TestFig47BatchSizeShape(t *testing.T) {
+	topo := TestbedTopology()
+	opts := quickOpts()
+	opts.FileBytes = 128 * 1500
+	res := Fig47BatchSize(topo, []int{8, 32}, 6, opts)
+	// §4.5: ExOR suffers at K=8; MORE is much less sensitive.
+	moreSens := res.Sensitivity(res.MORE)
+	exorSens := res.Sensitivity(res.ExOR)
+	if exorSens < moreSens {
+		t.Errorf("ExOR batch sensitivity %.2fx below MORE's %.2fx; Fig 4-7 shape lost", exorSens, moreSens)
+	}
+	if !strings.Contains(res.Table(), "K") {
+		t.Error("table rendering broken")
+	}
+}
+
+func TestTable41Microbench(t *testing.T) {
+	r := Table41CodingCost(32, 1500, 200)
+	// Shape, not absolute times: the independence check must be far
+	// cheaper than full coding/decoding (paper: 10 µs vs 270/260 µs), and
+	// coding and decoding should be within a small factor of each other.
+	if r.IndependenceCheck*5 > r.SourceCoding {
+		t.Errorf("independence check (%v) not ≪ source coding (%v)", r.IndependenceCheck, r.SourceCoding)
+	}
+	// Coding and decoding are the same O(K·S) work; allow a wide band
+	// because this test shares the machine with parallel packages and the
+	// paper's own numbers (270 vs 260 µs) only establish same order of
+	// magnitude.
+	ratio := float64(r.SourceCoding) / float64(r.Decoding)
+	if ratio < 0.05 || ratio > 20 {
+		t.Errorf("coding (%v) and decoding (%v) should be comparable", r.SourceCoding, r.Decoding)
+	}
+	// Modern hardware must far exceed the Celeron's 44 Mb/s.
+	if got := r.SustainableMbps(); got < 44 {
+		t.Errorf("sustainable throughput %.0f Mb/s below the paper's low-end bound", got)
+	}
+	if !strings.Contains(r.Table(), "independence") {
+		t.Error("table rendering broken")
+	}
+}
+
+func TestHeaderOverheadNumbers(t *testing.T) {
+	r := HeaderOverhead(32, 1500)
+	if r.HeaderBytes > 70 {
+		t.Errorf("header %d B exceeds the 70 B bound", r.HeaderBytes)
+	}
+	if r.Fraction > 0.05 {
+		t.Errorf("header overhead %.1f%% exceeds 5%%", 100*r.Fraction)
+	}
+}
+
+func TestFig51GapCurve(t *testing.T) {
+	pts := Fig51CostGap(8, []float64{0.3, 0.1, 0.03, 0.01})
+	if len(pts) != 4 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Gap < pts[i-1].Gap-1e-9 {
+			t.Errorf("gap not growing as p shrinks: %+v", pts)
+		}
+	}
+	if pts[len(pts)-1].Gap < 4 {
+		t.Errorf("gap %.2f at p=0.01 too small for k=8", pts[len(pts)-1].Gap)
+	}
+}
+
+func TestSec57Statistics(t *testing.T) {
+	r := Sec57EOTXvsETX(TestbedTopology())
+	if r.Pairs == 0 {
+		t.Fatal("no pairs evaluated")
+	}
+	fracUnaffected := float64(r.Unaffected) / float64(r.Pairs)
+	// §5.7: more than 40% of flows unaffected; among affected the median
+	// gap is tiny (0.2%).
+	if fracUnaffected < 0.2 {
+		t.Errorf("only %.0f%% of flows unaffected by EOTX order", 100*fracUnaffected)
+	}
+	if r.MedianAffectedGapPct > 10 {
+		t.Errorf("median affected gap %.1f%% implausibly large", r.MedianAffectedGapPct)
+	}
+	if !strings.Contains(r.Table(), "unaffected") {
+		t.Error("table rendering broken")
+	}
+}
+
+func TestRandomPairsProperties(t *testing.T) {
+	topo := TestbedTopology()
+	pairs := RandomPairs(topo, 30, 7)
+	if len(pairs) != 30 {
+		t.Fatalf("got %d pairs", len(pairs))
+	}
+	seen := map[Pair]bool{}
+	for _, p := range pairs {
+		if p.Src == p.Dst {
+			t.Fatal("self pair drawn")
+		}
+		if seen[p] {
+			t.Fatal("duplicate pair drawn")
+		}
+		seen[p] = true
+	}
+	again := RandomPairs(topo, 30, 7)
+	for i := range pairs {
+		if pairs[i] != again[i] {
+			t.Fatal("pair drawing not deterministic")
+		}
+	}
+}
+
+func TestSpatialReusePairSelection(t *testing.T) {
+	// A long corridor must contain qualifying pairs; a compact testbed
+	// with blanket carrier sense must not.
+	corridor := graph.Corridor(14, 360, 15, 28, 1)
+	if len(SpatialReusePairs(corridor, 4, 0.01, 84)) == 0 {
+		t.Error("no spatial-reuse pairs found in a 400 m corridor")
+	}
+	testbed := TestbedTopology()
+	if n := len(SpatialReusePairs(testbed, 4, 0.01, 1000)); n != 0 {
+		t.Errorf("found %d spatial-reuse pairs despite kilometer carrier sense", n)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	topo := TestbedTopology()
+	opts := quickOpts()
+	p := RandomPairs(topo, 1, 3)[0]
+	a := Run(topo, MORE, p, opts)
+	b := Run(topo, MORE, p, opts)
+	if a.Throughput() != b.Throughput() || a.End != b.End {
+		t.Fatalf("nondeterministic run: %v vs %v", a, b)
+	}
+}
+
+func TestProtocolString(t *testing.T) {
+	if MORE.String() != "MORE" || ExOR.String() != "ExOR" ||
+		Srcr.String() != "Srcr" || SrcrAutorate.String() != "Srcr-autorate" {
+		t.Fatal("protocol names wrong")
+	}
+	if Protocol(99).String() == "" {
+		t.Fatal("unknown protocol should render")
+	}
+}
+
+func TestEOTXOrderingOption(t *testing.T) {
+	// The §5.7 option: running MORE with EOTX forwarder ordering must work
+	// and stay within a sane band of the ETX-ordered run.
+	topo := TestbedTopology()
+	opts := quickOpts()
+	p := RandomPairs(topo, 1, 5)[0]
+	etx := Run(topo, MORE, p, opts)
+	opts.Metric = routingOrderEOTX()
+	eotx := Run(topo, MORE, p, opts)
+	if !etx.Completed || !eotx.Completed {
+		t.Fatalf("runs incomplete: %v / %v", etx, eotx)
+	}
+	ratio := eotx.Throughput() / etx.Throughput()
+	if ratio < 0.5 || ratio > 2 {
+		t.Errorf("EOTX/ETX throughput ratio %.2f out of band", ratio)
+	}
+}
+
+func TestDeadlineRespected(t *testing.T) {
+	topo := TestbedTopology()
+	opts := quickOpts()
+	opts.Deadline = 50 * sim.Millisecond // far too short to finish
+	p := RandomPairs(topo, 1, 3)[0]
+	r := Run(topo, MORE, p, opts)
+	if r.Completed {
+		t.Fatal("transfer claimed completion within an impossible deadline")
+	}
+	if r.End > opts.Deadline {
+		t.Fatalf("result end %v beyond deadline", r.End)
+	}
+}
+
+func TestFig42AcrossSeedsRobust(t *testing.T) {
+	// The headline orderings must hold across independently generated
+	// topologies, not just the canonical seed.
+	opts := quickOpts()
+	res := Fig42AcrossSeeds(2, 8, opts)
+	if len(res.Seeds) != 2 {
+		t.Fatalf("ran %d topologies", len(res.Seeds))
+	}
+	for i, s := range res.Seeds {
+		if res.GainVsSrcr[i] < 20 {
+			t.Errorf("topology seed %d: MORE vs Srcr gain %+.0f%% too small", s, res.GainVsSrcr[i])
+		}
+		if res.GainVsExOR[i] < -15 {
+			t.Errorf("topology seed %d: MORE collapsed vs ExOR: %+.0f%%", s, res.GainVsExOR[i])
+		}
+	}
+	if !strings.Contains(res.Table(), "median") {
+		t.Error("table rendering broken")
+	}
+}
+
+func TestTraceHookPlumbed(t *testing.T) {
+	topo := TestbedTopology()
+	opts := quickOpts()
+	opts.FileBytes = 32 * 1500
+	lines := 0
+	opts.Trace = func(format string, args ...interface{}) { lines++ }
+	p := RandomPairs(topo, 1, 3)[0]
+	Run(topo, MORE, p, opts)
+	if lines == 0 {
+		t.Fatal("trace hook never fired")
+	}
+}
+
+func TestSpatialReuseUtilization(t *testing.T) {
+	// On a corridor flow with concurrent first/last hops, MORE's medium
+	// utilization (air time / wall time) should exceed ExOR's — the direct
+	// signature of §4.2.3's spatial reuse.
+	opts := quickOpts()
+	var topo *graph.Topology
+	var pair Pair
+	for seed := int64(1); seed < 60; seed++ {
+		tp := graph.Corridor(14, 360, 15, 28, seed)
+		if prs := SpatialReusePairs(tp, 4, 0.01, opts.SenseRange); len(prs) > 0 {
+			topo, pair = tp, prs[0]
+			break
+		}
+	}
+	if topo == nil {
+		t.Fatal("no spatial-reuse pair found")
+	}
+	utilization := func(p Protocol) float64 {
+		rs, counters := RunWithCounters(topo, p, []Pair{pair}, opts)
+		if !rs[0].Completed {
+			t.Fatalf("%v transfer failed", p)
+		}
+		return counters.Utilization(rs[0].End)
+	}
+	um := utilization(MORE)
+	ue := utilization(ExOR)
+	if um <= ue {
+		t.Errorf("MORE utilization %.2f should exceed ExOR's %.2f on a reuse path", um, ue)
+	}
+	if ue > 1.15 {
+		t.Errorf("ExOR utilization %.2f implausibly high for a scheduled single flow", ue)
+	}
+}

@@ -1,0 +1,372 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/graph"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// TestbedTopology returns the canonical simulated testbed every figure
+// runs over: the first fully-connected 20-node draw (§4.1).
+func TestbedTopology() *graph.Topology {
+	topo, _ := graph.ConnectedTestbed(graph.DefaultTestbed(), 1)
+	return topo
+}
+
+// --- Figure 4-2 / 4-3: unicast throughput ------------------------------------
+
+// ThroughputResult holds per-pair throughputs for the compared protocols.
+type ThroughputResult struct {
+	Pairs      []Pair
+	Throughput map[Protocol][]float64 // pkt/s, aligned with Pairs
+}
+
+// Fig42UnicastThroughput runs MORE, ExOR, and Srcr between nPairs random
+// pairs and returns per-pair throughputs (the paper uses 200 pairs over a
+// 5 MB file; scale with opts).
+func Fig42UnicastThroughput(topo *graph.Topology, nPairs int, opts Options) *ThroughputResult {
+	pairs := RandomPairs(topo, nPairs, opts.Seed)
+	res := &ThroughputResult{
+		Pairs:      pairs,
+		Throughput: map[Protocol][]float64{},
+	}
+	for _, proto := range []Protocol{MORE, ExOR, Srcr} {
+		for i, p := range pairs {
+			o := opts
+			o.Seed = opts.Seed + int64(1000*i)
+			r := Run(topo, proto, p, o)
+			res.Throughput[proto] = append(res.Throughput[proto], r.Throughput())
+		}
+	}
+	return res
+}
+
+// MedianGain returns median(a)/median(b) - 1 as a percentage.
+func (r *ThroughputResult) MedianGain(a, b Protocol) float64 {
+	ma := stats.Median(r.Throughput[a])
+	mb := stats.Median(r.Throughput[b])
+	if mb == 0 {
+		return math.Inf(1)
+	}
+	return 100 * (ma/mb - 1)
+}
+
+// MaxGain returns the maximum per-pair ratio a/b.
+func (r *ThroughputResult) MaxGain(a, b Protocol) float64 {
+	gains := stats.GainVsBaseline(r.Throughput[a], r.Throughput[b])
+	max := 0.0
+	for _, g := range gains {
+		if g > max {
+			max = g
+		}
+	}
+	return max
+}
+
+// Table renders the figure's summary rows.
+func (r *ThroughputResult) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %8s %8s %8s %8s\n", "proto", "p10", "median", "p90", "mean")
+	for _, proto := range []Protocol{Srcr, ExOR, MORE} {
+		if _, ok := r.Throughput[proto]; !ok {
+			continue
+		}
+		s := stats.Summarize(r.Throughput[proto])
+		fmt.Fprintf(&b, "%-8s %8.1f %8.1f %8.1f %8.1f\n", proto, s.P10, s.Median, s.P90, s.Mean)
+	}
+	fmt.Fprintf(&b, "MORE vs ExOR median gain: %+.0f%%\n", r.MedianGain(MORE, ExOR))
+	fmt.Fprintf(&b, "MORE vs Srcr median gain: %+.0f%%  (max %.1fx)\n",
+		r.MedianGain(MORE, Srcr), r.MaxGain(MORE, Srcr))
+	return b.String()
+}
+
+// CDFs returns the plotted series of Fig 4-2.
+func (r *ThroughputResult) CDFs() map[Protocol]*stats.CDF {
+	out := map[Protocol]*stats.CDF{}
+	for proto, xs := range r.Throughput {
+		out[proto] = stats.NewCDF(xs)
+	}
+	return out
+}
+
+// ScatterTSV renders Fig 4-3's scatter series: per pair, baseline
+// throughput vs opportunistic throughput.
+func (r *ThroughputResult) ScatterTSV(x, y Protocol) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s\t%s\n", x, y)
+	for i := range r.Pairs {
+		fmt.Fprintf(&b, "%.2f\t%.2f\n", r.Throughput[x][i], r.Throughput[y][i])
+	}
+	return b.String()
+}
+
+// ChallengedGain quantifies Fig 4-3's observation: the median gain of
+// opportunistic routing over Srcr among the bottom half of Srcr flows
+// (challenged) vs the top half.
+func (r *ThroughputResult) ChallengedGain(proto Protocol) (bottom, top float64) {
+	type pair struct{ base, op float64 }
+	var ps []pair
+	for i := range r.Pairs {
+		ps = append(ps, pair{r.Throughput[Srcr][i], r.Throughput[proto][i]})
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].base < ps[j].base })
+	half := len(ps) / 2
+	gain := func(sl []pair) float64 {
+		var gs []float64
+		for _, p := range sl {
+			if p.base > 0 {
+				gs = append(gs, p.op/p.base)
+			}
+		}
+		return stats.Median(gs)
+	}
+	return gain(ps[:half]), gain(ps[half:])
+}
+
+// --- Figure 4-4: spatial reuse ------------------------------------------------
+
+// Fig44Result reports the spatial-reuse comparison.
+type Fig44Result struct {
+	Pairs      []Pair
+	Throughput map[Protocol][]float64
+}
+
+// Fig44SpatialReuse runs the three protocols over pairs whose best path is
+// ≥ minHops hops with a concurrency opportunity between first and last hop.
+// Such pairs are scarce on a 20-node testbed (under 7% of flows have ≥4-hop
+// paths, §4.2.3), so the experiment runs over corridor topologies where they
+// arise naturally, collecting up to nPairs.
+func Fig44SpatialReuse(nPairs int, opts Options) *Fig44Result {
+	res := &Fig44Result{Throughput: map[Protocol][]float64{}}
+	type located struct {
+		topo *graph.Topology
+		pair Pair
+	}
+	var found []located
+	for seed := int64(1); len(found) < nPairs && seed < 200; seed++ {
+		topo := graph.Corridor(14, 360, 15, 28, seed)
+		for _, p := range SpatialReusePairs(topo, 4, 0.01, opts.SenseRange) {
+			found = append(found, located{topo, p})
+			if len(found) >= nPairs {
+				break
+			}
+		}
+	}
+	for i, lp := range found {
+		res.Pairs = append(res.Pairs, lp.pair)
+		for _, proto := range []Protocol{MORE, ExOR, Srcr} {
+			o := opts
+			o.Seed = opts.Seed + int64(1000*i)
+			r := Run(lp.topo, proto, lp.pair, o)
+			res.Throughput[proto] = append(res.Throughput[proto], r.Throughput())
+		}
+	}
+	return res
+}
+
+// MedianGain mirrors ThroughputResult.MedianGain.
+func (r *Fig44Result) MedianGain(a, b Protocol) float64 {
+	mb := stats.Median(r.Throughput[b])
+	if mb == 0 {
+		return math.Inf(1)
+	}
+	return 100 * (stats.Median(r.Throughput[a])/mb - 1)
+}
+
+// Table renders the summary.
+func (r *Fig44Result) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "spatial-reuse flows (>=4 hops, first/last hop concurrent): %d\n", len(r.Pairs))
+	fmt.Fprintf(&b, "%-8s %8s %8s\n", "proto", "median", "mean")
+	for _, proto := range []Protocol{Srcr, ExOR, MORE} {
+		s := stats.Summarize(r.Throughput[proto])
+		fmt.Fprintf(&b, "%-8s %8.1f %8.1f\n", proto, s.Median, s.Mean)
+	}
+	fmt.Fprintf(&b, "MORE vs ExOR median gain: %+.0f%%\n", r.MedianGain(MORE, ExOR))
+	return b.String()
+}
+
+// --- Figure 4-5: multiple flows ------------------------------------------------
+
+// Fig45Result holds per-flow-count average throughput (mean ± std over
+// repeated random runs).
+type Fig45Result struct {
+	FlowCounts []int
+	Avg        map[Protocol][]float64
+	Std        map[Protocol][]float64
+}
+
+// Fig45MultiFlow measures average per-flow throughput with 1..maxFlows
+// concurrent flows, averaging over runs random draws each (the paper runs
+// 40).
+func Fig45MultiFlow(topo *graph.Topology, maxFlows, runs int, opts Options) *Fig45Result {
+	res := &Fig45Result{
+		Avg: map[Protocol][]float64{},
+		Std: map[Protocol][]float64{},
+	}
+	for nf := 1; nf <= maxFlows; nf++ {
+		res.FlowCounts = append(res.FlowCounts, nf)
+		perProto := map[Protocol][]float64{}
+		for run := 0; run < runs; run++ {
+			pairSeed := opts.Seed + int64(run*7919+nf)
+			pairs := RandomPairs(topo, nf, pairSeed)
+			if len(pairs) < nf {
+				continue
+			}
+			for _, proto := range []Protocol{MORE, ExOR, Srcr} {
+				o := opts
+				o.Seed = pairSeed
+				rs := RunFlows(topo, proto, pairs, o)
+				var sum float64
+				for _, r := range rs {
+					sum += r.Throughput()
+				}
+				perProto[proto] = append(perProto[proto], sum/float64(len(rs)))
+			}
+		}
+		for _, proto := range []Protocol{MORE, ExOR, Srcr} {
+			s := stats.Summarize(perProto[proto])
+			res.Avg[proto] = append(res.Avg[proto], s.Mean)
+			res.Std[proto] = append(res.Std[proto], s.Std)
+		}
+	}
+	return res
+}
+
+// Table renders Fig 4-5's bars.
+func (r *Fig45Result) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s", "flows")
+	for _, proto := range []Protocol{Srcr, ExOR, MORE} {
+		fmt.Fprintf(&b, " %16s", proto)
+	}
+	b.WriteString("\n")
+	for i, nf := range r.FlowCounts {
+		fmt.Fprintf(&b, "%-8d", nf)
+		for _, proto := range []Protocol{Srcr, ExOR, MORE} {
+			fmt.Fprintf(&b, " %9.1f ± %4.1f", r.Avg[proto][i], r.Std[proto][i])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// --- Figure 4-6: autorate -------------------------------------------------------
+
+// Fig46Result compares Srcr (fixed and autorate) with opportunistic routing
+// at a fixed 11 Mb/s over a rate-dependent channel.
+type Fig46Result struct {
+	Pairs      []Pair
+	Throughput map[string][]float64
+	// LowRateTxFrac is the fraction of autorate transmissions at 1 Mb/s;
+	// LowRateAirFrac is the share of air time they consume (§4.4 reports
+	// 23% and ~70%).
+	LowRateTxFrac  float64
+	LowRateAirFrac float64
+}
+
+// Fig46Autorate reproduces §4.4: the channel is rate-dependent; MORE and
+// ExOR run at a fixed 11 Mb/s; Srcr runs both at the 5.5 Mb/s reference rate
+// and with Onoe autorate.
+func Fig46Autorate(topo *graph.Topology, nPairs int, opts Options) *Fig46Result {
+	opts.RateDependentChannel = true
+	pairs := RandomPairs(topo, nPairs, opts.Seed)
+	res := &Fig46Result{Pairs: pairs, Throughput: map[string][]float64{}}
+
+	var lowTx, allTx int64
+	var lowAir, allAir float64
+	run := func(name string, proto Protocol, rate sim.Bitrate, i int, p Pair) {
+		o := opts
+		o.Seed = opts.Seed + int64(1000*i)
+		if rate != 0 {
+			o.DataRate = rate
+		}
+		rs, counters := RunWithCounters(topo, proto, []Pair{p}, o)
+		res.Throughput[name] = append(res.Throughput[name], rs[0].Throughput())
+		if proto == SrcrAutorate {
+			for r, c := range counters.TxByRate {
+				allTx += c
+				if r == sim.Rate1 {
+					lowTx += c
+				}
+			}
+			for r, t := range counters.AirTimeByRate {
+				allAir += t.Seconds()
+				if r == sim.Rate1 {
+					lowAir += t.Seconds()
+				}
+			}
+		}
+	}
+	for i, p := range pairs {
+		run("MORE@11", MORE, sim.Rate11, i, p)
+		run("ExOR@11", ExOR, sim.Rate11, i, p)
+		run("Srcr@5.5", Srcr, sim.Rate5_5, i, p)
+		run("Srcr-auto", SrcrAutorate, 0, i, p)
+	}
+	if allTx > 0 {
+		res.LowRateTxFrac = float64(lowTx) / float64(allTx)
+	}
+	if allAir > 0 {
+		res.LowRateAirFrac = lowAir / allAir
+	}
+	return res
+}
+
+// Table renders the Fig 4-6 summary.
+func (r *Fig46Result) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %8s %8s\n", "proto", "median", "mean")
+	for _, name := range []string{"Srcr@5.5", "Srcr-auto", "ExOR@11", "MORE@11"} {
+		s := stats.Summarize(r.Throughput[name])
+		fmt.Fprintf(&b, "%-10s %8.1f %8.1f\n", name, s.Median, s.Mean)
+	}
+	fmt.Fprintf(&b, "autorate 1Mb/s: %.0f%% of transmissions, %.0f%% of air time\n",
+		100*r.LowRateTxFrac, 100*r.LowRateAirFrac)
+	return b.String()
+}
+
+// RobustnessResult summarizes the headline gains across independently
+// generated testbed topologies — a check the paper could not run (it had
+// one building) but a simulator can: the Fig 4-2 conclusions should not
+// hinge on one random topology draw.
+type RobustnessResult struct {
+	Seeds      []int64
+	GainVsExOR []float64 // median MORE/ExOR gain (%) per topology
+	GainVsSrcr []float64
+}
+
+// Fig42AcrossSeeds reruns the Fig 4-2 comparison over several generated
+// testbeds.
+func Fig42AcrossSeeds(topologies int, pairsPer int, opts Options) *RobustnessResult {
+	res := &RobustnessResult{}
+	seed := int64(1)
+	for len(res.Seeds) < topologies {
+		topo, used := graph.ConnectedTestbed(graph.DefaultTestbed(), seed)
+		seed = used + 1
+		o := opts
+		o.Seed = used
+		r := Fig42UnicastThroughput(topo, pairsPer, o)
+		res.Seeds = append(res.Seeds, used)
+		res.GainVsExOR = append(res.GainVsExOR, r.MedianGain(MORE, ExOR))
+		res.GainVsSrcr = append(res.GainVsSrcr, r.MedianGain(MORE, Srcr))
+	}
+	return res
+}
+
+// Table renders the per-topology gains.
+func (r *RobustnessResult) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %14s %14s\n", "seed", "vs ExOR", "vs Srcr")
+	for i, s := range r.Seeds {
+		fmt.Fprintf(&b, "%-8d %+13.0f%% %+13.0f%%\n", s, r.GainVsExOR[i], r.GainVsSrcr[i])
+	}
+	fmt.Fprintf(&b, "%-8s %+13.0f%% %+13.0f%%\n", "median",
+		stats.Median(r.GainVsExOR), stats.Median(r.GainVsSrcr))
+	return b.String()
+}

@@ -1,0 +1,291 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"repro/internal/coding"
+	"repro/internal/graph"
+	"repro/internal/packet"
+	"repro/internal/routing"
+	"repro/internal/stats"
+)
+
+// --- Figure 4-7: batch size -----------------------------------------------------
+
+// Fig47Result holds per-batch-size throughput samples for MORE and ExOR.
+type Fig47Result struct {
+	BatchSizes []int
+	MORE       map[int][]float64
+	ExOR       map[int][]float64
+}
+
+// Fig47BatchSize sweeps K over batchSizes for both MORE and ExOR across
+// nPairs random pairs (the paper sweeps {8,16,32,64,128} over 40 pairs).
+func Fig47BatchSize(topo *graph.Topology, batchSizes []int, nPairs int, opts Options) *Fig47Result {
+	res := &Fig47Result{
+		BatchSizes: batchSizes,
+		MORE:       map[int][]float64{},
+		ExOR:       map[int][]float64{},
+	}
+	pairs := RandomPairs(topo, nPairs, opts.Seed)
+	for _, k := range batchSizes {
+		for i, p := range pairs {
+			o := opts
+			o.BatchSize = k
+			o.Seed = opts.Seed + int64(1000*i)
+			res.MORE[k] = append(res.MORE[k], Run(topo, MORE, p, o).Throughput())
+			res.ExOR[k] = append(res.ExOR[k], Run(topo, ExOR, p, o).Throughput())
+		}
+	}
+	return res
+}
+
+// Sensitivity returns max-over-K median / min-over-K median for a protocol:
+// 1.0 means batch size does not matter at all.
+func (r *Fig47Result) Sensitivity(series map[int][]float64) float64 {
+	lo, hi := -1.0, -1.0
+	for _, k := range r.BatchSizes {
+		m := stats.Median(series[k])
+		if lo < 0 || m < lo {
+			lo = m
+		}
+		if m > hi {
+			hi = m
+		}
+	}
+	if lo <= 0 {
+		return 0
+	}
+	return hi / lo
+}
+
+// Table renders per-K medians.
+func (r *Fig47Result) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-6s %12s %12s\n", "K", "MORE median", "ExOR median")
+	for _, k := range r.BatchSizes {
+		fmt.Fprintf(&b, "%-6d %12.1f %12.1f\n",
+			k, stats.Median(r.MORE[k]), stats.Median(r.ExOR[k]))
+	}
+	fmt.Fprintf(&b, "sensitivity (max/min median): MORE %.2fx, ExOR %.2fx\n",
+		r.Sensitivity(r.MORE), r.Sensitivity(r.ExOR))
+	return b.String()
+}
+
+// --- Table 4.1: computational cost of packet operations -------------------------
+
+// Table41Result reports measured per-operation costs.
+type Table41Result struct {
+	K           int
+	PayloadSize int
+	// Durations per operation (averages over many iterations).
+	IndependenceCheck time.Duration
+	SourceCoding      time.Duration
+	Decoding          time.Duration
+}
+
+// Table41CodingCost measures the three §4.6 micro-operations on this
+// machine with the paper's parameters (K=32, 1500 B): the innovativeness
+// check on a received packet, coding one packet at the source (K
+// multiplications per byte), and per-packet decoding work.
+func Table41CodingCost(k, payload, iters int) Table41Result {
+	rng := rand.New(rand.NewSource(1))
+	natives := make([][]byte, k)
+	for i := range natives {
+		natives[i] = make([]byte, payload)
+		rng.Read(natives[i])
+	}
+	src, err := coding.NewSource(natives, rng)
+	if err != nil {
+		panic(err)
+	}
+
+	// Source coding cost.
+	start := time.Now()
+	var last *coding.Packet
+	for i := 0; i < iters; i++ {
+		last = src.Next()
+	}
+	srcCost := time.Since(start) / time.Duration(iters)
+	_ = last
+
+	// Independence check cost: against a full buffer (worst case: K rows).
+	buf := coding.NewBuffer(k, payload)
+	for !buf.Full() {
+		buf.Add(src.Next())
+	}
+	vectors := make([][]byte, iters)
+	for i := range vectors {
+		vectors[i] = src.Next().Vector
+	}
+	start = time.Now()
+	sink := false
+	for i := 0; i < iters; i++ {
+		sink = sink != buf.Innovative(vectors[i])
+	}
+	checkCost := time.Since(start) / time.Duration(iters)
+	_ = sink
+
+	// Decoding: feed K innovative packets + final back-substitution,
+	// amortized per packet.
+	pkts := make([]*coding.Packet, 0, k*((iters+k-1)/k))
+	for len(pkts) < cap(pkts) {
+		pkts = append(pkts, src.Next())
+	}
+	start = time.Now()
+	decoded := 0
+	for decoded+k <= len(pkts) {
+		dec := coding.NewDecoder(k, payload)
+		for i := 0; i < k || !dec.Complete(); i++ {
+			dec.Add(pkts[decoded+i].Clone())
+			if i >= k+8 {
+				break
+			}
+		}
+		if dec.Complete() {
+			if _, err := dec.Decode(); err != nil {
+				panic(err)
+			}
+		}
+		decoded += k
+	}
+	decCost := time.Duration(0)
+	if decoded > 0 {
+		decCost = time.Since(start) / time.Duration(decoded)
+	}
+
+	return Table41Result{
+		K: k, PayloadSize: payload,
+		IndependenceCheck: checkCost,
+		SourceCoding:      srcCost,
+		Decoding:          decCost,
+	}
+}
+
+// SustainableMbps estimates the throughput the coding path supports: one
+// source-coding operation per transmitted packet (§4.6(a)'s 44 Mb/s bound
+// on the Celeron).
+func (r Table41Result) SustainableMbps() float64 {
+	if r.SourceCoding <= 0 {
+		return 0
+	}
+	pktsPerSec := float64(time.Second) / float64(r.SourceCoding)
+	return pktsPerSec * float64(r.PayloadSize) * 8 / 1e6
+}
+
+// Table renders Table 4.1.
+func (r Table41Result) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "operation              avg time\n")
+	fmt.Fprintf(&b, "independence check     %8v\n", r.IndependenceCheck)
+	fmt.Fprintf(&b, "coding at the source   %8v\n", r.SourceCoding)
+	fmt.Fprintf(&b, "decoding (per packet)  %8v\n", r.Decoding)
+	fmt.Fprintf(&b, "sustainable throughput %.0f Mb/s\n", r.SustainableMbps())
+	return b.String()
+}
+
+// --- §4.6: header overhead -------------------------------------------------------
+
+// HeaderOverheadResult reports the on-air MORE header cost.
+type HeaderOverheadResult struct {
+	HeaderBytes int
+	PktBytes    int
+	Fraction    float64
+}
+
+// HeaderOverhead computes the §4.6(c) numbers: header size with K-byte code
+// vector and the 10-forwarder bound, as a fraction of a 1500 B packet.
+func HeaderOverhead(k, pktBytes int) HeaderOverheadResult {
+	h := packet.MOREHeader{
+		Type:       packet.TypeData,
+		CodeVector: make([]byte, k),
+		Forwarders: make([]packet.Forwarder, packet.MaxForwarders),
+	}
+	size := h.EncodedSize()
+	return HeaderOverheadResult{
+		HeaderBytes: size,
+		PktBytes:    pktBytes,
+		Fraction:    float64(size) / float64(pktBytes),
+	}
+}
+
+// --- Figure 5-1 / Prop. 6: unbounded cost gap -------------------------------------
+
+// GapPoint is one (p, gap) sample of the Fig 5-1 curve for a fixed k.
+type GapPoint struct {
+	P   float64
+	Gap float64
+}
+
+// Fig51CostGap evaluates the ETX-order/EOTX-order cost ratio on the gap
+// topology for each delivery probability in ps.
+func Fig51CostGap(k int, ps []float64) []GapPoint {
+	etxOpt := routing.ETXOptions{Threshold: 0, AckAware: false}
+	out := make([]GapPoint, 0, len(ps))
+	for _, p := range ps {
+		topo := graph.GapTopology(k, p)
+		gap, err := routing.CostGap(topo, 0, graph.NodeID(3+k), etxOpt, routing.DefaultEOTXOptions())
+		if err != nil {
+			continue
+		}
+		out = append(out, GapPoint{P: p, Gap: gap})
+	}
+	return out
+}
+
+// --- §5.7: ETX vs EOTX on the testbed ----------------------------------------------
+
+// Sec57Result summarizes the order-choice impact across all pairs.
+type Sec57Result struct {
+	Pairs                int
+	Unaffected           int
+	MedianAffectedGapPct float64
+	MaxGap               float64
+}
+
+// Sec57EOTXvsETX computes the §5.7 statistics over every source-destination
+// pair of the topology: the fraction of flows whose total transmission cost
+// is unchanged by EOTX ordering, and the median gap among affected flows
+// (the thesis finds >40% unaffected and a 0.2% median gap).
+func Sec57EOTXvsETX(topo *graph.Topology) Sec57Result {
+	etxOpt := routing.ETXOptions{Threshold: 0, AckAware: false}
+	var res Sec57Result
+	var affectedGaps []float64
+	for src := 0; src < topo.N(); src++ {
+		for dst := 0; dst < topo.N(); dst++ {
+			if src == dst {
+				continue
+			}
+			gap, err := routing.CostGap(topo, graph.NodeID(src), graph.NodeID(dst),
+				etxOpt, routing.DefaultEOTXOptions())
+			if err != nil {
+				continue
+			}
+			res.Pairs++
+			if gap <= 1+1e-9 {
+				res.Unaffected++
+			} else {
+				affectedGaps = append(affectedGaps, 100*(gap-1))
+			}
+			if gap > res.MaxGap {
+				res.MaxGap = gap
+			}
+		}
+	}
+	res.MedianAffectedGapPct = stats.Median(affectedGaps)
+	return res
+}
+
+// Table renders the §5.7 summary.
+func (r Sec57Result) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "pairs: %d\n", r.Pairs)
+	fmt.Fprintf(&b, "unaffected by EOTX order: %d (%.0f%%)\n",
+		r.Unaffected, 100*float64(r.Unaffected)/float64(r.Pairs))
+	fmt.Fprintf(&b, "median gap among affected: %.2f%%\n", r.MedianAffectedGapPct)
+	fmt.Fprintf(&b, "max gap: %.3fx\n", r.MaxGap)
+	return b.String()
+}

@@ -1,0 +1,142 @@
+// Package flow holds the pieces shared by all three protocols under test:
+// deterministic file workloads, transfer results, and the link-state oracle
+// that stands in for the ETX measurement + dissemination machinery the paper
+// runs before each experiment (§4.1.2).
+package flow
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/routing"
+	"repro/internal/sim"
+)
+
+// ID identifies a flow end to end.
+type ID uint32
+
+// File is a deterministic pseudorandom workload split into packets.
+type File struct {
+	Seed    int64
+	Bytes   int
+	PktSize int
+}
+
+// NewFile describes a file of the given size carried in pktSize-byte
+// packets (the paper transfers 5 MB files in 1500 B packets).
+func NewFile(bytes, pktSize int, seed int64) File {
+	return File{Seed: seed, Bytes: bytes, PktSize: pktSize}
+}
+
+// NumPackets returns the number of packets the file splits into.
+func (f File) NumPackets() int {
+	return (f.Bytes + f.PktSize - 1) / f.PktSize
+}
+
+// Payloads materializes the packet payloads. Every call returns identical
+// contents, so receivers can verify byte-exact delivery.
+func (f File) Payloads() [][]byte {
+	rng := rand.New(rand.NewSource(f.Seed))
+	n := f.NumPackets()
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = make([]byte, f.PktSize)
+		rng.Read(out[i])
+	}
+	return out
+}
+
+// Result reports a transfer's outcome, common to MORE, ExOR, and Srcr runs.
+type Result struct {
+	Src, Dst graph.NodeID
+	// PacketsDelivered counts native packets handed to the destination's
+	// upper layer.
+	PacketsDelivered int
+	// PacketsTotal is the number of packets in the workload.
+	PacketsTotal int
+	// Completed reports whether the whole file arrived.
+	Completed bool
+	// Start and End bound the transfer (End is delivery of the last
+	// packet, or the run deadline for incomplete transfers).
+	Start, End sim.Time
+	// Transmissions counts data-frame transmissions attributable to the
+	// run (including MAC retries).
+	Transmissions int64
+	// Verified reports whether delivered payload bytes matched the file.
+	Verified bool
+}
+
+// Duration returns the transfer's elapsed time.
+func (r Result) Duration() sim.Time {
+	if r.End <= r.Start {
+		return 0
+	}
+	return r.End - r.Start
+}
+
+// Throughput returns delivered packets per second, the paper's throughput
+// unit (Figures 4-2 … 4-7).
+func (r Result) Throughput() float64 {
+	d := r.Duration().Seconds()
+	if d <= 0 {
+		return 0
+	}
+	return float64(r.PacketsDelivered) / d
+}
+
+// TxPerPacket returns data transmissions per delivered packet, the cost
+// measure of Chapter 5.
+func (r Result) TxPerPacket() float64 {
+	if r.PacketsDelivered == 0 {
+		return 0
+	}
+	return float64(r.Transmissions) / float64(r.PacketsDelivered)
+}
+
+// String renders a one-line summary.
+func (r Result) String() string {
+	return fmt.Sprintf("flow %d->%d: %d/%d pkts in %v (%.1f pkt/s, %.2f tx/pkt, completed=%v)",
+		r.Src, r.Dst, r.PacketsDelivered, r.PacketsTotal, r.Duration(),
+		r.Throughput(), r.TxPerPacket(), r.Completed)
+}
+
+// Oracle is the shared link-state view every node routes from. The paper
+// measures pairwise delivery probabilities once and feeds the same values
+// to Srcr, MORE, and ExOR; Oracle plays that role and caches the
+// shortest-path tables protocols use for ACK routing and path selection.
+type Oracle struct {
+	Topo *graph.Topology
+	Opt  routing.ETXOptions
+
+	tables map[graph.NodeID]*routing.ETXTable
+}
+
+// NewOracle builds an oracle over the topology with the given ETX options.
+func NewOracle(t *graph.Topology, opt routing.ETXOptions) *Oracle {
+	return &Oracle{Topo: t, Opt: opt, tables: make(map[graph.NodeID]*routing.ETXTable)}
+}
+
+// Table returns (computing on first use) the ETX table toward dst.
+func (o *Oracle) Table(dst graph.NodeID) *routing.ETXTable {
+	tab, ok := o.tables[dst]
+	if !ok {
+		tab = routing.ETXToDestination(o.Topo, dst, o.Opt)
+		o.tables[dst] = tab
+	}
+	return tab
+}
+
+// NextHop returns the best next hop from cur toward dst, or -1 if
+// unreachable (or cur == dst).
+func (o *Oracle) NextHop(cur, dst graph.NodeID) graph.NodeID {
+	if cur == dst {
+		return -1
+	}
+	return o.Table(dst).Next[cur]
+}
+
+// Path returns the best ETX path from src to dst.
+func (o *Oracle) Path(src, dst graph.NodeID) []graph.NodeID {
+	return o.Table(dst).Path(src)
+}

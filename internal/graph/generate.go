@@ -1,0 +1,293 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Diamond returns the Fig 1-1 motivating topology:
+//
+//	src --0.70--> R --0.80--> dst, with a lossy direct src->dst link of 0.49.
+//
+// Node order: 0 = src, 1 = R, 2 = dst. The direct-link probability of 0.49
+// is the paper's: the ETX of src->R->dst is 2, smaller than the direct
+// path's 1/0.49 ≈ 2.04.
+func Diamond() *Topology {
+	t := New(3)
+	t.Pos[0] = Position{0, 0, 0}
+	t.Pos[1] = Position{25, 0, 0}
+	t.Pos[2] = Position{50, 0, 0}
+	t.SetLink(0, 1, 0.70)
+	t.SetLink(1, 2, 0.80)
+	t.SetLink(0, 2, 0.49)
+	return t
+}
+
+// Line returns an n-node chain with the given per-hop delivery probability
+// and zero probability elsewhere (no skipping). Nodes sit spacing meters
+// apart on the X axis.
+func Line(n int, hopProb, spacing float64) *Topology {
+	t := New(n)
+	for i := 0; i < n; i++ {
+		t.Pos[i] = Position{float64(i) * spacing, 0, 0}
+	}
+	for i := 0; i+1 < n; i++ {
+		t.SetLink(NodeID(i), NodeID(i+1), hopProb)
+	}
+	return t
+}
+
+// LossyChain returns an n-node chain where every pair of nodes has delivery
+// probability derived from their distance, so transmissions can
+// opportunistically skip hops (Fig 2-1(a)). spacing controls hop distance;
+// midRange the channel model's 50% distance.
+func LossyChain(n int, spacing, midRange float64) *Topology {
+	t := New(n)
+	for i := 0; i < n; i++ {
+		t.Pos[i] = Position{float64(i) * spacing, 0, 0}
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := t.Pos[i].Distance(t.Pos[j])
+			t.SetLink(NodeID(i), NodeID(j), DeliveryFromDistance(d, midRange))
+		}
+	}
+	return t
+}
+
+// GapTopology returns the Fig 5-1 topology that exhibits an unbounded
+// ETX-order vs EOTX-order cost gap.
+//
+// Layout (returned IDs):
+//
+//	0 = src, 1 = A, 2 = B, 3..3+k-1 = C_1..C_k, 3+k = dst.
+//
+// Links (delivery probabilities, independent losses):
+//
+//	src -> A : 1.0       A -> dst : p
+//	src -> B : 1.0       B -> C_i : p (for each i)
+//	C_i -> dst : 1.0
+//
+// ETX(A) = 1/p, ETX(B) = 1 + 1/p (via any C_i), ETX(C_i) = 1. In ETX order
+// B is farther than the source (ETX(src) = 1 + 1/p via A), so B is
+// discarded as a forwarder; the ETX-order cost is 1 + 1/p. With EOTX order,
+// routing through B costs 1 + 1/(1-(1-p)^k) + 1, which stays bounded as
+// p -> 0, so the ratio approaches k.
+func GapTopology(k int, p float64) *Topology {
+	n := 3 + k + 1
+	t := New(n)
+	src, a, b := NodeID(0), NodeID(1), NodeID(2)
+	dst := NodeID(3 + k)
+	t.SetDirected(src, a, 1)
+	t.SetDirected(a, src, 1)
+	t.SetDirected(src, b, 1)
+	t.SetDirected(b, src, 1)
+	t.SetDirected(a, dst, p)
+	t.SetDirected(dst, a, p)
+	for i := 0; i < k; i++ {
+		c := NodeID(3 + i)
+		t.SetDirected(b, c, p)
+		t.SetDirected(c, b, p)
+		t.SetDirected(c, dst, 1)
+		t.SetDirected(dst, c, 1)
+	}
+	// Rough positions for visualization only.
+	t.Pos[src] = Position{0, 0, 0}
+	t.Pos[a] = Position{20, 20, 0}
+	t.Pos[b] = Position{20, -20, 0}
+	for i := 0; i < k; i++ {
+		t.Pos[3+i] = Position{40, -10 - 3*float64(i), 0}
+	}
+	t.Pos[dst] = Position{60, 0, 0}
+	return t
+}
+
+// TestbedConfig parameterizes the random testbed-like generator.
+type TestbedConfig struct {
+	Nodes     int     // number of nodes (paper: 20)
+	Floors    int     // building floors (paper: 3)
+	FloorW    float64 // floor width, meters
+	FloorH    float64 // floor depth, meters
+	FloorSep  float64 // vertical separation between floors, meters
+	MidRange  float64 // distance at which delivery ≈ 50%
+	Shadowing float64 // std-dev of per-link log-odds noise
+	MinProb   float64 // links below this delivery prob are cut to 0
+}
+
+// RouteThreshold is the delivery probability above which a link is
+// considered usable for route and forwarder selection. Weaker links still
+// deliver packets in the channel simulation — that residual connectivity is
+// precisely the opportunistic-reception fodder MORE and ExOR exploit — but
+// protocols do not plan on them.
+const RouteThreshold = 0.2
+
+// DefaultTestbed matches the shape of §4.1's testbed: 20 nodes over 3
+// floors; link loss rates on usable links (delivery > RouteThreshold) range
+// from ≈ 0 to ≈ 80 % and average ≈ 0.3, and shortest usable paths span 1–5
+// hops.
+func DefaultTestbed() TestbedConfig {
+	return TestbedConfig{
+		Nodes:     20,
+		Floors:    3,
+		FloorW:    120,
+		FloorH:    80,
+		FloorSep:  4,
+		MidRange:  28,
+		Shadowing: 1.1,
+		MinProb:   0.05,
+	}
+}
+
+// Testbed generates a random indoor-testbed-like topology. The same seed
+// always produces the same topology. Per-link shadowing noise is applied in
+// log-odds space and symmetrically correlated (the same obstruction affects
+// both directions), with a small asymmetric component, matching the mildly
+// asymmetric links observed on real meshes.
+func Testbed(cfg TestbedConfig, seed int64) *Topology {
+	rng := rand.New(rand.NewSource(seed))
+	t := New(cfg.Nodes)
+	perFloor := cfg.Nodes / cfg.Floors
+	for i := 0; i < cfg.Nodes; i++ {
+		floor := i / perFloor
+		if floor >= cfg.Floors {
+			floor = cfg.Floors - 1
+		}
+		t.Pos[i] = Position{
+			X: rng.Float64() * cfg.FloorW,
+			Y: rng.Float64() * cfg.FloorH,
+			Z: float64(floor) * cfg.FloorSep,
+		}
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		for j := i + 1; j < cfg.Nodes; j++ {
+			d := t.Pos[i].Distance(t.Pos[j])
+			// Crossing floors is harder than the straight-line distance
+			// suggests: add an effective distance penalty per floor crossed.
+			floors := math.Abs(t.Pos[i].Z-t.Pos[j].Z) / cfg.FloorSep
+			eff := d + 8*floors
+			p := DeliveryFromDistance(eff, cfg.MidRange)
+			if p <= 0 {
+				continue
+			}
+			// Symmetric shadowing plus small asymmetry, in log-odds space.
+			sym := rng.NormFloat64() * cfg.Shadowing
+			asym := rng.NormFloat64() * cfg.Shadowing * 0.25
+			pij := logistic(logit(p) + sym + asym)
+			pji := logistic(logit(p) + sym - asym)
+			if pij < cfg.MinProb {
+				pij = 0
+			}
+			if pji < cfg.MinProb {
+				pji = 0
+			}
+			t.SetDirected(NodeID(i), NodeID(j), pij)
+			t.SetDirected(NodeID(j), NodeID(i), pji)
+		}
+	}
+	return t
+}
+
+func logit(p float64) float64 {
+	if p <= 0 {
+		return -12
+	}
+	if p >= 1 {
+		return 12
+	}
+	return math.Log(p / (1 - p))
+}
+
+func logistic(x float64) float64 {
+	return 1 / (1 + math.Exp(-x))
+}
+
+// ConnectedTestbed keeps drawing testbed topologies (bumping the seed) until
+// every node can reach every other over usable links (delivery >
+// RouteThreshold in both directions), so best-path routing always has a
+// route. It returns the topology and the seed that produced it.
+func ConnectedTestbed(cfg TestbedConfig, seed int64) (*Topology, int64) {
+	for s := seed; ; s++ {
+		t := Testbed(cfg, s)
+		if t.fullyConnected(RouteThreshold) {
+			return t, s
+		}
+	}
+}
+
+func (t *Topology) fullyConnected(threshold float64) bool {
+	n := t.N()
+	if n == 0 {
+		return true
+	}
+	seen := make([]bool, n)
+	stack := []NodeID{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for v := 0; v < n; v++ {
+			if !seen[v] && t.P[u][v] > threshold && t.P[v][u] > threshold {
+				seen[v] = true
+				count++
+				stack = append(stack, NodeID(v))
+			}
+		}
+	}
+	return count == n
+}
+
+// Grid returns an r x c grid with the given spacing and distance-derived
+// all-pairs delivery probabilities.
+func Grid(rows, cols int, spacing, midRange float64) *Topology {
+	t := New(rows * cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			t.Pos[r*cols+c] = Position{float64(c) * spacing, float64(r) * spacing, 0}
+		}
+	}
+	n := t.N()
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := t.Pos[i].Distance(t.Pos[j])
+			t.SetLink(NodeID(i), NodeID(j), DeliveryFromDistance(d, midRange))
+		}
+	}
+	return t
+}
+
+// Corridor generates a long, thin topology (nodes scattered along a
+// corridor), which yields the 4+-hop paths with first-hop/last-hop
+// concurrency that the spatial-reuse experiment (Fig 4-4) selects for.
+func Corridor(n int, length, width, midRange float64, seed int64) *Topology {
+	rng := rand.New(rand.NewSource(seed))
+	t := New(n)
+	for i := 0; i < n; i++ {
+		// Spread nodes roughly evenly along the corridor with jitter so
+		// hop structure is stable but not degenerate.
+		base := length * float64(i) / float64(n-1)
+		t.Pos[i] = Position{
+			X: base + rng.NormFloat64()*length/float64(4*n),
+			Y: rng.Float64() * width,
+			Z: 0,
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := t.Pos[i].Distance(t.Pos[j])
+			p := DeliveryFromDistance(d, midRange)
+			if p <= 0 {
+				continue
+			}
+			sym := rng.NormFloat64() * 0.5
+			pij := logistic(logit(p) + sym)
+			pji := logistic(logit(p) + sym)
+			if pij < 0.05 {
+				pij, pji = 0, 0
+			}
+			t.SetDirected(NodeID(i), NodeID(j), pij)
+			t.SetDirected(NodeID(j), NodeID(i), pji)
+		}
+	}
+	return t
+}

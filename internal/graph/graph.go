@@ -1,0 +1,270 @@
+// Package graph models the wireless mesh topology: node positions, per-link
+// delivery probabilities, the carrier-sense relation, and generators for the
+// topologies the thesis evaluates on (the 20-node testbed of §4.1, the
+// motivating diamond of Fig 1-1, and the unbounded-gap topology of Fig 5-1).
+//
+// The network model follows §5.3.1: a broadcast transmission from node i is
+// received by node j independently with marginal probability p_ij. The
+// topology carries those marginals; the simulator layers interference and
+// carrier sense on top.
+package graph
+
+import (
+	"fmt"
+	"math"
+)
+
+// NodeID identifies a node within a topology. IDs are dense, 0..N-1.
+type NodeID int
+
+// Broadcast is the pseudo-destination of broadcast frames.
+const Broadcast NodeID = -1
+
+// Position is a point in 3-D space (meters). The testbed spans three floors,
+// so Z matters.
+type Position struct {
+	X, Y, Z float64
+}
+
+// Distance returns the Euclidean distance between two positions.
+func (p Position) Distance(q Position) float64 {
+	dx, dy, dz := p.X-q.X, p.Y-q.Y, p.Z-q.Z
+	return math.Sqrt(dx*dx + dy*dy + dz*dz)
+}
+
+// Topology is a wireless mesh: node positions plus the matrix of marginal
+// delivery probabilities at the reference bit-rate. It is the ground truth
+// the channel simulator draws from and (when estimation noise is disabled)
+// the loss matrix fed to all routing computations, mirroring how the paper
+// feeds the same ETX measurements to Srcr, MORE and ExOR (§4.1.2).
+type Topology struct {
+	Pos []Position
+	// P[i][j] is the probability a transmission by i is delivered to j at
+	// the reference rate, with no interference. P[i][i] is ignored.
+	P [][]float64
+}
+
+// New creates an empty topology with n nodes at the origin and zero
+// connectivity.
+func New(n int) *Topology {
+	t := &Topology{
+		Pos: make([]Position, n),
+		P:   make([][]float64, n),
+	}
+	for i := range t.P {
+		t.P[i] = make([]float64, n)
+	}
+	return t
+}
+
+// N returns the number of nodes.
+func (t *Topology) N() int { return len(t.Pos) }
+
+// SetLink sets the delivery probability in both directions.
+func (t *Topology) SetLink(a, b NodeID, p float64) {
+	t.P[a][b] = p
+	t.P[b][a] = p
+}
+
+// SetDirected sets the delivery probability a -> b only.
+func (t *Topology) SetDirected(a, b NodeID, p float64) {
+	t.P[a][b] = p
+}
+
+// Prob returns the delivery probability from a to b.
+func (t *Topology) Prob(a, b NodeID) float64 {
+	if a == b {
+		return 1
+	}
+	return t.P[a][b]
+}
+
+// Loss returns the loss probability ε_ab = 1 - p_ab used throughout
+// Chapter 3's credit calculations.
+func (t *Topology) Loss(a, b NodeID) float64 { return 1 - t.Prob(a, b) }
+
+// Neighbors returns the nodes j with P[i][j] above the threshold.
+func (t *Topology) Neighbors(i NodeID, threshold float64) []NodeID {
+	var out []NodeID
+	for j := 0; j < t.N(); j++ {
+		if NodeID(j) != i && t.P[i][j] > threshold {
+			out = append(out, NodeID(j))
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy.
+func (t *Topology) Clone() *Topology {
+	c := New(t.N())
+	copy(c.Pos, t.Pos)
+	for i := range t.P {
+		copy(c.P[i], t.P[i])
+	}
+	return c
+}
+
+// Validate checks the probability matrix is well formed.
+func (t *Topology) Validate() error {
+	if len(t.P) != t.N() {
+		return fmt.Errorf("graph: P has %d rows for %d nodes", len(t.P), t.N())
+	}
+	for i := range t.P {
+		if len(t.P[i]) != t.N() {
+			return fmt.Errorf("graph: P row %d has %d cols", i, len(t.P[i]))
+		}
+		for j, p := range t.P[i] {
+			if p < 0 || p > 1 {
+				return fmt.Errorf("graph: P[%d][%d] = %v out of range", i, j, p)
+			}
+		}
+	}
+	return nil
+}
+
+// Stats summarizes link quality over links with nonzero delivery.
+type Stats struct {
+	Links       int
+	MeanLoss    float64
+	MinLoss     float64
+	MaxLoss     float64
+	MeanDegree  float64
+	Isolated    int
+	Asymmetric  int // links where |p_ij - p_ji| > 0.2
+	ZeroInbound int // nodes no other node can reach
+}
+
+// LinkStats computes summary statistics over links with delivery above the
+// threshold (both directions counted once).
+func (t *Topology) LinkStats(threshold float64) Stats {
+	s := Stats{MinLoss: 1}
+	n := t.N()
+	deg := make([]int, n)
+	inbound := make([]int, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			p := t.P[i][j]
+			if p <= threshold {
+				continue
+			}
+			inbound[j]++
+			if j > i {
+				s.Links++
+				loss := 1 - p
+				s.MeanLoss += loss
+				if loss < s.MinLoss {
+					s.MinLoss = loss
+				}
+				if loss > s.MaxLoss {
+					s.MaxLoss = loss
+				}
+				deg[i]++
+				deg[j]++
+				if math.Abs(t.P[i][j]-t.P[j][i]) > 0.2 {
+					s.Asymmetric++
+				}
+			}
+		}
+	}
+	if s.Links > 0 {
+		s.MeanLoss /= float64(s.Links)
+	} else {
+		s.MinLoss = 0
+	}
+	for i := 0; i < n; i++ {
+		s.MeanDegree += float64(deg[i])
+		if deg[i] == 0 {
+			s.Isolated++
+		}
+		if inbound[i] == 0 {
+			s.ZeroInbound++
+		}
+	}
+	if n > 0 {
+		s.MeanDegree /= float64(n)
+	}
+	return s
+}
+
+// HopCount returns the minimum number of hops from src to dst using only
+// links with delivery above threshold, or -1 if unreachable.
+func (t *Topology) HopCount(src, dst NodeID, threshold float64) int {
+	if src == dst {
+		return 0
+	}
+	n := t.N()
+	dist := make([]int, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []NodeID{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for v := 0; v < n; v++ {
+			if t.P[u][v] > threshold && dist[v] < 0 {
+				dist[v] = dist[u] + 1
+				if NodeID(v) == dst {
+					return dist[v]
+				}
+				queue = append(queue, NodeID(v))
+			}
+		}
+	}
+	return dist[dst]
+}
+
+// --- Reference channel model -------------------------------------------------
+
+// DeliveryFromDistance maps distance to delivery probability at the
+// reference 802.11b rate (5.5 Mb/s). It is a smooth logistic fall-off: near
+// certain within ~10 m, roughly 50 % at midRange, and negligible past
+// ~2×midRange. Real indoor propagation is messier; the testbed generator
+// adds per-link log-normal shadowing noise on top.
+func DeliveryFromDistance(d, midRange float64) float64 {
+	if midRange <= 0 {
+		return 0
+	}
+	// Logistic in distance with slope tuned so that the 10%..90% band spans
+	// roughly half of midRange, giving a realistic "gray zone".
+	x := (d - midRange) / (0.22 * midRange)
+	p := 1 / (1 + math.Exp(x))
+	if p < 0.005 {
+		return 0
+	}
+	return p
+}
+
+// RateScale scales a delivery probability measured at the 5.5 Mb/s reference
+// rate to another 802.11b rate. Lower rates use more robust modulation and
+// travel farther; 11 Mb/s (CCK-11) is the most fragile. The scaling keeps
+// good links good and mostly affects marginal ones, matching the §4.4
+// observation that poor links remain poor at every bit-rate.
+func RateScale(pRef float64, rateMbps float64) float64 {
+	if pRef <= 0 {
+		return 0
+	}
+	// Express as an effective per-bit success and re-exponentiate with a
+	// rate-dependent exponent: robust rates shrink the exponent (<1),
+	// fragile rates grow it (>1).
+	var exp float64
+	switch {
+	case rateMbps <= 1:
+		exp = 0.25
+	case rateMbps <= 2:
+		exp = 0.5
+	case rateMbps <= 5.5:
+		exp = 1.0
+	default: // 11 Mb/s
+		exp = 1.9
+	}
+	p := math.Pow(pRef, exp)
+	if p < 0.005 {
+		return 0
+	}
+	return p
+}

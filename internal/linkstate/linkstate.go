@@ -1,0 +1,205 @@
+// Package linkstate implements the dissemination half of the measurement
+// pipeline (§3.2.1(b)): "Each node j can periodically measure the loss
+// probabilities ε_ij for each of its neighbors via ping probes. These
+// probabilities are distributed to other nodes in the network in a manner
+// similar to link state protocols. Each node can then build the network
+// graph annotated with the link loss probabilities."
+//
+// The Agent combines the probe estimator with sequence-numbered link-state
+// advertisements flooded over the broadcast medium: each node periodically
+// advertises its measured inbound delivery ratios; receivers rebroadcast
+// LSAs they have not seen (with jitter, so floods do not synchronize), and
+// every node converges to a shared loss-annotated topology from which it
+// computes ETX/EOTX routes locally.
+package linkstate
+
+import (
+	"repro/internal/graph"
+	"repro/internal/packet"
+	"repro/internal/probe"
+	"repro/internal/sim"
+)
+
+// Config parameterizes the agent.
+type Config struct {
+	// Probe configures the underlying delivery-ratio measurement.
+	Probe probe.Config
+	// AdvertiseInterval is how often a node floods a fresh LSA of its
+	// inbound link estimates.
+	AdvertiseInterval sim.Time
+	// FloodJitter delays each rebroadcast by a uniform random amount, so
+	// one advertisement does not trigger a synchronized burst.
+	FloodJitter sim.Time
+	// MinProb drops estimated links below this delivery ratio from the
+	// advertisement (noise suppression).
+	MinProb float64
+}
+
+// DefaultConfig returns a Roofnet-like setup.
+func DefaultConfig() Config {
+	return Config{
+		Probe:             probe.DefaultConfig(),
+		AdvertiseInterval: 5 * sim.Second,
+		FloodJitter:       200 * sim.Millisecond,
+		MinProb:           0.05,
+	}
+}
+
+// Agent runs probing plus link-state flooding on one node.
+type Agent struct {
+	cfg    Config
+	node   *sim.Node
+	n      int // network size
+	prober *probe.Prober
+
+	seq        uint32
+	pendingAdv []*packet.LSA // own advertisement awaiting transmission
+	pendingFwd []*packet.LSA // LSAs to rebroadcast
+	latestSeq  map[graph.NodeID]uint32
+	db         map[graph.NodeID]*packet.LSA
+
+	// FloodTx counts LSA transmissions (own + rebroadcasts).
+	FloodTx int64
+}
+
+// NewAgent creates an agent for a network of n nodes.
+func NewAgent(cfg Config, n int) *Agent {
+	if cfg.AdvertiseInterval == 0 {
+		cfg = DefaultConfig()
+	}
+	return &Agent{
+		cfg:       cfg,
+		n:         n,
+		prober:    probe.NewProber(cfg.Probe),
+		latestSeq: make(map[graph.NodeID]uint32),
+		db:        make(map[graph.NodeID]*packet.LSA),
+	}
+}
+
+// Init implements sim.Protocol.
+func (a *Agent) Init(node *sim.Node) {
+	a.node = node
+	a.prober.Init(node)
+	a.scheduleAdvertise()
+}
+
+func (a *Agent) scheduleAdvertise() {
+	d := a.cfg.AdvertiseInterval
+	if a.cfg.FloodJitter > 0 {
+		d += sim.Time(a.node.Rand().Int63n(int64(a.cfg.FloodJitter)))
+	}
+	a.node.After(d, func() {
+		a.advertise()
+		a.scheduleAdvertise()
+	})
+}
+
+// advertise queues a fresh LSA of this node's inbound link estimates.
+func (a *Agent) advertise() {
+	a.seq++
+	lsa := &packet.LSA{Origin: a.node.ID(), Seq: a.seq}
+	for i := 0; i < a.n; i++ {
+		id := graph.NodeID(i)
+		if id == a.node.ID() {
+			continue
+		}
+		p := a.prober.DeliveryFrom(id)
+		if p < a.cfg.MinProb {
+			continue
+		}
+		lsa.Neighbors = append(lsa.Neighbors, id)
+		lsa.Probs = append(lsa.Probs, packet.QuantizeProb(p))
+	}
+	a.accept(lsa)
+	a.pendingAdv = append(a.pendingAdv, lsa)
+	a.node.Wake()
+}
+
+// accept installs an LSA in the local database if it is new.
+func (a *Agent) accept(l *packet.LSA) bool {
+	if last, ok := a.latestSeq[l.Origin]; ok && l.Seq <= last {
+		return false
+	}
+	a.latestSeq[l.Origin] = l.Seq
+	a.db[l.Origin] = l
+	return true
+}
+
+// Receive implements sim.Protocol.
+func (a *Agent) Receive(f *sim.Frame) {
+	switch m := f.Payload.(type) {
+	case *packet.LSA:
+		if a.accept(m) {
+			// Rebroadcast after jitter.
+			delay := sim.Time(1)
+			if a.cfg.FloodJitter > 0 {
+				delay = sim.Time(a.node.Rand().Int63n(int64(a.cfg.FloodJitter)))
+			}
+			a.node.After(delay, func() {
+				// Only flood if still the freshest we know.
+				if a.latestSeq[m.Origin] == m.Seq {
+					a.pendingFwd = append(a.pendingFwd, m)
+					a.node.Wake()
+				}
+			})
+		}
+	default:
+		a.prober.Receive(f)
+	}
+}
+
+// Pull implements sim.Protocol: own advertisements, then rebroadcasts,
+// then probes.
+func (a *Agent) Pull() *sim.Frame {
+	if len(a.pendingAdv) > 0 {
+		l := a.pendingAdv[0]
+		a.pendingAdv = a.pendingAdv[1:]
+		a.FloodTx++
+		return &sim.Frame{From: a.node.ID(), To: graph.Broadcast, Bytes: l.EncodedSize(), Payload: l}
+	}
+	if len(a.pendingFwd) > 0 {
+		l := a.pendingFwd[0]
+		a.pendingFwd = a.pendingFwd[1:]
+		a.FloodTx++
+		return &sim.Frame{From: a.node.ID(), To: graph.Broadcast, Bytes: l.EncodedSize(), Payload: l}
+	}
+	return a.prober.Pull()
+}
+
+// Sent implements sim.Protocol.
+func (a *Agent) Sent(f *sim.Frame, ok bool) {
+	if len(a.pendingAdv) > 0 || len(a.pendingFwd) > 0 {
+		a.node.Wake()
+	}
+}
+
+// KnownOrigins returns how many nodes' LSAs this agent holds (including
+// its own).
+func (a *Agent) KnownOrigins() int { return len(a.db) }
+
+// Topology reconstructs this node's local view of the loss-annotated
+// network graph from its LSA database. Unknown links are 0.
+func (a *Agent) Topology() *graph.Topology {
+	t := graph.New(a.n)
+	for origin, lsa := range a.db {
+		for i, nb := range lsa.Neighbors {
+			// LSA reports delivery of nb -> origin.
+			t.SetDirected(nb, origin, packet.UnquantizeProb(lsa.Probs[i]))
+		}
+	}
+	return t
+}
+
+// Run floods a whole network for duration and returns the agents, one per
+// node — the simulated analogue of letting Roofnet's link-state layer
+// converge before starting an experiment.
+func Run(topo *graph.Topology, cfg Config, simCfg sim.Config, duration sim.Time) []*Agent {
+	s := sim.New(topo, simCfg)
+	agents := make([]*Agent, topo.N())
+	for i := range agents {
+		agents[i] = NewAgent(cfg, topo.N())
+		s.Attach(graph.NodeID(i), agents[i])
+	}
+	s.Run(duration)
+	return agents
+}

@@ -1,0 +1,89 @@
+package linkstate
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/packet"
+	"repro/internal/probe"
+	"repro/internal/routing"
+	"repro/internal/sim"
+)
+
+func TestFloodConvergesOnChain(t *testing.T) {
+	// A 4-hop chain: LSAs must reach every node even though no node hears
+	// everyone directly.
+	topo := graph.Line(5, 0.9, 10)
+	cfg := DefaultConfig()
+	cfg.Probe.Window = 20
+	agents := Run(topo, cfg, sim.DefaultConfig(), 60*sim.Second)
+	for i, a := range agents {
+		if a.KnownOrigins() != 5 {
+			t.Fatalf("node %d knows %d/5 origins", i, a.KnownOrigins())
+		}
+	}
+}
+
+func TestLocalTopologyUsableForRouting(t *testing.T) {
+	// The pipeline end to end: probe + flood, then every node computes an
+	// ETX route locally from its own database; the routes must agree with
+	// the ground-truth route and with each other.
+	truth := graph.Line(5, 0.85, 10)
+	cfg := DefaultConfig()
+	cfg.Probe.Window = 30
+	simCfg := sim.DefaultConfig()
+	agents := Run(truth, cfg, simCfg, 90*sim.Second)
+
+	want := routing.ETXToDestination(truth, 4, routing.ETXOptions{Threshold: 0.2, AckAware: true}).Path(0)
+	for i, a := range agents {
+		local := a.Topology()
+		tab := routing.ETXToDestination(local, 4, routing.ETXOptions{Threshold: 0.2, AckAware: true})
+		got := tab.Path(0)
+		if len(got) != len(want) {
+			t.Fatalf("node %d computed route %v, ground truth %v", i, got, want)
+		}
+		for j := range got {
+			if got[j] != want[j] {
+				t.Fatalf("node %d computed route %v, ground truth %v", i, got, want)
+			}
+		}
+	}
+}
+
+func TestLocalEstimatesCloseToTruth(t *testing.T) {
+	truth := graph.Line(4, 0.7, 10)
+	cfg := DefaultConfig()
+	cfg.Probe.Window = 40
+	agents := Run(truth, cfg, sim.DefaultConfig(), 120*sim.Second)
+	est := agents[0].Topology()
+	meanErr, _ := probe.MatrixError(truth, est, 0.2)
+	if meanErr > 0.15 {
+		t.Fatalf("node 0's database strays %.3f from ground truth", meanErr)
+	}
+	// Symmetric check from the other end of the chain.
+	est3 := agents[3].Topology()
+	if math.Abs(est.Prob(0, 1)-est3.Prob(0, 1)) > 0.25 {
+		t.Fatalf("databases diverge: %.2f vs %.2f for link 0->1",
+			est.Prob(0, 1), est3.Prob(0, 1))
+	}
+}
+
+func TestSequenceNumbersSuppressStaleLSAs(t *testing.T) {
+	a := NewAgent(DefaultConfig(), 4)
+	lsaOf := func(origin graph.NodeID, seq uint32) *packet.LSA {
+		return &packet.LSA{Origin: origin, Seq: seq}
+	}
+	if !a.accept(lsaOf(3, 5)) {
+		t.Fatal("first LSA rejected")
+	}
+	if a.accept(lsaOf(3, 4)) {
+		t.Fatal("stale LSA accepted")
+	}
+	if a.accept(lsaOf(3, 5)) {
+		t.Fatal("duplicate LSA accepted")
+	}
+	if !a.accept(lsaOf(3, 6)) {
+		t.Fatal("newer LSA rejected")
+	}
+}

@@ -1,0 +1,243 @@
+package packet
+
+import (
+	"encoding/binary"
+
+	"repro/internal/graph"
+)
+
+// ExORHeader is the header ExOR attaches to batch fragments (§2.2.1). Each
+// data packet carries the batch map: for every packet in the batch, the
+// highest-priority node known to have received it, as an index into the
+// forwarder list. Listeners merge overheard batch maps so a node forwards
+// only packets no higher-priority node holds.
+type ExORHeader struct {
+	FlowID  uint32
+	BatchID uint32
+	// PktIdx is this packet's index within the batch.
+	PktIdx uint8
+	// BatchSize is K.
+	BatchSize uint8
+	// FragRemaining counts how many more packets the sender will transmit
+	// in its current fragment; 0 marks the fragment end, the handoff
+	// signal to the next scheduled forwarder.
+	FragRemaining uint8
+	// SenderPrio is the transmitting node's position in the priority list
+	// (0 = destination = highest priority).
+	SenderPrio uint8
+	// BatchMap[i] is the priority index of the highest-priority node known
+	// to have packet i (0xFF = nobody known).
+	BatchMap []uint8
+	// Forwarders is the prioritized forwarder list (compressed to hashes,
+	// like MORE's).
+	Forwarders []uint8
+}
+
+// BatchMapUnknown marks a packet with no known holder.
+const BatchMapUnknown = 0xFF
+
+// EncodedSize returns the on-air header size.
+func (h *ExORHeader) EncodedSize() int {
+	return 4 + 4 + 1 + 1 + 1 + 1 + 1 + len(h.BatchMap) + 1 + len(h.Forwarders)
+}
+
+// Encode appends the wire form of h to dst.
+func (h *ExORHeader) Encode(dst []byte) ([]byte, error) {
+	if len(h.BatchMap) > 255 || len(h.Forwarders) > 255 {
+		return nil, ErrTooMany
+	}
+	dst = binary.BigEndian.AppendUint32(dst, h.FlowID)
+	dst = binary.BigEndian.AppendUint32(dst, h.BatchID)
+	dst = append(dst, h.PktIdx, h.BatchSize, h.FragRemaining, h.SenderPrio)
+	dst = append(dst, byte(len(h.BatchMap)))
+	dst = append(dst, h.BatchMap...)
+	dst = append(dst, byte(len(h.Forwarders)))
+	dst = append(dst, h.Forwarders...)
+	return dst, nil
+}
+
+// DecodeExORHeader parses an ExOR header.
+func DecodeExORHeader(b []byte) (*ExORHeader, int, error) {
+	if len(b) < 13 {
+		return nil, 0, ErrTruncated
+	}
+	h := &ExORHeader{
+		FlowID:        binary.BigEndian.Uint32(b),
+		BatchID:       binary.BigEndian.Uint32(b[4:]),
+		PktIdx:        b[8],
+		BatchSize:     b[9],
+		FragRemaining: b[10],
+		SenderPrio:    b[11],
+	}
+	off := 12
+	bm := int(b[off])
+	off++
+	if off+bm > len(b) {
+		return nil, 0, ErrTruncated
+	}
+	if bm > 0 {
+		h.BatchMap = append([]uint8(nil), b[off:off+bm]...)
+	}
+	off += bm
+	if off >= len(b) {
+		return nil, 0, ErrTruncated
+	}
+	nf := int(b[off])
+	off++
+	if off+nf > len(b) {
+		return nil, 0, ErrTruncated
+	}
+	if nf > 0 {
+		h.Forwarders = append([]uint8(nil), b[off:off+nf]...)
+	}
+	off += nf
+	return h, off, nil
+}
+
+// SrcrHeader is the source-route header Srcr prepends: the full hop list
+// the packet must traverse, plus a cursor.
+type SrcrHeader struct {
+	FlowID uint32
+	Seq    uint32 // end-to-end packet sequence number
+	Hop    uint8  // index of the current hop in Route
+	Route  []graph.NodeID
+}
+
+// EncodedSize returns the on-air header size (2 bytes per recorded hop).
+func (h *SrcrHeader) EncodedSize() int { return 4 + 4 + 1 + 1 + 2*len(h.Route) }
+
+// Encode appends the wire form of h to dst.
+func (h *SrcrHeader) Encode(dst []byte) ([]byte, error) {
+	if len(h.Route) > 255 {
+		return nil, ErrTooMany
+	}
+	dst = binary.BigEndian.AppendUint32(dst, h.FlowID)
+	dst = binary.BigEndian.AppendUint32(dst, h.Seq)
+	dst = append(dst, h.Hop, byte(len(h.Route)))
+	for _, n := range h.Route {
+		dst = binary.BigEndian.AppendUint16(dst, uint16(n))
+	}
+	return dst, nil
+}
+
+// DecodeSrcrHeader parses a Srcr header.
+func DecodeSrcrHeader(b []byte) (*SrcrHeader, int, error) {
+	if len(b) < 10 {
+		return nil, 0, ErrTruncated
+	}
+	h := &SrcrHeader{
+		FlowID: binary.BigEndian.Uint32(b),
+		Seq:    binary.BigEndian.Uint32(b[4:]),
+		Hop:    b[8],
+	}
+	n := int(b[9])
+	off := 10
+	if off+2*n > len(b) {
+		return nil, 0, ErrTruncated
+	}
+	for i := 0; i < n; i++ {
+		h.Route = append(h.Route, graph.NodeID(binary.BigEndian.Uint16(b[off:])))
+		off += 2
+	}
+	return h, off, nil
+}
+
+// Probe is an ETX link probe (§3.2.1(b)): nodes broadcast periodic probes;
+// receivers count them to estimate delivery ratios.
+type Probe struct {
+	Origin graph.NodeID
+	Seq    uint32
+	// Window is the probe period count the estimator divides by.
+	Window uint16
+}
+
+// EncodedSize returns the probe body size.
+func (p *Probe) EncodedSize() int { return 2 + 4 + 2 }
+
+// Encode appends the wire form of p to dst.
+func (p *Probe) Encode(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint16(dst, uint16(p.Origin))
+	dst = binary.BigEndian.AppendUint32(dst, p.Seq)
+	return binary.BigEndian.AppendUint16(dst, p.Window)
+}
+
+// DecodeProbe parses a probe body.
+func DecodeProbe(b []byte) (*Probe, int, error) {
+	if len(b) < 8 {
+		return nil, 0, ErrTruncated
+	}
+	return &Probe{
+		Origin: graph.NodeID(binary.BigEndian.Uint16(b)),
+		Seq:    binary.BigEndian.Uint32(b[2:]),
+		Window: binary.BigEndian.Uint16(b[6:]),
+	}, 8, nil
+}
+
+// LSA is a link-state advertisement (§3.2.1(b)): a node's measured inbound
+// delivery ratios, flooded so every node can build the loss-annotated
+// network graph locally. Probabilities are quantized to 1/255.
+type LSA struct {
+	Origin graph.NodeID
+	Seq    uint32
+	// Neighbors and Probs are parallel: Probs[i] is the delivery
+	// probability of link Neighbors[i] -> Origin, quantized.
+	Neighbors []graph.NodeID
+	Probs     []uint8
+}
+
+// QuantizeProb maps [0,1] to a byte.
+func QuantizeProb(p float64) uint8 {
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return 255
+	}
+	return uint8(p*255 + 0.5)
+}
+
+// UnquantizeProb inverts QuantizeProb.
+func UnquantizeProb(q uint8) float64 { return float64(q) / 255 }
+
+// EncodedSize returns the LSA's on-air size.
+func (l *LSA) EncodedSize() int { return 2 + 4 + 1 + 3*len(l.Neighbors) }
+
+// Encode appends the wire form of l to dst.
+func (l *LSA) Encode(dst []byte) ([]byte, error) {
+	if len(l.Neighbors) != len(l.Probs) {
+		return nil, ErrTooMany
+	}
+	if len(l.Neighbors) > 255 {
+		return nil, ErrTooMany
+	}
+	dst = binary.BigEndian.AppendUint16(dst, uint16(l.Origin))
+	dst = binary.BigEndian.AppendUint32(dst, l.Seq)
+	dst = append(dst, byte(len(l.Neighbors)))
+	for i, nb := range l.Neighbors {
+		dst = binary.BigEndian.AppendUint16(dst, uint16(nb))
+		dst = append(dst, l.Probs[i])
+	}
+	return dst, nil
+}
+
+// DecodeLSA parses an LSA.
+func DecodeLSA(b []byte) (*LSA, int, error) {
+	if len(b) < 7 {
+		return nil, 0, ErrTruncated
+	}
+	l := &LSA{
+		Origin: graph.NodeID(binary.BigEndian.Uint16(b)),
+		Seq:    binary.BigEndian.Uint32(b[2:]),
+	}
+	n := int(b[6])
+	off := 7
+	if off+3*n > len(b) {
+		return nil, 0, ErrTruncated
+	}
+	for i := 0; i < n; i++ {
+		l.Neighbors = append(l.Neighbors, graph.NodeID(binary.BigEndian.Uint16(b[off:])))
+		l.Probs = append(l.Probs, b[off+2])
+		off += 3
+	}
+	return l, off, nil
+}

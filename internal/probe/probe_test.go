@@ -1,0 +1,82 @@
+package probe
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/sim"
+)
+
+func TestMeasureRecoversLinkQuality(t *testing.T) {
+	topo := graph.New(3)
+	topo.SetLink(0, 1, 0.8)
+	topo.SetLink(1, 2, 0.4)
+	cfg := DefaultConfig()
+	cfg.Window = 40
+	est := Measure(topo, cfg, sim.DefaultConfig(), 90*sim.Second)
+	if d := est.Prob(0, 1); d < 0.6 || d > 0.95 {
+		t.Fatalf("estimated p(0->1) = %v, want ≈0.8", d)
+	}
+	if d := est.Prob(1, 2); d < 0.2 || d > 0.6 {
+		t.Fatalf("estimated p(1->2) = %v, want ≈0.4", d)
+	}
+	if est.Prob(0, 2) != 0 {
+		t.Fatalf("estimated phantom link p(0->2) = %v", est.Prob(0, 2))
+	}
+	meanErr, maxErr := MatrixError(topo, est, 0.05)
+	if meanErr > 0.15 {
+		t.Fatalf("mean estimation error %.3f too high", meanErr)
+	}
+	if maxErr > 0.4 {
+		t.Fatalf("max estimation error %.3f too high", maxErr)
+	}
+}
+
+func TestProbeSizeMismatch(t *testing.T) {
+	// With size-dependent delivery, minimal probes overestimate the
+	// delivery of full-size data frames; padded probes measure it right.
+	topo := graph.New(2)
+	topo.SetLink(0, 1, 0.5)
+	simCfg := sim.DefaultConfig()
+	simCfg.RefFrameBytes = 1500
+
+	small := DefaultConfig()
+	small.PadToBytes = 0
+	small.Window = 60
+	estSmall := Measure(topo, small, simCfg, 120*sim.Second)
+
+	padded := DefaultConfig()
+	padded.PadToBytes = 1500
+	padded.Window = 60
+	estPadded := Measure(topo, padded, simCfg, 120*sim.Second)
+
+	if estSmall.Prob(0, 1) <= estPadded.Prob(0, 1) {
+		t.Fatalf("small probes (%.2f) should overestimate vs padded (%.2f)",
+			estSmall.Prob(0, 1), estPadded.Prob(0, 1))
+	}
+	if d := estPadded.Prob(0, 1); d < 0.35 || d > 0.65 {
+		t.Fatalf("padded estimate %.2f, want ≈0.5", d)
+	}
+}
+
+func TestProbersShareMediumOnTestbed(t *testing.T) {
+	topo, _ := graph.ConnectedTestbed(graph.DefaultTestbed(), 1)
+	cfg := DefaultConfig()
+	cfg.Window = 20
+	simCfg := sim.DefaultConfig()
+	simCfg.SenseRange = 84
+	est := Measure(topo, cfg, simCfg, 40*sim.Second)
+	meanErr, _ := MatrixError(topo, est, graph.RouteThreshold)
+	// Contention between probers adds noise but the estimates must stay
+	// usable for route selection.
+	if meanErr > 0.2 {
+		t.Fatalf("mean estimation error %.3f too high on testbed", meanErr)
+	}
+}
+
+func TestDeliveryFromUnknownOrigin(t *testing.T) {
+	p := NewProber(DefaultConfig())
+	if p.DeliveryFrom(5) != 0 {
+		t.Fatal("unknown origin should estimate 0")
+	}
+}

@@ -1,0 +1,362 @@
+package routing
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func planOptsNoPrune(metric OrderMetric) PlanOptions {
+	return PlanOptions{
+		Metric: metric,
+		ETX:    ETXOptions{Threshold: 0, AckAware: false},
+		EOTX:   DefaultEOTXOptions(),
+	}
+}
+
+func TestAlg1SingleHop(t *testing.T) {
+	topo := graph.New(2)
+	topo.SetLink(0, 1, 0.5)
+	plan, err := BuildPlan(topo, 1, 0, planOptsNoPrune(OrderETX))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Source must transmit 1/p = 2 times per packet; no forwarders.
+	if !almost(plan.Z[1], 2, 1e-12) {
+		t.Fatalf("z(src) = %v, want 2", plan.Z[1])
+	}
+	if len(plan.Forwarders()) != 0 {
+		t.Fatalf("forwarders = %v", plan.Forwarders())
+	}
+	if !almost(plan.TotalCost, 2, 1e-12) {
+		t.Fatalf("total cost = %v", plan.TotalCost)
+	}
+}
+
+func TestAlg1Chain(t *testing.T) {
+	// Perfect relay chain src(2) -> R(1) -> dst(0), no direct link: each
+	// node transmits exactly once.
+	topo := graph.New(3)
+	topo.SetLink(2, 1, 1)
+	topo.SetLink(1, 0, 1)
+	plan, err := BuildPlan(topo, 2, 0, planOptsNoPrune(OrderETX))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(plan.Z[2], 1, 1e-12) || !almost(plan.Z[1], 1, 1e-12) || plan.Z[0] != 0 {
+		t.Fatalf("z = %v", plan.Z)
+	}
+	// R's TX credit: one transmission per packet heard from upstream, and
+	// it hears every source transmission: credit = 1.
+	if !almost(plan.Credit[1], 1, 1e-12) {
+		t.Fatalf("credit(R) = %v", plan.Credit[1])
+	}
+}
+
+func TestAlg1DiamondOverhearing(t *testing.T) {
+	// Fig 1-1 with perfect relay links and direct overhear probability q:
+	// src transmits once; R receives it, but must forward only the
+	// packets dst missed: L_R = 1-q, z_R = 1-q.
+	q := 0.49
+	topo := graph.New(3)
+	topo.SetLink(2, 1, 1)
+	topo.SetLink(1, 0, 1)
+	topo.SetDirected(2, 0, q)
+	topo.SetDirected(0, 2, q)
+	plan, err := BuildPlan(topo, 2, 0, planOptsNoPrune(OrderETX))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(plan.Z[2], 1, 1e-12) {
+		t.Fatalf("z(src) = %v, want 1", plan.Z[2])
+	}
+	if !almost(plan.Z[1], 1-q, 1e-12) {
+		t.Fatalf("z(R) = %v, want %v", plan.Z[1], 1-q)
+	}
+	if !almost(plan.TotalCost, 2-q, 1e-12) {
+		t.Fatalf("total = %v, want %v", plan.TotalCost, 2-q)
+	}
+}
+
+func TestCreditsMatchDefinition(t *testing.T) {
+	// Eq (3.3): credit_i = z_i / Σ_{j>i} z_j p_ji on a random topology.
+	rng := rand.New(rand.NewSource(5))
+	topo := randomTopology(rng, 8, 0.7)
+	plan, err := BuildPlan(topo, 7, 0, planOptsNoPrune(OrderETX))
+	if err != nil {
+		t.Skip("unreachable draw")
+	}
+	for idx, id := range plan.Order {
+		if id == plan.Src {
+			continue
+		}
+		var rx float64
+		for j := idx + 1; j < len(plan.Order); j++ {
+			rx += plan.Z[plan.Order[j]] * topo.Prob(plan.Order[j], id)
+		}
+		want := 0.0
+		if rx > 0 {
+			want = plan.Z[id] / rx
+		}
+		if !almost(plan.Credit[id], want, 1e-9) {
+			t.Fatalf("credit(%d) = %v, want %v", id, plan.Credit[id], want)
+		}
+	}
+}
+
+func TestEOTXOrderTotalCostEqualsEOTX(t *testing.T) {
+	// §5.6.2: when the EOTX order is used, Σ z_i = d(src).
+	for seed := int64(0); seed < 15; seed++ {
+		topo := randomTopology(rand.New(rand.NewSource(seed)), 8, 0.6)
+		d := EOTX(topo, 0, DefaultEOTXOptions())
+		src := graph.NodeID(topo.N() - 1)
+		if math.IsInf(d[src], 1) {
+			continue
+		}
+		plan, err := BuildPlan(topo, src, 0, planOptsNoPrune(OrderEOTX))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almost(plan.TotalCost, d[src], 1e-6) {
+			t.Fatalf("seed %d: Σz = %v, EOTX(src) = %v", seed, plan.TotalCost, d[src])
+		}
+	}
+}
+
+func TestETXOrderCostAtLeastEOTX(t *testing.T) {
+	// The EOTX order is optimal; any other order costs at least as much.
+	for seed := int64(20); seed < 35; seed++ {
+		topo := randomTopology(rand.New(rand.NewSource(seed)), 8, 0.6)
+		src, dst := graph.NodeID(topo.N()-1), graph.NodeID(0)
+		gap, err := CostGap(topo, src, dst,
+			ETXOptions{Threshold: 0, AckAware: false}, DefaultEOTXOptions())
+		if err != nil {
+			continue
+		}
+		if gap < 1-1e-6 {
+			t.Fatalf("seed %d: ETX-order cost below EOTX-order optimum (gap %v)", seed, gap)
+		}
+	}
+}
+
+func TestCostGapUnbounded(t *testing.T) {
+	// Prop 6: on the Fig 5-1 topology the gap approaches k as p -> 0.
+	k := 8
+	prev := 0.0
+	for _, p := range []float64{0.2, 0.1, 0.05, 0.01} {
+		topo := graph.GapTopology(k, p)
+		gap, err := CostGap(topo, 0, graph.NodeID(3+k),
+			ETXOptions{Threshold: 0, AckAware: false}, DefaultEOTXOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gap < prev {
+			t.Fatalf("gap should grow as p shrinks: p=%v gap=%v prev=%v", p, gap, prev)
+		}
+		prev = gap
+	}
+	// At p = 0.01 the ratio (1/p + 1)/(1/(1-(1-p)^k) + 2) is already
+	// within ~30% of k.
+	if prev < float64(k)*0.5 {
+		t.Fatalf("gap %v too small for k=%d at p=0.01", prev, k)
+	}
+}
+
+func TestLoadDistributionConservation(t *testing.T) {
+	// Flow conservation (5.1): for every forwarder, inflow == outflow;
+	// the source emits 1 unit; the destination absorbs 1 unit.
+	for seed := int64(0); seed < 10; seed++ {
+		topo := randomTopology(rand.New(rand.NewSource(seed)), 8, 0.7)
+		src, dst := graph.NodeID(topo.N()-1), graph.NodeID(0)
+		d := EOTX(topo, dst, DefaultEOTXOptions())
+		if math.IsInf(d[src], 1) {
+			continue
+		}
+		var order []graph.NodeID
+		order = append(order, dst)
+		for i := 0; i < topo.N(); i++ {
+			id := graph.NodeID(i)
+			if id != src && id != dst && d[i] < d[src] && !math.IsInf(d[i], 1) {
+				order = append(order, id)
+			}
+		}
+		order = append(order, src)
+		sortByDist(order, d)
+		z, x := LoadDistribution(topo, order)
+		n := len(order)
+		for i := 0; i < n; i++ {
+			var in, out float64
+			for j := 0; j < n; j++ {
+				in += x[j][i]
+				out += x[i][j]
+			}
+			switch order[i] {
+			case src:
+				if !almost(out-in, 1, 1e-9) {
+					t.Fatalf("seed %d: source net outflow %v", seed, out-in)
+				}
+			case dst:
+				if !almost(in-out, 1, 1e-9) {
+					t.Fatalf("seed %d: dest net inflow %v", seed, in-out)
+				}
+			default:
+				if !almost(in, out, 1e-9) {
+					t.Fatalf("seed %d: node %d inflow %v != outflow %v", seed, order[i], in, out)
+				}
+			}
+		}
+		// §5.6.2: Σz via Alg 6 equals EOTX(src) and matches Algorithm 1
+		// under the same (EOTX) order.
+		if !almost(TotalCost(z), d[src], 1e-6) {
+			t.Fatalf("seed %d: Alg6 total %v != EOTX %v", seed, TotalCost(z), d[src])
+		}
+		z1 := transmissionCounts(topo, order)
+		for i := range z {
+			if !almost(z[i], z1[i], 1e-9) {
+				t.Fatalf("seed %d: Alg6 z[%d]=%v != Alg1 %v", seed, i, z[i], z1[i])
+			}
+		}
+	}
+}
+
+func TestPruningDropsMinorForwarders(t *testing.T) {
+	// A forwarder with a tiny expected contribution must be pruned at the
+	// 10% threshold.
+	topo := graph.New(4)
+	// src=3 -> R=1 -> dst=0 is the main artery; node 2 is a marginal
+	// helper barely connected.
+	topo.SetLink(3, 1, 0.9)
+	topo.SetLink(1, 0, 0.9)
+	topo.SetDirected(3, 2, 0.05)
+	topo.SetDirected(2, 3, 0.9)
+	topo.SetDirected(2, 0, 0.05)
+	topo.SetDirected(0, 2, 0.05)
+	opt := planOptsNoPrune(OrderETX)
+	noPrune, err := BuildPlan(topo, 3, 0, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.PruneFraction = 0.1
+	pruned, err := BuildPlan(topo, 3, 0, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pruned.Forwarders()) >= len(noPrune.Forwarders()) && noPrune.Contains(2) && pruned.Contains(2) {
+		t.Fatalf("marginal forwarder not pruned: before=%v after=%v",
+			noPrune.Forwarders(), pruned.Forwarders())
+	}
+	if !pruned.Contains(1) {
+		t.Fatal("main forwarder wrongly pruned")
+	}
+}
+
+func TestMaxForwardersCap(t *testing.T) {
+	topo, _ := graph.ConnectedTestbed(graph.DefaultTestbed(), 1)
+	opt := DefaultPlanOptions()
+	opt.PruneFraction = 0 // force the cap to do the work
+	opt.MaxForwarders = 3
+	for src := 1; src < 6; src++ {
+		plan, err := BuildPlan(topo, graph.NodeID(src), 0, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(plan.Forwarders()) > 3 {
+			t.Fatalf("forwarder list %v exceeds cap", plan.Forwarders())
+		}
+	}
+}
+
+func TestBuildPlanErrors(t *testing.T) {
+	topo := graph.New(3)
+	topo.SetLink(0, 1, 0.9)
+	if _, err := BuildPlan(topo, 0, 0, DefaultPlanOptions()); err == nil {
+		t.Error("src == dst accepted")
+	}
+	if _, err := BuildPlan(topo, 0, 2, DefaultPlanOptions()); err == nil {
+		t.Error("unreachable destination accepted")
+	}
+}
+
+func TestPlanOrderInvariants(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 25}
+	f := func(seed int64) bool {
+		topo := randomTopology(rand.New(rand.NewSource(seed)), 9, 0.6)
+		plan, err := BuildPlan(topo, 8, 0, DefaultPlanOptions())
+		if err != nil {
+			return true // disconnected draws are fine
+		}
+		if plan.Order[0] != 0 || plan.Order[len(plan.Order)-1] != 8 {
+			return false
+		}
+		// Ascending metric order.
+		for i := 1; i < len(plan.Order); i++ {
+			if plan.Dist[plan.Order[i]] < plan.Dist[plan.Order[i-1]] {
+				return false
+			}
+		}
+		// All credits finite and non-negative; z non-negative.
+		for _, id := range plan.Order {
+			if plan.Z[id] < 0 || math.IsInf(plan.Z[id], 1) || math.IsNaN(plan.Z[id]) {
+				return false
+			}
+			if id != plan.Src {
+				c := plan.Credit[id]
+				if c < 0 || math.IsInf(c, 1) || math.IsNaN(c) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOrderMetricString(t *testing.T) {
+	if OrderETX.String() != "ETX" || OrderEOTX.String() != "EOTX" {
+		t.Fatal("metric names wrong")
+	}
+	if OrderMetric(9).String() == "" {
+		t.Fatal("unknown metric should still render")
+	}
+}
+
+func TestTestbedGapStatistics(t *testing.T) {
+	// §5.7 on our testbed stand-in: a large share of pairs should be
+	// unaffected by the order choice, and the median gap among affected
+	// pairs should be small.
+	topo, _ := graph.ConnectedTestbed(graph.DefaultTestbed(), 1)
+	etxOpt := ETXOptions{Threshold: 0, AckAware: false}
+	unaffected, affected := 0, 0
+	var gaps []float64
+	for src := 0; src < topo.N(); src++ {
+		for dst := 0; dst < topo.N(); dst++ {
+			if src == dst {
+				continue
+			}
+			gap, err := CostGap(topo, graph.NodeID(src), graph.NodeID(dst), etxOpt, DefaultEOTXOptions())
+			if err != nil {
+				t.Fatalf("gap %d->%d: %v", src, dst, err)
+			}
+			if gap <= 1+1e-9 {
+				unaffected++
+			} else {
+				affected++
+				gaps = append(gaps, gap)
+			}
+		}
+	}
+	total := unaffected + affected
+	if unaffected*100 < total*20 {
+		t.Fatalf("only %d/%d pairs unaffected by EOTX order; expected a large share", unaffected, total)
+	}
+	for _, g := range gaps {
+		if g > 2.0 {
+			t.Fatalf("implausibly large gap %v on a dense testbed", g)
+		}
+	}
+}

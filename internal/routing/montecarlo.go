@@ -1,0 +1,75 @@
+package routing
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// SimulateOpportunistic estimates, by Monte Carlo, the expected number of
+// transmissions to deliver one packet from src to dst under the idealized
+// opportunistic forwarding rule of §5.4: after each broadcast, of all nodes
+// that received it (including the transmitter itself), the one with the
+// lowest metric forwards. With the EOTX metric this expectation converges
+// to EOTX(src) — the equivalence Proposition 4 proves — so the function
+// doubles as an empirical validator for the metric algorithms. Any metric
+// vector (e.g. ETX distances) can be supplied to measure the cost of a
+// different priority order.
+//
+// Reception draws are independent per receiver, matching the §5.3.1 model.
+func SimulateOpportunistic(t *graph.Topology, src, dst graph.NodeID, metric []float64, trials int, seed int64) (float64, error) {
+	if math.IsInf(metric[src], 1) {
+		return 0, errors.New("routing: source unreachable under the supplied metric")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	n := t.N()
+	var total float64
+	maxSteps := trials * 10000
+	steps := 0
+	for trial := 0; trial < trials; trial++ {
+		at := src
+		for at != dst {
+			steps++
+			if steps > maxSteps {
+				return 0, errors.New("routing: simulation diverged (metric has no descent?)")
+			}
+			total++
+			best := at
+			for j := 0; j < n; j++ {
+				jid := graph.NodeID(j)
+				if jid == at {
+					continue
+				}
+				p := t.Prob(at, jid)
+				if p <= 0 {
+					continue
+				}
+				if rng.Float64() < p && metric[jid] < metric[best] {
+					best = jid
+				}
+			}
+			at = best
+		}
+	}
+	return total / float64(trials), nil
+}
+
+// Fig21Fortunate computes the two "benefits of fortunate receptions"
+// quantities of Figure 2-1:
+//
+//   - ManyForwarders: with n independent forwarders each receiving with
+//     probability p, the chance at least one receives is 1-(1-p)^n, and the
+//     expected transmissions until someone receives drops from 1/p to
+//     1/(1-(1-p)^n) — §2.2's hundredfold example.
+//   - The function returns both the designated-nexthop cost and the
+//     any-forwarder cost.
+func Fig21Fortunate(p float64, n int) (designated, anyForwarder float64) {
+	if p <= 0 || p > 1 || n < 1 {
+		return math.Inf(1), math.Inf(1)
+	}
+	designated = 1 / p
+	anyForwarder = 1 / (1 - math.Pow(1-p, float64(n)))
+	return designated, anyForwarder
+}

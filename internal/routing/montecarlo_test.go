@@ -1,0 +1,86 @@
+package routing
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestSimulateOpportunisticMatchesEOTX(t *testing.T) {
+	// Proposition 4 made empirical: the forwarding rule under the EOTX
+	// order costs EOTX(src) transmissions in expectation.
+	for seed := int64(0); seed < 5; seed++ {
+		topo := randomTopology(rand.New(rand.NewSource(seed)), 7, 0.6)
+		d := EOTX(topo, 0, DefaultEOTXOptions())
+		src := graph.NodeID(topo.N() - 1)
+		if math.IsInf(d[src], 1) {
+			continue
+		}
+		got, err := SimulateOpportunistic(topo, src, 0, d, 20000, 99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-d[src])/d[src] > 0.05 {
+			t.Fatalf("seed %d: simulated %.3f vs EOTX %.3f", seed, got, d[src])
+		}
+	}
+}
+
+func TestSimulateOpportunisticETXOrderCostsMore(t *testing.T) {
+	// On the gap topology the ETX priority order must cost measurably more
+	// than the EOTX order — the simulated counterpart of Prop. 6.
+	k, p := 6, 0.08
+	topo := graph.GapTopology(k, p)
+	src, dst := graph.NodeID(0), graph.NodeID(3+k)
+	etx := ETXToDestination(topo, dst, ETXOptions{Threshold: 0, AckAware: false}).Dist
+	eotx := EOTX(topo, dst, DefaultEOTXOptions())
+	cETX, err := SimulateOpportunistic(topo, src, dst, etx, 20000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cEOTX, err := SimulateOpportunistic(topo, src, dst, eotx, 20000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cETX < 1.5*cEOTX {
+		t.Fatalf("ETX order %.2f should cost much more than EOTX order %.2f", cETX, cEOTX)
+	}
+	if math.Abs(cEOTX-eotx[src])/eotx[src] > 0.05 {
+		t.Fatalf("EOTX-order simulation %.3f vs metric %.3f", cEOTX, eotx[src])
+	}
+}
+
+func TestSimulateOpportunisticUnreachable(t *testing.T) {
+	topo := graph.New(3)
+	topo.SetLink(0, 1, 0.9)
+	d := EOTX(topo, 2, DefaultEOTXOptions())
+	if _, err := SimulateOpportunistic(topo, 0, 2, d, 10, 1); err == nil {
+		t.Fatal("unreachable simulation succeeded")
+	}
+}
+
+func TestFig21Fortunate(t *testing.T) {
+	// §2.2's example: 100 forwarders at p=0.1 cut the expected
+	// transmissions from 10 to ~1.
+	designated, anyFw := Fig21Fortunate(0.1, 100)
+	if designated != 10 {
+		t.Fatalf("designated cost %v", designated)
+	}
+	if anyFw > 1.01 {
+		t.Fatalf("any-forwarder cost %v, want ≈1", anyFw)
+	}
+	// Success probability 1-0.9^100 > 0.9999 as the thesis states.
+	if pAny := 1 - math.Pow(0.9, 100); pAny <= 0.9999 {
+		t.Fatalf("pAny = %v", pAny)
+	}
+	if d, a := Fig21Fortunate(0, 5); !math.IsInf(d, 1) || !math.IsInf(a, 1) {
+		t.Fatal("degenerate inputs should return Inf")
+	}
+	// One forwarder: both costs coincide.
+	d, a := Fig21Fortunate(0.3, 1)
+	if math.Abs(d-a) > 1e-12 {
+		t.Fatalf("single-forwarder costs differ: %v vs %v", d, a)
+	}
+}

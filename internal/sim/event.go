@@ -1,0 +1,74 @@
+package sim
+
+import "container/heap"
+
+// Event is a scheduled callback. Events may be canceled before they fire.
+type Event struct {
+	at       Time
+	seq      uint64
+	fn       func()
+	canceled bool
+	index    int // heap index, -1 once popped
+}
+
+// Cancel prevents the event from firing. Canceling an already-fired or
+// already-canceled event is a no-op.
+func (e *Event) Cancel() {
+	if e != nil {
+		e.canceled = true
+	}
+}
+
+// Canceled reports whether Cancel was called.
+func (e *Event) Canceled() bool { return e != nil && e.canceled }
+
+// At returns the event's scheduled time.
+func (e *Event) At() Time { return e.at }
+
+// eventHeap is a min-heap ordered by (time, insertion sequence) so
+// simultaneous events fire in schedule order — deterministic ties.
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x interface{}) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// schedule inserts an event at absolute time at.
+func (s *Simulator) schedule(at Time, fn func()) *Event {
+	if at < s.now {
+		at = s.now
+	}
+	s.seq++
+	e := &Event{at: at, seq: s.seq, fn: fn}
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// After schedules fn to run delay after the current time and returns a
+// cancelable handle.
+func (s *Simulator) After(delay Time, fn func()) *Event {
+	return s.schedule(s.now+delay, fn)
+}

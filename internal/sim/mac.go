@@ -1,0 +1,277 @@
+package sim
+
+import "repro/internal/graph"
+
+// macState is the CSMA/CA state machine state.
+type macState int
+
+const (
+	macIdle macState = iota
+	macContending
+	macTransmitting
+	macWaitAck
+)
+
+// mac implements per-node 802.11 CSMA/CA: DIFS + binary-exponential backoff
+// with freeze-on-busy for channel access, SIFS-spaced MAC ACKs plus
+// retransmission for unicast frames, and fire-and-forget broadcast.
+type mac struct {
+	node  *Node
+	state macState
+
+	busy       int  // carrier-sense count of audible transmissions
+	backlogged bool // protocol asked for a transmission opportunity
+
+	// Contention state.
+	cw           int // current contention window (slots)
+	backoffSlots int // remaining backoff slots
+	backoffArmed bool
+	difsTimer    *Event
+	backoffTimer *Event
+	backoffStart Time
+
+	// Frame in progress.
+	cur      *Frame
+	retries  int
+	ackTimer *Event
+	onAir    int // own transmissions currently in flight
+
+	// MAC sequence numbers and duplicate suppression.
+	nextSeq uint64
+	seen    map[uint64]struct{} // (from<<40 | seq) of delivered unicasts
+}
+
+func newMAC(n *Node) *mac {
+	return &mac{
+		node: n,
+		cw:   n.sim.cfg.CWMin,
+		seen: make(map[uint64]struct{}),
+	}
+}
+
+// wake is called by the protocol when it has traffic.
+func (m *mac) wake() {
+	m.backlogged = true
+	if m.state == macIdle {
+		m.startContention()
+	}
+}
+
+func (m *mac) startContention() {
+	m.state = macContending
+	if !m.backoffArmed {
+		m.backoffSlots = m.node.sim.rng.Intn(m.cw + 1)
+		m.backoffArmed = true
+	}
+	if m.busy == 0 {
+		m.armDIFS()
+	}
+	// Otherwise carrierDown will arm DIFS when the medium clears.
+}
+
+func (m *mac) armDIFS() {
+	if m.difsTimer != nil {
+		m.difsTimer.Cancel()
+	}
+	m.difsTimer = m.node.sim.After(m.node.sim.cfg.DIFS, m.difsDone)
+}
+
+func (m *mac) difsDone() {
+	m.difsTimer = nil
+	if m.state != macContending || m.busy > 0 {
+		return
+	}
+	if m.backoffSlots == 0 {
+		m.transmitNow()
+		return
+	}
+	m.backoffStart = m.node.sim.now
+	dur := Time(m.backoffSlots) * m.node.sim.cfg.SlotTime
+	m.backoffTimer = m.node.sim.After(dur, m.backoffDone)
+}
+
+func (m *mac) backoffDone() {
+	m.backoffTimer = nil
+	if m.state != macContending {
+		return
+	}
+	m.backoffSlots = 0
+	m.transmitNow()
+}
+
+// carrierUp is called when a transmission this node can sense begins
+// (including its own).
+func (m *mac) carrierUp() {
+	m.busy++
+	if m.busy != 1 {
+		return
+	}
+	if m.difsTimer != nil {
+		m.difsTimer.Cancel()
+		m.difsTimer = nil
+	}
+	if m.backoffTimer != nil {
+		// Freeze: credit fully elapsed slots.
+		elapsed := int((m.node.sim.now - m.backoffStart) / m.node.sim.cfg.SlotTime)
+		if elapsed > m.backoffSlots {
+			elapsed = m.backoffSlots
+		}
+		m.backoffSlots -= elapsed
+		m.backoffTimer.Cancel()
+		m.backoffTimer = nil
+	}
+}
+
+// carrierDown is called when a sensed transmission ends.
+func (m *mac) carrierDown() {
+	m.busy--
+	if m.busy != 0 {
+		return
+	}
+	if m.state == macContending {
+		m.armDIFS()
+	}
+}
+
+// transmitNow fetches a frame if needed and puts it on the air.
+func (m *mac) transmitNow() {
+	if m.cur == nil {
+		m.cur = m.node.proto.Pull()
+		if m.cur == nil {
+			m.backlogged = false
+			m.state = macIdle
+			return
+		}
+		m.cur.From = m.node.id
+		m.nextSeq++
+		m.cur.seq = m.nextSeq
+		m.retries = 0
+	}
+	m.state = macTransmitting
+	m.node.sim.startTransmission(m.node, m.cur)
+}
+
+// txFinished is called when this node's own transmission leaves the air.
+func (m *mac) txFinished(tx *transmission) {
+	f := tx.frame
+	if f.isMACAck {
+		// ACK transmissions are side-band; resume whatever we were doing.
+		// Contention resumes via carrierDown of our own ACK.
+		return
+	}
+	if f.To == graph.Broadcast {
+		cur := m.cur
+		m.cur = nil
+		m.postTxReset(true)
+		m.node.proto.Sent(cur, true)
+		return
+	}
+	// Unicast: await the MAC ACK.
+	m.state = macWaitAck
+	cfg := m.node.sim.cfg
+	timeout := cfg.SIFS + AirTime(cfg.MACAckBytes, cfg.BasicRate) + 2*cfg.SlotTime
+	m.ackTimer = m.node.sim.After(timeout, m.ackTimeout)
+}
+
+func (m *mac) ackTimeout() {
+	m.ackTimer = nil
+	if m.state != macWaitAck {
+		return
+	}
+	m.retries++
+	if m.retries >= m.node.sim.cfg.RetryLimit {
+		cur := m.cur
+		cur.Retries = m.retries
+		m.cur = nil
+		m.node.sim.Counters.UnicastFailures++
+		m.postTxReset(true)
+		m.node.proto.Sent(cur, false)
+		return
+	}
+	// Exponential backoff and retry.
+	m.cw = min(2*(m.cw+1)-1, m.node.sim.cfg.CWMax)
+	m.backoffSlots = m.node.sim.rng.Intn(m.cw + 1)
+	m.backoffArmed = true
+	m.state = macContending
+	if m.busy == 0 {
+		m.armDIFS()
+	}
+}
+
+// postTxReset resets contention state after a frame completes (delivered,
+// dropped, or broadcast) and keeps contending if more traffic waits.
+// newBackoff forces a fresh post-transmission backoff draw.
+func (m *mac) postTxReset(newBackoff bool) {
+	m.cw = m.node.sim.cfg.CWMin
+	m.retries = 0
+	if newBackoff {
+		m.backoffSlots = m.node.sim.rng.Intn(m.cw + 1)
+		m.backoffArmed = true
+	}
+	if m.backlogged || m.cur != nil {
+		m.state = macContending
+		if m.busy == 0 {
+			m.armDIFS()
+		}
+	} else {
+		m.state = macIdle
+	}
+}
+
+// deliver hands a successfully decoded transmission to this node.
+func (m *mac) deliver(tx *transmission) {
+	f := tx.frame
+	if f.isMACAck {
+		if m.state == macWaitAck && f.To == m.node.id && f.ackFor.frame == m.cur {
+			if m.ackTimer != nil {
+				m.ackTimer.Cancel()
+				m.ackTimer = nil
+			}
+			cur := m.cur
+			cur.Retries = m.retries
+			m.cur = nil
+			m.node.sim.Counters.UnicastSuccesses++
+			m.postTxReset(true)
+			m.node.proto.Sent(cur, true)
+		}
+		return
+	}
+	if f.To == m.node.id {
+		// Acknowledge even duplicates (the sender missed our ACK).
+		m.scheduleMACAck(tx)
+		key := uint64(f.From)<<40 | f.seq
+		if _, dup := m.seen[key]; dup {
+			return
+		}
+		m.seen[key] = struct{}{}
+		m.node.proto.Receive(f)
+		return
+	}
+	// Broadcast or overheard unicast.
+	if f.To != graph.Broadcast {
+		key := uint64(f.From)<<40 | f.seq
+		if _, dup := m.seen[key]; dup {
+			return
+		}
+		m.seen[key] = struct{}{}
+	}
+	m.node.proto.Receive(f)
+}
+
+// scheduleMACAck sends the 802.11 ACK one SIFS after the data frame.
+func (m *mac) scheduleMACAck(dataTx *transmission) {
+	n := m.node
+	n.sim.After(n.sim.cfg.SIFS, func() {
+		if m.onAir > 0 {
+			return // radio busy; sender will time out and retry
+		}
+		ack := &Frame{
+			From:     n.id,
+			To:       dataTx.from.id,
+			Bytes:    n.sim.cfg.MACAckBytes,
+			isMACAck: true,
+			ackFor:   dataTx,
+		}
+		n.sim.startTransmission(n, ack)
+	})
+}

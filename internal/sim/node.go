@@ -1,0 +1,72 @@
+package sim
+
+import (
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// Protocol is the interface a routing protocol implements per node. The
+// simulator mirrors the real system's control flow (§3.3.3): the MAC pulls a
+// frame exactly when it wins a transmission opportunity, and pushes up every
+// successfully decoded frame — addressed, broadcast, or overheard.
+type Protocol interface {
+	// Init is called once, before any traffic, with the node handle.
+	Init(n *Node)
+
+	// Receive is called for every frame this node successfully decodes,
+	// including frames addressed elsewhere (promiscuous listening, which
+	// both MORE and ExOR depend on). Duplicate unicast retransmissions
+	// are suppressed by the MAC.
+	Receive(f *Frame)
+
+	// Pull is called when the MAC is ready to transmit. The protocol
+	// returns the frame to send, or nil if it has nothing; returning nil
+	// puts the MAC to sleep until Wake is called.
+	Pull() *Frame
+
+	// Sent reports the fate of a pulled frame: for unicast, whether the
+	// MAC-level ACK arrived within the retry limit; for broadcast, always
+	// true once the frame is on the air.
+	Sent(f *Frame, ok bool)
+}
+
+// Node is a simulated wireless router.
+type Node struct {
+	sim   *Simulator
+	id    graph.NodeID
+	proto Protocol
+	mac   *mac
+}
+
+func newNode(s *Simulator, id graph.NodeID) *Node {
+	n := &Node{sim: s, id: id}
+	n.mac = newMAC(n)
+	return n
+}
+
+// ID returns the node's identifier.
+func (n *Node) ID() graph.NodeID { return n.id }
+
+// Sim returns the owning simulator.
+func (n *Node) Sim() *Simulator { return n.sim }
+
+// Now returns the current simulated time.
+func (n *Node) Now() Time { return n.sim.now }
+
+// Rand returns the deterministic simulation RNG.
+func (n *Node) Rand() *rand.Rand { return n.sim.rng }
+
+// After schedules fn after delay; the returned event can be canceled.
+func (n *Node) After(delay Time, fn func()) *Event { return n.sim.After(delay, fn) }
+
+// Wake tells the MAC the protocol has traffic; the MAC will contend for the
+// medium and eventually call Pull.
+func (n *Node) Wake() { n.mac.wake() }
+
+// Busy reports whether the node's carrier sense currently detects energy.
+func (n *Node) Busy() bool { return n.mac.busy > 0 }
+
+// TxQueueActive reports whether the MAC is currently working on a frame
+// (contending, transmitting, or awaiting a MAC ACK).
+func (n *Node) TxQueueActive() bool { return n.mac.state != macIdle }

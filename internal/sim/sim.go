@@ -1,0 +1,444 @@
+package sim
+
+import (
+	"container/heap"
+	"math"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// Config parameterizes the simulated PHY and MAC.
+type Config struct {
+	// Seed drives all randomness in the run.
+	Seed int64
+
+	// DataRate is the rate for data frames unless a frame overrides it
+	// (autorate does). The paper runs most experiments at 5.5 Mb/s (§4.1.2).
+	DataRate Bitrate
+
+	// BasicRate is used for MAC ACK frames.
+	BasicRate Bitrate
+
+	// SlotTime, SIFS, DIFS are 802.11b MAC timings.
+	SlotTime Time
+	SIFS     Time
+	DIFS     Time
+
+	// CWMin and CWMax bound the contention window (in slots).
+	CWMin int
+	CWMax int
+
+	// RetryLimit is the maximum number of transmission attempts for a
+	// unicast frame before the MAC reports failure.
+	RetryLimit int
+
+	// MACAckBytes is the size of a MAC-level ACK frame.
+	MACAckBytes int
+
+	// SenseThreshold: node j's carrier sense detects i's transmission when
+	// the delivery probability i->j at the reference rate exceeds this.
+	SenseThreshold float64
+
+	// SenseRange, when positive, extends carrier sense by geometry: node j
+	// also senses i when their positions are within this many meters.
+	// 802.11 energy detection reaches well beyond the decodable range, so
+	// realistic meshes are mostly carrier-sense connected even where no
+	// usable link exists; leaving this zero keeps sensing purely
+	// probability-based (useful for synthetic matrix topologies).
+	SenseRange float64
+
+	// InterferenceThreshold: a concurrent transmission from k corrupts
+	// reception at j when p(k->j) exceeds this (subject to capture).
+	InterferenceThreshold float64
+
+	// CaptureEnabled allows the stronger of two overlapping frames to
+	// survive at a receiver (§4.2.3 credits the capture effect for much of
+	// MORE's gain on short paths).
+	CaptureEnabled bool
+	// CaptureMargin is the required strength difference in log-odds of the
+	// delivery probabilities: frame from i survives interference from k at
+	// receiver j when logit(p_ij) - logit(p_kj) >= CaptureMargin. Delivery
+	// probability is a steep function of SINR, so log-odds distance is the
+	// natural stand-in for the dB margin real capture needs.
+	CaptureMargin float64
+
+	// RateAdjust maps the topology's reference-rate delivery probability
+	// to the probability at the transmit rate. Nil keeps probabilities
+	// rate-independent (fine when every frame uses the reference rate).
+	RateAdjust func(pRef float64, rate Bitrate) float64
+
+	// RefFrameBytes, when positive, makes delivery probability depend on
+	// frame length: the topology's probabilities are taken as the frame
+	// error behaviour of a RefFrameBytes-byte frame, and a b-byte frame
+	// succeeds with p^(b/RefFrameBytes) — the independent-bit-error model.
+	// Short frames (MAC ACKs, batch ACKs, probes, ExOR gossip) then ride
+	// far more reliably than full data frames, as on real hardware. Zero
+	// keeps delivery size-independent.
+	RefFrameBytes int
+
+	// MinFrameBytes floors the effective size in the RefFrameBytes model:
+	// even a tiny frame pays preamble detection and fading bursts, so its
+	// delivery never beats that of a MinFrameBytes-byte frame. Zero
+	// defaults to RefFrameBytes/10.
+	MinFrameBytes int
+}
+
+// DefaultConfig returns 802.11b-ish parameters matching the testbed setup.
+func DefaultConfig() Config {
+	return Config{
+		Seed:                  1,
+		DataRate:              Rate5_5,
+		BasicRate:             Rate2,
+		SlotTime:              20 * Microsecond,
+		SIFS:                  10 * Microsecond,
+		DIFS:                  50 * Microsecond,
+		CWMin:                 31,
+		CWMax:                 1023,
+		RetryLimit:            7,
+		MACAckBytes:           14,
+		SenseThreshold:        0.01,
+		InterferenceThreshold: 0.01,
+		CaptureEnabled:        true,
+		CaptureMargin:         2.0,
+	}
+}
+
+// Frame is a MAC-layer frame.
+type Frame struct {
+	From graph.NodeID
+	// To is the MAC destination; graph.Broadcast means broadcast (no MAC
+	// ACK, no retransmission).
+	To graph.NodeID
+	// Bytes is the on-air frame size including all headers.
+	Bytes int
+	// Rate overrides the configured data rate when nonzero.
+	Rate Bitrate
+	// Payload carries the protocol message. The simulator never inspects it.
+	Payload interface{}
+
+	// Retries is filled in by the MAC before the Sent callback: how many
+	// retransmissions the frame needed (0 = first attempt succeeded).
+	// Autorate algorithms feed on it.
+	Retries int
+
+	seq      uint64 // MAC sequence number for duplicate suppression
+	isMACAck bool
+	ackFor   *transmission
+}
+
+// Counters aggregates statistics over a run.
+type Counters struct {
+	Transmissions    int64 // data frame transmission attempts (incl. retries)
+	MACAcks          int64
+	Deliveries       int64 // successful frame decodes (any addressee)
+	Collisions       int64 // receptions destroyed by interference
+	ChannelLosses    int64 // receptions lost to the Bernoulli channel draw
+	UnicastSuccesses int64
+	UnicastFailures  int64 // unicast frames dropped after retry limit
+	AirTime          Time  // total on-air time of all transmissions
+	AirTimeByRate    map[Bitrate]Time
+	TxByRate         map[Bitrate]int64
+	TxByNode         []int64
+}
+
+// Simulator is the event loop plus medium state.
+type Simulator struct {
+	cfg   Config
+	topo  *graph.Topology
+	now   Time
+	seq   uint64
+	queue eventHeap
+	rng   *rand.Rand
+	nodes []*Node
+
+	active   []*transmission
+	Counters Counters
+
+	// Trace, when set, receives a line per interesting medium event.
+	Trace func(format string, args ...interface{})
+}
+
+// transmission is a frame in flight.
+type transmission struct {
+	frame    *Frame
+	from     *Node
+	start    Time
+	end      Time
+	rate     Bitrate
+	overlaps []*transmission // other transmissions overlapping in time
+	done     bool
+}
+
+// New creates a simulator over the topology.
+func New(topo *graph.Topology, cfg Config) *Simulator {
+	if cfg.DataRate == 0 {
+		cfg.DataRate = Rate5_5
+	}
+	if cfg.BasicRate == 0 {
+		cfg.BasicRate = Rate2
+	}
+	s := &Simulator{
+		cfg:  cfg,
+		topo: topo,
+		rng:  rand.New(rand.NewSource(cfg.Seed)),
+	}
+	s.Counters.AirTimeByRate = make(map[Bitrate]Time)
+	s.Counters.TxByRate = make(map[Bitrate]int64)
+	s.Counters.TxByNode = make([]int64, topo.N())
+	s.nodes = make([]*Node, topo.N())
+	for i := range s.nodes {
+		s.nodes[i] = newNode(s, graph.NodeID(i))
+	}
+	return s
+}
+
+// Node returns the node with the given ID.
+func (s *Simulator) Node(id graph.NodeID) *Node { return s.nodes[id] }
+
+// Nodes returns all nodes.
+func (s *Simulator) Nodes() []*Node { return s.nodes }
+
+// Topology returns the topology the simulator runs over.
+func (s *Simulator) Topology() *graph.Topology { return s.topo }
+
+// Config returns the active configuration.
+func (s *Simulator) Config() Config { return s.cfg }
+
+// Now returns the current simulated time.
+func (s *Simulator) Now() Time { return s.now }
+
+// Rand returns the simulation's RNG. Protocols must use this (or a
+// derived generator) so runs stay deterministic.
+func (s *Simulator) Rand() *rand.Rand { return s.rng }
+
+// Attach installs a protocol on a node and calls its Init hook.
+func (s *Simulator) Attach(id graph.NodeID, p Protocol) {
+	n := s.nodes[id]
+	n.proto = p
+	p.Init(n)
+}
+
+// Run processes events until the queue empties or the deadline passes.
+// It returns the time of the last processed event.
+func (s *Simulator) Run(until Time) Time {
+	return s.RunWhile(until, nil)
+}
+
+// RunWhile processes events until the queue empties, the deadline passes,
+// or cond (if non-nil) returns false. cond is checked after every event.
+func (s *Simulator) RunWhile(until Time, cond func() bool) Time {
+	for len(s.queue) > 0 {
+		e := s.queue[0]
+		if e.at > until {
+			break
+		}
+		heap.Pop(&s.queue)
+		if e.canceled {
+			continue
+		}
+		s.now = e.at
+		e.fn()
+		if cond != nil && !cond() {
+			break
+		}
+	}
+	if s.now > until {
+		s.now = until
+	}
+	return s.now
+}
+
+// Pending reports how many events are queued (canceled events included).
+func (s *Simulator) Pending() int { return len(s.queue) }
+
+func (s *Simulator) tracef(format string, args ...interface{}) {
+	if s.Trace != nil {
+		s.Trace("%s "+format, append([]interface{}{s.now}, args...)...)
+	}
+}
+
+// deliveryProb returns the delivery probability from a to b at the frame's
+// rate and size.
+func (s *Simulator) deliveryProb(a, b graph.NodeID, rate Bitrate, bytes int) float64 {
+	p := s.topo.Prob(a, b)
+	if s.cfg.RateAdjust != nil {
+		p = s.cfg.RateAdjust(p, rate)
+	}
+	if s.cfg.RefFrameBytes > 0 && bytes > 0 && p > 0 && p < 1 {
+		minB := s.cfg.MinFrameBytes
+		if minB <= 0 {
+			minB = s.cfg.RefFrameBytes / 10
+		}
+		if bytes < minB {
+			bytes = minB
+		}
+		p = math.Pow(p, float64(bytes)/float64(s.cfg.RefFrameBytes))
+	}
+	return p
+}
+
+// senses reports whether node b's carrier sense detects a transmission
+// from node a.
+func (s *Simulator) senses(a, b graph.NodeID) bool {
+	if a == b {
+		return true
+	}
+	if s.topo.Prob(a, b) > s.cfg.SenseThreshold {
+		return true
+	}
+	if s.cfg.SenseRange > 0 &&
+		s.topo.Pos[a].Distance(s.topo.Pos[b]) <= s.cfg.SenseRange {
+		return true
+	}
+	return false
+}
+
+// startTransmission puts a frame on the air from node n.
+func (s *Simulator) startTransmission(n *Node, f *Frame) *transmission {
+	rate := f.Rate
+	if rate == 0 {
+		if f.isMACAck {
+			rate = s.cfg.BasicRate
+		} else {
+			rate = s.cfg.DataRate
+		}
+		f.Rate = rate
+	}
+	dur := AirTime(f.Bytes, rate)
+	tx := &transmission{
+		frame: f,
+		from:  n,
+		start: s.now,
+		end:   s.now + dur,
+		rate:  rate,
+	}
+	// Record mutual overlaps with everything already on the air.
+	for _, other := range s.active {
+		other.overlaps = append(other.overlaps, tx)
+		tx.overlaps = append(tx.overlaps, other)
+	}
+	s.active = append(s.active, tx)
+	n.mac.onAir++
+
+	if f.isMACAck {
+		s.Counters.MACAcks++
+	} else {
+		s.Counters.Transmissions++
+		s.Counters.TxByNode[n.id]++
+	}
+	s.Counters.AirTime += dur
+	s.Counters.AirTimeByRate[rate] += dur
+	s.Counters.TxByRate[rate]++
+
+	// Raise carrier at every sensing node (including the transmitter).
+	for _, other := range s.nodes {
+		if s.senses(n.id, other.id) {
+			other.mac.carrierUp()
+		}
+	}
+	s.tracef("tx start node=%d to=%d bytes=%d rate=%v ack=%v", n.id, f.To, f.Bytes, rate, f.isMACAck)
+
+	s.After(dur, func() { s.endTransmission(tx) })
+	return tx
+}
+
+// endTransmission takes the frame off the air and resolves reception at
+// every node.
+func (s *Simulator) endTransmission(tx *transmission) {
+	tx.done = true
+	for i, a := range s.active {
+		if a == tx {
+			s.active = append(s.active[:i], s.active[i+1:]...)
+			break
+		}
+	}
+	// Drop carrier at every sensing node.
+	for _, other := range s.nodes {
+		if s.senses(tx.from.id, other.id) {
+			other.mac.carrierDown()
+		}
+	}
+
+	for _, rcv := range s.nodes {
+		if rcv.id == tx.from.id {
+			continue
+		}
+		outcome := s.receptionOutcome(tx, rcv)
+		switch outcome {
+		case rxOK:
+			s.Counters.Deliveries++
+			rcv.mac.deliver(tx)
+		case rxCollision:
+			s.Counters.Collisions++
+		case rxChannelLoss:
+			s.Counters.ChannelLosses++
+		case rxOutOfRange:
+		}
+	}
+	tx.from.mac.onAir--
+	tx.from.mac.txFinished(tx)
+}
+
+// logit maps a probability to log-odds, clamped for the extremes.
+func logit(p float64) float64 {
+	if p <= 1e-6 {
+		return -14
+	}
+	if p >= 1-1e-6 {
+		return 14
+	}
+	return math.Log(p / (1 - p))
+}
+
+type rxOutcome int
+
+const (
+	rxOK rxOutcome = iota
+	rxOutOfRange
+	rxChannelLoss
+	rxCollision
+)
+
+// receptionOutcome decides whether receiver rcv decodes transmission tx.
+func (s *Simulator) receptionOutcome(tx *transmission, rcv *Node) rxOutcome {
+	p := s.deliveryProb(tx.from.id, rcv.id, tx.rate, tx.frame.Bytes)
+	if p <= 0 {
+		return rxOutOfRange
+	}
+	// A half-duplex radio cannot receive while transmitting.
+	for _, other := range tx.overlaps {
+		if other.from.id == rcv.id {
+			return rxCollision
+		}
+	}
+	// Interference from overlapping transmissions audible at rcv.
+	for _, other := range tx.overlaps {
+		// Interference strength uses the raw (reference) probability: a
+		// loud neighbor corrupts regardless of its own frame's length.
+		pi := s.deliveryProb(other.from.id, rcv.id, other.rate, 0)
+		if pi <= s.cfg.InterferenceThreshold {
+			continue
+		}
+		if s.cfg.CaptureEnabled && logit(p)-logit(pi) >= s.cfg.CaptureMargin {
+			continue // captured: our frame is much stronger at rcv
+		}
+		return rxCollision
+	}
+	if s.rng.Float64() >= p {
+		return rxChannelLoss
+	}
+	return rxOK
+}
+
+// Utilization returns the medium utilization over an elapsed interval:
+// total on-air transmission time divided by wall time. Values above 1 mean
+// transmissions overlapped — the direct signature of spatial reuse (§4.2.3):
+// a strictly scheduled protocol like ExOR cannot exceed 1 for a single
+// flow, while MORE can.
+func (c *Counters) Utilization(elapsed Time) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(c.AirTime) / float64(elapsed)
+}

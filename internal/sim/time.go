@@ -1,0 +1,88 @@
+// Package sim is a deterministic discrete-event simulator of a lossy
+// 802.11b wireless mesh. It supplies the substrate the thesis' testbed
+// provided: a broadcast medium with independent per-receiver losses
+// (§5.3.1), CSMA/CA medium access with binary exponential backoff, MAC-level
+// ACKs and retransmissions for unicast frames, interference with an optional
+// capture effect, and carrier sense that permits spatial reuse — the
+// property MORE exploits and ExOR's scheduler forfeits (§4.2.3).
+//
+// Protocols plug in per node through the Protocol interface, which mirrors
+// the control flow of the real implementation (§3.3.3): the MAC asks the
+// protocol for a frame exactly when it wins a transmission opportunity, and
+// hands up every successfully decoded frame, addressed or overheard.
+//
+// The simulator is single-threaded and deterministic: the same seed and
+// workload produce bit-identical runs.
+package sim
+
+import "fmt"
+
+// Time is simulated time in nanoseconds since the start of the run.
+type Time int64
+
+// Common durations.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Seconds converts t to floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// String renders t with a sensible unit.
+func (t Time) String() string {
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%.3fs", t.Seconds())
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	case t >= Microsecond:
+		return fmt.Sprintf("%.1fus", float64(t)/float64(Microsecond))
+	default:
+		return fmt.Sprintf("%dns", int64(t))
+	}
+}
+
+// Bitrate is an 802.11b modulation rate in megabits per second.
+type Bitrate float64
+
+// 802.11b rates.
+const (
+	Rate1   Bitrate = 1
+	Rate2   Bitrate = 2
+	Rate5_5 Bitrate = 5.5
+	Rate11  Bitrate = 11
+)
+
+// Rates lists the 802.11b rate set in ascending order (used by autorate).
+var Rates = []Bitrate{Rate1, Rate2, Rate5_5, Rate11}
+
+// String renders the rate.
+func (r Bitrate) String() string {
+	if r == Rate5_5 {
+		return "5.5Mbps"
+	}
+	return fmt.Sprintf("%gMbps", float64(r))
+}
+
+// PLCPOverhead is the 802.11b long-preamble PLCP preamble + header time,
+// paid by every frame regardless of rate.
+const PLCPOverhead = 192 * Microsecond
+
+// AirTime returns the on-air duration of a frame of the given size.
+func AirTime(bytes int, rate Bitrate) Time {
+	if rate <= 0 {
+		panic("sim: nonpositive bitrate")
+	}
+	bits := float64(bytes * 8)
+	us := bits / float64(rate) // Mb/s == bits/µs
+	return PLCPOverhead + Time(us*float64(Microsecond))
+}
+
+// AdaptRateScale wraps a (pRef, rateMbps) probability-scaling function —
+// e.g. graph.RateScale — into the Config.RateAdjust signature.
+func AdaptRateScale(f func(pRef, rateMbps float64) float64) func(float64, Bitrate) float64 {
+	return func(p float64, r Bitrate) float64 { return f(p, float64(r)) }
+}

@@ -1,0 +1,97 @@
+package srcr
+
+import "repro/internal/sim"
+
+// OnoeConfig tunes the Onoe-style credit-based bit-rate selection the
+// MadWifi driver uses (§4.4). Onoe evaluates a window of transmission
+// outcomes once per period: heavy retransmission drops the rate immediately;
+// clean windows accumulate credit, and enough credit earns a raise.
+type OnoeConfig struct {
+	// Period between rate decisions.
+	Period sim.Time
+	// RaiseCredit is the credit needed to move up one rate.
+	RaiseCredit int
+	// DownRetryFrac lowers the rate when retries/frame exceeds it.
+	DownRetryFrac float64
+	// CreditRetryFrac earns credit when retries/frame stays below it.
+	CreditRetryFrac float64
+}
+
+// DefaultOnoeConfig matches the classic MadWifi parameters (1 s period,
+// 10 credits to raise, lower on >50% retry, credit under 10% retry).
+func DefaultOnoeConfig() OnoeConfig {
+	return OnoeConfig{
+		Period:          sim.Second,
+		RaiseCredit:     10,
+		DownRetryFrac:   0.5,
+		CreditRetryFrac: 0.1,
+	}
+}
+
+// Onoe tracks one neighbor's rate state.
+type Onoe struct {
+	cfg     OnoeConfig
+	rateIdx int
+	credit  int
+
+	// Window counters.
+	frames   int
+	retries  int
+	failures int
+}
+
+// NewOnoe starts at the highest rate (as MadWifi does) and schedules the
+// periodic evaluation on the node's timer wheel.
+func NewOnoe(cfg OnoeConfig, node *sim.Node) *Onoe {
+	if cfg.Period == 0 {
+		cfg = DefaultOnoeConfig()
+	}
+	o := &Onoe{cfg: cfg, rateIdx: len(sim.Rates) - 1}
+	var tick func()
+	tick = func() {
+		o.evaluate()
+		node.After(cfg.Period, tick)
+	}
+	node.After(cfg.Period, tick)
+	return o
+}
+
+// Rate returns the current bit-rate for this neighbor.
+func (o *Onoe) Rate() sim.Bitrate { return sim.Rates[o.rateIdx] }
+
+// Report feeds one MAC-completed frame into the window.
+func (o *Onoe) Report(retries int, ok bool) {
+	o.frames++
+	o.retries += retries
+	if !ok {
+		o.failures++
+	}
+}
+
+// evaluate applies the Onoe decision rules at the end of a window.
+func (o *Onoe) evaluate() {
+	if o.frames == 0 {
+		return
+	}
+	retryFrac := float64(o.retries) / float64(o.frames)
+	switch {
+	case o.failures > o.frames/2 || retryFrac > o.cfg.DownRetryFrac:
+		if o.rateIdx > 0 {
+			o.rateIdx--
+		}
+		o.credit = 0
+	case retryFrac < o.cfg.CreditRetryFrac:
+		o.credit++
+		if o.credit >= o.cfg.RaiseCredit {
+			if o.rateIdx < len(sim.Rates)-1 {
+				o.rateIdx++
+			}
+			o.credit = 0
+		}
+	default:
+		if o.credit > 0 {
+			o.credit--
+		}
+	}
+	o.frames, o.retries, o.failures = 0, 0, 0
+}

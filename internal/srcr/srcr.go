@@ -1,0 +1,384 @@
+// Package srcr implements the traditional best-path baseline of the
+// evaluation: Srcr (Bicket et al.), a source-routed protocol that picks the
+// ETX-shortest path with Dijkstra and relays packets hop by hop over
+// 802.11 unicast with MAC retransmissions (§4.1.1). Routers keep a 50-packet
+// drop-tail queue (§4.1.2). The package also implements an Onoe-style
+// credit-based autorate algorithm (§4.4) selecting among the 802.11b rates.
+package srcr
+
+import (
+	"fmt"
+
+	"repro/internal/flow"
+	"repro/internal/graph"
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// Config parameterizes Srcr.
+type Config struct {
+	// PayloadSize is the data payload per packet (1500 B in the paper).
+	PayloadSize int
+	// QueueSize bounds each router's output queue (50 in §4.1.2).
+	QueueSize int
+	// Autorate enables Onoe-style bit-rate selection per neighbor; when
+	// false frames use FixedRate (or the simulator default when zero).
+	Autorate bool
+	// FixedRate pins the data bit-rate when Autorate is off.
+	FixedRate sim.Bitrate
+	// Onoe tunes the autorate algorithm.
+	Onoe OnoeConfig
+	// Reliable runs the end-to-end NACK ARQ (see reliable.go) so the
+	// transfer completes like MORE's and ExOR's do. Off, the source sends
+	// each packet once and losses are final.
+	Reliable bool
+}
+
+// DefaultConfig matches the paper's setup.
+func DefaultConfig() Config {
+	return Config{
+		PayloadSize: 1500,
+		QueueSize:   50,
+		Onoe:        DefaultOnoeConfig(),
+	}
+}
+
+// DataMsg is a Srcr data packet: a source-route header plus payload.
+type DataMsg struct {
+	Flow    flow.ID
+	Seq     int
+	Route   []graph.NodeID // full path, Route[0] == source
+	Hop     int            // index of the current holder in Route
+	Payload []byte
+}
+
+func (m *DataMsg) wireBytes() int {
+	h := packet.SrcrHeader{Route: m.Route}
+	return h.EncodedSize() + len(m.Payload)
+}
+
+// Node is the Srcr instance on one router.
+type Node struct {
+	cfg    Config
+	node   *sim.Node
+	oracle *flow.Oracle
+
+	queue   []*DataMsg   // forwarding queue, drop tail
+	control []*sim.Frame // FIN/NACK control messages (prioritized)
+	sources map[flow.ID]*sourceState
+	sinks   map[flow.ID]*sinkState
+	onoe    map[graph.NodeID]*Onoe
+
+	// Counters.
+	QueueDrops int64
+	MACDrops   int64
+	Forwarded  int64
+}
+
+type sourceState struct {
+	id       flow.ID
+	route    []graph.NodeID
+	payloads [][]byte
+	nextSeq  int
+	inFlight bool
+	result   flow.Result
+	done     bool
+	onDone   func(flow.Result)
+
+	// Reliable-mode state.
+	pending      []int // sequence numbers still to (re)send this pass
+	pass         int
+	awaitingNack bool
+	finTimer     *sim.Event
+}
+
+type sinkState struct {
+	id        flow.ID
+	delivered int
+	result    flow.Result
+	verify    [][]byte
+	haveSeq   []bool // per-sequence delivery (e2e duplicate suppression)
+	onDone    func(flow.Result)
+	done      bool
+}
+
+// NewNode creates a Srcr node; attach with sim.Attach.
+func NewNode(cfg Config, oracle *flow.Oracle) *Node {
+	if cfg.QueueSize <= 0 {
+		cfg.QueueSize = 50
+	}
+	return &Node{
+		cfg:     cfg,
+		oracle:  oracle,
+		sources: make(map[flow.ID]*sourceState),
+		sinks:   make(map[flow.ID]*sinkState),
+		onoe:    make(map[graph.NodeID]*Onoe),
+	}
+}
+
+// Init implements sim.Protocol.
+func (n *Node) Init(sn *sim.Node) { n.node = sn }
+
+// StartFlow begins a best-path transfer of file to dst. The source is
+// backlogged: it generates the next packet whenever the previous one clears
+// the MAC. onDone fires when every packet has been either delivered
+// downstream or dropped (Srcr has no end-to-end retransmission).
+func (n *Node) StartFlow(id flow.ID, dst graph.NodeID, file flow.File, onDone func(flow.Result)) error {
+	if _, dup := n.sources[id]; dup {
+		return fmt.Errorf("srcr: duplicate flow %d", id)
+	}
+	route := n.oracle.Path(n.node.ID(), dst)
+	if route == nil {
+		return fmt.Errorf("srcr: no route %d -> %d", n.node.ID(), dst)
+	}
+	st := &sourceState{
+		id:       id,
+		route:    route,
+		payloads: file.Payloads(),
+		onDone:   onDone,
+	}
+	if n.cfg.Reliable {
+		st.startPassTracking(len(st.payloads))
+	}
+	st.result = flow.Result{
+		Src: n.node.ID(), Dst: dst,
+		PacketsTotal: file.NumPackets(),
+		Start:        n.node.Now(),
+	}
+	n.sources[id] = st
+	n.node.Wake()
+	return nil
+}
+
+// ExpectFlow wires up destination-side verification and reporting.
+func (n *Node) ExpectFlow(id flow.ID, file flow.File, onDone func(flow.Result)) {
+	s := &sinkState{id: id, verify: file.Payloads(), onDone: onDone}
+	s.haveSeq = make([]bool, file.NumPackets())
+	s.result = flow.Result{Dst: n.node.ID(), PacketsTotal: file.NumPackets(), Verified: true}
+	n.sinks[id] = s
+}
+
+// Result returns this node's view of a flow's outcome.
+func (n *Node) Result(id flow.ID) flow.Result {
+	if s, ok := n.sinks[id]; ok {
+		return s.result
+	}
+	if s, ok := n.sources[id]; ok {
+		return s.result
+	}
+	return flow.Result{}
+}
+
+// SourceFinished reports whether the source has handed every packet to the
+// MAC (delivered or dropped along the way).
+func (n *Node) SourceFinished(id flow.ID) bool {
+	s, ok := n.sources[id]
+	return ok && s.done
+}
+
+// QueueLen exposes the forwarding queue depth (for tests).
+func (n *Node) QueueLen() int { return len(n.queue) }
+
+// Receive implements sim.Protocol.
+func (n *Node) Receive(f *sim.Frame) {
+	switch m := f.Payload.(type) {
+	case *FinMsg:
+		n.receiveFin(f, m)
+		return
+	case *NackMsg:
+		n.receiveNack(f, m)
+		return
+	}
+	m, ok := f.Payload.(*DataMsg)
+	if !ok || f.To != n.node.ID() {
+		return // Srcr ignores overheard traffic: point-to-point abstraction
+	}
+	if m.Hop+1 >= len(m.Route) || m.Route[m.Hop+1] != n.node.ID() {
+		return
+	}
+	next := &DataMsg{Flow: m.Flow, Seq: m.Seq, Route: m.Route, Hop: m.Hop + 1, Payload: m.Payload}
+	if next.Hop == len(next.Route)-1 {
+		n.deliver(next)
+		return
+	}
+	if len(n.queue) >= n.cfg.QueueSize {
+		n.QueueDrops++
+		return
+	}
+	n.queue = append(n.queue, next)
+	n.node.Wake()
+}
+
+func (n *Node) deliver(m *DataMsg) {
+	s, ok := n.sinks[m.Flow]
+	if !ok {
+		s = &sinkState{id: m.Flow}
+		s.result = flow.Result{Dst: n.node.ID(), Verified: true}
+		n.sinks[m.Flow] = s
+	}
+	if s.result.Start == 0 && s.delivered == 0 {
+		s.result.Start = n.node.Now()
+		s.result.Src = m.Route[0]
+	}
+	if s.haveSeq != nil {
+		if m.Seq >= len(s.haveSeq) || s.haveSeq[m.Seq] {
+			return // duplicate from a later reliability pass
+		}
+		s.haveSeq[m.Seq] = true
+	}
+	s.delivered++
+	s.result.PacketsDelivered = s.delivered
+	s.result.End = n.node.Now()
+	if s.verify != nil {
+		if m.Seq >= len(s.verify) || !bytesEqual(m.Payload, s.verify[m.Seq]) {
+			s.result.Verified = false
+		}
+	}
+	if s.verify != nil && s.delivered == len(s.verify) && !s.done {
+		s.done = true
+		s.result.Completed = true
+		if s.onDone != nil {
+			s.onDone(s.result)
+		}
+	}
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Pull implements sim.Protocol: control messages first, then forwarding,
+// then source traffic.
+func (n *Node) Pull() *sim.Frame {
+	if len(n.control) > 0 {
+		fr := n.control[0]
+		n.control = n.control[1:]
+		return fr
+	}
+	if len(n.queue) > 0 {
+		m := n.queue[0]
+		n.queue = n.queue[1:]
+		return n.frameFor(m)
+	}
+	for _, st := range n.sources {
+		if st.done || st.inFlight {
+			continue
+		}
+		var seq int
+		if n.cfg.Reliable {
+			if st.awaitingNack || len(st.pending) == 0 {
+				continue
+			}
+			seq = st.pending[0]
+			st.pending = st.pending[1:]
+		} else {
+			if st.nextSeq >= len(st.payloads) {
+				continue
+			}
+			seq = st.nextSeq
+			st.nextSeq++
+		}
+		m := &DataMsg{
+			Flow:    st.id,
+			Seq:     seq,
+			Route:   st.route,
+			Hop:     0,
+			Payload: st.payloads[seq],
+		}
+		st.inFlight = true
+		return n.frameFor(m)
+	}
+	return nil
+}
+
+func (n *Node) frameFor(m *DataMsg) *sim.Frame {
+	to := m.Route[m.Hop+1]
+	f := &sim.Frame{
+		From:    n.node.ID(),
+		To:      to,
+		Bytes:   m.wireBytes(),
+		Payload: m,
+	}
+	if n.cfg.Autorate {
+		f.Rate = n.onoeFor(to).Rate()
+	} else if n.cfg.FixedRate != 0 {
+		f.Rate = n.cfg.FixedRate
+	}
+	return f
+}
+
+func (n *Node) onoeFor(neighbor graph.NodeID) *Onoe {
+	o, ok := n.onoe[neighbor]
+	if !ok {
+		o = NewOnoe(n.cfg.Onoe, n.node)
+		n.onoe[neighbor] = o
+	}
+	return o
+}
+
+// Sent implements sim.Protocol.
+func (n *Node) Sent(f *sim.Frame, ok bool) {
+	switch f.Payload.(type) {
+	case *FinMsg, *NackMsg:
+		if !ok {
+			n.control = append(n.control, f) // retry until delivered
+		}
+		n.node.Wake()
+		return
+	}
+	m, isData := f.Payload.(*DataMsg)
+	if !isData {
+		return
+	}
+	if n.cfg.Autorate {
+		n.onoeFor(f.To).Report(f.Retries, ok)
+	}
+	if !ok {
+		n.MACDrops++
+	} else if m.Hop > 0 {
+		n.Forwarded++
+	}
+	if m.Hop == 0 {
+		if st, okf := n.sources[m.Flow]; okf {
+			st.inFlight = false
+			if n.cfg.Reliable {
+				if !st.done && len(st.pending) == 0 && !st.awaitingNack {
+					n.finishPass(st)
+				}
+			} else if st.nextSeq >= len(st.payloads) {
+				st.done = true
+				st.result.End = n.node.Now()
+				if st.onDone != nil {
+					st.onDone(st.result)
+				}
+			}
+		}
+	}
+	if len(n.queue) > 0 || len(n.control) > 0 || n.hasPendingSource() {
+		n.node.Wake()
+	}
+}
+
+func (n *Node) hasPendingSource() bool {
+	for _, st := range n.sources {
+		if st.done || st.inFlight {
+			continue
+		}
+		if n.cfg.Reliable {
+			if !st.awaitingNack && len(st.pending) > 0 {
+				return true
+			}
+		} else if st.nextSeq < len(st.payloads) {
+			return true
+		}
+	}
+	return false
+}

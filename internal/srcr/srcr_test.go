@@ -1,0 +1,203 @@
+package srcr
+
+import (
+	"testing"
+
+	"repro/internal/flow"
+	"repro/internal/graph"
+	"repro/internal/routing"
+	"repro/internal/sim"
+)
+
+func runSrcr(t *testing.T, topo *graph.Topology, cfg Config, simCfg sim.Config,
+	src, dst graph.NodeID, file flow.File, deadline sim.Time) (flow.Result, *sim.Simulator, []*Node) {
+	t.Helper()
+	s := sim.New(topo, simCfg)
+	oracle := flow.NewOracle(topo, routing.ETXOptions{Threshold: 0.15, AckAware: true})
+	nodes := make([]*Node, topo.N())
+	for i := range nodes {
+		nodes[i] = NewNode(cfg, oracle)
+		s.Attach(graph.NodeID(i), nodes[i])
+	}
+	nodes[dst].ExpectFlow(1, file, nil)
+	if err := nodes[src].StartFlow(1, dst, file, nil); err != nil {
+		t.Fatal(err)
+	}
+	s.RunWhile(deadline, func() bool {
+		if !nodes[src].SourceFinished(1) {
+			return true
+		}
+		// Stop once the pipeline drains.
+		for _, n := range nodes {
+			if n.QueueLen() > 0 || n.node.TxQueueActive() {
+				return true
+			}
+		}
+		return false
+	})
+	return nodes[dst].Result(1), s, nodes
+}
+
+func TestPerfectLinkDeliversEverything(t *testing.T) {
+	topo := graph.Line(2, 1.0, 10)
+	file := flow.NewFile(100*1500, 1500, 1)
+	res, _, _ := runSrcr(t, topo, DefaultConfig(), sim.DefaultConfig(), 0, 1, file, 300*sim.Second)
+	if res.PacketsDelivered != 100 || !res.Verified || !res.Completed {
+		t.Fatalf("perfect link: %v", res)
+	}
+}
+
+func TestPerfectChainHiddenTerminalLoss(t *testing.T) {
+	// Even with perfect links, a 3-hop chain suffers hidden-terminal
+	// collisions (node 0 and node 2 cannot sense each other), so a few
+	// frames exhaust their retries. RTS/CTS is disabled as in §4.1.
+	topo := graph.Line(4, 1.0, 10)
+	file := flow.NewFile(100*1500, 1500, 1)
+	res, s, _ := runSrcr(t, topo, DefaultConfig(), sim.DefaultConfig(), 0, 3, file, 300*sim.Second)
+	if res.PacketsDelivered < 85 || !res.Verified {
+		t.Fatalf("perfect chain: %v", res)
+	}
+	if s.Counters.Collisions == 0 {
+		t.Fatal("expected hidden-terminal collisions on a 3-hop chain")
+	}
+}
+
+func TestLossyLinkLosesSomePackets(t *testing.T) {
+	// Per hop, the data gets through within 7 attempts with prob
+	// 1-0.5^7 ≈ 0.992 (receiver-side dedup means an ACK-loss retry still
+	// counts once), so two hops deliver ≈ 98% and the rest is lost —
+	// Srcr has no end-to-end retransmission.
+	topo := graph.Line(3, 0.5, 10)
+	file := flow.NewFile(300*1500, 1500, 2)
+	res, _, nodes := runSrcr(t, topo, DefaultConfig(), sim.DefaultConfig(), 0, 2, file, 600*sim.Second)
+	if res.PacketsDelivered == 0 {
+		t.Fatal("nothing delivered")
+	}
+	frac := float64(res.PacketsDelivered) / 300
+	if frac < 0.9 || frac > 0.999 {
+		t.Fatalf("delivered fraction %.3f, want ≈0.98 for 2 hops of p=0.5", frac)
+	}
+	drops := nodes[0].MACDrops + nodes[1].MACDrops
+	if drops == 0 {
+		t.Fatal("no MAC drops recorded on a lossy path")
+	}
+}
+
+func TestRouteFollowsETX(t *testing.T) {
+	// Good 2-hop path must beat a poor direct link.
+	topo := graph.New(3)
+	topo.SetLink(0, 1, 0.95)
+	topo.SetLink(1, 2, 0.95)
+	topo.SetLink(0, 2, 0.3)
+	file := flow.NewFile(50*1500, 1500, 3)
+	res, s, _ := runSrcr(t, topo, DefaultConfig(), sim.DefaultConfig(), 0, 2, file, 300*sim.Second)
+	if res.PacketsDelivered < 45 {
+		t.Fatalf("delivered %d/50", res.PacketsDelivered)
+	}
+	if s.Counters.TxByNode[1] < 40 {
+		t.Fatalf("relay barely used (%d tx); route not via ETX", s.Counters.TxByNode[1])
+	}
+}
+
+func TestQueueOverflowDrops(t *testing.T) {
+	// Two flows converging on one relay with a tiny queue must overflow.
+	topo := graph.New(4)
+	topo.SetLink(0, 2, 1)
+	topo.SetLink(1, 2, 1)
+	topo.SetLink(2, 3, 0.5) // slow egress
+	cfg := DefaultConfig()
+	cfg.QueueSize = 4
+	s := sim.New(topo, sim.DefaultConfig())
+	oracle := flow.NewOracle(topo, routing.ETXOptions{Threshold: 0.15, AckAware: true})
+	nodes := make([]*Node, 4)
+	for i := range nodes {
+		nodes[i] = NewNode(cfg, oracle)
+		s.Attach(graph.NodeID(i), nodes[i])
+	}
+	file := flow.NewFile(200*1500, 1500, 4)
+	nodes[3].ExpectFlow(1, file, nil)
+	nodes[3].ExpectFlow(2, file, nil)
+	nodes[0].StartFlow(1, 3, file, nil)
+	nodes[1].StartFlow(2, 3, file, nil)
+	s.Run(300 * sim.Second)
+	if nodes[2].QueueDrops == 0 {
+		t.Fatal("no queue drops despite converging flows on a tiny queue")
+	}
+}
+
+func TestNoRouteErrors(t *testing.T) {
+	topo := graph.New(3)
+	topo.SetLink(0, 1, 0.9)
+	s := sim.New(topo, sim.DefaultConfig())
+	oracle := flow.NewOracle(topo, routing.DefaultETXOptions())
+	n := NewNode(DefaultConfig(), oracle)
+	s.Attach(0, n)
+	if err := n.StartFlow(1, 2, flow.NewFile(1500, 1500, 1), nil); err == nil {
+		t.Fatal("StartFlow without route succeeded")
+	}
+}
+
+func TestAutorateAdaptsDown(t *testing.T) {
+	// With rate-dependent delivery, a marginal link is hopeless at 11 Mb/s
+	// but fine at 1 Mb/s. Onoe must walk down from the top rate.
+	topo := graph.New(2)
+	topo.SetLink(0, 1, 0.45) // reference (5.5) marginal; 11 is ~0.22, 1 is ~0.82
+	simCfg := sim.DefaultConfig()
+	simCfg.RateAdjust = sim.AdaptRateScale(graph.RateScale)
+	cfg := DefaultConfig()
+	cfg.Autorate = true
+	file := flow.NewFile(400*1500, 1500, 6)
+	res, s, nodes := runSrcr(t, topo, cfg, simCfg, 0, 1, file, 600*sim.Second)
+	if res.PacketsDelivered < 300 {
+		t.Fatalf("autorate delivered only %d/400", res.PacketsDelivered)
+	}
+	o := nodes[0].onoeFor(1)
+	if o.Rate() == sim.Rate11 {
+		t.Fatalf("Onoe stayed at 11 Mb/s on a marginal link")
+	}
+	low := s.Counters.TxByRate[sim.Rate1] + s.Counters.TxByRate[sim.Rate2] + s.Counters.TxByRate[sim.Rate5_5]
+	if low == 0 {
+		t.Fatal("no transmissions at reduced rates")
+	}
+}
+
+func TestAutorateStaysHighOnGoodLink(t *testing.T) {
+	topo := graph.New(2)
+	topo.SetLink(0, 1, 0.98)
+	simCfg := sim.DefaultConfig()
+	simCfg.RateAdjust = sim.AdaptRateScale(graph.RateScale)
+	cfg := DefaultConfig()
+	cfg.Autorate = true
+	file := flow.NewFile(400*1500, 1500, 7)
+	res, _, nodes := runSrcr(t, topo, cfg, simCfg, 0, 1, file, 600*sim.Second)
+	if !res.Completed && res.PacketsDelivered < 390 {
+		t.Fatalf("good link delivered %d/400", res.PacketsDelivered)
+	}
+	if nodes[0].onoeFor(1).Rate() != sim.Rate11 {
+		t.Fatalf("Onoe left the top rate on a clean link: %v", nodes[0].onoeFor(1).Rate())
+	}
+}
+
+func TestFixedRateOverride(t *testing.T) {
+	topo := graph.New(2)
+	topo.SetLink(0, 1, 1)
+	cfg := DefaultConfig()
+	cfg.FixedRate = sim.Rate11
+	file := flow.NewFile(20*1500, 1500, 8)
+	_, s, _ := runSrcr(t, topo, cfg, sim.DefaultConfig(), 0, 1, file, 60*sim.Second)
+	if s.Counters.TxByRate[sim.Rate11] == 0 {
+		t.Fatal("fixed rate ignored")
+	}
+}
+
+func TestTestbedPairThroughput(t *testing.T) {
+	topo, _ := graph.ConnectedTestbed(graph.DefaultTestbed(), 1)
+	file := flow.NewFile(100*1500, 1500, 9)
+	res, _, _ := runSrcr(t, topo, DefaultConfig(), sim.DefaultConfig(), 3, 17, file, 600*sim.Second)
+	if res.PacketsDelivered < 50 {
+		t.Fatalf("testbed pair delivered %d/100", res.PacketsDelivered)
+	}
+	if res.Throughput() <= 0 {
+		t.Fatal("no throughput measured")
+	}
+}

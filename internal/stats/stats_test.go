@@ -1,0 +1,125 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Median != 3 || s.Min != 1 || s.Max != 5 {
+		t.Fatalf("summary %+v", s)
+	}
+	if math.Abs(s.Std-math.Sqrt(2.5)) > 1e-12 {
+		t.Fatalf("std %v", s.Std)
+	}
+	empty := Summarize(nil)
+	if empty.N != 0 || empty.Mean != 0 {
+		t.Fatalf("empty summary %+v", empty)
+	}
+	if Summarize([]float64{7}).Std != 0 {
+		t.Fatal("single-element std should be 0")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	sorted := []float64{10, 20, 30, 40}
+	if Percentile(sorted, 0) != 10 || Percentile(sorted, 100) != 40 {
+		t.Fatal("extremes wrong")
+	}
+	if got := Percentile(sorted, 50); got != 25 {
+		t.Fatalf("median of even sample = %v, want 25", got)
+	}
+	if got := Percentile(sorted, 25); math.Abs(got-17.5) > 1e-12 {
+		t.Fatalf("p25 = %v", got)
+	}
+}
+
+func TestPercentileEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Percentile(nil, 50)
+}
+
+func TestMedianUnsorted(t *testing.T) {
+	if Median([]float64{9, 1, 5}) != 5 {
+		t.Fatal("median wrong")
+	}
+	if Median(nil) != 0 {
+		t.Fatal("empty median should be 0")
+	}
+}
+
+func TestCDF(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 2, 4})
+	cases := []struct {
+		x, want float64
+	}{
+		{0.5, 0}, {1, 0.25}, {2, 0.75}, {3, 0.75}, {4, 1}, {9, 1},
+	}
+	for _, tc := range cases {
+		if got := c.At(tc.x); math.Abs(got-tc.want) > 1e-12 {
+			t.Fatalf("At(%v) = %v, want %v", tc.x, got, tc.want)
+		}
+	}
+	if c.Quantile(0.5) != 2 {
+		t.Fatalf("Quantile(0.5) = %v", c.Quantile(0.5))
+	}
+	pts := c.Points()
+	if len(pts) != 4 || pts[3][1] != 1 {
+		t.Fatalf("points %v", pts)
+	}
+	if !strings.Contains(c.TSV(), "\t") {
+		t.Fatal("TSV malformed")
+	}
+}
+
+func TestCDFMonotone(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 0
+			}
+			xs[i] = v
+		}
+		c := NewCDF(xs)
+		prev := -1.0
+		for _, p := range c.Points() {
+			if p[1] < prev {
+				return false
+			}
+			prev = p[1]
+		}
+		return c.At(math.Inf(1)) == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAsciiPlot(t *testing.T) {
+	c := NewCDF([]float64{10, 20, 30})
+	out := AsciiPlot(map[rune]*CDF{'M': c}, 40, 40, 10)
+	if !strings.Contains(out, "M") {
+		t.Fatal("plot missing series")
+	}
+	if !strings.Contains(out, "1.00") || !strings.Contains(out, "0.00") {
+		t.Fatal("plot missing axis labels")
+	}
+}
+
+func TestGainVsBaseline(t *testing.T) {
+	g := GainVsBaseline([]float64{10, 20, 30}, []float64{5, 0, 10})
+	if len(g) != 2 || g[0] != 2 || g[1] != 3 {
+		t.Fatalf("gains %v", g)
+	}
+}

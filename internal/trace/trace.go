@@ -1,0 +1,201 @@
+// Package trace records structured simulation events for inspection: a
+// bounded ring of recent medium events plus per-node transmission
+// timelines. Attach a Recorder to sim.Simulator.Trace to capture activity,
+// then render timelines or dump the tail — the debugging view the Click
+// implementation got from its element logs.
+package trace
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Event is one recorded medium event.
+type Event struct {
+	At   sim.Time
+	Line string
+	Node int // transmitting node, -1 if unknown
+}
+
+// Recorder captures simulator trace output.
+type Recorder struct {
+	// Cap bounds the retained ring (0 means DefaultCap).
+	Cap int
+
+	events []Event
+	next   int
+	total  int
+
+	perNode map[int]int // transmissions per node
+}
+
+// DefaultCap is the default ring size.
+const DefaultCap = 4096
+
+// NewRecorder creates a Recorder with the given capacity (0 = DefaultCap).
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultCap
+	}
+	return &Recorder{Cap: capacity, perNode: make(map[int]int)}
+}
+
+var nodeRe = regexp.MustCompile(`node=(\d+)`)
+
+// Hook returns the function to assign to sim.Simulator.Trace.
+func (r *Recorder) Hook() func(format string, args ...interface{}) {
+	return func(format string, args ...interface{}) {
+		line := fmt.Sprintf(format, args...)
+		ev := Event{Line: line, Node: -1}
+		// The simulator prefixes every line with the current time.
+		if i := strings.IndexByte(line, ' '); i > 0 {
+			ev.At = parseTime(line[:i])
+		}
+		if m := nodeRe.FindStringSubmatch(line); m != nil {
+			if id, err := strconv.Atoi(m[1]); err == nil {
+				ev.Node = id
+				r.perNode[id]++
+			}
+		}
+		r.push(ev)
+	}
+}
+
+func (r *Recorder) push(ev Event) {
+	if len(r.events) < r.Cap {
+		r.events = append(r.events, ev)
+	} else {
+		r.events[r.next] = ev
+		r.next = (r.next + 1) % r.Cap
+	}
+	r.total++
+}
+
+// parseTime reverses sim.Time.String for the common unit suffixes; it
+// returns 0 for unparseable input (the trace stays usable either way).
+func parseTime(s string) sim.Time {
+	switch {
+	case strings.HasSuffix(s, "ms"):
+		v, err := strconv.ParseFloat(strings.TrimSuffix(s, "ms"), 64)
+		if err != nil {
+			return 0
+		}
+		return sim.Time(v * float64(sim.Millisecond))
+	case strings.HasSuffix(s, "us"):
+		v, err := strconv.ParseFloat(strings.TrimSuffix(s, "us"), 64)
+		if err != nil {
+			return 0
+		}
+		return sim.Time(v * float64(sim.Microsecond))
+	case strings.HasSuffix(s, "ns"):
+		v, err := strconv.ParseInt(strings.TrimSuffix(s, "ns"), 10, 64)
+		if err != nil {
+			return 0
+		}
+		return sim.Time(v)
+	case strings.HasSuffix(s, "s"):
+		v, err := strconv.ParseFloat(strings.TrimSuffix(s, "s"), 64)
+		if err != nil {
+			return 0
+		}
+		return sim.Time(v * float64(sim.Second))
+	default:
+		return 0
+	}
+}
+
+// Total returns how many events were recorded over the run (including
+// those evicted from the ring).
+func (r *Recorder) Total() int { return r.total }
+
+// Tail returns up to n most recent events, oldest first.
+func (r *Recorder) Tail(n int) []Event {
+	ordered := r.ordered()
+	if n < len(ordered) {
+		ordered = ordered[len(ordered)-n:]
+	}
+	return ordered
+}
+
+func (r *Recorder) ordered() []Event {
+	if len(r.events) < r.Cap {
+		return append([]Event(nil), r.events...)
+	}
+	out := make([]Event, 0, r.Cap)
+	out = append(out, r.events[r.next:]...)
+	out = append(out, r.events[:r.next]...)
+	return out
+}
+
+// PerNode returns the transmission count per node seen in the trace.
+func (r *Recorder) PerNode() map[int]int {
+	out := make(map[int]int, len(r.perNode))
+	for k, v := range r.perNode {
+		out[k] = v
+	}
+	return out
+}
+
+// Timeline renders an ASCII activity strip per node over [from, to): each
+// column is one bucket of the interval; a node's row marks buckets in which
+// it transmitted. It visualizes medium sharing — concurrent marks in one
+// column are spatial reuse (or collisions).
+func (r *Recorder) Timeline(from, to sim.Time, width int) string {
+	if width <= 0 {
+		width = 72
+	}
+	if to <= from {
+		return ""
+	}
+	bucket := (to - from) / sim.Time(width)
+	if bucket <= 0 {
+		bucket = 1
+	}
+	marks := map[int][]bool{}
+	for _, ev := range r.ordered() {
+		if ev.Node < 0 || ev.At < from || ev.At >= to {
+			continue
+		}
+		row, ok := marks[ev.Node]
+		if !ok {
+			row = make([]bool, width)
+			marks[ev.Node] = row
+		}
+		idx := int((ev.At - from) / bucket)
+		if idx >= width {
+			idx = width - 1
+		}
+		row[idx] = true
+	}
+	var ids []int
+	for id := range marks {
+		ids = append(ids, id)
+	}
+	sortInts(ids)
+	var b strings.Builder
+	fmt.Fprintf(&b, "timeline %v .. %v (%v per column)\n", from, to, bucket)
+	for _, id := range ids {
+		fmt.Fprintf(&b, "node %-3d |", id)
+		for _, on := range marks[id] {
+			if on {
+				b.WriteByte('#')
+			} else {
+				b.WriteByte('.')
+			}
+		}
+		b.WriteString("|\n")
+	}
+	return b.String()
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/flow"
+	"repro/internal/graph"
+	"repro/internal/routing"
+	"repro/internal/sim"
+	"repro/internal/srcr"
+)
+
+func TestRecorderCapturesSimulatorEvents(t *testing.T) {
+	topo := graph.New(3)
+	topo.SetLink(0, 1, 0.95)
+	topo.SetLink(1, 2, 0.95)
+	s := sim.New(topo, sim.DefaultConfig())
+	rec := NewRecorder(0)
+	s.Trace = rec.Hook()
+
+	oracle := flow.NewOracle(topo, routing.ETXOptions{Threshold: 0.15, AckAware: true})
+	nodes := make([]*srcr.Node, 3)
+	for i := range nodes {
+		nodes[i] = srcr.NewNode(srcr.DefaultConfig(), oracle)
+		s.Attach(graph.NodeID(i), nodes[i])
+	}
+	file := flow.NewFile(20*1500, 1500, 1)
+	nodes[2].ExpectFlow(1, file, nil)
+	if err := nodes[0].StartFlow(1, 2, file, nil); err != nil {
+		t.Fatal(err)
+	}
+	s.Run(60 * sim.Second)
+
+	if rec.Total() == 0 {
+		t.Fatal("no events recorded")
+	}
+	per := rec.PerNode()
+	if per[0] == 0 || per[1] == 0 {
+		t.Fatalf("per-node counts missing: %v", per)
+	}
+	tail := rec.Tail(5)
+	if len(tail) == 0 || len(tail) > 5 {
+		t.Fatalf("tail returned %d events", len(tail))
+	}
+	for i := 1; i < len(tail); i++ {
+		if tail[i].At < tail[i-1].At {
+			t.Fatal("tail out of order")
+		}
+	}
+	tl := rec.Timeline(0, s.Now(), 40)
+	if !strings.Contains(tl, "node 0") || !strings.Contains(tl, "#") {
+		t.Fatalf("timeline missing activity:\n%s", tl)
+	}
+}
+
+func TestRecorderRingEviction(t *testing.T) {
+	rec := NewRecorder(4)
+	hook := rec.Hook()
+	for i := 0; i < 10; i++ {
+		hook("%s tx start node=%d to=-1 bytes=1 rate=1Mbps ack=false", sim.Time(i)*sim.Millisecond, i)
+	}
+	if rec.Total() != 10 {
+		t.Fatalf("total = %d", rec.Total())
+	}
+	tail := rec.Tail(100)
+	if len(tail) != 4 {
+		t.Fatalf("ring kept %d events, want 4", len(tail))
+	}
+	if tail[0].Node != 6 || tail[3].Node != 9 {
+		t.Fatalf("ring kept wrong events: %+v", tail)
+	}
+}
+
+func TestParseTimeRoundTrip(t *testing.T) {
+	for _, d := range []sim.Time{
+		5 * sim.Nanosecond,
+		30 * sim.Microsecond,
+		2 * sim.Millisecond,
+		1500 * sim.Millisecond,
+	} {
+		got := parseTime(d.String())
+		// String rounds to limited precision; allow 1% slack.
+		diff := got - d
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > d/100+1 {
+			t.Errorf("parseTime(%q) = %v, want ≈%v", d.String(), got, d)
+		}
+	}
+	if parseTime("garbage") != 0 {
+		t.Error("garbage should parse to 0")
+	}
+}
+
+func TestTimelineEdgeCases(t *testing.T) {
+	rec := NewRecorder(8)
+	if rec.Timeline(sim.Second, 0, 10) != "" {
+		t.Error("inverted interval should render empty")
+	}
+	if out := rec.Timeline(0, sim.Second, 0); !strings.Contains(out, "timeline") {
+		t.Error("zero width should use a default")
+	}
+}
