@@ -101,8 +101,12 @@ func BenchmarkFig47BatchSize(b *testing.B) {
 }
 
 // --- Table 4.1: the three packet operations, measured directly ---------------
+//
+// All three benchmarks run the pooled steady-state pipeline and report
+// allocations: 0 allocs/op is part of the contract (the pipeline must not
+// allocate per packet once warm).
 
-func table41Fixture(b *testing.B) (*coding.Source, [][]byte) {
+func table41Fixture(b *testing.B) (*coding.Source, *coding.Pool) {
 	b.Helper()
 	rng := rand.New(rand.NewSource(1))
 	natives := make([][]byte, 32)
@@ -114,21 +118,27 @@ func table41Fixture(b *testing.B) (*coding.Source, [][]byte) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	return src, natives
+	pool := coding.NewPool(32, 1500)
+	src.UsePool(pool)
+	return src, pool
 }
 
 // BenchmarkTable41IndependenceCheck measures the row-echelon innovativeness
 // check against a full K=32 buffer (paper: 10 µs on a Celeron 800).
 func BenchmarkTable41IndependenceCheck(b *testing.B) {
-	src, _ := table41Fixture(b)
+	src, pool := table41Fixture(b)
 	buf := coding.NewBuffer(32, 1500)
+	buf.UsePool(pool)
 	for !buf.Full() {
 		buf.Add(src.Next())
 	}
 	vectors := make([][]byte, 256)
 	for i := range vectors {
-		vectors[i] = src.Next().Vector
+		p := src.Next()
+		vectors[i] = append([]byte(nil), p.Vector...)
+		pool.Put(p)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		buf.Innovative(vectors[i%len(vectors)])
@@ -138,29 +148,36 @@ func BenchmarkTable41IndependenceCheck(b *testing.B) {
 // BenchmarkTable41SourceCoding measures coding one packet at the source:
 // K=32 multiplications per payload byte (paper: 270 µs).
 func BenchmarkTable41SourceCoding(b *testing.B) {
-	src, _ := table41Fixture(b)
+	src, pool := table41Fixture(b)
 	b.SetBytes(1500)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		src.Next()
+		pool.Put(src.Next())
 	}
 }
 
-// BenchmarkTable41Decoding measures per-packet decode cost: progressive
-// elimination plus the amortized final back-substitution (paper: 260 µs).
+// BenchmarkTable41Decoding measures per-packet decode cost: the per-packet
+// innovativeness elimination plus the amortized matrix inversion and batched
+// native recovery (paper: 260 µs).
 func BenchmarkTable41Decoding(b *testing.B) {
-	src, _ := table41Fixture(b)
+	src, pool := table41Fixture(b)
 	pkts := make([]*coding.Packet, 40)
 	for i := range pkts {
 		pkts[i] = src.Next()
 	}
+	dec := coding.NewDecoder(32, 1500)
+	dec.UsePool(pool)
 	b.SetBytes(1500)
+	b.ReportAllocs()
 	b.ResetTimer()
 	decoded := 0
 	for decoded < b.N {
-		dec := coding.NewDecoder(32, 1500)
+		dec.Reset()
 		for i := 0; !dec.Complete() && i < len(pkts); i++ {
-			dec.Add(pkts[i].Clone())
+			q := pool.Get()
+			q.CopyFrom(pkts[i])
+			dec.Add(q)
 		}
 		if dec.Complete() {
 			if _, err := dec.Decode(); err != nil {
@@ -186,7 +203,7 @@ func BenchmarkFig51CostGap(b *testing.B) {
 func BenchmarkSec57EOTXvsETX(b *testing.B) {
 	topo := experiments.TestbedTopology()
 	for i := 0; i < b.N; i++ {
-		res := experiments.Sec57EOTXvsETX(topo)
+		res := experiments.Sec57EOTXvsETX(topo, 1)
 		b.ReportMetric(100*float64(res.Unaffected)/float64(res.Pairs), "unaffected-%")
 		b.ReportMetric(res.MedianAffectedGapPct, "median-gap-%")
 	}

@@ -9,15 +9,24 @@
 //	morebench -table 5.7                          # ETX vs EOTX on the testbed
 //	morebench -table overhead                     # MORE header overhead
 //
+// The figure drivers fan their independent simulation runs out over
+// -parallel workers (default: all CPUs); results are byte-identical for any
+// worker count, so -parallel only changes wall-clock time.
+//
 // Output is plain text: one summary table per experiment plus TSV series
-// (CDF points) when -tsv is set.
+// (CDF points) when -tsv is set. With -json the raw result structs are
+// emitted as one JSON document instead — one entry per experiment with its
+// wall-clock seconds — so successive PRs can track the perf trajectory
+// mechanically.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/stats"
@@ -25,127 +34,177 @@ import (
 
 func main() {
 	var (
-		fig   = flag.String("fig", "", "figure to regenerate (4.2, 4.3, 4.4, 4.5, 4.6, 4.7, 5.1); empty runs everything")
-		table = flag.String("table", "", "table to regenerate (4.1, 5.7, overhead)")
-		pairs = flag.Int("pairs", 40, "number of random source-destination pairs")
-		file  = flag.Int("file", 512<<10, "transfer size in bytes (paper: 5242880)")
-		seed  = flag.Int64("seed", 1, "experiment seed")
-		tsv   = flag.Bool("tsv", false, "also print raw TSV series (CDF points, scatter)")
-		runs  = flag.Int("runs", 10, "random runs per point for Fig 4-5 (paper: 40)")
-		plotW = flag.Int("plotw", 64, "ASCII plot width")
+		fig      = flag.String("fig", "", "figure to regenerate (4.2, 4.3, 4.4, 4.5, 4.6, 4.7, 5.1); empty runs everything")
+		table    = flag.String("table", "", "table to regenerate (4.1, 5.7, overhead)")
+		pairs    = flag.Int("pairs", 40, "number of random source-destination pairs")
+		file     = flag.Int("file", 512<<10, "transfer size in bytes (paper: 5242880)")
+		seed     = flag.Int64("seed", 1, "experiment seed")
+		tsv      = flag.Bool("tsv", false, "also print raw TSV series (CDF points, scatter)")
+		runs     = flag.Int("runs", 10, "random runs per point for Fig 4-5 (paper: 40)")
+		plotW    = flag.Int("plotw", 64, "ASCII plot width")
+		parallel = flag.Int("parallel", experiments.AutoParallel(), "worker goroutines for the figure drivers (results are identical for any value)")
+		jsonOut  = flag.Bool("json", false, "emit results as JSON instead of text tables")
 	)
 	flag.Parse()
 
 	opts := experiments.DefaultOptions()
 	opts.FileBytes = *file
 	opts.Seed = *seed
+	opts.Parallel = *parallel
+
+	type entry struct {
+		Name    string      `json:"name"`
+		Key     string      `json:"key"`
+		Seconds float64     `json:"seconds"`
+		Result  interface{} `json:"result"`
+	}
+	var report []entry
 
 	all := *fig == "" && *table == ""
 	ran := false
-	run := func(name string, want string, fn func()) {
-		if all || *fig == want || *table == want {
-			fmt.Printf("=== %s ===\n", name)
-			fn()
-			fmt.Println()
-			ran = true
+	// run executes one experiment; fn returns the raw result for -json and
+	// a printer for the text tables.
+	run := func(name string, want string, fn func() (interface{}, func())) {
+		if !(all || *fig == want || *table == want) {
+			return
 		}
+		start := time.Now()
+		result, print := fn()
+		elapsed := time.Since(start)
+		if *jsonOut {
+			report = append(report, entry{Name: name, Key: want, Seconds: elapsed.Seconds(), Result: result})
+		} else {
+			fmt.Printf("=== %s ===\n", name)
+			print()
+			fmt.Printf("[%.2fs]\n\n", elapsed.Seconds())
+		}
+		ran = true
 	}
 
 	topo := experiments.TestbedTopology()
 	var fig42 *experiments.ThroughputResult
 
-	run("Figure 4-2: unicast throughput CDF (MORE vs ExOR vs Srcr)", "4.2", func() {
+	run("Figure 4-2: unicast throughput CDF (MORE vs ExOR vs Srcr)", "4.2", func() (interface{}, func()) {
 		fig42 = experiments.Fig42UnicastThroughput(topo, *pairs, opts)
-		fmt.Print(fig42.Table())
-		cdfs := fig42.CDFs()
-		plot := map[rune]*stats.CDF{
-			'S': cdfs[experiments.Srcr],
-			'E': cdfs[experiments.ExOR],
-			'M': cdfs[experiments.MORE],
-		}
-		xmax := stats.Summarize(fig42.Throughput[experiments.MORE]).Max
-		fmt.Println("CDF (x: pkt/s, S=Srcr E=ExOR M=MORE):")
-		fmt.Print(stats.AsciiPlot(plot, xmax, *plotW, 16))
-		if *tsv {
-			for _, pr := range []experiments.Protocol{experiments.Srcr, experiments.ExOR, experiments.MORE} {
-				fmt.Printf("# CDF %v\n%s", pr, cdfs[pr].TSV())
+		return fig42, func() {
+			fmt.Print(fig42.Table())
+			cdfs := fig42.CDFs()
+			plot := map[rune]*stats.CDF{
+				'S': cdfs[experiments.Srcr],
+				'E': cdfs[experiments.ExOR],
+				'M': cdfs[experiments.MORE],
+			}
+			xmax := stats.Summarize(fig42.Throughput[experiments.MORE]).Max
+			fmt.Println("CDF (x: pkt/s, S=Srcr E=ExOR M=MORE):")
+			fmt.Print(stats.AsciiPlot(plot, xmax, *plotW, 16))
+			if *tsv {
+				for _, pr := range []experiments.Protocol{experiments.Srcr, experiments.ExOR, experiments.MORE} {
+					fmt.Printf("# CDF %v\n%s", pr, cdfs[pr].TSV())
+				}
 			}
 		}
 	})
 
-	run("Figure 4-3: per-pair scatter (opportunistic vs Srcr)", "4.3", func() {
+	run("Figure 4-3: per-pair scatter (opportunistic vs Srcr)", "4.3", func() (interface{}, func()) {
 		if fig42 == nil {
 			fig42 = experiments.Fig42UnicastThroughput(topo, *pairs, opts)
 		}
 		bm, tm := fig42.ChallengedGain(experiments.MORE)
 		be, te := fig42.ChallengedGain(experiments.ExOR)
-		fmt.Printf("median gain over Srcr, challenged half vs good half:\n")
-		fmt.Printf("  MORE: %.2fx vs %.2fx\n", bm, tm)
-		fmt.Printf("  ExOR: %.2fx vs %.2fx\n", be, te)
-		if *tsv {
-			fmt.Print(fig42.ScatterTSV(experiments.Srcr, experiments.MORE))
-			fmt.Print(fig42.ScatterTSV(experiments.Srcr, experiments.ExOR))
+		result := map[string]float64{
+			"MORE-challenged-x": bm, "MORE-good-x": tm,
+			"ExOR-challenged-x": be, "ExOR-good-x": te,
+		}
+		return result, func() {
+			fmt.Printf("median gain over Srcr, challenged half vs good half:\n")
+			fmt.Printf("  MORE: %.2fx vs %.2fx\n", bm, tm)
+			fmt.Printf("  ExOR: %.2fx vs %.2fx\n", be, te)
+			if *tsv {
+				fmt.Print(fig42.ScatterTSV(experiments.Srcr, experiments.MORE))
+				fmt.Print(fig42.ScatterTSV(experiments.Srcr, experiments.ExOR))
+			}
 		}
 	})
 
-	run("Figure 4-4: spatial reuse (>=4-hop flows, concurrent first/last hop)", "4.4", func() {
+	run("Figure 4-4: spatial reuse (>=4-hop flows, concurrent first/last hop)", "4.4", func() (interface{}, func()) {
 		res := experiments.Fig44SpatialReuse(*pairs/4+3, opts)
-		fmt.Print(res.Table())
+		return res, func() { fmt.Print(res.Table()) }
 	})
 
-	run("Figure 4-5: multiple flows", "4.5", func() {
+	run("Figure 4-5: multiple flows", "4.5", func() (interface{}, func()) {
 		o := opts
 		if o.FileBytes > 256<<10 {
 			o.FileBytes = 256 << 10 // congested runs are slow; cap per-flow size
 		}
 		res := experiments.Fig45MultiFlow(topo, 4, *runs, o)
-		fmt.Print(res.Table())
+		return res, func() { fmt.Print(res.Table()) }
 	})
 
-	run("Figure 4-6: Srcr autorate vs opportunistic routing at 11 Mb/s", "4.6", func() {
+	run("Figure 4-6: Srcr autorate vs opportunistic routing at 11 Mb/s", "4.6", func() (interface{}, func()) {
 		res := experiments.Fig46Autorate(topo, *pairs/2+4, opts)
-		fmt.Print(res.Table())
+		return res, func() { fmt.Print(res.Table()) }
 	})
 
-	run("Figure 4-7: batch size sweep", "4.7", func() {
+	run("Figure 4-7: batch size sweep", "4.7", func() (interface{}, func()) {
 		res := experiments.Fig47BatchSize(topo, []int{8, 16, 32, 64, 128}, *pairs/2+4, opts)
-		fmt.Print(res.Table())
+		return res, func() { fmt.Print(res.Table()) }
 	})
 
-	run("Table 4.1: computational cost of packet operations (K=32, 1500 B)", "4.1", func() {
+	run("Table 4.1: computational cost of packet operations (K=32, 1500 B)", "4.1", func() (interface{}, func()) {
 		res := experiments.Table41CodingCost(32, 1500, 2000)
-		fmt.Print(res.Table())
+		return res, func() { fmt.Print(res.Table()) }
 	})
 
-	run("Header overhead (§4.6)", "overhead", func() {
+	run("Header overhead (§4.6)", "overhead", func() (interface{}, func()) {
 		res := experiments.HeaderOverhead(32, 1500)
-		fmt.Printf("MORE header: %d bytes with K=32 and %d forwarders (%.1f%% of a %d B packet)\n",
-			res.HeaderBytes, 10, 100*res.Fraction, res.PktBytes)
-	})
-
-	run("Figure 5-1 / Prop. 6: unbounded ETX-vs-EOTX cost gap", "5.1", func() {
-		for _, k := range []int{2, 4, 8, 16} {
-			pts := experiments.Fig51CostGap(k, []float64{0.3, 0.1, 0.03, 0.01, 0.003})
-			var parts []string
-			for _, pt := range pts {
-				parts = append(parts, fmt.Sprintf("p=%.3f:%.2fx", pt.P, pt.Gap))
-			}
-			fmt.Printf("k=%-3d %s\n", k, strings.Join(parts, "  "))
+		return res, func() {
+			fmt.Printf("MORE header: %d bytes with K=32 and %d forwarders (%.1f%% of a %d B packet)\n",
+				res.HeaderBytes, 10, 100*res.Fraction, res.PktBytes)
 		}
 	})
 
-	run("Robustness: Fig 4-2 gains across generated topologies", "robustness", func() {
-		res := experiments.Fig42AcrossSeeds(4, *pairs/4+4, opts)
-		fmt.Print(res.Table())
+	run("Figure 5-1 / Prop. 6: unbounded ETX-vs-EOTX cost gap", "5.1", func() (interface{}, func()) {
+		result := map[int][]experiments.GapPoint{}
+		for _, k := range []int{2, 4, 8, 16} {
+			result[k] = experiments.Fig51CostGap(k, []float64{0.3, 0.1, 0.03, 0.01, 0.003})
+		}
+		return result, func() {
+			for _, k := range []int{2, 4, 8, 16} {
+				var parts []string
+				for _, pt := range result[k] {
+					parts = append(parts, fmt.Sprintf("p=%.3f:%.2fx", pt.P, pt.Gap))
+				}
+				fmt.Printf("k=%-3d %s\n", k, strings.Join(parts, "  "))
+			}
+		}
 	})
 
-	run("§5.7: ETX vs EOTX forwarder order on the testbed", "5.7", func() {
-		res := experiments.Sec57EOTXvsETX(topo)
-		fmt.Print(res.Table())
+	run("Robustness: Fig 4-2 gains across generated topologies", "robustness", func() (interface{}, func()) {
+		res := experiments.Fig42AcrossSeeds(4, *pairs/4+4, opts)
+		return res, func() { fmt.Print(res.Table()) }
+	})
+
+	run("§5.7: ETX vs EOTX forwarder order on the testbed", "5.7", func() (interface{}, func()) {
+		res := experiments.Sec57EOTXvsETX(topo, *parallel)
+		return res, func() { fmt.Print(res.Table()) }
 	})
 
 	if !ran {
 		fmt.Fprintf(os.Stderr, "unknown experiment: fig=%q table=%q\n", *fig, *table)
 		os.Exit(2)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(map[string]interface{}{
+			"seed":     *seed,
+			"pairs":    *pairs,
+			"file":     *file,
+			"parallel": *parallel,
+			"results":  report,
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 }

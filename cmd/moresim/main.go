@@ -4,6 +4,11 @@
 //	moresim -proto more -topo testbed -src 3 -dst 17 -file 786432
 //	moresim -proto exor -topo chain -nodes 6
 //	moresim -proto srcr -topo diamond -verbose
+//	moresim -proto all -parallel 4          # compare all four protocols
+//
+// With -proto all the four protocols run over the same pair on -parallel
+// worker goroutines (each in its own simulator; per-protocol results are
+// identical to serial runs) and a comparison table is printed.
 package main
 
 import (
@@ -12,6 +17,7 @@ import (
 	"os"
 
 	"repro/internal/experiments"
+	"repro/internal/flow"
 	"repro/internal/graph"
 	"repro/internal/routing"
 	"repro/internal/sim"
@@ -20,7 +26,8 @@ import (
 
 func main() {
 	var (
-		protoName = flag.String("proto", "more", "protocol: more, exor, srcr, srcr-auto")
+		protoName = flag.String("proto", "more", "protocol: more, exor, srcr, srcr-auto, or all (comparison)")
+		parallel  = flag.Int("parallel", experiments.AutoParallel(), "worker goroutines for -proto all")
 		topoName  = flag.String("topo", "testbed", "topology: testbed, chain, diamond, corridor, grid")
 		nodes     = flag.Int("nodes", 6, "node count for chain/corridor topologies")
 		src       = flag.Int("src", -1, "source node (default: topology-specific)")
@@ -63,8 +70,19 @@ func main() {
 		*dst = defDst
 	}
 
+	opts := experiments.DefaultOptions()
+	opts.FileBytes = *fileBytes
+	opts.BatchSize = *batch
+	opts.Seed = *seed
+	opts.Parallel = *parallel
+	if *metric == "eotx" {
+		opts.Metric = routing.OrderEOTX
+	}
+
 	var proto experiments.Protocol
 	switch *protoName {
+	case "all":
+		// Handled after the verbose plan dump below.
 	case "more":
 		proto = experiments.MORE
 	case "exor":
@@ -77,16 +95,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown protocol %q\n", *protoName)
 		os.Exit(2)
 	}
-
-	opts := experiments.DefaultOptions()
-	opts.FileBytes = *fileBytes
-	opts.BatchSize = *batch
-	opts.Seed = *seed
 	if proto == experiments.SrcrAutorate {
 		opts.RateDependentChannel = true
-	}
-	if *metric == "eotx" {
-		opts.Metric = routing.OrderEOTX
 	}
 
 	pair := experiments.Pair{Src: graph.NodeID(*src), Dst: graph.NodeID(*dst)}
@@ -103,6 +113,17 @@ func main() {
 		}
 		etx := routing.ETXToDestination(topo, pair.Dst, routing.DefaultETXOptions())
 		fmt.Printf("best ETX path: %v (ETX %.2f)\n\n", etx.Path(pair.Src), etx.Dist[pair.Src])
+	}
+
+	if *protoName == "all" {
+		if *showTrace {
+			fmt.Fprintln(os.Stderr, "-trace is not supported with -proto all (one timeline per run; pick a protocol)")
+			os.Exit(2)
+		}
+		if !compareAll(topo, pair.Src, pair.Dst, opts) {
+			os.Exit(1)
+		}
+		return
 	}
 
 	var rec *trace.Recorder
@@ -127,6 +148,38 @@ func main() {
 	if !r.Completed {
 		os.Exit(1)
 	}
+}
+
+// compareAll runs every protocol over the same pair, fanning the hermetic
+// per-protocol simulations out over opts.Parallel workers, and prints a
+// comparison table. It reports whether every protocol completed the
+// transfer.
+func compareAll(topo *graph.Topology, src, dst graph.NodeID, opts experiments.Options) bool {
+	protos := []experiments.Protocol{
+		experiments.MORE, experiments.ExOR, experiments.Srcr, experiments.SrcrAutorate,
+	}
+	pair := experiments.Pair{Src: src, Dst: dst}
+	results := make([]flow.Result, len(protos))
+	counters := make([]sim.Counters, len(protos))
+	experiments.ForEachItem(len(protos), opts.Parallel, func(i int) {
+		o := opts
+		if protos[i] == experiments.SrcrAutorate {
+			o.RateDependentChannel = true
+		}
+		rs, cs := experiments.RunWithCounters(topo, protos[i], []experiments.Pair{pair}, o)
+		results[i] = rs[0]
+		counters[i] = cs
+	})
+	fmt.Printf("pair %d -> %d, %d B file:\n", src, dst, opts.FileBytes)
+	fmt.Printf("%-14s %10s %10s %8s %12s\n", "proto", "pkt/s", "tx", "done", "air time")
+	allDone := true
+	for i, p := range protos {
+		fmt.Printf("%-14v %10.1f %10d %8v %12v\n",
+			p, results[i].Throughput(), counters[i].Transmissions,
+			results[i].Completed, counters[i].AirTime)
+		allDone = allDone && results[i].Completed
+	}
+	return allDone
 }
 
 func planOpts(o experiments.Options) routing.PlanOptions {

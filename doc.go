@@ -12,8 +12,18 @@
 // that regenerate every table and figure of the evaluation
 // (internal/experiments).
 //
+// The coding data plane is built for throughput: internal/gf256 processes
+// payloads eight bytes per uint64 via bit-plane decomposition and
+// 4-bit-nibble subset tables (see kernel.go), internal/coding runs an
+// allocation-free pooled packet pipeline in steady state, and the
+// experiment drivers fan their independent simulation runs out over a
+// bounded worker pool with per-item derived seeds, so every figure is
+// byte-identical for any worker count. PERFORMANCE.md tracks the measured
+// Table 4.1 numbers per PR.
+//
 // See README.md for a tour, DESIGN.md for the system inventory and
 // experiment index, and EXPERIMENTS.md for paper-vs-measured results. The
 // benchmarks in bench_test.go regenerate each table and figure at reduced
-// scale; cmd/morebench runs them at any scale.
+// scale; cmd/morebench runs them at any scale (-parallel for the worker
+// pool, -json for machine-readable results).
 package repro

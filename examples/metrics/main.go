@@ -44,7 +44,7 @@ func main() {
 		plan.TotalCost, eotx[src])
 
 	// 3. On a realistic mesh the two orders barely differ (§5.7).
-	res := experiments.Sec57EOTXvsETX(experiments.TestbedTopology())
+	res := experiments.Sec57EOTXvsETX(experiments.TestbedTopology(), experiments.AutoParallel())
 	fmt.Println("on the simulated 20-node testbed:")
 	fmt.Print(res.Table())
 	fmt.Println("\n(§5.7's conclusion: EOTX is the right baseline, but ETX ordering")

@@ -1,0 +1,228 @@
+package coding
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestPoolShapes(t *testing.T) {
+	p := NewPool(4, 16)
+	q := p.Get()
+	if len(q.Vector) != 4 || len(q.Payload) != 16 {
+		t.Fatalf("pool packet shape %d/%d", len(q.Vector), len(q.Payload))
+	}
+	if !p.Fits(q) {
+		t.Fatal("pool rejects its own packet")
+	}
+	p.Put(q)
+	if got := p.Get(); got != q {
+		t.Fatal("freelist did not reuse the returned packet")
+	}
+	// Wrong shapes are dropped, nil ignored.
+	p.Put(nil)
+	p.Put(&Packet{Vector: make([]byte, 3), Payload: make([]byte, 16)})
+	if len(p.free) != 0 {
+		t.Fatal("pool accepted a mis-shaped packet")
+	}
+}
+
+func TestPooledPipelineMatchesUnpooled(t *testing.T) {
+	// The pooled pipeline must be byte-identical to the allocating one:
+	// same rng, same packets, same decode output.
+	const k, size = 8, 100
+	build := func(pool bool) [][]byte {
+		rng := rand.New(rand.NewSource(42))
+		natives := randomNatives(rng, k, size)
+		src, err := NewSource(natives, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fwd := NewBuffer(k, size)
+		dec := NewDecoder(k, size)
+		if pool {
+			pl := NewPool(k, size)
+			src.UsePool(pl)
+			fwd.UsePool(pl)
+			dec.UsePool(pl)
+		}
+		for !dec.Complete() {
+			p := src.Next()
+			if rng.Intn(2) == 0 {
+				fwd.Add(p.Clone())
+			}
+			if r := fwd.Recode(rng); r != nil && rng.Intn(10) < 7 {
+				dec.Add(r)
+			}
+		}
+		out, err := dec.Decode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cp := make([][]byte, len(out))
+		for i := range out {
+			cp[i] = append([]byte(nil), out[i]...)
+		}
+		return cp
+	}
+	a := build(false)
+	b := build(true)
+	for i := range a {
+		if !bytes.Equal(a[i], b[i]) {
+			t.Fatalf("pooled and unpooled pipelines diverged at native %d", i)
+		}
+	}
+}
+
+func TestBufferRecyclesOnResetAndReject(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const k, size = 4, 32
+	natives := randomNatives(rng, k, size)
+	src, _ := NewSource(natives, rng)
+	pool := NewPool(k, size)
+	src.UsePool(pool)
+	buf := NewBuffer(k, size)
+	buf.UsePool(pool)
+	for !buf.Full() {
+		buf.Add(src.Next())
+	}
+	// Non-innovative add: packet must land back in the pool.
+	before := len(pool.free)
+	buf.Add(src.Next())
+	if len(pool.free) != before+1 {
+		t.Fatal("rejected packet not recycled")
+	}
+	// Reset returns all k rows.
+	buf.Reset()
+	if len(pool.free) != before+1+k {
+		t.Fatalf("Reset recycled %d packets, want %d", len(pool.free)-before-1, k)
+	}
+	if buf.Rank() != 0 || buf.LastAdded() != nil {
+		t.Fatal("Reset left state behind")
+	}
+}
+
+func TestDecoderResetReuse(t *testing.T) {
+	// One decoder serving several batches through a pool must keep
+	// decoding correctly (the Table 4.1 benchmark pattern).
+	rng := rand.New(rand.NewSource(9))
+	const k, size = 8, 64
+	pool := NewPool(k, size)
+	dec := NewDecoder(k, size)
+	dec.UsePool(pool)
+	for batch := 0; batch < 5; batch++ {
+		natives := randomNatives(rng, k, size)
+		src, _ := NewSource(natives, rng)
+		src.UsePool(pool)
+		dec.Reset()
+		for !dec.Complete() {
+			dec.Add(src.Next())
+		}
+		out, err := dec.Decode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range natives {
+			if !bytes.Equal(out[i], natives[i]) {
+				t.Fatalf("batch %d: native %d corrupted", batch, i)
+			}
+		}
+	}
+}
+
+func TestPreCoderResetRecycles(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const k, size = 4, 24
+	natives := randomNatives(rng, k, size)
+	src, _ := NewSource(natives, rng)
+	pool := NewPool(k, size)
+	src.UsePool(pool)
+	buf := NewBuffer(k, size)
+	buf.UsePool(pool)
+	pc := NewPreCoder(buf, rng)
+	buf.Add(src.Next())
+	pc.Refresh()
+	if !pc.Ready() {
+		t.Fatal("not ready after Refresh")
+	}
+	before := len(pool.free)
+	pc.Reset()
+	if len(pool.free) != before+1 {
+		t.Fatal("PreCoder.Reset did not recycle the prepared packet")
+	}
+}
+
+func TestSteadyStateZeroAllocs(t *testing.T) {
+	// The tentpole contract: once pools are warm, Next / Innovative /
+	// Add+Decode allocate nothing.
+	rng := rand.New(rand.NewSource(13))
+	const k, size = 16, 512
+	natives := randomNatives(rng, k, size)
+	src, _ := NewSource(natives, rng)
+	pool := NewPool(k, size)
+	src.UsePool(pool)
+
+	if n := testing.AllocsPerRun(200, func() { pool.Put(src.Next()) }); n > 0 {
+		t.Errorf("Source.Next allocates %.1f/op in steady state", n)
+	}
+
+	buf := NewBuffer(k, size)
+	buf.UsePool(pool)
+	for !buf.Full() {
+		buf.Add(src.Next())
+	}
+	vec := make([]byte, k)
+	p := src.Next()
+	copy(vec, p.Vector)
+	pool.Put(p)
+	if n := testing.AllocsPerRun(200, func() { buf.Innovative(vec) }); n > 0 {
+		t.Errorf("Buffer.Innovative allocates %.1f/op", n)
+	}
+	if n := testing.AllocsPerRun(200, func() { pool.Put(buf.Recode(rng)) }); n > 0 {
+		t.Errorf("Buffer.Recode allocates %.1f/op in steady state", n)
+	}
+
+	pkts := make([]*Packet, k+4)
+	for i := range pkts {
+		pkts[i] = src.Next()
+	}
+	dec := NewDecoder(k, size)
+	dec.UsePool(pool)
+	decodeBatch := func() {
+		dec.Reset()
+		for i := 0; !dec.Complete() && i < len(pkts); i++ {
+			q := pool.Get()
+			q.CopyFrom(pkts[i])
+			dec.Add(q)
+		}
+		if _, err := dec.Decode(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	decodeBatch() // warm the decoder's lazily allocated buffers
+	if n := testing.AllocsPerRun(50, decodeBatch); n > 0 {
+		t.Errorf("decode batch allocates %.1f/op in steady state", n)
+	}
+}
+
+func TestUsePoolShapeMismatchPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	src, _ := NewSource(randomNatives(rng, 4, 8), rng)
+	buf := NewBuffer(4, 8)
+	dec := NewDecoder(4, 8)
+	bad := NewPool(5, 8)
+	for name, f := range map[string]func(){
+		"source":  func() { src.UsePool(bad) },
+		"buffer":  func() { buf.UsePool(bad) },
+		"decoder": func() { dec.UsePool(bad) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s.UsePool mismatch did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

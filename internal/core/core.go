@@ -308,6 +308,7 @@ type relayState struct {
 	k            int
 	buffer       *coding.Buffer
 	pre          *coding.PreCoder
+	pool         *coding.Pool     // recycles buffered receptions across batches
 	raw          []*coding.Packet // only when InnovativeOnly is off
 	credit       float64
 	myCredit     float64
@@ -315,6 +316,19 @@ type relayState struct {
 	dsts         []graph.NodeID // multicast destinations, nil for unicast
 	totalBatches int
 	lastActivity sim.Time
+}
+
+// clonePacket copies a received packet into relay-owned storage, drawing
+// from the per-flow pool when the shape matches. Received frames are shared
+// between all overhearing nodes, so the buffer must never store m.Packet
+// itself.
+func (r *relayState) clonePacket(p *coding.Packet) *coding.Packet {
+	if r.pool != nil && r.pool.Fits(p) {
+		q := r.pool.Get()
+		q.CopyFrom(p)
+		return q
+	}
+	return p.Clone()
 }
 
 func (n *Node) relayFor(m *DataMsg, myCredit float64) *relayState {
@@ -338,8 +352,21 @@ func (n *Node) relayFor(m *DataMsg, myCredit float64) *relayState {
 func (r *relayState) resetBatch(n *Node, m *DataMsg) {
 	r.curBatch = m.Batch
 	r.k = m.K
-	r.buffer = coding.NewBuffer(m.K, len(m.Packet.Payload))
-	r.pre = coding.NewPreCoder(r.buffer, n.node.Rand())
+	size := len(m.Packet.Payload)
+	if r.pool == nil || r.pool.K() != m.K || r.pool.PayloadSize() != size {
+		r.pool = coding.NewPool(m.K, size)
+		r.buffer = nil // shape changed; rebuild below
+	}
+	if r.buffer != nil {
+		// Same shape as the previous batch: flush rows back into the pool
+		// and reuse the buffer and pre-coder outright.
+		r.buffer.Reset()
+		r.pre.Reset()
+	} else {
+		r.buffer = coding.NewBuffer(m.K, size)
+		r.buffer.UsePool(r.pool)
+		r.pre = coding.NewPreCoder(r.buffer, n.node.Rand())
+	}
 	r.raw = nil
 	r.credit = 0
 }
@@ -354,6 +381,7 @@ type sinkState struct {
 	k             int
 	totalBatches  int
 	decoder       *coding.Decoder
+	pool          *coding.Pool // recycles received packets across batches
 	redundant     int
 	decodedUpTo   int64 // highest batch decoded (-1 none)
 	delivered     int
@@ -461,12 +489,11 @@ func (n *Node) receiveData(f *sim.Frame, m *DataMsg) {
 		r.credit += r.myCredit
 	}
 	if innovative {
-		pkt := m.Packet.Clone()
-		r.buffer.Add(pkt)
+		r.buffer.Add(r.clonePacket(m.Packet))
 		n.Innovative++
 		if n.cfg.PreCoding {
 			// Fold the fresh arrival into the prepared packet (§3.2.3(c)).
-			r.pre.Update(r.buffer.Rows()[len(r.buffer.Rows())-1])
+			r.pre.Update(r.buffer.LastAdded())
 		}
 	} else {
 		n.NonInnovative++
@@ -531,12 +558,24 @@ func (n *Node) sinkReceive(m *DataMsg) {
 		}
 		s.curBatch = m.Batch
 		s.k = m.K
-		s.decoder = coding.NewDecoder(m.K, len(m.Packet.Payload))
+		size := len(m.Packet.Payload)
+		s.decoder = coding.NewDecoder(m.K, size)
+		if s.pool == nil || s.pool.K() != m.K || s.pool.PayloadSize() != size {
+			s.pool = coding.NewPool(m.K, size)
+		}
+		s.decoder.UsePool(s.pool)
 		if s.result.Start == 0 && s.result.PacketsDelivered == 0 {
 			s.result.Start = n.node.Now()
 		}
 	}
-	if !s.decoder.Add(m.Packet.Clone()) {
+	var pkt *coding.Packet
+	if s.pool.Fits(m.Packet) {
+		pkt = s.pool.Get()
+		pkt.CopyFrom(m.Packet)
+	} else {
+		pkt = m.Packet.Clone()
+	}
+	if !s.decoder.Add(pkt) {
 		return
 	}
 	if !s.decoder.Complete() {
@@ -565,6 +604,9 @@ func (n *Node) sinkReceive(m *DataMsg) {
 	if n.OnDeliver != nil {
 		n.OnDeliver(s.id, m.Batch, natives)
 	}
+	// Recycle the batch's stored packets before dropping the decoder; the
+	// natives just delivered live in separate buffers and stay valid.
+	s.decoder.Reset()
 	s.decoder = nil
 	if m.TotalBatches > 0 && int(m.Batch) == m.TotalBatches-1 {
 		s.done = true

@@ -29,6 +29,12 @@ const (
 	SrcrAutorate
 )
 
+// MarshalText renders the protocol name, letting Protocol-keyed maps
+// marshal to readable JSON (cmd/morebench -json).
+func (p Protocol) MarshalText() ([]byte, error) {
+	return []byte(p.String()), nil
+}
+
 func (p Protocol) String() string {
 	switch p {
 	case MORE:
@@ -67,6 +73,13 @@ type Options struct {
 	SenseRange float64
 	// Seed drives the simulator and workload.
 	Seed int64
+	// Parallel bounds the worker pool the figure drivers fan their
+	// independent runs out over; 0 or 1 runs serially. Per-run seeds are
+	// derived from Seed and the item index, never from worker identity, so
+	// every figure is byte-identical for any Parallel value. When Trace is
+	// set the drivers force serial execution: the trace callback is a
+	// single shared sink and concurrent sims would interleave into it.
+	Parallel int
 	// Deadline bounds each run's simulated time.
 	Deadline sim.Time
 	// Trace, when set, receives the simulator's medium trace (see
@@ -129,6 +142,16 @@ func (o Options) planOptions() routing.PlanOptions {
 	p.ETX = o.etxOptions()
 	p.PruneFraction = o.PruneFraction
 	return p
+}
+
+// workers returns the driver worker count: Parallel, forced serial when a
+// Trace hook is installed (one shared callback must not be invoked from
+// concurrent simulations).
+func (o Options) workers() int {
+	if o.Trace != nil {
+		return 1
+	}
+	return o.Parallel
 }
 
 // Pair is a source-destination pair.

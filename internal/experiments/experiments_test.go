@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"math"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -69,8 +70,11 @@ func TestFig43ChallengedFlowsGainMost(t *testing.T) {
 
 func TestFig44SpatialReuseShape(t *testing.T) {
 	opts := quickOpts()
-	res := Fig44SpatialReuse(5, opts)
-	if len(res.Pairs) < 3 {
+	// Eight pairs rather than the bare minimum: the median gain over a
+	// 5-pair sample swings with the rng realization, while 8+ pairs hold
+	// the Fig 4-4 shape stably.
+	res := Fig44SpatialReuse(8, opts)
+	if len(res.Pairs) < 6 {
 		t.Fatalf("found only %d spatial-reuse pairs", len(res.Pairs))
 	}
 	gain := res.MedianGain(MORE, ExOR)
@@ -206,7 +210,7 @@ func TestFig51GapCurve(t *testing.T) {
 }
 
 func TestSec57Statistics(t *testing.T) {
-	r := Sec57EOTXvsETX(TestbedTopology())
+	r := Sec57EOTXvsETX(TestbedTopology(), 1)
 	if r.Pairs == 0 {
 		t.Fatal("no pairs evaluated")
 	}
@@ -269,6 +273,65 @@ func TestRunDeterministic(t *testing.T) {
 	b := Run(topo, MORE, p, opts)
 	if a.Throughput() != b.Throughput() || a.End != b.End {
 		t.Fatalf("nondeterministic run: %v vs %v", a, b)
+	}
+}
+
+func TestParallelFiguresDeterministic(t *testing.T) {
+	// The tentpole guarantee of the parallel harness: every figure driver
+	// produces byte-identical numbers for any worker count, because per-run
+	// seeds derive from the item index, never from scheduling. Run the
+	// cheaper drivers serially and at 4 workers and require exact equality.
+	topo := TestbedTopology()
+	opts := quickOpts()
+	opts.FileBytes = 32 * 1500
+
+	serial := opts
+	serial.Parallel = 1
+	par := opts
+	par.Parallel = 4
+
+	a := Fig42UnicastThroughput(topo, 6, serial)
+	b := Fig42UnicastThroughput(topo, 6, par)
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("Fig42 differs between serial and 4 workers:\n%v\nvs\n%v", a.Throughput, b.Throughput)
+	}
+
+	fa := Fig45MultiFlow(topo, 2, 2, serial)
+	fb := Fig45MultiFlow(topo, 2, 2, par)
+	if !reflect.DeepEqual(fa, fb) {
+		t.Errorf("Fig45 differs between serial and 4 workers:\n%v\nvs\n%v", fa.Avg, fb.Avg)
+	}
+
+	ga := Fig46Autorate(topo, 3, serial)
+	gb := Fig46Autorate(topo, 3, par)
+	if !reflect.DeepEqual(ga, gb) {
+		t.Errorf("Fig46 differs between serial and 4 workers")
+	}
+
+	ha := Fig47BatchSize(topo, []int{8, 16}, 3, serial)
+	hb := Fig47BatchSize(topo, []int{8, 16}, 3, par)
+	if !reflect.DeepEqual(ha, hb) {
+		t.Errorf("Fig47 differs between serial and 4 workers")
+	}
+
+	sa := Sec57EOTXvsETX(topo, 1)
+	sb := Sec57EOTXvsETX(topo, 4)
+	if sa != sb {
+		t.Errorf("Sec57 differs between serial and 4 workers: %+v vs %+v", sa, sb)
+	}
+}
+
+func TestParallelFig44Deterministic(t *testing.T) {
+	opts := quickOpts()
+	opts.FileBytes = 32 * 1500
+	serial := opts
+	serial.Parallel = 1
+	par := opts
+	par.Parallel = 4
+	a := Fig44SpatialReuse(3, serial)
+	b := Fig44SpatialReuse(3, par)
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("Fig44 differs between serial and 4 workers")
 	}
 }
 

@@ -28,20 +28,27 @@ type ThroughputResult struct {
 
 // Fig42UnicastThroughput runs MORE, ExOR, and Srcr between nPairs random
 // pairs and returns per-pair throughputs (the paper uses 200 pairs over a
-// 5 MB file; scale with opts).
+// 5 MB file; scale with opts). The proto×pair runs are independent and fan
+// out over opts.Parallel workers.
 func Fig42UnicastThroughput(topo *graph.Topology, nPairs int, opts Options) *ThroughputResult {
 	pairs := RandomPairs(topo, nPairs, opts.Seed)
+	protos := []Protocol{MORE, ExOR, Srcr}
+	samples := make([][]float64, len(protos))
+	for pi := range samples {
+		samples[pi] = make([]float64, len(pairs))
+	}
+	forEach(len(protos)*len(pairs), opts.workers(), func(it int) {
+		pi, i := it/len(pairs), it%len(pairs)
+		o := opts
+		o.Seed = opts.Seed + int64(1000*i)
+		samples[pi][i] = Run(topo, protos[pi], pairs[i], o).Throughput()
+	})
 	res := &ThroughputResult{
 		Pairs:      pairs,
 		Throughput: map[Protocol][]float64{},
 	}
-	for _, proto := range []Protocol{MORE, ExOR, Srcr} {
-		for i, p := range pairs {
-			o := opts
-			o.Seed = opts.Seed + int64(1000*i)
-			r := Run(topo, proto, p, o)
-			res.Throughput[proto] = append(res.Throughput[proto], r.Throughput())
-		}
+	for pi, proto := range protos {
+		res.Throughput[proto] = samples[pi]
 	}
 	return res
 }
@@ -157,14 +164,22 @@ func Fig44SpatialReuse(nPairs int, opts Options) *Fig44Result {
 			}
 		}
 	}
-	for i, lp := range found {
+	protos := []Protocol{MORE, ExOR, Srcr}
+	samples := make([][]float64, len(protos))
+	for pi := range samples {
+		samples[pi] = make([]float64, len(found))
+	}
+	forEach(len(protos)*len(found), opts.workers(), func(it int) {
+		pi, i := it/len(found), it%len(found)
+		o := opts
+		o.Seed = opts.Seed + int64(1000*i)
+		samples[pi][i] = Run(found[i].topo, protos[pi], found[i].pair, o).Throughput()
+	})
+	for _, lp := range found {
 		res.Pairs = append(res.Pairs, lp.pair)
-		for _, proto := range []Protocol{MORE, ExOR, Srcr} {
-			o := opts
-			o.Seed = opts.Seed + int64(1000*i)
-			r := Run(lp.topo, proto, lp.pair, o)
-			res.Throughput[proto] = append(res.Throughput[proto], r.Throughput())
-		}
+	}
+	for pi, proto := range protos {
+		res.Throughput[proto] = samples[pi]
 	}
 	return res
 }
@@ -203,34 +218,58 @@ type Fig45Result struct {
 
 // Fig45MultiFlow measures average per-flow throughput with 1..maxFlows
 // concurrent flows, averaging over runs random draws each (the paper runs
-// 40).
+// 40). The flow-count × draw × protocol grid fans out over opts.Parallel
+// workers; pair drawing stays serial so the sampled workloads are
+// independent of the worker count.
 func Fig45MultiFlow(topo *graph.Topology, maxFlows, runs int, opts Options) *Fig45Result {
+	protos := []Protocol{MORE, ExOR, Srcr}
+	type cell struct {
+		pairs []Pair
+		seed  int64
+	}
+	cells := make([]cell, 0, maxFlows*runs)
+	for nf := 1; nf <= maxFlows; nf++ {
+		for run := 0; run < runs; run++ {
+			pairSeed := opts.Seed + int64(run*7919+nf)
+			pairs := RandomPairs(topo, nf, pairSeed)
+			if len(pairs) < nf {
+				pairs = nil // undrawable; keep the grid shape
+			}
+			cells = append(cells, cell{pairs: pairs, seed: pairSeed})
+		}
+	}
+	// flat[cell*len(protos)+proto] holds that cell's per-flow average.
+	flat := make([]float64, len(cells)*len(protos))
+	forEach(len(cells)*len(protos), opts.workers(), func(it int) {
+		ci, pi := it/len(protos), it%len(protos)
+		if cells[ci].pairs == nil {
+			return
+		}
+		o := opts
+		o.Seed = cells[ci].seed
+		rs := RunFlows(topo, protos[pi], cells[ci].pairs, o)
+		var sum float64
+		for _, r := range rs {
+			sum += r.Throughput()
+		}
+		flat[it] = sum / float64(len(rs))
+	})
 	res := &Fig45Result{
 		Avg: map[Protocol][]float64{},
 		Std: map[Protocol][]float64{},
 	}
 	for nf := 1; nf <= maxFlows; nf++ {
 		res.FlowCounts = append(res.FlowCounts, nf)
-		perProto := map[Protocol][]float64{}
-		for run := 0; run < runs; run++ {
-			pairSeed := opts.Seed + int64(run*7919+nf)
-			pairs := RandomPairs(topo, nf, pairSeed)
-			if len(pairs) < nf {
-				continue
-			}
-			for _, proto := range []Protocol{MORE, ExOR, Srcr} {
-				o := opts
-				o.Seed = pairSeed
-				rs := RunFlows(topo, proto, pairs, o)
-				var sum float64
-				for _, r := range rs {
-					sum += r.Throughput()
+		for pi, proto := range protos {
+			var samples []float64
+			for run := 0; run < runs; run++ {
+				ci := (nf-1)*runs + run
+				if cells[ci].pairs == nil {
+					continue
 				}
-				perProto[proto] = append(perProto[proto], sum/float64(len(rs)))
+				samples = append(samples, flat[ci*len(protos)+pi])
 			}
-		}
-		for _, proto := range []Protocol{MORE, ExOR, Srcr} {
-			s := stats.Summarize(perProto[proto])
+			s := stats.Summarize(samples)
 			res.Avg[proto] = append(res.Avg[proto], s.Mean)
 			res.Std[proto] = append(res.Std[proto], s.Std)
 		}
@@ -278,36 +317,55 @@ func Fig46Autorate(topo *graph.Topology, nPairs int, opts Options) *Fig46Result 
 	pairs := RandomPairs(topo, nPairs, opts.Seed)
 	res := &Fig46Result{Pairs: pairs, Throughput: map[string][]float64{}}
 
-	var lowTx, allTx int64
-	var lowAir, allAir float64
-	run := func(name string, proto Protocol, rate sim.Bitrate, i int, p Pair) {
+	variants := []struct {
+		name  string
+		proto Protocol
+		rate  sim.Bitrate
+	}{
+		{"MORE@11", MORE, sim.Rate11},
+		{"ExOR@11", ExOR, sim.Rate11},
+		{"Srcr@5.5", Srcr, sim.Rate5_5},
+		{"Srcr-auto", SrcrAutorate, 0},
+	}
+	nv := len(variants)
+	samples := make([]float64, len(pairs)*nv)
+	counters := make([]sim.Counters, len(pairs)) // autorate runs only
+	forEach(len(pairs)*nv, opts.workers(), func(it int) {
+		i, vi := it/nv, it%nv
+		v := variants[vi]
 		o := opts
 		o.Seed = opts.Seed + int64(1000*i)
-		if rate != 0 {
-			o.DataRate = rate
+		if v.rate != 0 {
+			o.DataRate = v.rate
 		}
-		rs, counters := RunWithCounters(topo, proto, []Pair{p}, o)
-		res.Throughput[name] = append(res.Throughput[name], rs[0].Throughput())
-		if proto == SrcrAutorate {
-			for r, c := range counters.TxByRate {
-				allTx += c
-				if r == sim.Rate1 {
-					lowTx += c
-				}
-			}
-			for r, t := range counters.AirTimeByRate {
-				allAir += t.Seconds()
-				if r == sim.Rate1 {
-					lowAir += t.Seconds()
-				}
-			}
+		rs, cs := RunWithCounters(topo, v.proto, []Pair{pairs[i]}, o)
+		samples[it] = rs[0].Throughput()
+		if v.proto == SrcrAutorate {
+			counters[i] = cs
 		}
+	})
+	for vi, v := range variants {
+		xs := make([]float64, len(pairs))
+		for i := range pairs {
+			xs[i] = samples[i*nv+vi]
+		}
+		res.Throughput[v.name] = xs
 	}
-	for i, p := range pairs {
-		run("MORE@11", MORE, sim.Rate11, i, p)
-		run("ExOR@11", ExOR, sim.Rate11, i, p)
-		run("Srcr@5.5", Srcr, sim.Rate5_5, i, p)
-		run("Srcr-auto", SrcrAutorate, 0, i, p)
+	var lowTx, allTx int64
+	var lowAir, allAir float64
+	for i := range pairs {
+		for r, c := range counters[i].TxByRate {
+			allTx += c
+			if r == sim.Rate1 {
+				lowTx += c
+			}
+		}
+		for r, t := range counters[i].AirTimeByRate {
+			allAir += t.Seconds()
+			if r == sim.Rate1 {
+				lowAir += t.Seconds()
+			}
+		}
 	}
 	if allTx > 0 {
 		res.LowRateTxFrac = float64(lowTx) / float64(allTx)

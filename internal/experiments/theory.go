@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"strings"
 	"time"
@@ -24,6 +25,7 @@ type Fig47Result struct {
 
 // Fig47BatchSize sweeps K over batchSizes for both MORE and ExOR across
 // nPairs random pairs (the paper sweeps {8,16,32,64,128} over 40 pairs).
+// The K × pair × protocol grid fans out over opts.Parallel workers.
 func Fig47BatchSize(topo *graph.Topology, batchSizes []int, nPairs int, opts Options) *Fig47Result {
 	res := &Fig47Result{
 		BatchSizes: batchSizes,
@@ -31,13 +33,23 @@ func Fig47BatchSize(topo *graph.Topology, batchSizes []int, nPairs int, opts Opt
 		ExOR:       map[int][]float64{},
 	}
 	pairs := RandomPairs(topo, nPairs, opts.Seed)
-	for _, k := range batchSizes {
-		for i, p := range pairs {
-			o := opts
-			o.BatchSize = k
-			o.Seed = opts.Seed + int64(1000*i)
-			res.MORE[k] = append(res.MORE[k], Run(topo, MORE, p, o).Throughput())
-			res.ExOR[k] = append(res.ExOR[k], Run(topo, ExOR, p, o).Throughput())
+	protos := []Protocol{MORE, ExOR}
+	np, nv := len(pairs), len(protos)
+	samples := make([]float64, len(batchSizes)*np*nv)
+	forEach(len(samples), opts.workers(), func(it int) {
+		ki := it / (np * nv)
+		i := it / nv % np
+		pi := it % nv
+		o := opts
+		o.BatchSize = batchSizes[ki]
+		o.Seed = opts.Seed + int64(1000*i)
+		samples[it] = Run(topo, protos[pi], pairs[i], o).Throughput()
+	})
+	for ki, k := range batchSizes {
+		for i := range pairs {
+			base := (ki*np + i) * nv
+			res.MORE[k] = append(res.MORE[k], samples[base])
+			res.ExOR[k] = append(res.ExOR[k], samples[base+1])
 		}
 	}
 	return res
@@ -90,7 +102,9 @@ type Table41Result struct {
 // Table41CodingCost measures the three §4.6 micro-operations on this
 // machine with the paper's parameters (K=32, 1500 B): the innovativeness
 // check on a received packet, coding one packet at the source (K
-// multiplications per byte), and per-packet decoding work.
+// multiplications per byte), and per-packet decoding work. It exercises the
+// pooled, steady-state pipeline — the same configuration the Table 4.1
+// benchmarks in bench_test.go lock at 0 allocs/op.
 func Table41CodingCost(k, payload, iters int) Table41Result {
 	rng := rand.New(rand.NewSource(1))
 	natives := make([][]byte, k)
@@ -102,24 +116,29 @@ func Table41CodingCost(k, payload, iters int) Table41Result {
 	if err != nil {
 		panic(err)
 	}
+	pool := coding.NewPool(k, payload)
+	src.UsePool(pool)
 
-	// Source coding cost.
+	// Source coding cost, packets recycled as a steady-state source would.
 	start := time.Now()
-	var last *coding.Packet
 	for i := 0; i < iters; i++ {
-		last = src.Next()
+		pool.Put(src.Next())
 	}
 	srcCost := time.Since(start) / time.Duration(iters)
-	_ = last
 
 	// Independence check cost: against a full buffer (worst case: K rows).
 	buf := coding.NewBuffer(k, payload)
+	buf.UsePool(pool)
 	for !buf.Full() {
 		buf.Add(src.Next())
 	}
 	vectors := make([][]byte, iters)
+	vecBuf := make([]byte, iters*k)
 	for i := range vectors {
-		vectors[i] = src.Next().Vector
+		vectors[i] = vecBuf[i*k : (i+1)*k]
+		p := src.Next()
+		copy(vectors[i], p.Vector)
+		pool.Put(p)
 	}
 	start = time.Now()
 	sink := false
@@ -129,21 +148,23 @@ func Table41CodingCost(k, payload, iters int) Table41Result {
 	checkCost := time.Since(start) / time.Duration(iters)
 	_ = sink
 
-	// Decoding: feed K innovative packets + final back-substitution,
-	// amortized per packet.
-	pkts := make([]*coding.Packet, 0, k*((iters+k-1)/k))
-	for len(pkts) < cap(pkts) {
-		pkts = append(pkts, src.Next())
+	// Decoding: K innovative packets plus the matrix inversion and batched
+	// native recovery, amortized per packet. One decoder and one pool serve
+	// every batch, as at a real destination.
+	pkts := make([]*coding.Packet, k+8)
+	for i := range pkts {
+		pkts[i] = src.Next()
 	}
+	dec := coding.NewDecoder(k, payload)
+	dec.UsePool(pool)
 	start = time.Now()
 	decoded := 0
-	for decoded+k <= len(pkts) {
-		dec := coding.NewDecoder(k, payload)
-		for i := 0; i < k || !dec.Complete(); i++ {
-			dec.Add(pkts[decoded+i].Clone())
-			if i >= k+8 {
-				break
-			}
+	for decoded < iters {
+		dec.Reset()
+		for i := 0; !dec.Complete() && i < len(pkts); i++ {
+			q := pool.Get()
+			q.CopyFrom(pkts[i])
+			dec.Add(q)
 		}
 		if dec.Complete() {
 			if _, err := dec.Decode(); err != nil {
@@ -249,30 +270,41 @@ type Sec57Result struct {
 // Sec57EOTXvsETX computes the §5.7 statistics over every source-destination
 // pair of the topology: the fraction of flows whose total transmission cost
 // is unchanged by EOTX ordering, and the median gap among affected flows
-// (the thesis finds >40% unaffected and a 0.2% median gap).
-func Sec57EOTXvsETX(topo *graph.Topology) Sec57Result {
+// (the thesis finds >40% unaffected and a 0.2% median gap). The per-pair
+// cost-gap computations fan out over `parallel` workers; aggregation runs
+// serially in pair order so the statistics are worker-count independent.
+func Sec57EOTXvsETX(topo *graph.Topology, parallel int) Sec57Result {
 	etxOpt := routing.ETXOptions{Threshold: 0, AckAware: false}
+	n := topo.N()
+	gaps := make([]float64, n*n) // NaN = unreachable or self
+	forEach(n*n, parallel, func(it int) {
+		src, dst := it/n, it%n
+		if src == dst {
+			gaps[it] = math.NaN()
+			return
+		}
+		gap, err := routing.CostGap(topo, graph.NodeID(src), graph.NodeID(dst),
+			etxOpt, routing.DefaultEOTXOptions())
+		if err != nil {
+			gaps[it] = math.NaN()
+			return
+		}
+		gaps[it] = gap
+	})
 	var res Sec57Result
 	var affectedGaps []float64
-	for src := 0; src < topo.N(); src++ {
-		for dst := 0; dst < topo.N(); dst++ {
-			if src == dst {
-				continue
-			}
-			gap, err := routing.CostGap(topo, graph.NodeID(src), graph.NodeID(dst),
-				etxOpt, routing.DefaultEOTXOptions())
-			if err != nil {
-				continue
-			}
-			res.Pairs++
-			if gap <= 1+1e-9 {
-				res.Unaffected++
-			} else {
-				affectedGaps = append(affectedGaps, 100*(gap-1))
-			}
-			if gap > res.MaxGap {
-				res.MaxGap = gap
-			}
+	for _, gap := range gaps {
+		if math.IsNaN(gap) {
+			continue
+		}
+		res.Pairs++
+		if gap <= 1+1e-9 {
+			res.Unaffected++
+		} else {
+			affectedGaps = append(affectedGaps, 100*(gap-1))
+		}
+		if gap > res.MaxGap {
+			res.MaxGap = gap
 		}
 	}
 	res.MedianAffectedGapPct = stats.Median(affectedGaps)

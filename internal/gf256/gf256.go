@@ -3,14 +3,22 @@
 // MORE codes packets over GF(2^8) (§4.6(a) of the thesis): every payload
 // byte is an element of the field, addition is XOR, and multiplication is
 // carried out modulo the primitive polynomial x^8 + x^4 + x^3 + x^2 + 1
-// (0x11D). To keep the per-byte cost of coding low, the package precomputes
-// the full 64 KiB multiplication table indexed by pairs of bytes, exactly as
-// the paper's implementation does, so multiplying any byte of a packet by a
-// random coefficient is a single table lookup.
+// (0x11D). Scalar products use the full 64 KiB multiplication table indexed
+// by pairs of bytes, exactly as the paper's implementation does.
+//
+// The slice operations that dominate packet coding are word-wise: MulSlice,
+// MulAddSlice and AddSlice process payloads eight bytes per uint64 load/XOR
+// (with a byte-wise fallback for short slices and tails), and the multi-row
+// Kernel in kernel.go combines whole batches via bit-plane decomposition
+// and 4-bit-nibble subset tables — see the design note at the top of
+// kernel.go. Every word-wise path is fuzz-tested for byte-exact equivalence
+// against the table-based reference loops kept in this file.
 //
 // The zero value of the field element type (byte 0) is the additive
 // identity; byte 1 is the multiplicative identity.
 package gf256
+
+import "encoding/binary"
 
 // Poly is the primitive polynomial used to construct the field,
 // x^8 + x^4 + x^3 + x^2 + 1, written with the implicit x^8 term as 0x11D.
@@ -105,33 +113,46 @@ func Log(a byte) int {
 }
 
 // MulSlice sets dst[i] = c * src[i] for all i. dst and src must have the
-// same length; dst may alias src. This is the inner loop of packet coding.
+// same length; dst may alias src exactly (but not partially). This is the
+// inner loop of packet coding; the word path assembles eight product bytes
+// into a uint64 per iteration.
 func MulSlice(dst, src []byte, c byte) {
 	if len(dst) != len(src) {
 		panic("gf256: MulSlice length mismatch")
 	}
 	switch c {
 	case 0:
-		for i := range dst {
-			dst[i] = 0
-		}
+		clear(dst)
 		return
 	case 1:
 		copy(dst, src)
 		return
 	}
 	row := &mulTable[c]
-	// Unrolled by 4: measurably faster on the coding hot path and still
-	// simple enough for the compiler to keep bounds checks hoisted.
-	n := len(src)
-	i := 0
-	for ; i+4 <= n; i += 4 {
-		dst[i] = row[src[i]]
-		dst[i+1] = row[src[i+1]]
-		dst[i+2] = row[src[i+2]]
-		dst[i+3] = row[src[i+3]]
+	n := len(src) &^ 7
+	// The 8-lane product gather below is duplicated in MulAddSlice: at cost
+	// 90 it exceeds the inliner's budget as a helper, and a call per 8
+	// bytes is measurable on this loop. Keep the two copies in sync.
+	for i := 0; i < n; i += 8 {
+		w := binary.LittleEndian.Uint64(src[i:])
+		p := uint64(row[w&0xff]) |
+			uint64(row[w>>8&0xff])<<8 |
+			uint64(row[w>>16&0xff])<<16 |
+			uint64(row[w>>24&0xff])<<24 |
+			uint64(row[w>>32&0xff])<<32 |
+			uint64(row[w>>40&0xff])<<40 |
+			uint64(row[w>>48&0xff])<<48 |
+			uint64(row[w>>56])<<56
+		binary.LittleEndian.PutUint64(dst[i:], p)
 	}
-	for ; i < n; i++ {
+	mulSliceGeneric(dst[n:], src[n:], c)
+}
+
+// mulSliceGeneric is the byte-wise reference for MulSlice (tails, and the
+// oracle the word path is fuzzed against).
+func mulSliceGeneric(dst, src []byte, c byte) {
+	row := &mulTable[c]
+	for i := range src {
 		dst[i] = row[src[i]]
 	}
 }
@@ -143,35 +164,53 @@ func MulAddSlice(dst, src []byte, c byte) {
 	if len(dst) != len(src) {
 		panic("gf256: MulAddSlice length mismatch")
 	}
-	if c == 0 {
+	switch c {
+	case 0:
 		return
-	}
-	if c == 1 {
-		for i := range dst {
-			dst[i] ^= src[i]
-		}
+	case 1:
+		AddSlice(dst, src)
 		return
 	}
 	row := &mulTable[c]
-	n := len(src)
-	i := 0
-	for ; i+4 <= n; i += 4 {
-		dst[i] ^= row[src[i]]
-		dst[i+1] ^= row[src[i+1]]
-		dst[i+2] ^= row[src[i+2]]
-		dst[i+3] ^= row[src[i+3]]
+	n := len(src) &^ 7
+	// Product gather duplicated from MulSlice — see the note there.
+	for i := 0; i < n; i += 8 {
+		w := binary.LittleEndian.Uint64(src[i:])
+		p := uint64(row[w&0xff]) |
+			uint64(row[w>>8&0xff])<<8 |
+			uint64(row[w>>16&0xff])<<16 |
+			uint64(row[w>>24&0xff])<<24 |
+			uint64(row[w>>32&0xff])<<32 |
+			uint64(row[w>>40&0xff])<<40 |
+			uint64(row[w>>48&0xff])<<48 |
+			uint64(row[w>>56])<<56
+		binary.LittleEndian.PutUint64(dst[i:], binary.LittleEndian.Uint64(dst[i:])^p)
 	}
-	for ; i < n; i++ {
+	mulAddSliceGeneric(dst[n:], src[n:], c)
+}
+
+// mulAddSliceGeneric is the byte-wise reference for MulAddSlice.
+func mulAddSliceGeneric(dst, src []byte, c byte) {
+	if c == 0 {
+		return
+	}
+	row := &mulTable[c]
+	for i := range src {
 		dst[i] ^= row[src[i]]
 	}
 }
 
-// AddSlice sets dst[i] += src[i] (XOR) for all i.
+// AddSlice sets dst[i] += src[i] (XOR) for all i, eight bytes at a time.
 func AddSlice(dst, src []byte) {
 	if len(dst) != len(src) {
 		panic("gf256: AddSlice length mismatch")
 	}
-	for i := range dst {
+	n := len(dst) &^ 7
+	for i := 0; i < n; i += 8 {
+		binary.LittleEndian.PutUint64(dst[i:],
+			binary.LittleEndian.Uint64(dst[i:])^binary.LittleEndian.Uint64(src[i:]))
+	}
+	for i := n; i < len(dst); i++ {
 		dst[i] ^= src[i]
 	}
 }
@@ -181,7 +220,10 @@ func ScaleSlice(v []byte, c byte) { MulSlice(v, v, c) }
 
 // DotProduct returns the GF(2^8) inner product of a and b, which must have
 // equal lengths. A coded payload byte is the dot product of the code vector
-// with the column of native payload bytes at that offset.
+// with the column of native payload bytes at that offset. Unlike the slice
+// products, both operands vary per position, so there is no word-wise
+// decomposition: this stays one table lookup per byte. Column-major callers
+// should use Kernel instead.
 func DotProduct(a, b []byte) byte {
 	if len(a) != len(b) {
 		panic("gf256: DotProduct length mismatch")
