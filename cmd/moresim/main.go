@@ -1,20 +1,32 @@
-// Command moresim runs a single file transfer over a chosen topology and
-// protocol and reports the result — the quick way to poke at the system.
+// Command moresim runs file transfers over a chosen topology and protocol
+// and reports the results — the quick way to poke at the system.
 //
 //	moresim -proto more -topo testbed -src 3 -dst 17 -file 786432
 //	moresim -proto exor -topo chain -nodes 6
 //	moresim -proto srcr -topo diamond -verbose
-//	moresim -proto all -parallel 4          # compare all four protocols
+//	moresim -proto all -parallel 4               # compare all four protocols
 //
-// With -proto all the four protocols run over the same pair on -parallel
-// worker goroutines (each in its own simulator; per-protocol results are
-// identical to serial runs) and a comparison table is printed.
+// Large-topology scenarios run over the sparse random-geometric generator:
+//
+//	moresim -topo geometric -nodes 1000 -flows 4 -drop 0.1
+//	moresim -topo geometric -scale 125,250,500,1000 -flows 2 -json
+//
+// With -scale the node counts are swept (fanned over -parallel workers) and
+// a throughput/tx-per-packet/wall-clock table — or JSON with -json — is
+// printed. With -proto all the four protocols run over the same pair on
+// -parallel worker goroutines (each in its own simulator; per-protocol
+// results are identical to serial runs) and a comparison table is printed.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
+	"strconv"
+	"strings"
+	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/flow"
@@ -27,9 +39,15 @@ import (
 func main() {
 	var (
 		protoName = flag.String("proto", "more", "protocol: more, exor, srcr, srcr-auto, or all (comparison)")
-		parallel  = flag.Int("parallel", experiments.AutoParallel(), "worker goroutines for -proto all")
-		topoName  = flag.String("topo", "testbed", "topology: testbed, chain, diamond, corridor, grid")
-		nodes     = flag.Int("nodes", 6, "node count for chain/corridor topologies")
+		parallel  = flag.Int("parallel", experiments.AutoParallel(), "worker goroutines for -proto all and -scale")
+		topoName  = flag.String("topo", "testbed", "topology: testbed, chain, diamond, corridor, grid, geometric")
+		nodes     = flag.Int("nodes", 6, "node count for chain/corridor/geometric topologies")
+		flows     = flag.Int("flows", 1, "concurrent flows (geometric and matrix topologies)")
+		drop      = flag.Float64("drop", 0, "uniform extra drop rate layered over every link (0..1)")
+		degree    = flag.Int("degree", 10, "target mean neighbor degree for geometric topologies")
+		floors    = flag.Int("floors", 1, "building floors for geometric topologies")
+		scaleList = flag.String("scale", "", "comma-separated node counts: sweep the geometric scaling driver")
+		jsonOut   = flag.Bool("json", false, "emit machine-readable JSON (scale sweeps and flow runs)")
 		src       = flag.Int("src", -1, "source node (default: topology-specific)")
 		dst       = flag.Int("dst", -1, "destination node (default: topology-specific)")
 		fileBytes = flag.Int("file", 512<<10, "transfer size in bytes")
@@ -41,35 +59,6 @@ func main() {
 	)
 	flag.Parse()
 
-	var topo *graph.Topology
-	defSrc, defDst := 0, 0
-	switch *topoName {
-	case "testbed":
-		topo = experiments.TestbedTopology()
-		defSrc, defDst = 3, 17
-	case "chain":
-		topo = graph.LossyChain(*nodes, 15, 30)
-		defSrc, defDst = 0, *nodes-1
-	case "diamond":
-		topo = graph.Diamond()
-		defSrc, defDst = 0, 2
-	case "corridor":
-		topo = graph.Corridor(*nodes, float64(*nodes)*26, 15, 28, *seed)
-		defSrc, defDst = 0, *nodes-1
-	case "grid":
-		topo = graph.Grid(4, 5, 14, 30)
-		defSrc, defDst = 0, topo.N()-1
-	default:
-		fmt.Fprintf(os.Stderr, "unknown topology %q\n", *topoName)
-		os.Exit(2)
-	}
-	if *src < 0 {
-		*src = defSrc
-	}
-	if *dst < 0 {
-		*dst = defDst
-	}
-
 	opts := experiments.DefaultOptions()
 	opts.FileBytes = *fileBytes
 	opts.BatchSize = *batch
@@ -78,6 +67,10 @@ func main() {
 	if *metric == "eotx" {
 		opts.Metric = routing.OrderEOTX
 	}
+
+	gcfg := graph.DefaultGeometric(*nodes)
+	gcfg.TargetDegree = float64(*degree)
+	gcfg.Floors = *floors
 
 	var proto experiments.Protocol
 	switch *protoName {
@@ -99,11 +92,72 @@ func main() {
 		opts.RateDependentChannel = true
 	}
 
+	if *scaleList != "" {
+		if *protoName == "all" {
+			fmt.Fprintln(os.Stderr, "-scale needs a single protocol (default: more)")
+			os.Exit(2)
+		}
+		if !runScale(*scaleList, *flows, *drop, gcfg, proto, opts, *jsonOut) {
+			os.Exit(1)
+		}
+		return
+	}
+
+	var topo *graph.Topology
+	defSrc, defDst := 0, 0
+	switch *topoName {
+	case "testbed":
+		topo = experiments.TestbedTopology()
+		defSrc, defDst = 3, 17
+	case "chain":
+		topo = graph.LossyChain(*nodes, 15, 30)
+		defSrc, defDst = 0, *nodes-1
+	case "diamond":
+		topo = graph.Diamond()
+		defSrc, defDst = 0, 2
+	case "corridor":
+		topo = graph.Corridor(*nodes, float64(*nodes)*26, 15, 28, *seed)
+		defSrc, defDst = 0, *nodes-1
+	case "grid":
+		topo = graph.Grid(4, 5, 14, 30)
+		defSrc, defDst = 0, topo.N()-1
+	case "geometric":
+		topo, _ = graph.ConnectedGeometric(gcfg, *seed)
+		defSrc, defDst = -1, -1 // chosen after Degrade, below
+	default:
+		fmt.Fprintf(os.Stderr, "unknown topology %q\n", *topoName)
+		os.Exit(2)
+	}
+	if *drop > 0 {
+		topo.Degrade(*drop)
+	}
+	if *src < 0 && defSrc >= 0 {
+		*src = defSrc
+	}
+	if *dst < 0 && defDst >= 0 {
+		*dst = defDst
+	}
+	if *src < 0 || *dst < 0 {
+		// Geometric default endpoints: the first reachable random pair,
+		// drawn on the (possibly degraded) topology actually being run.
+		pairs := experiments.RandomPairs(topo, 1, *seed)
+		if len(pairs) == 0 {
+			fmt.Fprintln(os.Stderr, "no reachable flow pairs on this topology (too much -drop, or disconnected draw)")
+			os.Exit(1)
+		}
+		if *src < 0 {
+			*src = int(pairs[0].Src)
+		}
+		if *dst < 0 {
+			*dst = int(pairs[0].Dst)
+		}
+	}
+
 	pair := experiments.Pair{Src: graph.NodeID(*src), Dst: graph.NodeID(*dst)}
 	if *verbose {
 		s := topo.LinkStats(graph.RouteThreshold)
-		fmt.Printf("topology: %d nodes, %d usable links, mean loss %.2f\n",
-			topo.N(), s.Links, s.MeanLoss)
+		fmt.Printf("topology: %d nodes, %d usable links, mean loss %.2f, mean degree %.1f\n",
+			topo.N(), s.Links, s.MeanLoss, s.MeanDegree)
 		if plan, err := routing.BuildPlan(topo, pair.Src, pair.Dst, planOpts(opts)); err == nil {
 			fmt.Printf("plan %d->%d (%s order): cost %.2f\n", pair.Src, pair.Dst, opts.Metric, plan.TotalCost)
 			for _, id := range plan.Participants() {
@@ -120,10 +174,27 @@ func main() {
 			fmt.Fprintln(os.Stderr, "-trace is not supported with -proto all (one timeline per run; pick a protocol)")
 			os.Exit(2)
 		}
+		if *flows > 1 {
+			fmt.Fprintln(os.Stderr, "-proto all compares a single pair; use -flows with one protocol")
+			os.Exit(2)
+		}
 		if !compareAll(topo, pair.Src, pair.Dst, opts) {
 			os.Exit(1)
 		}
 		return
+	}
+
+	pairs := []experiments.Pair{pair}
+	if *flows > 1 {
+		if flagWasSet("src") || flagWasSet("dst") {
+			fmt.Fprintln(os.Stderr, "-flows > 1 draws random pairs; it cannot be combined with -src/-dst")
+			os.Exit(2)
+		}
+		pairs = experiments.RandomPairs(topo, *flows, *seed)
+		if len(pairs) == 0 {
+			fmt.Fprintln(os.Stderr, "no reachable flow pairs on this topology")
+			os.Exit(1)
+		}
 	}
 
 	var rec *trace.Recorder
@@ -131,23 +202,85 @@ func main() {
 		rec = trace.NewRecorder(1 << 16)
 		opts.Trace = rec.Hook()
 	}
-	rs, counters := experiments.RunWithCounters(topo, proto, []experiments.Pair{pair}, opts)
-	r := rs[0]
+	rs, counters := experiments.RunWithCounters(topo, proto, pairs, opts)
 	if rec != nil {
-		end := r.End
+		end := rs[0].End
 		if end == 0 {
 			end = sim.Second
 		}
 		fmt.Print(rec.Timeline(0, end, 96))
 	}
-	fmt.Printf("protocol: %v\n", proto)
-	fmt.Printf("%s\n", r)
-	fmt.Printf("medium: %d data tx, %d MAC acks, %d collisions, %d channel losses, air time %v\n",
-		counters.Transmissions, counters.MACAcks, counters.Collisions,
-		counters.ChannelLosses, counters.AirTime)
-	if !r.Completed {
-		os.Exit(1)
+	if *jsonOut {
+		out, _ := json.MarshalIndent(struct {
+			Protocol string
+			Nodes    int
+			Results  []flow.Result
+			Counters sim.Counters
+		}{proto.String(), topo.N(), rs, counters}, "", "  ")
+		fmt.Println(string(out))
+	} else {
+		fmt.Printf("protocol: %v\n", proto)
+		for _, r := range rs {
+			fmt.Printf("%s\n", r)
+		}
+		fmt.Printf("medium: %d data tx, %d MAC acks, %d collisions, %d channel losses, air time %v\n",
+			counters.Transmissions, counters.MACAcks, counters.Collisions,
+			counters.ChannelLosses, counters.AirTime)
 	}
+	for _, r := range rs {
+		if !r.Completed {
+			os.Exit(1)
+		}
+	}
+}
+
+// runScale parses the node-count list, sweeps the scaling driver, and
+// prints the table (or JSON). It reports whether every flow at every point
+// completed.
+func runScale(list string, flows int, drop float64, gcfg graph.GeometricConfig,
+	proto experiments.Protocol, opts experiments.Options, jsonOut bool) bool {
+	var counts []int
+	for _, part := range strings.Split(list, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 2 {
+			fmt.Fprintf(os.Stderr, "bad -scale entry %q\n", part)
+			os.Exit(2)
+		}
+		counts = append(counts, n)
+	}
+	cfg := experiments.ScalingConfig{
+		NodeCounts: counts,
+		Flows:      flows,
+		Drop:       drop,
+		Geometric:  gcfg,
+		Protocol:   proto,
+		Opts:       opts,
+	}
+	points := experiments.ScalingSweep(cfg)
+	ok := true
+	if jsonOut {
+		out, _ := json.MarshalIndent(points, "", "  ")
+		fmt.Println(string(out))
+		for _, pt := range points {
+			ok = ok && pt.Completed == pt.Flows
+		}
+		return ok
+	}
+	fmt.Printf("scaling sweep: proto=%v flows=%d drop=%.2f file=%dB degree=%.0f\n",
+		proto, flows, drop, opts.FileBytes, gcfg.TargetDegree)
+	fmt.Printf("%8s %8s %10s %10s %10s %8s %12s\n",
+		"nodes", "links", "deg", "pkt/s", "tx/pkt", "done", "wall")
+	for _, pt := range points {
+		tpp := "-"
+		if !math.IsNaN(pt.TxPerPacket) {
+			tpp = fmt.Sprintf("%.2f", pt.TxPerPacket)
+		}
+		fmt.Printf("%8d %8d %10.1f %10.1f %10s %5d/%-2d %12v\n",
+			pt.Nodes, pt.UsableLinks, pt.MeanDegree, pt.Throughput, tpp,
+			pt.Completed, pt.Flows, pt.WallClock.Round(time.Millisecond))
+		ok = ok && pt.Completed == pt.Flows
+	}
+	return ok
 }
 
 // compareAll runs every protocol over the same pair, fanning the hermetic
@@ -180,6 +313,17 @@ func compareAll(topo *graph.Topology, src, dst graph.NodeID, opts experiments.Op
 		allDone = allDone && results[i].Completed
 	}
 	return allDone
+}
+
+// flagWasSet reports whether the named flag was given on the command line.
+func flagWasSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
 }
 
 func planOpts(o experiments.Options) routing.PlanOptions {

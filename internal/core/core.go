@@ -22,7 +22,6 @@
 package core
 
 import (
-	"bytes"
 	"fmt"
 
 	"repro/internal/coding"
@@ -240,7 +239,7 @@ func (n *Node) StartFlow(id flow.ID, dst graph.NodeID, file flow.File, onDone fu
 	if err != nil {
 		return fmt.Errorf("core: flow %d: %w", id, err)
 	}
-	payloads := file.Payloads()
+	payloads := padForCoding(file.Payloads())
 	batches := splitBatches(payloads, n.cfg.BatchSize)
 	if len(batches) == 0 {
 		return fmt.Errorf("core: flow %d: empty file", id)
@@ -593,7 +592,7 @@ func (n *Node) sinkReceive(m *DataMsg) {
 	for i, p := range natives {
 		if s.verifyAgainst != nil {
 			idx := base + i
-			if idx >= len(s.verifyAgainst) || !bytes.Equal(p, s.verifyAgainst[idx]) {
+			if idx >= len(s.verifyAgainst) || !flow.VerifyPayload(p, s.verifyAgainst[idx]) {
 				s.result.Verified = false
 			}
 		}

@@ -305,3 +305,23 @@ func TestInnovativeCountersAdvance(t *testing.T) {
 		t.Fatal("relay sent no data")
 	}
 }
+
+func TestUnalignedFileVerifies(t *testing.T) {
+	// A file that is not a multiple of the packet size: the tail payload is
+	// truncated by flow.File, padded back to symbol size for coding on the
+	// wire, and verified against the real bytes at the sink. Before the
+	// truncation fix, byte accounting silently rounded the file up.
+	topo := graph.New(2)
+	topo.SetLink(0, 1, 0.8)
+	file := flow.NewFile(15*1500+137, 1500, 42) // 16 packets, 137 B tail
+	res, _, _ := runMORE(t, topo, smallCfg(16), sim.DefaultConfig(), 0, 1, file, 60*sim.Second)
+	if !res.Completed {
+		t.Fatalf("transfer incomplete: %v", res)
+	}
+	if !res.Verified {
+		t.Fatal("unaligned file failed byte verification")
+	}
+	if res.PacketsDelivered != 16 {
+		t.Fatalf("delivered %d packets, want 16", res.PacketsDelivered)
+	}
+}

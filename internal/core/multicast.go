@@ -80,7 +80,7 @@ func (n *Node) StartMulticastFlow(id flow.ID, dsts []graph.NodeID, file flow.Fil
 	}
 	sortFwdByDist(fwd, dists)
 
-	payloads := file.Payloads()
+	payloads := padForCoding(file.Payloads())
 	batches := splitBatches(payloads, n.cfg.BatchSize)
 	if len(batches) == 0 {
 		return fmt.Errorf("core: multicast flow %d: empty file", id)
@@ -128,6 +128,24 @@ func sortFwdByDist(fwd []FwdEntry, dist map[graph.NodeID]float64) {
 }
 
 // splitBatches chunks payloads into batches of at most k packets.
+// padForCoding zero-pads a short final payload back to the common packet
+// size: random linear coding needs equal-length symbols, so the wire always
+// carries full-size packets. The sink verifies (and the file accounts) only
+// the real bytes — flow.VerifyPayload ignores the padding.
+func padForCoding(payloads [][]byte) [][]byte {
+	if len(payloads) == 0 {
+		return payloads
+	}
+	size := len(payloads[0])
+	last := payloads[len(payloads)-1]
+	if len(last) < size {
+		padded := make([]byte, size)
+		copy(padded, last)
+		payloads[len(payloads)-1] = padded
+	}
+	return payloads
+}
+
 func splitBatches(payloads [][]byte, k int) [][][]byte {
 	var batches [][][]byte
 	for i := 0; i < len(payloads); i += k {

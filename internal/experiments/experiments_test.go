@@ -175,8 +175,9 @@ func TestTable41Microbench(t *testing.T) {
 	if ratio < 0.05 || ratio > 20 {
 		t.Errorf("coding (%v) and decoding (%v) should be comparable", r.SourceCoding, r.Decoding)
 	}
-	// Modern hardware must far exceed the Celeron's 44 Mb/s.
-	if got := r.SustainableMbps(); got < 44 {
+	// Modern hardware must far exceed the Celeron's 44 Mb/s. Wall-clock
+	// throughput is meaningless under the race detector's slowdown.
+	if got := r.SustainableMbps(); got < 44 && !raceEnabled {
 		t.Errorf("sustainable throughput %.0f Mb/s below the paper's low-end bound", got)
 	}
 	if !strings.Contains(r.Table(), "independence") {

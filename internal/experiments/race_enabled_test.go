@@ -1,0 +1,8 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports that the race detector is instrumenting this build;
+// wall-clock performance assertions are meaningless under its ~10× slowdown
+// and skip themselves.
+const raceEnabled = true

@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/sim"
+)
+
+// ScalingConfig parameterizes the large-topology scaling sweep: for each
+// node count a connected random-geometric mesh is generated (sparse
+// storage, so memory scales with edges), F concurrent MORE flows run over
+// it, and throughput / transmission-cost / wall-clock are recorded. It is
+// the "what happens at scale" driver the paper's 20-node testbed could not
+// ask.
+type ScalingConfig struct {
+	// NodeCounts lists the topology sizes to sweep.
+	NodeCounts []int
+	// Flows is the number of concurrent flows per run (≥1).
+	Flows int
+	// Drop layers a uniform extra drop rate over every link (0..1).
+	Drop float64
+	// Geometric is the generator template; Nodes is overwritten per point.
+	// A zero value uses DefaultGeometric.
+	Geometric graph.GeometricConfig
+	// Protocol under test (default MORE — the only one built for scale;
+	// Srcr/ExOR work at moderate sizes).
+	Protocol Protocol
+	// Opts carries file size, batch size, seed, deadline, parallelism.
+	Opts Options
+}
+
+// DefaultScalingConfig sweeps a doubling ladder to 1000 nodes with one flow
+// and a simulation-friendly file size.
+func DefaultScalingConfig() ScalingConfig {
+	opts := DefaultOptions()
+	opts.FileBytes = 96 << 10
+	return ScalingConfig{
+		NodeCounts: []int{125, 250, 500, 1000},
+		Flows:      1,
+		Protocol:   MORE,
+		Opts:       opts,
+	}
+}
+
+// ScalingPoint is one row of the sweep.
+type ScalingPoint struct {
+	Nodes       int
+	Seed        int64 // the connected draw's seed
+	Flows       int
+	UsableLinks int
+	MeanDegree  float64
+	// Completed counts flows that finished within the deadline.
+	Completed int
+	// Throughput is the aggregate delivered packets/second across flows.
+	Throughput float64
+	// TxPerPacket is run-wide data transmissions per delivered packet.
+	TxPerPacket float64
+	// SimTime is the simulated time the run spanned.
+	SimTime sim.Time
+	// WallClock is the host time the run took (not deterministic; every
+	// other field is).
+	WallClock time.Duration
+}
+
+// ScalingSweep runs one point per node count, fanned over cfg.Opts.Parallel
+// workers. All simulation outputs are deterministic in cfg.Opts.Seed; only
+// WallClock varies run to run.
+func ScalingSweep(cfg ScalingConfig) []ScalingPoint {
+	if cfg.Flows < 1 {
+		cfg.Flows = 1
+	}
+	points := make([]ScalingPoint, len(cfg.NodeCounts))
+	forEach(len(cfg.NodeCounts), cfg.Opts.workers(), func(i int) {
+		points[i] = runScalingPoint(cfg, i)
+	})
+	return points
+}
+
+// RunScalingPoint builds the i-th point's topology and runs it — exposed so
+// single-shot callers (cmd/moresim) share the exact sweep semantics.
+func runScalingPoint(cfg ScalingConfig, i int) ScalingPoint {
+	gcfg := cfg.Geometric
+	if gcfg.MidRange == 0 && gcfg.TargetDegree == 0 {
+		gcfg = graph.DefaultGeometric(cfg.NodeCounts[i])
+	}
+	gcfg.Nodes = cfg.NodeCounts[i]
+	// Per-point seeds derive from the experiment seed and the point index,
+	// never from worker identity, so any Parallel value gives identical
+	// results.
+	baseSeed := cfg.Opts.Seed + int64(i)*1_000_003
+	topo, seed := graph.ConnectedGeometric(gcfg, baseSeed)
+	if cfg.Drop > 0 {
+		topo.Degrade(cfg.Drop)
+	}
+	opts := cfg.Opts
+	opts.Seed = baseSeed
+	return measureScalingPoint(topo, seed, cfg.Protocol, cfg.Flows, opts)
+}
+
+// measureScalingPoint runs the flows over a prepared topology and collects
+// the point's metrics.
+func measureScalingPoint(topo *graph.Topology, seed int64, proto Protocol, flows int, opts Options) ScalingPoint {
+	pt := ScalingPoint{Nodes: topo.N(), Seed: seed, Flows: flows}
+	ls := topo.LinkStats(graph.RouteThreshold)
+	pt.UsableLinks = ls.Links
+	pt.MeanDegree = ls.MeanDegree
+	pairs := RandomPairs(topo, flows, opts.Seed)
+	if len(pairs) == 0 {
+		return pt
+	}
+	start := time.Now()
+	results, counters := RunWithCounters(topo, proto, pairs, opts)
+	pt.WallClock = time.Since(start)
+	delivered := 0
+	var endMax sim.Time
+	for _, r := range results {
+		if r.Completed {
+			pt.Completed++
+		}
+		delivered += r.PacketsDelivered
+		pt.Throughput += r.Throughput()
+		if r.End > endMax {
+			endMax = r.End
+		}
+	}
+	pt.SimTime = endMax
+	if delivered > 0 {
+		pt.TxPerPacket = float64(counters.Transmissions) / float64(delivered)
+	} else {
+		pt.TxPerPacket = math.NaN()
+	}
+	return pt
+}
+
+// RunAtScale is the single-point convenience used by cmd/moresim: a
+// connected geometric topology of n nodes, F flows, uniform extra drop.
+func RunAtScale(n, flows int, drop float64, gcfg graph.GeometricConfig, proto Protocol, opts Options) ScalingPoint {
+	cfg := ScalingConfig{
+		NodeCounts: []int{n},
+		Flows:      flows,
+		Drop:       drop,
+		Geometric:  gcfg,
+		Protocol:   proto,
+		Opts:       opts,
+	}
+	return runScalingPoint(cfg, 0)
+}

@@ -5,6 +5,7 @@
 package flow
 
 import (
+	"bytes"
 	"fmt"
 	"math/rand"
 
@@ -34,8 +35,22 @@ func (f File) NumPackets() int {
 	return (f.Bytes + f.PktSize - 1) / f.PktSize
 }
 
+// TailSize returns the size of the final packet's payload: PktSize for an
+// aligned file, the remainder otherwise.
+func (f File) TailSize() int {
+	if rem := f.Bytes % f.PktSize; rem != 0 {
+		return rem
+	}
+	return f.PktSize
+}
+
 // Payloads materializes the packet payloads. Every call returns identical
-// contents, so receivers can verify byte-exact delivery.
+// contents, so receivers can verify byte-exact delivery. The payloads carry
+// exactly Bytes bytes in total: when Bytes is not a multiple of PktSize the
+// final payload is truncated to the remainder, never padded — so byte-based
+// delivery accounting and content verification see the real file, not a
+// rounded-up one. (Protocols that need fixed-size symbols — MORE's network
+// coding — pad internally on the wire and strip the padding at delivery.)
 func (f File) Payloads() [][]byte {
 	rng := rand.New(rand.NewSource(f.Seed))
 	n := f.NumPackets()
@@ -44,7 +59,17 @@ func (f File) Payloads() [][]byte {
 		out[i] = make([]byte, f.PktSize)
 		rng.Read(out[i])
 	}
+	if n > 0 {
+		out[n-1] = out[n-1][:f.TailSize()]
+	}
 	return out
+}
+
+// VerifyPayload checks a delivered payload against the expected one. got
+// may carry trailing wire padding (fixed-size coded symbols); it matches
+// when it is at least as long as want and starts with want's bytes.
+func VerifyPayload(got, want []byte) bool {
+	return len(got) >= len(want) && bytes.Equal(got[:len(want)], want)
 }
 
 // Result reports a transfer's outcome, common to MORE, ExOR, and Srcr runs.

@@ -89,3 +89,54 @@ func TestOracle(t *testing.T) {
 		t.Fatal("tables not cached")
 	}
 }
+
+func TestFileUnalignedTailTruncated(t *testing.T) {
+	// 1000 B in 300 B packets: 4 packets, final one carries 100 B. The old
+	// behaviour padded it to 300 B, so byte accounting overcounted and
+	// delivered-content verification compared against padding.
+	f := NewFile(1000, 300, 7)
+	if got := f.NumPackets(); got != 4 {
+		t.Fatalf("NumPackets = %d, want 4", got)
+	}
+	if got := f.TailSize(); got != 100 {
+		t.Fatalf("TailSize = %d, want 100", got)
+	}
+	ps := f.Payloads()
+	total := 0
+	for _, p := range ps {
+		total += len(p)
+	}
+	if total != 1000 {
+		t.Fatalf("payloads carry %d bytes, want exactly 1000", total)
+	}
+	if len(ps[3]) != 100 {
+		t.Fatalf("tail payload has %d bytes, want 100", len(ps[3]))
+	}
+	// Aligned files still produce full-size tails.
+	if a := NewFile(900, 300, 7); len(a.Payloads()[2]) != 300 || a.TailSize() != 300 {
+		t.Fatal("aligned file must not be truncated")
+	}
+	// Truncation is a prefix, not a different draw: first packets unchanged.
+	long := NewFile(1200, 300, 7).Payloads()
+	for i := 0; i < 3; i++ {
+		if !VerifyPayload(long[i], ps[i]) {
+			t.Fatalf("packet %d differs between aligned and unaligned draws", i)
+		}
+	}
+}
+
+func TestVerifyPayload(t *testing.T) {
+	want := []byte{1, 2, 3}
+	if !VerifyPayload([]byte{1, 2, 3}, want) {
+		t.Fatal("exact match rejected")
+	}
+	if !VerifyPayload([]byte{1, 2, 3, 0, 0}, want) {
+		t.Fatal("padded match rejected")
+	}
+	if VerifyPayload([]byte{1, 2}, want) {
+		t.Fatal("short payload accepted")
+	}
+	if VerifyPayload([]byte{1, 2, 9}, want) {
+		t.Fatal("corrupt payload accepted")
+	}
+}

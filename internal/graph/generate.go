@@ -226,11 +226,11 @@ func (t *Topology) fullyConnected(threshold float64) bool {
 	for len(stack) > 0 {
 		u := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for v := 0; v < n; v++ {
-			if !seen[v] && t.P[u][v] > threshold && t.P[v][u] > threshold {
-				seen[v] = true
+		for _, e := range t.OutEdges(u) {
+			if !seen[e.Node] && e.P > threshold && t.Prob(e.Node, u) > threshold {
+				seen[e.Node] = true
 				count++
-				stack = append(stack, NodeID(v))
+				stack = append(stack, e.Node)
 			}
 		}
 	}

@@ -1,17 +1,26 @@
 // Package graph models the wireless mesh topology: node positions, per-link
 // delivery probabilities, the carrier-sense relation, and generators for the
 // topologies the thesis evaluates on (the 20-node testbed of §4.1, the
-// motivating diamond of Fig 1-1, and the unbounded-gap topology of Fig 5-1).
+// motivating diamond of Fig 1-1, and the unbounded-gap topology of Fig 5-1),
+// plus large random-geometric meshes for scaling studies.
 //
 // The network model follows §5.3.1: a broadcast transmission from node i is
 // received by node j independently with marginal probability p_ij. The
 // topology carries those marginals; the simulator layers interference and
 // carrier sense on top.
+//
+// Topologies come in two storage flavours sharing one API. New builds the
+// dense N×N matrix the small paper topologies use; NewSparse stores per-node
+// neighbor lists only, so thousand-node meshes never materialize N² state.
+// OutEdges/InEdges expose the neighbor view for both; for dense topologies
+// the adjacency index is derived on first use and rebuilt after mutation.
 package graph
 
 import (
 	"fmt"
 	"math"
+	"sort"
+	"sync/atomic"
 )
 
 // NodeID identifies a node within a topology. IDs are dense, 0..N-1.
@@ -32,19 +41,46 @@ func (p Position) Distance(q Position) float64 {
 	return math.Sqrt(dx*dx + dy*dy + dz*dz)
 }
 
-// Topology is a wireless mesh: node positions plus the matrix of marginal
-// delivery probabilities at the reference bit-rate. It is the ground truth
-// the channel simulator draws from and (when estimation noise is disabled)
-// the loss matrix fed to all routing computations, mirroring how the paper
-// feeds the same ETX measurements to Srcr, MORE and ExOR (§4.1.2).
+// Edge is one directed link in a neighbor list: delivery probability P along
+// the direction the list implies (outgoing for OutEdges, incoming for
+// InEdges). P is always > 0; absent links simply have no edge.
+type Edge struct {
+	Node NodeID
+	P    float64
+}
+
+// adjacency is the derived neighbor index: out[i] lists i's out-edges and
+// in[j] the edges into j, both sorted ascending by peer ID. For sparse
+// topologies out is nil (Topology.out is authoritative).
+type adjacency struct {
+	out [][]Edge
+	in  [][]Edge
+}
+
+// Topology is a wireless mesh: node positions plus the marginal delivery
+// probabilities at the reference bit-rate. It is the ground truth the
+// channel simulator draws from and (when estimation noise is disabled) the
+// loss matrix fed to all routing computations, mirroring how the paper feeds
+// the same ETX measurements to Srcr, MORE and ExOR (§4.1.2).
 type Topology struct {
 	Pos []Position
 	// P[i][j] is the probability a transmission by i is delivered to j at
-	// the reference rate, with no interference. P[i][i] is ignored.
+	// the reference rate, with no interference. P[i][i] is ignored. P is
+	// nil for sparse-storage topologies (NewSparse); use Prob/OutEdges,
+	// which work for both flavours.
 	P [][]float64
+
+	// out is the authoritative sparse adjacency (sorted by Node) when P is
+	// nil.
+	out [][]Edge
+
+	// idx caches the derived adjacency. Concurrent readers may race to
+	// build it; every build yields identical contents, so whichever lands
+	// is correct. Mutators clear it.
+	idx atomic.Pointer[adjacency]
 }
 
-// New creates an empty topology with n nodes at the origin and zero
+// New creates an empty dense topology with n nodes at the origin and zero
 // connectivity.
 func New(n int) *Topology {
 	t := &Topology{
@@ -57,18 +93,53 @@ func New(n int) *Topology {
 	return t
 }
 
+// NewSparse creates an empty sparse topology with n nodes. Memory scales
+// with edges, not n², so it is the flavour large generators build.
+func NewSparse(n int) *Topology {
+	return &Topology{
+		Pos: make([]Position, n),
+		out: make([][]Edge, n),
+	}
+}
+
+// Sparse reports whether the topology uses sparse storage.
+func (t *Topology) Sparse() bool { return t.P == nil }
+
 // N returns the number of nodes.
 func (t *Topology) N() int { return len(t.Pos) }
 
 // SetLink sets the delivery probability in both directions.
 func (t *Topology) SetLink(a, b NodeID, p float64) {
-	t.P[a][b] = p
-	t.P[b][a] = p
+	t.SetDirected(a, b, p)
+	t.SetDirected(b, a, p)
 }
 
 // SetDirected sets the delivery probability a -> b only.
 func (t *Topology) SetDirected(a, b NodeID, p float64) {
-	t.P[a][b] = p
+	if t.P != nil {
+		t.P[a][b] = p
+		t.idx.Store(nil)
+		return
+	}
+	if a == b {
+		return
+	}
+	row := t.out[a]
+	k := sort.Search(len(row), func(i int) bool { return row[i].Node >= b })
+	switch {
+	case k < len(row) && row[k].Node == b:
+		if p > 0 {
+			row[k].P = p
+		} else {
+			t.out[a] = append(row[:k], row[k+1:]...)
+		}
+	case p > 0:
+		row = append(row, Edge{})
+		copy(row[k+1:], row[k:])
+		row[k] = Edge{Node: b, P: p}
+		t.out[a] = row
+	}
+	t.idx.Store(nil)
 }
 
 // Prob returns the delivery probability from a to b.
@@ -76,47 +147,191 @@ func (t *Topology) Prob(a, b NodeID) float64 {
 	if a == b {
 		return 1
 	}
-	return t.P[a][b]
+	if t.P != nil {
+		return t.P[a][b]
+	}
+	row := t.out[a]
+	k := sort.Search(len(row), func(i int) bool { return row[i].Node >= b })
+	if k < len(row) && row[k].Node == b {
+		return row[k].P
+	}
+	return 0
 }
 
 // Loss returns the loss probability ε_ab = 1 - p_ab used throughout
 // Chapter 3's credit calculations.
 func (t *Topology) Loss(a, b NodeID) float64 { return 1 - t.Prob(a, b) }
 
-// Neighbors returns the nodes j with P[i][j] above the threshold.
+// adj returns the derived adjacency index, building it on first use.
+func (t *Topology) adj() *adjacency {
+	if a := t.idx.Load(); a != nil {
+		return a
+	}
+	n := t.N()
+	a := &adjacency{in: make([][]Edge, n)}
+	if t.P != nil {
+		a.out = make([][]Edge, n)
+		for i := 0; i < n; i++ {
+			for j, p := range t.P[i] {
+				if p > 0 && j != i {
+					a.out[i] = append(a.out[i], Edge{Node: NodeID(j), P: p})
+				}
+			}
+		}
+	}
+	out := a.out
+	if out == nil {
+		out = t.out
+	}
+	// In-edges, visited in ascending source order so each in-list comes out
+	// sorted by Edge.Node.
+	for i := 0; i < n; i++ {
+		for _, e := range out[i] {
+			a.in[e.Node] = append(a.in[e.Node], Edge{Node: NodeID(i), P: e.P})
+		}
+	}
+	t.idx.CompareAndSwap(nil, a)
+	return t.idx.Load()
+}
+
+// OutEdges returns node i's outgoing links (delivery > 0), sorted ascending
+// by neighbor ID. The returned slice is shared — callers must not mutate it.
+func (t *Topology) OutEdges(i NodeID) []Edge {
+	if t.P == nil {
+		return t.out[i]
+	}
+	return t.adj().out[i]
+}
+
+// InEdges returns the links into node j — Edge.Node is the transmitter,
+// Edge.P the delivery probability toward j — sorted ascending by
+// transmitter ID. The returned slice is shared — callers must not mutate it.
+func (t *Topology) InEdges(j NodeID) []Edge {
+	return t.adj().in[j]
+}
+
+// BuildIndex forces construction of the derived adjacency index. Callers
+// that will query OutEdges/InEdges from multiple goroutines can invoke it
+// once up front; lazy builds are also safe, just redundant under races.
+func (t *Topology) BuildIndex() { t.adj() }
+
+// Edges returns the total number of directed links with delivery > 0.
+func (t *Topology) Edges() int {
+	total := 0
+	for i := 0; i < t.N(); i++ {
+		total += len(t.OutEdges(NodeID(i)))
+	}
+	return total
+}
+
+// Neighbors returns the nodes j with delivery i -> j above the threshold.
 func (t *Topology) Neighbors(i NodeID, threshold float64) []NodeID {
 	var out []NodeID
-	for j := 0; j < t.N(); j++ {
-		if NodeID(j) != i && t.P[i][j] > threshold {
-			out = append(out, NodeID(j))
+	for _, e := range t.OutEdges(i) {
+		if e.P > threshold {
+			out = append(out, e.Node)
 		}
 	}
 	return out
 }
 
-// Clone returns a deep copy.
+// Degrade scales every link's delivery probability by (1 - drop), modelling
+// a uniform extra drop rate layered over the channel (the knob large-scale
+// emulation rigs expose). drop outside [0,1) is clamped.
+func (t *Topology) Degrade(drop float64) {
+	if drop <= 0 {
+		return
+	}
+	if drop > 1 {
+		drop = 1
+	}
+	keep := 1 - drop
+	if t.P != nil {
+		for i := range t.P {
+			for j := range t.P[i] {
+				t.P[i][j] *= keep
+			}
+		}
+	} else {
+		for i := range t.out {
+			if keep == 0 {
+				t.out[i] = nil
+				continue
+			}
+			for k := range t.out[i] {
+				t.out[i][k].P *= keep
+			}
+		}
+	}
+	t.idx.Store(nil)
+}
+
+// Clone returns a deep copy (same storage flavour).
 func (t *Topology) Clone() *Topology {
-	c := New(t.N())
+	if t.P != nil {
+		c := New(t.N())
+		copy(c.Pos, t.Pos)
+		for i := range t.P {
+			copy(c.P[i], t.P[i])
+		}
+		return c
+	}
+	c := NewSparse(t.N())
 	copy(c.Pos, t.Pos)
-	for i := range t.P {
-		copy(c.P[i], t.P[i])
+	for i := range t.out {
+		c.out[i] = append([]Edge(nil), t.out[i]...)
 	}
 	return c
 }
 
-// Validate checks the probability matrix is well formed.
-func (t *Topology) Validate() error {
-	if len(t.P) != t.N() {
-		return fmt.Errorf("graph: P has %d rows for %d nodes", len(t.P), t.N())
+// Sparsify returns a sparse-storage copy of the topology: identical
+// positions and link probabilities, neighbor-list representation. It is the
+// bridge from the dense paper topologies to the large-scale code paths (and
+// the regression hook proving both give byte-identical simulations).
+func (t *Topology) Sparsify() *Topology {
+	c := NewSparse(t.N())
+	copy(c.Pos, t.Pos)
+	for i := 0; i < t.N(); i++ {
+		c.out[i] = append([]Edge(nil), t.OutEdges(NodeID(i))...)
 	}
-	for i := range t.P {
-		if len(t.P[i]) != t.N() {
-			return fmt.Errorf("graph: P row %d has %d cols", i, len(t.P[i]))
+	return c
+}
+
+// Validate checks the link representation is well formed.
+func (t *Topology) Validate() error {
+	n := t.N()
+	if t.P != nil {
+		if len(t.P) != n {
+			return fmt.Errorf("graph: P has %d rows for %d nodes", len(t.P), n)
 		}
-		for j, p := range t.P[i] {
-			if p < 0 || p > 1 {
-				return fmt.Errorf("graph: P[%d][%d] = %v out of range", i, j, p)
+		for i := range t.P {
+			if len(t.P[i]) != n {
+				return fmt.Errorf("graph: P row %d has %d cols", i, len(t.P[i]))
 			}
+			for j, p := range t.P[i] {
+				if p < 0 || p > 1 {
+					return fmt.Errorf("graph: P[%d][%d] = %v out of range", i, j, p)
+				}
+			}
+		}
+		return nil
+	}
+	if len(t.out) != n {
+		return fmt.Errorf("graph: %d neighbor lists for %d nodes", len(t.out), n)
+	}
+	for i, row := range t.out {
+		last := NodeID(-1)
+		for _, e := range row {
+			if e.Node < 0 || int(e.Node) >= n || e.Node == NodeID(i) {
+				return fmt.Errorf("graph: edge %d->%d out of range", i, e.Node)
+			}
+			if e.Node <= last {
+				return fmt.Errorf("graph: node %d neighbor list unsorted at %d", i, e.Node)
+			}
+			if e.P <= 0 || e.P > 1 {
+				return fmt.Errorf("graph: edge %d->%d prob %v out of range", i, e.Node, e.P)
+			}
+			last = e.Node
 		}
 	}
 	return nil
@@ -142,11 +357,9 @@ func (t *Topology) LinkStats(threshold float64) Stats {
 	deg := make([]int, n)
 	inbound := make([]int, n)
 	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			if i == j {
-				continue
-			}
-			p := t.P[i][j]
+		for _, e := range t.OutEdges(NodeID(i)) {
+			j := int(e.Node)
+			p := e.P
 			if p <= threshold {
 				continue
 			}
@@ -163,7 +376,7 @@ func (t *Topology) LinkStats(threshold float64) Stats {
 				}
 				deg[i]++
 				deg[j]++
-				if math.Abs(t.P[i][j]-t.P[j][i]) > 0.2 {
+				if math.Abs(p-t.Prob(e.Node, NodeID(i))) > 0.2 {
 					s.Asymmetric++
 				}
 			}
@@ -205,13 +418,13 @@ func (t *Topology) HopCount(src, dst NodeID, threshold float64) int {
 	for len(queue) > 0 {
 		u := queue[0]
 		queue = queue[1:]
-		for v := 0; v < n; v++ {
-			if t.P[u][v] > threshold && dist[v] < 0 {
-				dist[v] = dist[u] + 1
-				if NodeID(v) == dst {
-					return dist[v]
+		for _, e := range t.OutEdges(u) {
+			if e.P > threshold && dist[e.Node] < 0 {
+				dist[e.Node] = dist[u] + 1
+				if e.Node == dst {
+					return dist[e.Node]
 				}
-				queue = append(queue, NodeID(v))
+				queue = append(queue, e.Node)
 			}
 		}
 	}
@@ -237,6 +450,14 @@ func DeliveryFromDistance(d, midRange float64) float64 {
 		return 0
 	}
 	return p
+}
+
+// DeliveryCutoff returns the distance beyond which DeliveryFromDistance is
+// exactly zero for the given midRange — the radius spatial candidate search
+// can safely stop at. (The logistic floors at p < 0.005, reached at
+// x = ln(1/0.005 - 1) ≈ 5.29 slope units.)
+func DeliveryCutoff(midRange float64) float64 {
+	return midRange * (1 + 0.22*math.Log(1/0.005-1))
 }
 
 // RateScale scales a delivery probability measured at the 5.5 Mb/s reference

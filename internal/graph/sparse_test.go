@@ -1,0 +1,244 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestSparseDenseEquivalence drives identical mutation sequences into a
+// dense and a sparse topology and checks every query agrees.
+func TestSparseDenseEquivalence(t *testing.T) {
+	const n = 24
+	dense := New(n)
+	sparse := NewSparse(n)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < n; i++ {
+		pos := Position{rng.Float64() * 100, rng.Float64() * 80, 0}
+		dense.Pos[i], sparse.Pos[i] = pos, pos
+	}
+	for k := 0; k < 600; k++ {
+		a, b := NodeID(rng.Intn(n)), NodeID(rng.Intn(n))
+		if a == b {
+			continue
+		}
+		p := rng.Float64()
+		if p < 0.2 {
+			p = 0 // exercise edge deletion
+		}
+		dense.SetDirected(a, b, p)
+		sparse.SetDirected(a, b, p)
+	}
+	if err := dense.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sparse.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if dp, sp := dense.Prob(NodeID(i), NodeID(j)), sparse.Prob(NodeID(i), NodeID(j)); dp != sp {
+				t.Fatalf("Prob(%d,%d): dense %v sparse %v", i, j, dp, sp)
+			}
+		}
+		if do, so := dense.OutEdges(NodeID(i)), sparse.OutEdges(NodeID(i)); !edgesEqual(do, so) {
+			t.Fatalf("OutEdges(%d): dense %v sparse %v", i, do, so)
+		}
+		if di, si := dense.InEdges(NodeID(i)), sparse.InEdges(NodeID(i)); !edgesEqual(di, si) {
+			t.Fatalf("InEdges(%d): dense %v sparse %v", i, di, si)
+		}
+		if dn, sn := dense.Neighbors(NodeID(i), 0.3), sparse.Neighbors(NodeID(i), 0.3); !reflect.DeepEqual(dn, sn) {
+			t.Fatalf("Neighbors(%d): dense %v sparse %v", i, dn, sn)
+		}
+	}
+	if ds, ss := dense.LinkStats(0.1), sparse.LinkStats(0.1); ds != ss {
+		t.Fatalf("LinkStats: dense %+v sparse %+v", ds, ss)
+	}
+	if dh, sh := dense.HopCount(0, NodeID(n-1), 0.1), sparse.HopCount(0, NodeID(n-1), 0.1); dh != sh {
+		t.Fatalf("HopCount: dense %v sparse %v", dh, sh)
+	}
+	if de, se := dense.Edges(), sparse.Edges(); de != se {
+		t.Fatalf("Edges: dense %v sparse %v", de, se)
+	}
+}
+
+func edgesEqual(a, b []Edge) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSparsifyPreservesLinks(t *testing.T) {
+	topo, _ := ConnectedTestbed(DefaultTestbed(), 1)
+	sp := topo.Sparsify()
+	if !sp.Sparse() || topo.Sparse() {
+		t.Fatal("storage flavours wrong")
+	}
+	n := topo.N()
+	for i := 0; i < n; i++ {
+		if topo.Pos[i] != sp.Pos[i] {
+			t.Fatalf("position %d differs", i)
+		}
+		for j := 0; j < n; j++ {
+			if topo.Prob(NodeID(i), NodeID(j)) != sp.Prob(NodeID(i), NodeID(j)) {
+				t.Fatalf("Prob(%d,%d) differs", i, j)
+			}
+		}
+	}
+	// Mutating the copy must not leak back.
+	sp.SetDirected(0, 1, 0.123)
+	if topo.Prob(0, 1) == 0.123 {
+		t.Fatal("Sparsify shares storage with the original")
+	}
+}
+
+func TestIndexInvalidatedOnMutation(t *testing.T) {
+	topo := New(4)
+	topo.SetLink(0, 1, 0.5)
+	if got := len(topo.OutEdges(0)); got != 1 {
+		t.Fatalf("OutEdges(0) = %d edges, want 1", got)
+	}
+	topo.SetLink(0, 2, 0.6) // must invalidate the derived index
+	if got := len(topo.OutEdges(0)); got != 2 {
+		t.Fatalf("OutEdges(0) after mutation = %d edges, want 2", got)
+	}
+	if got := len(topo.InEdges(0)); got != 2 {
+		t.Fatalf("InEdges(0) = %d edges, want 2", got)
+	}
+	topo.SetDirected(2, 0, 0) // delete one direction
+	if got := len(topo.InEdges(0)); got != 1 {
+		t.Fatalf("InEdges(0) after delete = %d edges, want 1", got)
+	}
+}
+
+func TestSpatialIndexMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	pos := make([]Position, 300)
+	for i := range pos {
+		pos[i] = Position{rng.Float64()*400 - 200, rng.Float64()*400 - 200, rng.Float64() * 12}
+	}
+	for _, cell := range []float64{7, 30, 95} {
+		idx := NewSpatialIndex(pos, cell)
+		for trial := 0; trial < 20; trial++ {
+			center := pos[rng.Intn(len(pos))]
+			r := rng.Float64() * 120
+			got := idx.Within(center, r)
+			var want []NodeID
+			for i, p := range pos {
+				if p.Distance(center) <= r {
+					want = append(want, NodeID(i))
+				}
+			}
+			if !reflect.DeepEqual(got, append([]NodeID{}, want...)) && !(len(got) == 0 && len(want) == 0) {
+				t.Fatalf("cell %v r %v: got %v want %v", cell, r, got, want)
+			}
+		}
+	}
+	idx := NewSpatialIndex(pos, 30)
+	near := idx.Near(0, 50)
+	for _, id := range near {
+		if id == 0 {
+			t.Fatal("Near includes the node itself")
+		}
+	}
+}
+
+func TestGeometricDeterministicAndSane(t *testing.T) {
+	cfg := DefaultGeometric(300)
+	a := Geometric(cfg, 9)
+	b := Geometric(cfg, 9)
+	if !a.Sparse() {
+		t.Fatal("geometric topologies must be sparse")
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Pos, b.Pos) {
+		t.Fatal("same seed, different positions")
+	}
+	for i := 0; i < a.N(); i++ {
+		if !edgesEqual(a.OutEdges(NodeID(i)), b.OutEdges(NodeID(i))) {
+			t.Fatalf("same seed, different edges at node %d", i)
+		}
+	}
+	c := Geometric(cfg, 10)
+	if reflect.DeepEqual(a.Pos, c.Pos) {
+		t.Fatal("different seeds, identical positions")
+	}
+	// Link statistics should be testbed-like: a usable mesh, not a clique
+	// and not dust.
+	s := a.LinkStats(RouteThreshold)
+	if s.Links < a.N() {
+		t.Fatalf("only %d usable links for %d nodes", s.Links, a.N())
+	}
+	if s.MeanDegree < 2 || s.MeanDegree > 40 {
+		t.Fatalf("mean usable degree %.1f out of sane range", s.MeanDegree)
+	}
+	// Edges stay local: memory is O(E), far below N².
+	if e := a.Edges(); e >= a.N()*a.N()/4 {
+		t.Fatalf("edge count %d is not sparse for n=%d", e, a.N())
+	}
+}
+
+func TestGeometricMultiFloor(t *testing.T) {
+	cfg := DefaultGeometric(120)
+	cfg.Floors = 3
+	topo := Geometric(cfg, 2)
+	floors := map[float64]int{}
+	for _, p := range topo.Pos {
+		floors[p.Z]++
+	}
+	if len(floors) != 3 {
+		t.Fatalf("expected 3 distinct floor heights, got %v", floors)
+	}
+}
+
+func TestConnectedGeometric(t *testing.T) {
+	topo, seed := ConnectedGeometric(DefaultGeometric(80), 1)
+	if !topo.fullyConnected(RouteThreshold) {
+		t.Fatalf("seed %d topology not connected", seed)
+	}
+}
+
+func TestDegrade(t *testing.T) {
+	for _, sparse := range []bool{false, true} {
+		topo := Diamond()
+		if sparse {
+			topo = topo.Sparsify()
+		}
+		before := topo.Prob(0, 1)
+		topo.Degrade(0.5)
+		if got := topo.Prob(0, 1); math.Abs(got-before/2) > 1e-12 {
+			t.Fatalf("sparse=%v: Degrade(0.5): %v -> %v", sparse, before, got)
+		}
+		if err := topo.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		topo.Degrade(1)
+		if topo.Edges() != 0 && !sparse {
+			// dense keeps zero entries; edges derived from P must be zero
+			t.Fatalf("Degrade(1) left %d edges", topo.Edges())
+		}
+		if sparse && topo.Edges() != 0 {
+			t.Fatalf("Degrade(1) left %d sparse edges", topo.Edges())
+		}
+	}
+}
+
+func TestDeliveryCutoff(t *testing.T) {
+	mid := 28.0
+	cut := DeliveryCutoff(mid)
+	if DeliveryFromDistance(cut+1e-9, mid) != 0 {
+		t.Fatal("delivery nonzero beyond cutoff")
+	}
+	if DeliveryFromDistance(cut*0.95, mid) <= 0 {
+		t.Fatal("delivery zero just inside cutoff")
+	}
+}

@@ -192,10 +192,10 @@ func MatrixError(truth, est *graph.Topology, threshold float64) (meanAbs, maxAbs
 	count := 0
 	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {
-			if i == j || truth.P[i][j] <= threshold {
+			if i == j || truth.Prob(graph.NodeID(i), graph.NodeID(j)) <= threshold {
 				continue
 			}
-			d := math.Abs(truth.P[i][j] - est.P[i][j])
+			d := math.Abs(truth.Prob(graph.NodeID(i), graph.NodeID(j)) - est.Prob(graph.NodeID(i), graph.NodeID(j)))
 			meanAbs += d
 			if d > maxAbs {
 				maxAbs = d

@@ -54,12 +54,14 @@ func EOTX(t *graph.Topology, dst graph.NodeID, opt EOTXOptions) []float64 {
 		if math.IsInf(d[k], 1) {
 			break // everything remaining is unreachable
 		}
-		for i := 0; i < n; i++ {
-			iid := graph.NodeID(i)
-			if closed[i] || iid == k {
+		// Only nodes with a link into k gain from k closing: iterate k's
+		// in-edges instead of the whole population.
+		for _, in := range t.InEdges(k) {
+			i := in.Node
+			if closed[i] {
 				continue
 			}
-			p := t.Prob(iid, k)
+			p := in.P
 			if p <= opt.Threshold {
 				continue
 			}
@@ -68,7 +70,7 @@ func EOTX(t *graph.Topology, dst graph.NodeID, opt EOTXOptions) []float64 {
 			nd := T[i] / (1 - P[i])
 			if nd < d[i] {
 				d[i] = nd
-				heap.Push(pq, distEntry{node: iid, dist: nd})
+				heap.Push(pq, distEntry{node: i, dist: nd})
 			}
 		}
 	}
@@ -113,16 +115,15 @@ func EOTXBellmanFord(t *graph.Topology, dst graph.NodeID, opt EOTXOptions) []flo
 // returns node i's cost using the closed form (5.15), admitting candidate
 // forwarders in ascending cost order while they improve the estimate.
 func recompute(t *graph.Topology, i graph.NodeID, d []float64, opt EOTXOptions) float64 {
-	n := t.N()
 	// Candidates in ascending d order.
-	cand := make([]graph.NodeID, 0, n)
-	for j := 0; j < n; j++ {
-		jid := graph.NodeID(j)
-		if jid == i || math.IsInf(d[j], 1) {
+	out := t.OutEdges(i)
+	cand := make([]graph.NodeID, 0, len(out))
+	for _, e := range out {
+		if math.IsInf(d[e.Node], 1) {
 			continue
 		}
-		if t.Prob(i, jid) > opt.Threshold {
-			cand = append(cand, jid)
+		if e.P > opt.Threshold {
+			cand = append(cand, e.Node)
 		}
 	}
 	sort.Slice(cand, func(a, b int) bool {
@@ -164,12 +165,9 @@ func EOTXFixedPoint(t *graph.Topology, dst graph.NodeID, opt EOTXOptions, maxNbr
 	}
 	nbrs := make([][]nbr, n)
 	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			if i == j {
-				continue
-			}
-			if p := t.Prob(graph.NodeID(i), graph.NodeID(j)); p > opt.Threshold {
-				nbrs[i] = append(nbrs[i], nbr{graph.NodeID(j), p})
+		for _, e := range t.OutEdges(graph.NodeID(i)) {
+			if e.P > opt.Threshold {
+				nbrs[i] = append(nbrs[i], nbr{e.Node, e.P})
 			}
 		}
 		if len(nbrs[i]) > maxNbrs {

@@ -43,18 +43,7 @@ func DefaultETXOptions() ETXOptions {
 // across link i->j (with MAC retransmissions), or Inf if the link is not
 // usable.
 func LinkETX(t *graph.Topology, i, j graph.NodeID, opt ETXOptions) float64 {
-	pf := t.Prob(i, j)
-	if pf <= opt.Threshold {
-		return Inf
-	}
-	if !opt.AckAware {
-		return 1 / pf
-	}
-	pr := t.Prob(j, i)
-	if pr <= opt.Threshold {
-		return Inf
-	}
-	return 1 / (pf * pr)
+	return linkETXFwd(t, i, j, t.Prob(i, j), opt)
 }
 
 // ETXTable holds, for a fixed destination, each node's ETX distance to it
@@ -72,7 +61,9 @@ type ETXTable struct {
 
 // ETXToDestination runs Dijkstra over link ETX costs toward dst, returning
 // every node's distance and next hop. Costs are additive per §2.1.1: the
-// ETX of a path is the sum of the ETX of each hop.
+// ETX of a path is the sum of the ETX of each hop. Relaxation iterates the
+// settled node's in-edges, so the cost is O(E log N) on sparse topologies
+// rather than O(N²).
 func ETXToDestination(t *graph.Topology, dst graph.NodeID, opt ETXOptions) *ETXTable {
 	n := t.N()
 	tab := &ETXTable{
@@ -95,24 +86,40 @@ func ETXToDestination(t *graph.Topology, dst graph.NodeID, opt ETXOptions) *ETXT
 			continue
 		}
 		done[u] = true
-		for v := 0; v < n; v++ {
-			vid := graph.NodeID(v)
-			if done[v] || vid == u {
+		for _, in := range t.InEdges(u) {
+			vid := in.Node
+			if done[vid] {
 				continue
 			}
 			// Relax the v -> u link: cost of sending from v toward dst via u.
-			c := LinkETX(t, vid, u, opt)
+			c := linkETXFwd(t, vid, u, in.P, opt)
 			if math.IsInf(c, 1) {
 				continue
 			}
-			if d := tab.Dist[u] + c; d < tab.Dist[v] {
-				tab.Dist[v] = d
-				tab.Next[v] = u
+			if d := tab.Dist[u] + c; d < tab.Dist[vid] {
+				tab.Dist[vid] = d
+				tab.Next[vid] = u
 				heap.Push(pq, distEntry{node: vid, dist: d})
 			}
 		}
 	}
 	return tab
+}
+
+// linkETXFwd is LinkETX with the forward delivery probability already in
+// hand (the in-edge iteration of ETXToDestination supplies it).
+func linkETXFwd(t *graph.Topology, i, j graph.NodeID, pf float64, opt ETXOptions) float64 {
+	if pf <= opt.Threshold {
+		return Inf
+	}
+	if !opt.AckAware {
+		return 1 / pf
+	}
+	pr := t.Prob(j, i)
+	if pr <= opt.Threshold {
+		return Inf
+	}
+	return 1 / (pf * pr)
 }
 
 // Path returns the best path from src to dst (inclusive of both ends), or

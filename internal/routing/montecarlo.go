@@ -24,7 +24,6 @@ func SimulateOpportunistic(t *graph.Topology, src, dst graph.NodeID, metric []fl
 		return 0, errors.New("routing: source unreachable under the supplied metric")
 	}
 	rng := rand.New(rand.NewSource(seed))
-	n := t.N()
 	var total float64
 	maxSteps := trials * 10000
 	steps := 0
@@ -37,17 +36,11 @@ func SimulateOpportunistic(t *graph.Topology, src, dst graph.NodeID, metric []fl
 			}
 			total++
 			best := at
-			for j := 0; j < n; j++ {
-				jid := graph.NodeID(j)
-				if jid == at {
-					continue
-				}
-				p := t.Prob(at, jid)
-				if p <= 0 {
-					continue
-				}
-				if rng.Float64() < p && metric[jid] < metric[best] {
-					best = jid
+			// Reception draws in ascending neighbor order — the same RNG
+			// stream as a whole-population scan over nodes with p > 0.
+			for _, e := range t.OutEdges(at) {
+				if rng.Float64() < e.P && metric[e.Node] < metric[best] {
+					best = e.Node
 				}
 			}
 			at = best

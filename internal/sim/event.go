@@ -9,13 +9,21 @@ type Event struct {
 	fn       func()
 	canceled bool
 	index    int // heap index, -1 once popped
+	owner    *Simulator
 }
 
 // Cancel prevents the event from firing. Canceling an already-fired or
-// already-canceled event is a no-op.
+// already-canceled event is a no-op. Canceled events are removed lazily;
+// the owning simulator compacts its heap once they outnumber live ones, so
+// timer-heavy workloads (one canceled timer per delivered frame, for hours
+// of simulated time) cannot grow the queue without bound.
 func (e *Event) Cancel() {
-	if e != nil {
-		e.canceled = true
+	if e == nil || e.canceled {
+		return
+	}
+	e.canceled = true
+	if e.owner != nil && e.index >= 0 {
+		e.owner.noteCanceled()
 	}
 }
 
@@ -62,9 +70,42 @@ func (s *Simulator) schedule(at Time, fn func()) *Event {
 		at = s.now
 	}
 	s.seq++
-	e := &Event{at: at, seq: s.seq, fn: fn}
+	e := &Event{at: at, seq: s.seq, fn: fn, owner: s}
 	heap.Push(&s.queue, e)
 	return e
+}
+
+// compactionFloor is the minimum number of canceled events before the heap
+// is compacted; below it lazy removal is cheaper than rebuilding.
+const compactionFloor = 64
+
+// noteCanceled records one more canceled-but-queued event and compacts the
+// heap once dead entries outnumber live ones.
+func (s *Simulator) noteCanceled() {
+	s.canceledInQueue++
+	if s.canceledInQueue >= compactionFloor && s.canceledInQueue*2 > len(s.queue) {
+		s.compactQueue()
+	}
+}
+
+// compactQueue drops canceled events and re-heapifies. The heap order is a
+// strict total order on (time, sequence), so the surviving events pop in
+// exactly the order they would have with lazy deletion — determinism holds.
+func (s *Simulator) compactQueue() {
+	live := s.queue[:0]
+	for _, e := range s.queue {
+		if e.canceled {
+			e.index = -1
+		} else {
+			live = append(live, e)
+		}
+	}
+	for i := len(live); i < len(s.queue); i++ {
+		s.queue[i] = nil
+	}
+	s.queue = live
+	heap.Init(&s.queue)
+	s.canceledInQueue = 0
 }
 
 // After schedules fn to run delay after the current time and returns a

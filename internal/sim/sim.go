@@ -4,6 +4,7 @@ import (
 	"container/heap"
 	"math"
 	"math/rand"
+	"sort"
 
 	"repro/internal/graph"
 )
@@ -152,6 +153,24 @@ type Simulator struct {
 	rng   *rand.Rand
 	nodes []*Node
 
+	// canceledInQueue counts canceled events still sitting in the heap;
+	// when they outnumber live ones the heap is compacted (see event.go).
+	canceledInQueue int
+
+	// senseSet[i] lists the nodes (including i itself) whose carrier sense
+	// detects a transmission by i, sorted ascending. Precomputed from the
+	// topology's neighbor lists plus the geometric sense range, it replaces
+	// the whole-population scan on every transmission start/end.
+	senseSet [][]graph.NodeID
+
+	// relevant[i] lists the transmitters whose concurrent frames can affect
+	// reception of i's frames at any of i's receivers: i's out-neighbors
+	// (half-duplex) plus every node audible above the interference
+	// threshold at one of them. Overlap tracking records only these pairs;
+	// anything else could never change a reception outcome. Built lazily —
+	// nodes that never transmit pay nothing.
+	relevant [][]graph.NodeID
+
 	active   []*transmission
 	Counters Counters
 
@@ -190,7 +209,87 @@ func New(topo *graph.Topology, cfg Config) *Simulator {
 	for i := range s.nodes {
 		s.nodes[i] = newNode(s, graph.NodeID(i))
 	}
+	s.buildSenseSets()
+	s.relevant = make([][]graph.NodeID, topo.N())
 	return s
+}
+
+// buildSenseSets precomputes, per transmitter, the sorted set of nodes whose
+// carrier sense hears it: the transmitter itself, its out-neighbors above
+// the sense threshold, and (when SenseRange is set) everything within range
+// by geometry, found through a spatial grid rather than an all-pairs scan.
+func (s *Simulator) buildSenseSets() {
+	n := s.topo.N()
+	s.senseSet = make([][]graph.NodeID, n)
+	var spatial *graph.SpatialIndex
+	if s.cfg.SenseRange > 0 {
+		spatial = graph.NewSpatialIndex(s.topo.Pos, s.cfg.SenseRange)
+	}
+	for i := 0; i < n; i++ {
+		id := graph.NodeID(i)
+		set := []graph.NodeID{id}
+		for _, e := range s.topo.OutEdges(id) {
+			if e.P > s.cfg.SenseThreshold {
+				set = append(set, e.Node)
+			}
+		}
+		if spatial != nil {
+			set = append(set, spatial.Near(id, s.cfg.SenseRange)...)
+		}
+		s.senseSet[i] = sortedUniqueIDs(set)
+	}
+}
+
+// relevantTo returns (building on first use) the sorted set of transmitters
+// whose overlapping frames can influence reception of id's frames.
+func (s *Simulator) relevantTo(id graph.NodeID) []graph.NodeID {
+	if r := s.relevant[id]; r != nil {
+		return r
+	}
+	// The per-receiver interference check compares the rate-ADJUSTED
+	// probability against the threshold; robust rates can adjust a link
+	// above its reference probability, so pre-filtering on the reference
+	// value is only exact for a rate-independent channel. With RateAdjust
+	// installed, admit every audible link and let the per-receiver check
+	// decide.
+	thresh := s.cfg.InterferenceThreshold
+	if s.cfg.RateAdjust != nil {
+		thresh = 0
+	}
+	out := s.topo.OutEdges(id)
+	set := make([]graph.NodeID, 0, len(out)*4)
+	for _, e := range out {
+		set = append(set, e.Node) // half-duplex: a busy receiver misses us
+		for _, in := range s.topo.InEdges(e.Node) {
+			if in.Node != id && in.P > thresh {
+				set = append(set, in.Node)
+			}
+		}
+	}
+	r := sortedUniqueIDs(set)
+	s.relevant[id] = r
+	return r
+}
+
+// sortedUniqueIDs sorts ids ascending and removes duplicates in place.
+func sortedUniqueIDs(ids []graph.NodeID) []graph.NodeID {
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	out := ids[:0]
+	for i, id := range ids {
+		if i == 0 || id != out[len(out)-1] {
+			out = append(out, id)
+		}
+	}
+	if len(out) == 0 {
+		return []graph.NodeID{} // non-nil: marks the set as built
+	}
+	return out
+}
+
+// containsID reports whether the sorted set contains id.
+func containsID(set []graph.NodeID, id graph.NodeID) bool {
+	k := sort.Search(len(set), func(i int) bool { return set[i] >= id })
+	return k < len(set) && set[k] == id
 }
 
 // Node returns the node with the given ID.
@@ -235,6 +334,7 @@ func (s *Simulator) RunWhile(until Time, cond func() bool) Time {
 		}
 		heap.Pop(&s.queue)
 		if e.canceled {
+			s.canceledInQueue--
 			continue
 		}
 		s.now = e.at
@@ -249,8 +349,8 @@ func (s *Simulator) RunWhile(until Time, cond func() bool) Time {
 	return s.now
 }
 
-// Pending reports how many events are queued (canceled events included).
-func (s *Simulator) Pending() int { return len(s.queue) }
+// Pending reports how many live (non-canceled) events are queued.
+func (s *Simulator) Pending() int { return len(s.queue) - s.canceledInQueue }
 
 func (s *Simulator) tracef(format string, args ...interface{}) {
 	if s.Trace != nil {
@@ -261,7 +361,12 @@ func (s *Simulator) tracef(format string, args ...interface{}) {
 // deliveryProb returns the delivery probability from a to b at the frame's
 // rate and size.
 func (s *Simulator) deliveryProb(a, b graph.NodeID, rate Bitrate, bytes int) float64 {
-	p := s.topo.Prob(a, b)
+	return s.adjustProb(s.topo.Prob(a, b), rate, bytes)
+}
+
+// adjustProb maps a reference-rate delivery probability to the frame's rate
+// and size.
+func (s *Simulator) adjustProb(p float64, rate Bitrate, bytes int) float64 {
 	if s.cfg.RateAdjust != nil {
 		p = s.cfg.RateAdjust(p, rate)
 	}
@@ -276,22 +381,6 @@ func (s *Simulator) deliveryProb(a, b graph.NodeID, rate Bitrate, bytes int) flo
 		p = math.Pow(p, float64(bytes)/float64(s.cfg.RefFrameBytes))
 	}
 	return p
-}
-
-// senses reports whether node b's carrier sense detects a transmission
-// from node a.
-func (s *Simulator) senses(a, b graph.NodeID) bool {
-	if a == b {
-		return true
-	}
-	if s.topo.Prob(a, b) > s.cfg.SenseThreshold {
-		return true
-	}
-	if s.cfg.SenseRange > 0 &&
-		s.topo.Pos[a].Distance(s.topo.Pos[b]) <= s.cfg.SenseRange {
-		return true
-	}
-	return false
 }
 
 // startTransmission puts a frame on the air from node n.
@@ -313,10 +402,20 @@ func (s *Simulator) startTransmission(n *Node, f *Frame) *transmission {
 		end:   s.now + dur,
 		rate:  rate,
 	}
-	// Record mutual overlaps with everything already on the air.
+	// Record overlaps with everything already on the air — but only where
+	// the overlap could change a reception outcome: other's transmitter
+	// must be relevant to us (it interferes at one of our receivers or is
+	// one of them), and vice versa. Pairs failing both tests are provably
+	// outcome-neutral, so skipping them keeps results byte-identical while
+	// bounding overlap lists by the two-hop neighborhood, not N.
+	relTx := s.relevantTo(n.id)
 	for _, other := range s.active {
-		other.overlaps = append(other.overlaps, tx)
-		tx.overlaps = append(tx.overlaps, other)
+		if containsID(relTx, other.from.id) {
+			tx.overlaps = append(tx.overlaps, other)
+		}
+		if containsID(s.relevantTo(other.from.id), n.id) {
+			other.overlaps = append(other.overlaps, tx)
+		}
 	}
 	s.active = append(s.active, tx)
 	n.mac.onAir++
@@ -332,10 +431,8 @@ func (s *Simulator) startTransmission(n *Node, f *Frame) *transmission {
 	s.Counters.TxByRate[rate]++
 
 	// Raise carrier at every sensing node (including the transmitter).
-	for _, other := range s.nodes {
-		if s.senses(n.id, other.id) {
-			other.mac.carrierUp()
-		}
+	for _, id := range s.senseSet[n.id] {
+		s.nodes[id].mac.carrierUp()
 	}
 	s.tracef("tx start node=%d to=%d bytes=%d rate=%v ack=%v", n.id, f.To, f.Bytes, rate, f.isMACAck)
 
@@ -354,17 +451,17 @@ func (s *Simulator) endTransmission(tx *transmission) {
 		}
 	}
 	// Drop carrier at every sensing node.
-	for _, other := range s.nodes {
-		if s.senses(tx.from.id, other.id) {
-			other.mac.carrierDown()
-		}
+	for _, id := range s.senseSet[tx.from.id] {
+		s.nodes[id].mac.carrierDown()
 	}
 
-	for _, rcv := range s.nodes {
-		if rcv.id == tx.from.id {
-			continue
-		}
-		outcome := s.receptionOutcome(tx, rcv)
+	// Resolve reception at the transmitter's out-neighbors — the only nodes
+	// with nonzero delivery probability. Ascending neighbor order keeps the
+	// RNG draw sequence identical to the old whole-population scan, which
+	// skipped zero-probability receivers before drawing.
+	for _, e := range s.topo.OutEdges(tx.from.id) {
+		rcv := s.nodes[e.Node]
+		outcome := s.receptionOutcome(tx, rcv, e.P)
 		switch outcome {
 		case rxOK:
 			s.Counters.Deliveries++
@@ -401,8 +498,10 @@ const (
 )
 
 // receptionOutcome decides whether receiver rcv decodes transmission tx.
-func (s *Simulator) receptionOutcome(tx *transmission, rcv *Node) rxOutcome {
-	p := s.deliveryProb(tx.from.id, rcv.id, tx.rate, tx.frame.Bytes)
+// pRef is the reference-rate delivery probability of the tx.from -> rcv
+// link, supplied by the caller's neighbor iteration.
+func (s *Simulator) receptionOutcome(tx *transmission, rcv *Node, pRef float64) rxOutcome {
+	p := s.adjustProb(pRef, tx.rate, tx.frame.Bytes)
 	if p <= 0 {
 		return rxOutOfRange
 	}

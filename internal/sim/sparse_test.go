@@ -1,0 +1,177 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// floodOnce makes every node broadcast `frames` frames over the topology and
+// returns a digest of everything observable: counters, per-node reception
+// and send logs. Used to prove dense and sparse topology storage drive the
+// simulator through byte-identical executions.
+func floodOnce(t *testing.T, topo *graph.Topology, cfg Config, frames int) string {
+	t.Helper()
+	s := New(topo, cfg)
+	protos := make([]*testProto, topo.N())
+	for i := range protos {
+		protos[i] = &testProto{}
+		s.Attach(graph.NodeID(i), protos[i])
+	}
+	for i, p := range protos {
+		for k := 0; k < frames; k++ {
+			p.enqueue(&Frame{To: graph.Broadcast, Bytes: 400 + 10*i + k})
+		}
+	}
+	end := s.Run(20 * Second)
+	digest := fmt.Sprintf("end=%v tx=%d acks=%d deliv=%d coll=%d loss=%d air=%v\n",
+		end, s.Counters.Transmissions, s.Counters.MACAcks, s.Counters.Deliveries,
+		s.Counters.Collisions, s.Counters.ChannelLosses, s.Counters.AirTime)
+	for i, p := range protos {
+		digest += fmt.Sprintf("node %d: tx=%d rx=[", i, s.Counters.TxByNode[i])
+		for _, f := range p.received {
+			digest += fmt.Sprintf("(%d,%d)", f.From, f.Bytes)
+		}
+		digest += "]\n"
+	}
+	return digest
+}
+
+// TestSparseTopologyByteIdentical locks in the tentpole regression: the
+// neighbor-indexed simulator must produce byte-identical outcomes whether
+// the topology is stored densely (N×N matrix) or sparsely (neighbor lists),
+// over the paper topologies and with every sense/interference feature on.
+func TestSparseTopologyByteIdentical(t *testing.T) {
+	testbed, _ := graph.ConnectedTestbed(graph.DefaultTestbed(), 1)
+	topos := map[string]*graph.Topology{
+		"diamond": graph.Diamond(),
+		"chain":   graph.LossyChain(6, 15, 30),
+		"testbed": testbed,
+	}
+	cfg := DefaultConfig()
+	cfg.SenseRange = 84
+	cfg.RefFrameBytes = 1500
+	for name, topo := range topos {
+		dense := floodOnce(t, topo, cfg, 3)
+		sparse := floodOnce(t, topo.Sparsify(), cfg, 3)
+		if dense != sparse {
+			t.Errorf("%s: dense and sparse runs diverge:\n--- dense ---\n%s--- sparse ---\n%s",
+				name, dense, sparse)
+		}
+	}
+}
+
+// TestGeometricTopologyRuns sanity-checks the simulator over a sparse
+// generator output: traffic flows, and the run is seed-deterministic.
+func TestGeometricTopologyRuns(t *testing.T) {
+	topo, _ := graph.ConnectedGeometric(graph.DefaultGeometric(60), 3)
+	if !topo.Sparse() {
+		t.Fatal("geometric topology should be sparse")
+	}
+	cfg := DefaultConfig()
+	cfg.SenseRange = 84
+	a := floodOnce(t, topo, cfg, 2)
+	b := floodOnce(t, topo, cfg, 2)
+	if a != b {
+		t.Fatal("same seed produced different runs")
+	}
+}
+
+func TestPendingCountsLiveEvents(t *testing.T) {
+	s := New(graph.New(1), DefaultConfig())
+	var evs []*Event
+	for i := 0; i < 10; i++ {
+		evs = append(evs, s.After(Time(i+1)*Millisecond, func() {}))
+	}
+	if got := s.Pending(); got != 10 {
+		t.Fatalf("Pending = %d, want 10", got)
+	}
+	for _, e := range evs[:4] {
+		e.Cancel()
+	}
+	if got := s.Pending(); got != 6 {
+		t.Fatalf("Pending after 4 cancels = %d, want 6", got)
+	}
+	// Double-cancel must not double-count.
+	evs[0].Cancel()
+	if got := s.Pending(); got != 6 {
+		t.Fatalf("Pending after re-cancel = %d, want 6", got)
+	}
+	s.Run(Second)
+	if got := s.Pending(); got != 0 {
+		t.Fatalf("Pending after run = %d, want 0", got)
+	}
+}
+
+// TestHeapCompaction schedules far more doomed timers than live ones — the
+// pattern of long multi-flow runs, where every delivered frame leaves a
+// canceled retransmit timer behind — and checks the heap shrinks instead of
+// growing without bound, while survivors still fire in schedule order.
+func TestHeapCompaction(t *testing.T) {
+	s := New(graph.New(1), DefaultConfig())
+	const total = 16 * compactionFloor
+	fired := make([]bool, total)
+	var order []int
+	liveCount := 0
+	for i := 0; i < total; i++ {
+		i := i
+		// Deliberately non-monotone times so compaction has real heap
+		// structure to preserve: time (i%7) ms, tie-broken by insertion.
+		e := s.After(Time(i%7)*Millisecond, func() { fired[i] = true; order = append(order, i) })
+		if i%8 != 0 {
+			e.Cancel()
+		} else {
+			liveCount++
+		}
+	}
+	// Compaction must have kicked in: dead entries never outnumber live
+	// ones by more than the compaction floor's worth of slack.
+	if len(s.queue) > 2*(liveCount+compactionFloor) {
+		t.Fatalf("queue holds %d entries for %d live events — not compacted",
+			len(s.queue), liveCount)
+	}
+	if got := s.Pending(); got != liveCount {
+		t.Fatalf("Pending = %d, want %d", got, liveCount)
+	}
+	s.Run(Second)
+	for i := range fired {
+		if want := i%8 == 0; fired[i] != want {
+			t.Fatalf("event %d fired=%v, want %v", i, fired[i], want)
+		}
+	}
+	// Survivors fire in (time, insertion) order — exactly the order lazy
+	// deletion would have produced.
+	for k := 1; k < len(order); k++ {
+		ta, tb := order[k-1]%7, order[k]%7
+		if ta > tb || (ta == tb && order[k-1] > order[k]) {
+			t.Fatalf("compaction perturbed order: %d before %d", order[k-1], order[k])
+		}
+	}
+	if len(order) != liveCount {
+		t.Fatalf("fired %d events, want %d", len(order), liveCount)
+	}
+}
+
+// TestRelevantSetRateAdjusted locks in the overlap-tracking filter rule:
+// with a rate-dependent channel, links below the interference threshold at
+// the reference rate can rise above it at robust rates, so they must stay
+// in the relevance set (the per-receiver check decides). Without
+// RateAdjust the reference-rate pre-filter is exact.
+func TestRelevantSetRateAdjusted(t *testing.T) {
+	topo := graph.New(3)
+	topo.SetLink(0, 1, 0.9)       // 0's receiver
+	topo.SetDirected(2, 1, 0.008) // weak interferer at 1, below threshold 0.01
+	cfg := DefaultConfig()
+
+	plain := New(topo, cfg)
+	if containsID(plain.relevantTo(0), 2) {
+		t.Fatal("rate-independent channel: sub-threshold interferer should be pre-filtered")
+	}
+
+	cfg.RateAdjust = AdaptRateScale(graph.RateScale) // Rate2: 0.008^0.5 ≈ 0.089 > 0.01
+	adjusted := New(topo, cfg)
+	if !containsID(adjusted.relevantTo(0), 2) {
+		t.Fatal("rate-dependent channel: weak interferer must stay relevant")
+	}
+}

@@ -67,6 +67,12 @@ func (r Bitrate) String() string {
 	return fmt.Sprintf("%gMbps", float64(r))
 }
 
+// MarshalText renders the rate name, letting Bitrate-keyed maps (e.g.
+// Counters.AirTimeByRate) marshal to readable JSON.
+func (r Bitrate) MarshalText() ([]byte, error) {
+	return []byte(r.String()), nil
+}
+
 // PLCPOverhead is the 802.11b long-preamble PLCP preamble + header time,
 // paid by every frame regardless of rate.
 const PLCPOverhead = 192 * Microsecond
