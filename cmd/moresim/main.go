@@ -31,6 +31,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/flow"
 	"repro/internal/graph"
+	"repro/internal/linkstate"
 	"repro/internal/routing"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -54,6 +55,10 @@ func main() {
 		batch     = flag.Int("k", 32, "batch size K for MORE/ExOR")
 		seed      = flag.Int64("seed", 1, "simulation seed")
 		metric    = flag.String("metric", "etx", "forwarder ordering: etx or eotx")
+		stateName = flag.String("state", "oracle", "routing state: oracle (global ground truth) or learned (in-sim probes + LSA floods; also runs the oracle side and reports the gap)")
+		warmup    = flag.Float64("warmup", 30, "learned-state measurement warmup before flows start (seconds; 0 starts flows cold)")
+		window    = flag.Int("window", 10, "learned-state probe window (probes per estimate, > 0)")
+		advertise = flag.Float64("advertise", 5, "learned-state LSA advertise interval (seconds, > 0)")
 		verbose   = flag.Bool("verbose", false, "print the forwarding plan")
 		showTrace = flag.Bool("trace", false, "print a per-node medium activity timeline")
 	)
@@ -66,6 +71,29 @@ func main() {
 	opts.Parallel = *parallel
 	if *metric == "eotx" {
 		opts.Metric = routing.OrderEOTX
+	}
+	state, err := experiments.ParseStateMode(*stateName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if state == experiments.StateLearned {
+		// linkstate.NewAgent treats a zero AdvertiseInterval as "use all
+		// defaults", which would silently discard -window too; reject the
+		// degenerate knobs here instead.
+		if *window <= 0 || *advertise <= 0 {
+			fmt.Fprintln(os.Stderr, "-window and -advertise must be > 0")
+			os.Exit(2)
+		}
+		if *warmup > 0 {
+			opts.Warmup = sim.Time(*warmup * float64(sim.Second))
+		} else {
+			opts.Warmup = -1 // explicit cold start (0 would mean "default 30 s")
+		}
+		lcfg := linkstate.DefaultConfig()
+		lcfg.Probe.Window = *window
+		lcfg.AdvertiseInterval = sim.Time(*advertise * float64(sim.Second))
+		opts.LinkState = lcfg
 	}
 
 	gcfg := graph.DefaultGeometric(*nodes)
@@ -95,6 +123,10 @@ func main() {
 	if *scaleList != "" {
 		if *protoName == "all" {
 			fmt.Fprintln(os.Stderr, "-scale needs a single protocol (default: more)")
+			os.Exit(2)
+		}
+		if state == experiments.StateLearned {
+			fmt.Fprintln(os.Stderr, "-scale runs the oracle control plane; use -state learned with a single run")
 			os.Exit(2)
 		}
 		if !runScale(*scaleList, *flows, *drop, gcfg, proto, opts, *jsonOut) {
@@ -174,6 +206,10 @@ func main() {
 			fmt.Fprintln(os.Stderr, "-trace is not supported with -proto all (one timeline per run; pick a protocol)")
 			os.Exit(2)
 		}
+		if state == experiments.StateLearned {
+			fmt.Fprintln(os.Stderr, "-proto all runs the oracle control plane; use -state learned with a single protocol")
+			os.Exit(2)
+		}
 		if *flows > 1 {
 			fmt.Fprintln(os.Stderr, "-proto all compares a single pair; use -flows with one protocol")
 			os.Exit(2)
@@ -195,6 +231,17 @@ func main() {
 			fmt.Fprintln(os.Stderr, "no reachable flow pairs on this topology")
 			os.Exit(1)
 		}
+	}
+
+	if state == experiments.StateLearned {
+		if *showTrace {
+			fmt.Fprintln(os.Stderr, "-trace is not supported with -state learned (the gap report runs two simulations)")
+			os.Exit(2)
+		}
+		if !runLearned(topo, proto, pairs, opts, *jsonOut) {
+			os.Exit(1)
+		}
+		return
 	}
 
 	var rec *trace.Recorder
@@ -232,6 +279,33 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// runLearned runs the flows with routing state learned over the air (and
+// once more from the oracle for comparison) and prints the gap report. It
+// reports whether every learned-state flow completed.
+func runLearned(topo *graph.Topology, proto experiments.Protocol, pairs []experiments.Pair,
+	opts experiments.Options, jsonOut bool) bool {
+	rep := experiments.GapRun(topo, proto, pairs, opts)
+	if jsonOut {
+		out, _ := json.MarshalIndent(struct {
+			Nodes int
+			Gap   experiments.GapReport
+		}{topo.N(), rep}, "", "  ")
+		fmt.Println(string(out))
+	} else {
+		fmt.Printf("protocol: %v, state: learned (vs oracle), %d flow(s)\n", proto, rep.Flows)
+		fmt.Printf("%-10s %10s %12s %14s %8s\n", "state", "pkt/s", "tx/pkt", "data-tx/pkt", "done")
+		fmt.Printf("%-10s %10.1f %12.2f %14.2f %5d/%-2d\n", "oracle",
+			rep.Oracle.Throughput, rep.Oracle.TxPerPacket, rep.Oracle.DataTxPerPacket, rep.Oracle.Completed, rep.Flows)
+		fmt.Printf("%-10s %10.1f %12.2f %14.2f %5d/%-2d\n", "learned",
+			rep.Learned.Throughput, rep.Learned.TxPerPacket, rep.Learned.DataTxPerPacket, rep.Learned.Completed, rep.Flows)
+		fmt.Printf("gap: throughput x%.2f, tx/pkt x%.2f (data-only x%.2f)\n",
+			rep.ThroughputRatio, rep.TxPerPacketRatio, rep.DataTxPerPacketRatio)
+		fmt.Printf("measurement plane: converged at %v, %d probe tx, %d LSA tx\n",
+			rep.Convergence, rep.ProbeTx, rep.FloodTx)
+	}
+	return rep.Learned.Completed == rep.Flows
 }
 
 // runScale parses the node-count list, sweeps the scaling driver, and

@@ -137,9 +137,9 @@ func (m *AckMsg) wireBytes() int {
 
 // Node is the MORE protocol instance on one router.
 type Node struct {
-	cfg    Config
-	node   *sim.Node
-	oracle *flow.Oracle
+	cfg   Config
+	node  *sim.Node
+	state flow.RoutingState
 
 	sources map[flow.ID]*sourceState
 	relays  map[flow.ID]*relayState
@@ -165,7 +165,7 @@ type Node struct {
 }
 
 // NewNode creates a MORE node; attach it with sim.Attach.
-func NewNode(cfg Config, oracle *flow.Oracle) *Node {
+func NewNode(cfg Config, state flow.RoutingState) *Node {
 	if cfg.BatchSize <= 0 {
 		cfg.BatchSize = 32
 	}
@@ -174,7 +174,7 @@ func NewNode(cfg Config, oracle *flow.Oracle) *Node {
 	}
 	return &Node{
 		cfg:     cfg,
-		oracle:  oracle,
+		state:   state,
 		sources: make(map[flow.ID]*sourceState),
 		relays:  make(map[flow.ID]*relayState),
 		sinks:   make(map[flow.ID]*sinkState),
@@ -223,19 +223,23 @@ type sourceState struct {
 	done      bool
 	onDone    func(flow.Result)
 	txAtStart int64
+	// planVersion is the routing-state generation the forwarder plan was
+	// built from; a learned view ticks it as estimates drift, and the
+	// source rebuilds the plan at the next batch boundary.
+	planVersion uint64
 	// multicast is non-nil for multicast flows.
 	multicast *multicastState
 }
 
 // StartFlow makes this node the source of a reliable file transfer to dst.
 // It computes the forwarding plan (forwarder list, TX credits) from the
-// oracle's link state and starts pumping coded packets. onDone, if non-nil,
+// routing state view and starts pumping coded packets. onDone, if non-nil,
 // fires when the final batch is acked.
 func (n *Node) StartFlow(id flow.ID, dst graph.NodeID, file flow.File, onDone func(flow.Result)) error {
 	if _, dup := n.sources[id]; dup {
 		return fmt.Errorf("core: duplicate flow %d", id)
 	}
-	plan, err := routing.BuildPlan(n.oracle.Topo, n.node.ID(), dst, n.cfg.Plan)
+	plan, err := routing.BuildPlan(n.state.Graph(), n.node.ID(), dst, n.cfg.Plan)
 	if err != nil {
 		return fmt.Errorf("core: flow %d: %w", id, err)
 	}
@@ -244,17 +248,14 @@ func (n *Node) StartFlow(id flow.ID, dst graph.NodeID, file flow.File, onDone fu
 	if len(batches) == 0 {
 		return fmt.Errorf("core: flow %d: empty file", id)
 	}
-	fwd := make([]FwdEntry, 0, len(plan.Order))
-	for _, fid := range plan.Forwarders() {
-		fwd = append(fwd, FwdEntry{Node: fid, Credit: plan.Credit[fid]})
-	}
 	st := &sourceState{
-		id:        id,
-		dst:       dst,
-		batches:   batches,
-		fwd:       fwd,
-		onDone:    onDone,
-		txAtStart: n.node.Sim().Counters.Transmissions,
+		id:          id,
+		dst:         dst,
+		batches:     batches,
+		fwd:         fwdEntries(plan),
+		onDone:      onDone,
+		txAtStart:   n.node.Sim().Counters.Transmissions,
+		planVersion: n.state.Version(),
 	}
 	st.result = flow.Result{
 		Src: n.node.ID(), Dst: dst,
@@ -270,6 +271,31 @@ func (n *Node) StartFlow(id flow.ID, dst graph.NodeID, file flow.File, onDone fu
 	n.rrAdd(id)
 	n.node.Wake()
 	return nil
+}
+
+// fwdEntries flattens a plan's forwarder list into packet-header entries.
+func fwdEntries(plan *routing.Plan) []FwdEntry {
+	fwd := make([]FwdEntry, 0, len(plan.Order))
+	for _, fid := range plan.Forwarders() {
+		fwd = append(fwd, FwdEntry{Node: fid, Credit: plan.Credit[fid]})
+	}
+	return fwd
+}
+
+// refreshPlan rebuilds the forwarder plan when the routing state has moved
+// on since the plan was computed — a no-op under the static oracle (Version
+// is constant 0), the periodic-recomputation path under learned link state.
+// A failed rebuild (the drifted view momentarily lost the route) keeps the
+// old plan rather than stalling the flow.
+func (n *Node) refreshPlan(st *sourceState, dst graph.NodeID) {
+	v := n.state.Version()
+	if v == st.planVersion {
+		return
+	}
+	st.planVersion = v
+	if plan, err := routing.BuildPlan(n.state.Graph(), n.node.ID(), dst, n.cfg.Plan); err == nil {
+		st.fwd = fwdEntries(plan)
+	}
 }
 
 // advanceBatch moves the source to the next batch after an ACK.
@@ -289,6 +315,7 @@ func (n *Node) advanceBatch(st *sourceState, acked uint32) {
 		}
 		return
 	}
+	n.refreshPlan(st, st.dst)
 	src, err := coding.NewSource(st.batches[st.curBatch], n.node.Rand())
 	if err != nil {
 		panic(err) // batches are validated at StartFlow
@@ -677,7 +704,7 @@ func (n *Node) receiveAck(f *sim.Frame, a *AckMsg) {
 func (n *Node) Pull() *sim.Frame {
 	if len(n.ackQueue) > 0 {
 		a := n.ackQueue[0]
-		next := n.oracle.NextHop(n.node.ID(), a.Target)
+		next := n.state.NextHop(n.node.ID(), a.Target)
 		if next < 0 {
 			n.ackQueue = n.ackQueue[1:]
 			return n.Pull()

@@ -48,7 +48,7 @@ func (n *Node) StartMulticastFlow(id flow.ID, dsts []graph.NodeID, file flow.Fil
 	}
 	union := map[graph.NodeID]entry{}
 	for _, dst := range dsts {
-		plan, err := routing.BuildPlan(n.oracle.Topo, n.node.ID(), dst, n.cfg.Plan)
+		plan, err := routing.BuildPlan(n.state.Graph(), n.node.ID(), dst, n.cfg.Plan)
 		if err != nil {
 			return fmt.Errorf("core: multicast flow %d: %w", id, err)
 		}

@@ -117,9 +117,9 @@ func (m *DoneMsg) wireBytes() int {
 
 // Node is the ExOR instance on one router.
 type Node struct {
-	cfg    Config
-	node   *sim.Node
-	oracle *flow.Oracle
+	cfg   Config
+	node  *sim.Node
+	state flow.RoutingState
 
 	flows     map[flow.ID]*exorFlow
 	flowOrder []flow.ID    // deterministic iteration order
@@ -153,6 +153,10 @@ type exorFlow struct {
 	result   flow.Result
 	done     bool
 	onDone   func(flow.Result)
+	// planVersion is the routing-state generation prio was computed from;
+	// learned views tick it, and the source rebuilds the priority list at
+	// the next batch boundary.
+	planVersion uint64
 
 	// Sink-only.
 	verify    [][]byte
@@ -173,7 +177,7 @@ type exorFlow struct {
 }
 
 // NewNode creates an ExOR node; attach with sim.Attach.
-func NewNode(cfg Config, oracle *flow.Oracle) *Node {
+func NewNode(cfg Config, state flow.RoutingState) *Node {
 	if cfg.BatchSize <= 0 {
 		cfg.BatchSize = 32
 	}
@@ -184,9 +188,9 @@ func NewNode(cfg Config, oracle *flow.Oracle) *Node {
 		cfg.DstGossipRepeat = 10
 	}
 	return &Node{
-		cfg:    cfg,
-		oracle: oracle,
-		flows:  make(map[flow.ID]*exorFlow),
+		cfg:   cfg,
+		state: state,
+		flows: make(map[flow.ID]*exorFlow),
 	}
 }
 
@@ -209,7 +213,7 @@ func (n *Node) StartFlow(id flow.ID, dst graph.NodeID, file flow.File, onDone fu
 	if _, dup := n.flows[id]; dup {
 		return fmt.Errorf("exor: duplicate flow %d", id)
 	}
-	plan, err := routing.BuildPlan(n.oracle.Topo, n.node.ID(), dst, n.cfg.Plan)
+	plan, err := routing.BuildPlan(n.state.Graph(), n.node.ID(), dst, n.cfg.Plan)
 	if err != nil {
 		return fmt.Errorf("exor: flow %d: %w", id, err)
 	}
@@ -236,6 +240,7 @@ func (n *Node) StartFlow(id flow.ID, dst graph.NodeID, file flow.File, onDone fu
 		batches:      batches,
 		onDone:       onDone,
 		cleanedIdx:   make(map[int]bool),
+		planVersion:  n.state.Version(),
 	}
 	f.result = flow.Result{Src: n.node.ID(), Dst: dst, PacketsTotal: len(payloads), Start: n.node.Now()}
 	n.flows[id] = f
@@ -245,8 +250,19 @@ func (n *Node) StartFlow(id flow.ID, dst graph.NodeID, file flow.File, onDone fu
 	return nil
 }
 
-// loadSourceBatch resets the source's per-batch state.
+// loadSourceBatch resets the source's per-batch state. When the routing
+// state has re-converged since the priority list was built (learned link
+// state only; the oracle's version is constant), the list is rebuilt so the
+// new batch runs over the freshest forwarder ordering.
 func (n *Node) loadSourceBatch(f *exorFlow, b int) {
+	if v := n.state.Version(); v != f.planVersion {
+		f.planVersion = v
+		if plan, err := routing.BuildPlan(n.state.Graph(), n.node.ID(), f.dst, n.cfg.Plan); err == nil {
+			prio := append([]graph.NodeID{f.dst}, plan.Forwarders()...)
+			f.prio = append(prio, n.node.ID())
+			f.myPrio = len(f.prio) - 1
+		}
+	}
 	f.batch = b
 	f.base = b * n.cfg.BatchSize
 	nat := f.batches[b]
@@ -594,7 +610,7 @@ func (n *Node) maybeCleanup(f *exorFlow) {
 
 // queueUnicast enqueues a hop-by-hop unicast frame toward target.
 func (n *Node) queueUnicast(payload interface{}, target graph.NodeID) {
-	next := n.oracle.NextHop(n.node.ID(), target)
+	next := n.state.NextHop(n.node.ID(), target)
 	if next < 0 {
 		return
 	}

@@ -1,7 +1,11 @@
 // Package experiments reproduces the thesis' evaluation (Chapter 4) and
 // theory measurements (Chapter 5): one driver per table and figure, all
-// running the three protocols over the simulated testbed. DESIGN.md carries
-// the experiment index; EXPERIMENTS.md records paper-vs-measured numbers.
+// running the three protocols over the simulated testbed with the §4.1.2
+// setup (20 nodes, 5.5 Mb/s, 1500 B packets, K = 32). Beyond the paper it
+// adds the large-topology scaling sweep (random-geometric meshes the
+// 20-node testbed could not ask about) and the oracle-vs-learned gap
+// experiments of learned.go, which run the §3.2.1(b) measurement plane
+// inside the simulation and price the paper's free global ETX oracle.
 package experiments
 
 import (
@@ -13,6 +17,7 @@ import (
 	"repro/internal/exor"
 	"repro/internal/flow"
 	"repro/internal/graph"
+	"repro/internal/linkstate"
 	"repro/internal/routing"
 	"repro/internal/sim"
 	"repro/internal/srcr"
@@ -50,6 +55,42 @@ func (p Protocol) String() string {
 	}
 }
 
+// StateMode selects the routing-state provider for a run.
+type StateMode int
+
+// The two control planes: the global oracle of §4.1.2's pre-measurement
+// step, and the over-the-air learned state of §3.2.1(b).
+const (
+	StateOracle StateMode = iota
+	StateLearned
+)
+
+func (m StateMode) String() string {
+	switch m {
+	case StateOracle:
+		return "oracle"
+	case StateLearned:
+		return "learned"
+	default:
+		return fmt.Sprintf("StateMode(%d)", int(m))
+	}
+}
+
+// MarshalText lets StateMode fields render readably in -json output.
+func (m StateMode) MarshalText() ([]byte, error) { return []byte(m.String()), nil }
+
+// ParseStateMode parses a -state flag value.
+func ParseStateMode(s string) (StateMode, error) {
+	switch s {
+	case "oracle":
+		return StateOracle, nil
+	case "learned":
+		return StateLearned, nil
+	default:
+		return 0, fmt.Errorf("experiments: unknown state mode %q (want oracle or learned)", s)
+	}
+}
+
 // Options parameterizes a transfer run.
 type Options struct {
 	// FileBytes per transfer (paper: 5 MB; scaled down by default so the
@@ -80,13 +121,32 @@ type Options struct {
 	// set the drivers force serial execution: the trace callback is a
 	// single shared sink and concurrent sims would interleave into it.
 	Parallel int
-	// Deadline bounds each run's simulated time.
+	// Deadline bounds each run's simulated transfer time, measured from
+	// when flows start (after any learned-state warmup).
 	Deadline sim.Time
 	// Trace, when set, receives the simulator's medium trace (see
 	// internal/trace for a structured recorder).
 	Trace func(format string, args ...interface{})
 	// Metric selects forwarder ordering for MORE/ExOR (default ETX).
 	Metric routing.OrderMetric
+	// State selects where routing state comes from: StateOracle (default)
+	// hands every node the global ground-truth ETX table, as the paper's
+	// pre-measurement step does; StateLearned runs the §3.2.1(b)
+	// measurement plane inside the simulation — every node probes, floods
+	// LSAs, and routes from its own locally converged loss-annotated graph.
+	State StateMode
+	// LinkState configures the measurement plane for learned-state runs.
+	// The zero value uses linkstate.DefaultConfig().
+	LinkState linkstate.Config
+	// Warmup is how long the measurement plane runs before flows start in
+	// learned-state runs. Zero uses the 30 s default; negative disables
+	// the warmup entirely (flows start cold, measuring convergence under
+	// load). The transfer deadline starts after the warmup, so oracle and
+	// learned flows get the same simulated transfer time.
+	Warmup sim.Time
+	// Recompute rate-limits each node's learned-view rebuilds (default 1 s
+	// of simulated time between topology/table recomputations).
+	Recompute sim.Time
 	// MORE ablation switches.
 	PreCoding              bool
 	InnovativeOnly         bool
@@ -206,11 +266,160 @@ func RunFlows(topo *graph.Topology, proto Protocol, pairs []Pair, opts Options) 
 // RunWithCounters is RunFlows plus the run's medium-level counters (used by
 // the autorate analysis, §4.4).
 func RunWithCounters(topo *graph.Topology, proto Protocol, pairs []Pair, opts Options) ([]flow.Result, sim.Counters) {
+	info := RunDetailed(topo, proto, pairs, opts)
+	return info.Results, info.Counters
+}
+
+// RunInfo is the full outcome of a run: per-flow results, medium counters,
+// and — for learned-state runs — the measurement plane's convergence and
+// overhead accounting.
+type RunInfo struct {
+	Results  []flow.Result
+	Counters sim.Counters
+
+	// State echoes the routing-state mode the run used.
+	State StateMode
+	// Convergence is the simulated time at which every node's LSA database
+	// first covered every origin (full topology knowledge). 0 for oracle
+	// runs; -1 if the warmup ended before full coverage.
+	Convergence sim.Time
+	// ProbeTx and FloodTx count the measurement plane's transmissions
+	// (probe broadcasts; own + rebroadcast LSAs) across all nodes. They are
+	// included in Counters.Transmissions — control traffic shares the
+	// medium with data, which is exactly the cost under study.
+	ProbeTx, FloodTx int64
+}
+
+// runtimeState carries the per-run control-plane wiring: one provider per
+// node (the same oracle for every node, or a per-node learned view) plus
+// the agents behind learned views.
+type runtimeState struct {
+	providers []flow.RoutingState
+	agents    []*linkstate.Agent
+}
+
+// newRuntimeState builds the control plane for a run.
+func newRuntimeState(topo *graph.Topology, opts Options) *runtimeState {
+	n := topo.N()
+	rs := &runtimeState{providers: make([]flow.RoutingState, n)}
+	if opts.State == StateLearned {
+		recompute := opts.Recompute
+		if recompute == 0 {
+			recompute = sim.Second
+		}
+		rs.agents = make([]*linkstate.Agent, n)
+		for i := range rs.agents {
+			rs.agents[i] = linkstate.NewAgent(opts.LinkState, n)
+			rs.providers[i] = linkstate.NewView(rs.agents[i], opts.etxOptions(), recompute)
+		}
+		return rs
+	}
+	oracle := flow.NewOracle(topo, opts.etxOptions())
+	for i := range rs.providers {
+		rs.providers[i] = oracle
+	}
+	return rs
+}
+
+// attach installs the node's data protocol, stacking the link-state agent
+// under it (higher priority: control frames are small and periodic) when
+// the run learns its state over the air.
+func (rs *runtimeState) attach(s *sim.Simulator, id graph.NodeID, p sim.Protocol) {
+	if rs.agents != nil {
+		s.Attach(id, sim.NewStack(rs.agents[id], p))
+		return
+	}
+	s.Attach(id, p)
+}
+
+// converged reports whether every agent's LSA database covers every origin.
+func (rs *runtimeState) converged(n int) bool {
+	for _, a := range rs.agents {
+		if a.KnownOrigins() < n {
+			return false
+		}
+	}
+	return true
+}
+
+// warmup lets the measurement plane flood before flows start and returns
+// the convergence time (see RunInfo.Convergence).
+func (rs *runtimeState) warmup(s *sim.Simulator, topo *graph.Topology, opts Options) sim.Time {
+	if rs.agents == nil {
+		return 0
+	}
+	warmup := opts.Warmup
+	if warmup == 0 {
+		warmup = 30 * sim.Second
+	}
+	if warmup < 0 {
+		return -1 // cold start: flows begin before any flood completes
+	}
+	conv := sim.Time(-1)
+	n := topo.N()
+	s.RunWhile(warmup, func() bool {
+		if conv < 0 && rs.converged(n) {
+			conv = s.Now()
+		}
+		return true
+	})
+	if conv < 0 && rs.converged(n) {
+		conv = s.Now()
+	}
+	return conv
+}
+
+// startFlow launches one flow. Under the oracle a start failure is final
+// (the ground truth says the destination is unreachable, as before). Under
+// learned state the view may simply not have converged yet — a cold start
+// with Warmup < 0, or a short warmup — so the start is retried each second
+// of simulated time until it succeeds or the deadline passes.
+func (rs *runtimeState) startFlow(s *sim.Simulator, deadline sim.Time, try func() error, onFail func()) {
+	if rs.agents == nil {
+		if try() != nil {
+			onFail()
+		}
+		return
+	}
+	var attempt func()
+	attempt = func() {
+		if try() == nil {
+			return
+		}
+		if s.Now()+sim.Second >= deadline {
+			onFail()
+			return
+		}
+		s.After(sim.Second, attempt)
+	}
+	attempt()
+}
+
+// transferCond wraps a transfer's completion condition with convergence
+// tracking: a cold-started learned run converges under load, after flows
+// have begun, so the warmup-phase check alone would report -1.
+func (rs *runtimeState) transferCond(s *sim.Simulator, n int, conv *sim.Time, done func() bool) func() bool {
+	if rs.agents == nil {
+		return done
+	}
+	return func() bool {
+		if *conv < 0 && rs.converged(n) {
+			*conv = s.Now()
+		}
+		return done()
+	}
+}
+
+// RunDetailed is the full-fidelity runner behind RunWithCounters: it wires
+// the selected control plane (oracle or learned), runs the measurement
+// warmup when learning, transfers every flow, and reports convergence and
+// control-plane overhead alongside the results.
+func RunDetailed(topo *graph.Topology, proto Protocol, pairs []Pair, opts Options) RunInfo {
 	s := sim.New(topo, opts.simConfig())
 	if opts.Trace != nil {
 		s.Trace = opts.Trace
 	}
-	oracle := flow.NewOracle(topo, opts.etxOptions())
+	rs := newRuntimeState(topo, opts)
 	remaining := len(pairs)
 	results := make([]flow.Result, len(pairs))
 	markDone := func(i int) func(flow.Result) {
@@ -230,20 +439,24 @@ func RunWithCounters(topo *graph.Topology, proto Protocol, pairs []Pair, opts Op
 		cfg.CreditOnInnovativeOnly = opts.CreditOnInnovativeOnly
 		nodes := make([]*core.Node, topo.N())
 		for i := range nodes {
-			nodes[i] = core.NewNode(cfg, oracle)
-			s.Attach(graph.NodeID(i), nodes[i])
+			nodes[i] = core.NewNode(cfg, rs.providers[i])
+			rs.attach(s, graph.NodeID(i), nodes[i])
 		}
+		conv := rs.warmup(s, topo, opts)
+		deadline := s.Now() + opts.Deadline
 		for i, p := range pairs {
+			i, p := i, p
 			f := opts.file(opts.Seed + int64(i))
 			nodes[p.Dst].ExpectFlow(flow.ID(i+1), f, nil)
-			if err := nodes[p.Src].StartFlow(flow.ID(i+1), p.Dst, f, markDone(i)); err != nil {
-				remaining--
-			}
+			rs.startFlow(s, deadline, func() error {
+				return nodes[p.Src].StartFlow(flow.ID(i+1), p.Dst, f, markDone(i))
+			}, func() { remaining-- })
 		}
-		s.RunWhile(opts.Deadline, func() bool { return remaining > 0 })
+		s.RunWhile(deadline, rs.transferCond(s, topo.N(), &conv, func() bool { return remaining > 0 }))
 		for i, p := range pairs {
 			results[i] = nodes[p.Dst].Result(flow.ID(i + 1))
 		}
+		return finishRun(s, rs, pairs, results, opts, conv)
 	case ExOR:
 		cfg := exor.DefaultConfig()
 		cfg.BatchSize = opts.BatchSize
@@ -251,20 +464,24 @@ func RunWithCounters(topo *graph.Topology, proto Protocol, pairs []Pair, opts Op
 		cfg.Plan = opts.planOptions()
 		nodes := make([]*exor.Node, topo.N())
 		for i := range nodes {
-			nodes[i] = exor.NewNode(cfg, oracle)
-			s.Attach(graph.NodeID(i), nodes[i])
+			nodes[i] = exor.NewNode(cfg, rs.providers[i])
+			rs.attach(s, graph.NodeID(i), nodes[i])
 		}
+		conv := rs.warmup(s, topo, opts)
+		deadline := s.Now() + opts.Deadline
 		for i, p := range pairs {
+			i, p := i, p
 			f := opts.file(opts.Seed + int64(i))
 			nodes[p.Dst].ExpectFlow(flow.ID(i+1), f, markDone(i))
-			if err := nodes[p.Src].StartFlow(flow.ID(i+1), p.Dst, f, nil); err != nil {
-				remaining--
-			}
+			rs.startFlow(s, deadline, func() error {
+				return nodes[p.Src].StartFlow(flow.ID(i+1), p.Dst, f, nil)
+			}, func() { remaining-- })
 		}
-		s.RunWhile(opts.Deadline, func() bool { return remaining > 0 })
+		s.RunWhile(deadline, rs.transferCond(s, topo.N(), &conv, func() bool { return remaining > 0 }))
 		for i, p := range pairs {
 			results[i] = nodes[p.Dst].Result(flow.ID(i + 1))
 		}
+		return finishRun(s, rs, pairs, results, opts, conv)
 	case Srcr, SrcrAutorate:
 		cfg := srcr.DefaultConfig()
 		cfg.PayloadSize = opts.PktSize
@@ -272,25 +489,32 @@ func RunWithCounters(topo *graph.Topology, proto Protocol, pairs []Pair, opts Op
 		cfg.Reliable = true // fair baseline: complete the file like MORE/ExOR
 		nodes := make([]*srcr.Node, topo.N())
 		for i := range nodes {
-			nodes[i] = srcr.NewNode(cfg, oracle)
-			s.Attach(graph.NodeID(i), nodes[i])
+			nodes[i] = srcr.NewNode(cfg, rs.providers[i])
+			rs.attach(s, graph.NodeID(i), nodes[i])
 		}
+		conv := rs.warmup(s, topo, opts)
+		deadline := s.Now() + opts.Deadline
 		for i, p := range pairs {
+			i, p := i, p
 			f := opts.file(opts.Seed + int64(i))
 			nodes[p.Dst].ExpectFlow(flow.ID(i+1), f, nil)
-			if err := nodes[p.Src].StartFlow(flow.ID(i+1), p.Dst, f, markDone(i)); err != nil {
-				remaining--
-			}
+			rs.startFlow(s, deadline, func() error {
+				return nodes[p.Src].StartFlow(flow.ID(i+1), p.Dst, f, markDone(i))
+			}, func() { remaining-- })
 		}
-		s.RunWhile(opts.Deadline, func() bool { return remaining > 0 })
+		s.RunWhile(deadline, rs.transferCond(s, topo.N(), &conv, func() bool { return remaining > 0 }))
 		for i, p := range pairs {
 			results[i] = nodes[p.Dst].Result(flow.ID(i + 1))
 		}
+		return finishRun(s, rs, pairs, results, opts, conv)
 	default:
 		panic("experiments: unknown protocol")
 	}
+}
 
-	// Normalize: incomplete transfers end at the deadline.
+// finishRun normalizes results (incomplete transfers end at the deadline)
+// and assembles the RunInfo.
+func finishRun(s *sim.Simulator, rs *runtimeState, pairs []Pair, results []flow.Result, opts Options, conv sim.Time) RunInfo {
 	for i := range results {
 		if results[i].End == 0 {
 			results[i].End = s.Now()
@@ -303,7 +527,17 @@ func RunWithCounters(topo *graph.Topology, proto Protocol, pairs []Pair, opts Op
 		results[i].Src = pairs[i].Src
 		results[i].Dst = pairs[i].Dst
 	}
-	return results, s.Counters
+	info := RunInfo{
+		Results:     results,
+		Counters:    s.Counters,
+		State:       opts.State,
+		Convergence: conv,
+	}
+	for _, a := range rs.agents {
+		info.ProbeTx += a.ProbeTx()
+		info.FloodTx += a.FloodTx
+	}
+	return info
 }
 
 // SpatialReusePairs finds source-destination pairs whose best ETX path has

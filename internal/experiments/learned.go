@@ -1,0 +1,195 @@
+package experiments
+
+import (
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/linkstate"
+	"repro/internal/sim"
+)
+
+// The oracle-vs-learned gap experiment: the paper hands every protocol a
+// globally measured ETX table (§4.1.2); a deployable system learns that
+// state over the air (§3.2.1(b)) and pays for it twice — probe/LSA frames
+// share the medium with data, and routes computed from noisy windowed
+// estimates are not quite the oracle's. GapRun quantifies both costs for
+// one configuration; GapSweep maps them against the two knobs that control
+// the measurement plane's fidelity/overhead trade-off, the probe window and
+// the LSA advertise interval.
+
+// GapSummary aggregates one run side (oracle or learned) of a gap
+// comparison.
+type GapSummary struct {
+	// Throughput is the aggregate delivered packets/second across flows.
+	Throughput float64
+	// TxPerPacket is run-wide transmissions (data + any control sharing
+	// the medium, including the warmup's probes and floods) per delivered
+	// packet — the total airtime bill of the run.
+	TxPerPacket float64
+	// DataTxPerPacket excludes the measurement plane's transmissions
+	// (probes + LSA floods): the data plane's cost alone, the number to
+	// compare against the oracle's TxPerPacket to isolate route
+	// suboptimality from control overhead.
+	DataTxPerPacket float64
+	// Completed counts flows that finished within the deadline.
+	Completed int
+	// Transmissions is the run-wide transmission count.
+	Transmissions int64
+}
+
+// summarize folds a RunInfo into a GapSummary.
+func summarize(info RunInfo) GapSummary {
+	g := GapSummary{Transmissions: info.Counters.Transmissions}
+	delivered := 0
+	for _, r := range info.Results {
+		if r.Completed {
+			g.Completed++
+		}
+		delivered += r.PacketsDelivered
+		g.Throughput += r.Throughput()
+	}
+	if delivered > 0 {
+		g.TxPerPacket = float64(info.Counters.Transmissions) / float64(delivered)
+		g.DataTxPerPacket = float64(info.Counters.Transmissions-info.ProbeTx-info.FloodTx) / float64(delivered)
+	} else {
+		g.TxPerPacket = math.NaN()
+		g.DataTxPerPacket = math.NaN()
+	}
+	return g
+}
+
+// GapReport compares one protocol's oracle and learned runs over the same
+// topology, flows, and seed.
+type GapReport struct {
+	Protocol Protocol
+	Flows    int
+
+	Oracle  GapSummary
+	Learned GapSummary
+
+	// ThroughputRatio is learned/oracle aggregate throughput: 1.0 means
+	// the measurement plane cost nothing, lower is the gap.
+	ThroughputRatio float64
+	// TxPerPacketRatio is learned/oracle transmissions per delivered
+	// packet: above 1.0 is the control-plane + route-suboptimality cost.
+	TxPerPacketRatio float64
+	// DataTxPerPacketRatio is the same ratio with the learned side's
+	// measurement-plane transmissions excluded: the pure route-quality gap.
+	DataTxPerPacketRatio float64
+
+	// Convergence is when every node first held every origin's LSA
+	// (-1: the warmup ended before full coverage).
+	Convergence sim.Time
+	// ProbeTx and FloodTx are the measurement plane's transmissions during
+	// the learned run (warmup + transfer).
+	ProbeTx, FloodTx int64
+}
+
+// GapRun runs the same flows twice — once from the oracle, once from
+// learned state — and reports the gap. Everything but Options.State (and
+// the learned-side measurement knobs) is held identical.
+func GapRun(topo *graph.Topology, proto Protocol, pairs []Pair, opts Options) GapReport {
+	oOpts := opts
+	oOpts.State = StateOracle
+	lOpts := opts
+	lOpts.State = StateLearned
+
+	oracle := RunDetailed(topo, proto, pairs, oOpts)
+	learned := RunDetailed(topo, proto, pairs, lOpts)
+
+	rep := GapReport{
+		Protocol:    proto,
+		Flows:       len(pairs),
+		Oracle:      summarize(oracle),
+		Learned:     summarize(learned),
+		Convergence: learned.Convergence,
+		ProbeTx:     learned.ProbeTx,
+		FloodTx:     learned.FloodTx,
+	}
+	if rep.Oracle.Throughput > 0 {
+		rep.ThroughputRatio = rep.Learned.Throughput / rep.Oracle.Throughput
+	}
+	if rep.Oracle.TxPerPacket > 0 && !math.IsNaN(rep.Learned.TxPerPacket) {
+		rep.TxPerPacketRatio = rep.Learned.TxPerPacket / rep.Oracle.TxPerPacket
+		rep.DataTxPerPacketRatio = rep.Learned.DataTxPerPacket / rep.Oracle.TxPerPacket
+	}
+	return rep
+}
+
+// GapSweepConfig parameterizes the gap sweep over measurement-plane knobs.
+type GapSweepConfig struct {
+	// Windows lists probe window sizes (probes averaged per estimate);
+	// larger windows smooth estimates but slow adaptation.
+	Windows []int
+	// AdvertiseIntervals lists LSA flood periods; shorter floods converge
+	// faster but burn more airtime.
+	AdvertiseIntervals []sim.Time
+	// Protocol under test.
+	Protocol Protocol
+	// Flows is the number of concurrent random flows (≥1).
+	Flows int
+	// Opts carries topology-independent options (file size, seed,
+	// deadline, parallelism, warmup).
+	Opts Options
+}
+
+// DefaultGapSweepConfig sweeps MORE over the paper testbed with a small
+// probe-window × advertise-interval grid.
+func DefaultGapSweepConfig() GapSweepConfig {
+	opts := DefaultOptions()
+	opts.FileBytes = 64 << 10
+	return GapSweepConfig{
+		Windows:            []int{5, 10, 20},
+		AdvertiseIntervals: []sim.Time{2 * sim.Second, 5 * sim.Second, 10 * sim.Second},
+		Protocol:           MORE,
+		Flows:              1,
+		Opts:               opts,
+	}
+}
+
+// StateGapPoint is one row of the sweep: the measurement-plane knobs plus the
+// resulting gap.
+type StateGapPoint struct {
+	Window    int
+	Advertise sim.Time
+	GapReport
+}
+
+// GapSweep runs GapRun at every (window, advertise-interval) grid point
+// over the testbed topology, fanned over cfg.Opts.Parallel workers. Results
+// are deterministic in cfg.Opts.Seed for any worker count (each point is a
+// hermetic pair of simulations).
+func GapSweep(cfg GapSweepConfig) []StateGapPoint {
+	if cfg.Flows < 1 {
+		cfg.Flows = 1
+	}
+	type knob struct {
+		window    int
+		advertise sim.Time
+	}
+	var grid []knob
+	for _, w := range cfg.Windows {
+		for _, adv := range cfg.AdvertiseIntervals {
+			grid = append(grid, knob{w, adv})
+		}
+	}
+	points := make([]StateGapPoint, len(grid))
+	forEach(len(grid), cfg.Opts.workers(), func(i int) {
+		topo := TestbedTopology()
+		pairs := []Pair{{Src: 3, Dst: 17}}
+		if cfg.Flows > 1 {
+			pairs = RandomPairs(topo, cfg.Flows, cfg.Opts.Seed)
+		}
+		opts := cfg.Opts
+		lcfg := linkstate.DefaultConfig()
+		lcfg.Probe.Window = grid[i].window
+		lcfg.AdvertiseInterval = grid[i].advertise
+		opts.LinkState = lcfg
+		points[i] = StateGapPoint{
+			Window:    grid[i].window,
+			Advertise: grid[i].advertise,
+			GapReport: GapRun(topo, cfg.Protocol, pairs, opts),
+		}
+	})
+	return points
+}

@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestOracleStateByteIdentical locks the -state oracle path to the exact
+// pre-measurement-plane behavior: the control-plane refactor (per-node
+// RoutingState providers, protocol stacking, plan refresh hooks) must not
+// move a single RNG draw when the oracle is selected. The golden numbers
+// were captured from the seed implementation before RoutingState existed;
+// any drift here is a regression, not a re-baseline.
+func TestOracleStateByteIdentical(t *testing.T) {
+	golden := []struct {
+		proto         Protocol
+		tx, acks      int64
+		deliveries    int64
+		channelLosses int64
+		airTime       sim.Time
+		end           sim.Time
+	}{
+		{MORE, 213, 5, 1093, 1153, 508064608, 545248427},
+		{ExOR, 267, 10, 1853, 1068, 455434051, 674038382},
+		{Srcr, 390, 275, 4732, 2051, 943021803, 1015042349},
+	}
+	for _, g := range golden {
+		opts := DefaultOptions()
+		opts.FileBytes = 64 << 10
+		info := RunDetailed(TestbedTopology(), g.proto, []Pair{{Src: 3, Dst: 17}}, opts)
+		c := info.Counters
+		r := info.Results[0]
+		if c.Transmissions != g.tx || c.MACAcks != g.acks || c.Deliveries != g.deliveries ||
+			c.ChannelLosses != g.channelLosses || c.AirTime != g.airTime || r.End != g.end {
+			t.Errorf("%v oracle run drifted from seed behavior:\n got tx=%d acks=%d deliveries=%d chloss=%d airtime=%d end=%d\nwant tx=%d acks=%d deliveries=%d chloss=%d airtime=%d end=%d",
+				g.proto, c.Transmissions, c.MACAcks, c.Deliveries, c.ChannelLosses, int64(c.AirTime), int64(r.End),
+				g.tx, g.acks, g.deliveries, g.channelLosses, int64(g.airTime), int64(g.end))
+		}
+		if !r.Completed || !r.Verified {
+			t.Errorf("%v oracle run: completed=%v verified=%v", g.proto, r.Completed, r.Verified)
+		}
+		if info.Convergence != 0 || info.ProbeTx != 0 || info.FloodTx != 0 {
+			t.Errorf("%v oracle run leaked measurement-plane state: conv=%v probes=%d floods=%d",
+				g.proto, info.Convergence, info.ProbeTx, info.FloodTx)
+		}
+	}
+}
+
+// TestLearnedStateEndToEnd runs each protocol over the paper testbed with
+// routing state built solely from in-simulation probes and LSA floods, and
+// asserts the transfer completes with verified payloads and the learned
+// side stays within a sane gap of the oracle.
+func TestLearnedStateEndToEnd(t *testing.T) {
+	for _, proto := range []Protocol{MORE, ExOR, Srcr} {
+		opts := DefaultOptions()
+		opts.FileBytes = 64 << 10
+		rep := GapRun(TestbedTopology(), proto, []Pair{{Src: 3, Dst: 17}}, opts)
+		if rep.Learned.Completed != 1 {
+			t.Fatalf("%v: learned-state transfer did not complete", proto)
+		}
+		if rep.Convergence <= 0 {
+			t.Errorf("%v: measurement plane never converged (conv=%v)", proto, rep.Convergence)
+		}
+		if rep.ProbeTx == 0 || rep.FloodTx == 0 {
+			t.Errorf("%v: no measurement traffic recorded (probes=%d floods=%d)", proto, rep.ProbeTx, rep.FloodTx)
+		}
+		// Learned routes should be usable, not an order of magnitude off:
+		// throughput within 3x of the oracle, data-plane cost within 3x.
+		if rep.ThroughputRatio < 1.0/3 {
+			t.Errorf("%v: learned throughput ratio %.2f below 1/3 of oracle", proto, rep.ThroughputRatio)
+		}
+		if rep.DataTxPerPacketRatio > 3 {
+			t.Errorf("%v: learned data tx/pkt ratio %.2f above 3x oracle", proto, rep.DataTxPerPacketRatio)
+		}
+	}
+}
+
+// TestLearnedRunDeterministic locks the learned path's determinism: two
+// identical runs must agree bit for bit (the measurement plane shares the
+// simulator RNG, so this guards the whole stack's determinism).
+func TestLearnedRunDeterministic(t *testing.T) {
+	run := func() RunInfo {
+		opts := DefaultOptions()
+		opts.FileBytes = 32 << 10
+		opts.State = StateLearned
+		return RunDetailed(TestbedTopology(), MORE, []Pair{{Src: 3, Dst: 17}}, opts)
+	}
+	a, b := run(), run()
+	if a.Counters.Transmissions != b.Counters.Transmissions ||
+		a.Counters.AirTime != b.Counters.AirTime ||
+		a.Convergence != b.Convergence ||
+		a.ProbeTx != b.ProbeTx || a.FloodTx != b.FloodTx ||
+		a.Results[0].End != b.Results[0].End {
+		t.Fatalf("learned runs diverged: %+v vs %+v", a.Counters, b.Counters)
+	}
+}
+
+// TestLearnedColdStart disables the warmup: flows must still launch (the
+// runner retries until the learned view can route), the measurement plane
+// must converge under load, and the transfer must complete.
+func TestLearnedColdStart(t *testing.T) {
+	opts := DefaultOptions()
+	opts.FileBytes = 32 << 10
+	opts.State = StateLearned
+	opts.Warmup = -1
+	info := RunDetailed(TestbedTopology(), MORE, []Pair{{Src: 3, Dst: 17}}, opts)
+	r := info.Results[0]
+	if !r.Completed || !r.Verified {
+		t.Fatalf("cold-start transfer failed: completed=%v verified=%v", r.Completed, r.Verified)
+	}
+	if info.Convergence <= 0 {
+		t.Errorf("convergence under load not recorded: %v", info.Convergence)
+	}
+}
+
+// TestGapSweepShape checks the sweep produces one point per grid cell with
+// the knobs echoed back.
+func TestGapSweepShape(t *testing.T) {
+	cfg := DefaultGapSweepConfig()
+	cfg.Windows = []int{10}
+	cfg.AdvertiseIntervals = []sim.Time{2 * sim.Second}
+	cfg.Opts.FileBytes = 32 << 10
+	pts := GapSweep(cfg)
+	if len(pts) != 1 {
+		t.Fatalf("want 1 point, got %d", len(pts))
+	}
+	if pts[0].Window != 10 || pts[0].Advertise != 2*sim.Second {
+		t.Fatalf("knobs not echoed: %+v", pts[0])
+	}
+	if pts[0].Learned.Completed != pts[0].Flows {
+		t.Fatalf("sweep point did not complete: %+v", pts[0])
+	}
+}
+
+func TestParseStateMode(t *testing.T) {
+	if m, err := ParseStateMode("oracle"); err != nil || m != StateOracle {
+		t.Fatalf("oracle: %v %v", m, err)
+	}
+	if m, err := ParseStateMode("learned"); err != nil || m != StateLearned {
+		t.Fatalf("learned: %v %v", m, err)
+	}
+	if _, err := ParseStateMode("psychic"); err == nil {
+		t.Fatal("expected error for unknown mode")
+	}
+}

@@ -126,10 +126,37 @@ func (r Result) String() string {
 		r.Throughput(), r.TxPerPacket(), r.Completed)
 }
 
+// RoutingState is the link-state view a protocol instance routes from: the
+// loss-annotated topology it builds forwarder plans over, plus the cached
+// shortest-path queries used for ACK routing and source routes. Two
+// implementations exist. Oracle (below) is the global ground-truth table the
+// paper's §4.1.2 pre-measurement step stands in for: one shared instance,
+// perfect knowledge, Version forever 0. linkstate.View is the deployable
+// alternative of §3.2.1(b): one instance per node, built solely from probes
+// and LSA floods received over the air, re-converging as estimates drift —
+// Version ticks on every recomputation so protocols know to refresh plans.
+type RoutingState interface {
+	// Graph returns the loss-annotated topology this view currently
+	// believes in. Callers must treat it as read-only; implementations may
+	// return a shared or cached instance.
+	Graph() *graph.Topology
+	// NextHop returns the best ETX next hop from cur toward dst, or -1
+	// when dst is unreachable in this view (or cur == dst).
+	NextHop(cur, dst graph.NodeID) graph.NodeID
+	// Path returns the best ETX path from src to dst (inclusive), or nil.
+	Path(src, dst graph.NodeID) []graph.NodeID
+	// Version identifies the state generation. It increases whenever the
+	// view's topology changes; a constant 0 marks a static view. Sources
+	// compare it between batches to decide whether to rebuild their
+	// forwarding plans.
+	Version() uint64
+}
+
 // Oracle is the shared link-state view every node routes from. The paper
 // measures pairwise delivery probabilities once and feeds the same values
 // to Srcr, MORE, and ExOR; Oracle plays that role and caches the
 // shortest-path tables protocols use for ACK routing and path selection.
+// It implements RoutingState with perfect global knowledge and Version 0.
 type Oracle struct {
 	Topo *graph.Topology
 	Opt  routing.ETXOptions
@@ -141,6 +168,12 @@ type Oracle struct {
 func NewOracle(t *graph.Topology, opt routing.ETXOptions) *Oracle {
 	return &Oracle{Topo: t, Opt: opt, tables: make(map[graph.NodeID]*routing.ETXTable)}
 }
+
+// Graph implements RoutingState: the ground-truth topology.
+func (o *Oracle) Graph() *graph.Topology { return o.Topo }
+
+// Version implements RoutingState: the oracle never changes.
+func (o *Oracle) Version() uint64 { return 0 }
 
 // Table returns (computing on first use) the ETX table toward dst.
 func (o *Oracle) Table(dst graph.NodeID) *routing.ETXTable {

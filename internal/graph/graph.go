@@ -11,9 +11,14 @@
 //
 // Topologies come in two storage flavours sharing one API. New builds the
 // dense N×N matrix the small paper topologies use; NewSparse stores per-node
-// neighbor lists only, so thousand-node meshes never materialize N² state.
-// OutEdges/InEdges expose the neighbor view for both; for dense topologies
-// the adjacency index is derived on first use and rebuilt after mutation.
+// neighbor lists only, so thousand-node meshes never materialize N² state —
+// the scaling extension past the §4.1 testbed's 20 nodes. OutEdges/InEdges
+// expose the neighbor view for both; for dense topologies the adjacency
+// index is derived on first use and rebuilt after mutation. The seeded
+// random-geometric generator (geometric.go) draws positions uniformly and
+// maps distance to delivery probability with the same distance-band shape
+// the testbed exhibits (§4.1.1's loss-rate spread), optionally degraded
+// uniformly (Degrade) to mimic §4.2.2's lossier conditions.
 package graph
 
 import (

@@ -58,6 +58,10 @@ type Agent struct {
 	latestSeq  map[graph.NodeID]uint32
 	db         map[graph.NodeID]*packet.LSA
 
+	// version counts LSA database changes; View uses it to decide when a
+	// cached topology and its route tables are stale.
+	version uint64
+
 	// FloodTx counts LSA transmissions (own + rebroadcasts).
 	FloodTx int64
 }
@@ -122,8 +126,18 @@ func (a *Agent) accept(l *packet.LSA) bool {
 	}
 	a.latestSeq[l.Origin] = l.Seq
 	a.db[l.Origin] = l
+	a.version++
 	return true
 }
+
+// Version counts LSA database changes (see View).
+func (a *Agent) Version() uint64 { return a.version }
+
+// Node returns the simulated node this agent runs on (nil before Init).
+func (a *Agent) Node() *sim.Node { return a.node }
+
+// ProbeTx returns how many probe broadcasts the underlying prober has sent.
+func (a *Agent) ProbeTx() int64 { return a.prober.ProbeTx }
 
 // Receive implements sim.Protocol.
 func (a *Agent) Receive(f *sim.Frame) {

@@ -59,6 +59,10 @@ type Prober struct {
 	received map[graph.NodeID][]uint32
 	// lastSeq[origin] is the highest sequence seen from origin.
 	lastSeq map[graph.NodeID]uint32
+
+	// ProbeTx counts probe broadcasts sent (measurement-plane overhead
+	// accounting for the learned-vs-oracle gap experiments).
+	ProbeTx int64
 }
 
 // NewProber creates a prober; attach with sim.Attach.
@@ -123,6 +127,7 @@ func (p *Prober) Pull() *sim.Frame {
 	}
 	p.pending--
 	p.seq++
+	p.ProbeTx++
 	m := &packet.Probe{Origin: p.node.ID(), Seq: p.seq, Window: uint16(p.cfg.Window)}
 	bytes := m.EncodedSize()
 	if p.cfg.PadToBytes > bytes {

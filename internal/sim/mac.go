@@ -36,9 +36,17 @@ type mac struct {
 	ackTimer *Event
 	onAir    int // own transmissions currently in flight
 
-	// MAC sequence numbers and duplicate suppression.
-	nextSeq uint64
-	seen    map[uint64]struct{} // (from<<40 | seq) of delivered unicasts
+	// MAC sequence numbers and duplicate suppression. seen is bounded by
+	// the configured DupWindow: seenRing remembers insertion order and the
+	// oldest key is evicted once the window fills, so memory stays O(window)
+	// on arbitrarily long runs. Real 802.11 duplicate detection keeps one
+	// recent (address, sequence) cache per peer for the same reason — a
+	// retransmitted duplicate always arrives within a few frames of the
+	// original, never a million frames later.
+	nextSeq  uint64
+	seen     map[uint64]struct{} // (from<<40 | seq) of delivered unicasts
+	seenRing []uint64            // insertion order of seen keys
+	seenNext int                 // ring slot holding the oldest key
 }
 
 func newMAC(n *Node) *mac {
@@ -47,6 +55,20 @@ func newMAC(n *Node) *mac {
 		cw:   n.sim.cfg.CWMin,
 		seen: make(map[uint64]struct{}),
 	}
+}
+
+// recordSeen marks key as delivered, evicting the oldest remembered key
+// once the duplicate-suppression window is full.
+func (m *mac) recordSeen(key uint64) {
+	w := m.node.sim.cfg.DupWindow
+	if len(m.seenRing) < w {
+		m.seenRing = append(m.seenRing, key)
+	} else {
+		delete(m.seen, m.seenRing[m.seenNext])
+		m.seenRing[m.seenNext] = key
+		m.seenNext = (m.seenNext + 1) % w
+	}
+	m.seen[key] = struct{}{}
 }
 
 // wake is called by the protocol when it has traffic.
@@ -243,7 +265,7 @@ func (m *mac) deliver(tx *transmission) {
 		if _, dup := m.seen[key]; dup {
 			return
 		}
-		m.seen[key] = struct{}{}
+		m.recordSeen(key)
 		m.node.proto.Receive(f)
 		return
 	}
@@ -253,7 +275,7 @@ func (m *mac) deliver(tx *transmission) {
 		if _, dup := m.seen[key]; dup {
 			return
 		}
-		m.seen[key] = struct{}{}
+		m.recordSeen(key)
 	}
 	m.node.proto.Receive(f)
 }

@@ -83,6 +83,14 @@ type Config struct {
 	// delivery never beats that of a MinFrameBytes-byte frame. Zero
 	// defaults to RefFrameBytes/10.
 	MinFrameBytes int
+
+	// DupWindow bounds each node's MAC duplicate-suppression memory: the
+	// most recent DupWindow delivered (sender, sequence) keys are
+	// remembered; older ones are forgotten. Retransmitted duplicates
+	// always arrive within the retry window, so any value comfortably
+	// above the per-neighbor retry depth is behavior-identical while
+	// keeping memory bounded on very long runs. Zero defaults to 4096.
+	DupWindow int
 }
 
 // DefaultConfig returns 802.11b-ish parameters matching the testbed setup.
@@ -196,6 +204,9 @@ func New(topo *graph.Topology, cfg Config) *Simulator {
 	}
 	if cfg.BasicRate == 0 {
 		cfg.BasicRate = Rate2
+	}
+	if cfg.DupWindow <= 0 {
+		cfg.DupWindow = 4096
 	}
 	s := &Simulator{
 		cfg:  cfg,

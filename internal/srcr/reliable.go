@@ -67,7 +67,7 @@ func (st *sourceState) startPassTracking(n int) {
 // queueControl enqueues a control message for prioritized hop-by-hop
 // forwarding toward target.
 func (n *Node) queueControl(payload interface{}, target graph.NodeID) {
-	next := n.oracle.NextHop(n.node.ID(), target)
+	next := n.state.NextHop(n.node.ID(), target)
 	if next < 0 {
 		return
 	}
@@ -138,8 +138,24 @@ func (n *Node) receiveNack(fr *sim.Frame, m *NackMsg) {
 		return
 	}
 	st.pass++
+	n.refreshRoute(st)
 	st.pending = append(st.pending[:0], m.Missing...)
 	n.node.Wake()
+}
+
+// refreshRoute re-runs path selection when the routing state has moved on
+// since the route was computed — a no-op under the static oracle, the
+// re-routing path under learned link state. Losing the route entirely
+// (momentary divergence) keeps the old one.
+func (n *Node) refreshRoute(st *sourceState) {
+	v := n.state.Version()
+	if v == st.planVersion {
+		return
+	}
+	st.planVersion = v
+	if route := n.state.Path(n.node.ID(), st.route[len(st.route)-1]); route != nil {
+		st.route = route
+	}
 }
 
 // finishPass sends the FIN and arms the NACK timeout.

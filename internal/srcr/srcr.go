@@ -59,9 +59,9 @@ func (m *DataMsg) wireBytes() int {
 
 // Node is the Srcr instance on one router.
 type Node struct {
-	cfg    Config
-	node   *sim.Node
-	oracle *flow.Oracle
+	cfg   Config
+	node  *sim.Node
+	state flow.RoutingState
 
 	queue   []*DataMsg   // forwarding queue, drop tail
 	control []*sim.Frame // FIN/NACK control messages (prioritized)
@@ -90,6 +90,11 @@ type sourceState struct {
 	pass         int
 	awaitingNack bool
 	finTimer     *sim.Event
+
+	// planVersion is the routing-state generation the route was computed
+	// from; learned views tick it, and the source re-routes at the next
+	// reliability-pass boundary.
+	planVersion uint64
 }
 
 type sinkState struct {
@@ -103,13 +108,13 @@ type sinkState struct {
 }
 
 // NewNode creates a Srcr node; attach with sim.Attach.
-func NewNode(cfg Config, oracle *flow.Oracle) *Node {
+func NewNode(cfg Config, state flow.RoutingState) *Node {
 	if cfg.QueueSize <= 0 {
 		cfg.QueueSize = 50
 	}
 	return &Node{
 		cfg:     cfg,
-		oracle:  oracle,
+		state:   state,
 		sources: make(map[flow.ID]*sourceState),
 		sinks:   make(map[flow.ID]*sinkState),
 		onoe:    make(map[graph.NodeID]*Onoe),
@@ -127,15 +132,16 @@ func (n *Node) StartFlow(id flow.ID, dst graph.NodeID, file flow.File, onDone fu
 	if _, dup := n.sources[id]; dup {
 		return fmt.Errorf("srcr: duplicate flow %d", id)
 	}
-	route := n.oracle.Path(n.node.ID(), dst)
+	route := n.state.Path(n.node.ID(), dst)
 	if route == nil {
 		return fmt.Errorf("srcr: no route %d -> %d", n.node.ID(), dst)
 	}
 	st := &sourceState{
-		id:       id,
-		route:    route,
-		payloads: file.Payloads(),
-		onDone:   onDone,
+		id:          id,
+		route:       route,
+		payloads:    file.Payloads(),
+		onDone:      onDone,
+		planVersion: n.state.Version(),
 	}
 	if n.cfg.Reliable {
 		st.startPassTracking(len(st.payloads))

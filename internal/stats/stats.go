@@ -1,7 +1,8 @@
 // Package stats provides the summary statistics and distribution plots the
-// evaluation chapter reports: CDFs over flow throughputs (Figures 4-2, 4-4,
-// 4-6, 4-7), medians and percentiles, means with standard deviations
-// (Figure 4-5), and plain-text renderings for the benchmark harness.
+// evaluation chapter (§4.2–§4.4) reports: CDFs over flow throughputs
+// (Figures 4-2, 4-4, 4-6, 4-7), medians and percentiles as §4.2.1 quotes
+// them, means with standard deviations (Figure 4-5), and plain-text
+// renderings for the benchmark harness.
 package stats
 
 import (

@@ -1,8 +1,10 @@
 // Package trace records structured simulation events for inspection: a
 // bounded ring of recent medium events plus per-node transmission
 // timelines. Attach a Recorder to sim.Simulator.Trace to capture activity,
-// then render timelines or dump the tail — the debugging view the Click
-// implementation got from its element logs.
+// then render timelines or dump the tail — the debugging view the paper's
+// Click-based implementation (§4.1.1: MORE, ExOR, and Srcr all run as
+// user-level Click processes) got from its element logs, and the direct way
+// to see the spatial-reuse overlap §4.2.3 credits for MORE's gains.
 package trace
 
 import (
