@@ -28,6 +28,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/congest"
 	"repro/internal/experiments"
 	"repro/internal/flow"
 	"repro/internal/graph"
@@ -59,6 +60,10 @@ func main() {
 		warmup    = flag.Float64("warmup", 30, "learned-state measurement warmup before flows start (seconds; 0 starts flows cold)")
 		window    = flag.Int("window", 10, "learned-state probe window (probes per estimate, > 0)")
 		advertise = flag.Float64("advertise", 5, "learned-state LSA advertise interval (seconds, > 0)")
+		damp      = flag.Float64("damp", 0, "learned-state LSA flood damping trigger: advertise only when an estimate moved this much (0 disables; try 0.2)")
+		ccName    = flag.String("cc", "none", "congestion control: none, tail, choke, credit, or aimd")
+		ccQueue   = flag.Int("cc-queue", 0, "congestion-layer transmit queue bound (0: policy default)")
+		ccSweep   = flag.Bool("cc-sweep", false, "with -scale: run every congestion policy over the same topologies and print the mitigation table")
 		verbose   = flag.Bool("verbose", false, "print the forwarding plan")
 		showTrace = flag.Bool("trace", false, "print a per-node medium activity timeline")
 	)
@@ -77,6 +82,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	ccPolicy, err := congest.ParsePolicy(*ccName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	opts.CC = congest.DefaultConfig(ccPolicy)
+	opts.CC.QueueLen = *ccQueue
 	if state == experiments.StateLearned {
 		// linkstate.NewAgent treats a zero AdvertiseInterval as "use all
 		// defaults", which would silently discard -window too; reject the
@@ -93,6 +105,7 @@ func main() {
 		lcfg := linkstate.DefaultConfig()
 		lcfg.Probe.Window = *window
 		lcfg.AdvertiseInterval = sim.Time(*advertise * float64(sim.Second))
+		lcfg.TriggerDelta = *damp
 		opts.LinkState = lcfg
 	}
 
@@ -128,6 +141,12 @@ func main() {
 		if state == experiments.StateLearned {
 			fmt.Fprintln(os.Stderr, "-scale runs the oracle control plane; use -state learned with a single run")
 			os.Exit(2)
+		}
+		if *ccSweep {
+			if !runCCSweep(*scaleList, *flows, *drop, gcfg, proto, opts, *jsonOut) {
+				os.Exit(1)
+			}
+			return
 		}
 		if !runScale(*scaleList, *flows, *drop, gcfg, proto, opts, *jsonOut) {
 			os.Exit(1)
@@ -249,7 +268,8 @@ func main() {
 		rec = trace.NewRecorder(1 << 16)
 		opts.Trace = rec.Hook()
 	}
-	rs, counters := experiments.RunWithCounters(topo, proto, pairs, opts)
+	info := experiments.RunDetailed(topo, proto, pairs, opts)
+	rs, counters := info.Results, info.Counters
 	if rec != nil {
 		end := rs[0].End
 		if end == 0 {
@@ -261,18 +281,30 @@ func main() {
 		out, _ := json.MarshalIndent(struct {
 			Protocol string
 			Nodes    int
+			CC       congest.Policy
 			Results  []flow.Result
 			Counters sim.Counters
-		}{proto.String(), topo.N(), rs, counters}, "", "  ")
+			CCStats  congest.Stats
+			Fairness experiments.FairnessReport
+		}{proto.String(), topo.N(), info.CC, rs, counters, info.CCStats, info.Fairness}, "", "  ")
 		fmt.Println(string(out))
 	} else {
-		fmt.Printf("protocol: %v\n", proto)
+		fmt.Printf("protocol: %v, cc: %v\n", proto, info.CC)
 		for _, r := range rs {
 			fmt.Printf("%s\n", r)
 		}
 		fmt.Printf("medium: %d data tx, %d MAC acks, %d collisions, %d channel losses, air time %v\n",
 			counters.Transmissions, counters.MACAcks, counters.Collisions,
 			counters.ChannelLosses, counters.AirTime)
+		if len(rs) > 1 {
+			fmt.Printf("fairness: Jain(throughput) %.3f, Jain(tx) %.3f, control tx %d\n",
+				info.Fairness.JainThroughput, info.Fairness.JainTx, info.Fairness.ControlTx)
+		}
+		if info.CC != congest.None {
+			st := info.CCStats
+			fmt.Printf("congestion: %d enqueued, %d tail + %d choke + %d stale drops, %d grants, %d probes, %d rate cuts\n",
+				st.Enqueued, st.TailDrops, st.ChokeDrops, st.StaleDrops, st.GrantTx, st.ProbeSends, st.RateDecreases)
+		}
 	}
 	for _, r := range rs {
 		if !r.Completed {
@@ -313,14 +345,9 @@ func runLearned(topo *graph.Topology, proto experiments.Protocol, pairs []experi
 // completed.
 func runScale(list string, flows int, drop float64, gcfg graph.GeometricConfig,
 	proto experiments.Protocol, opts experiments.Options, jsonOut bool) bool {
-	var counts []int
-	for _, part := range strings.Split(list, ",") {
-		n, err := strconv.Atoi(strings.TrimSpace(part))
-		if err != nil || n < 2 {
-			fmt.Fprintf(os.Stderr, "bad -scale entry %q\n", part)
-			os.Exit(2)
-		}
-		counts = append(counts, n)
+	counts, ok := parseCounts(list)
+	if !ok {
+		os.Exit(2)
 	}
 	cfg := experiments.ScalingConfig{
 		NodeCounts: counts,
@@ -331,7 +358,7 @@ func runScale(list string, flows int, drop float64, gcfg graph.GeometricConfig,
 		Opts:       opts,
 	}
 	points := experiments.ScalingSweep(cfg)
-	ok := true
+	ok = true
 	if jsonOut {
 		out, _ := json.MarshalIndent(points, "", "  ")
 		fmt.Println(string(out))
@@ -355,6 +382,65 @@ func runScale(list string, flows int, drop float64, gcfg graph.GeometricConfig,
 		ok = ok && pt.Completed == pt.Flows
 	}
 	return ok
+}
+
+// runCCSweep re-runs the scaling sweep once per congestion policy over
+// identical topologies and flows and prints the mitigation table (or
+// JSON). It reports whether every flow at every point completed.
+func runCCSweep(list string, flows int, drop float64, gcfg graph.GeometricConfig,
+	proto experiments.Protocol, opts experiments.Options, jsonOut bool) bool {
+	counts, ok := parseCounts(list)
+	if !ok {
+		os.Exit(2)
+	}
+	grid := experiments.CCSweep(experiments.CCSweepConfig{
+		Scaling: experiments.ScalingConfig{
+			NodeCounts: counts,
+			Flows:      flows,
+			Drop:       drop,
+			Geometric:  gcfg,
+			Protocol:   proto,
+			Opts:       opts,
+		},
+	})
+	allDone := true
+	for _, pt := range grid {
+		allDone = allDone && pt.Completed == pt.Flows
+	}
+	if jsonOut {
+		out, _ := json.MarshalIndent(grid, "", "  ")
+		fmt.Println(string(out))
+		return allDone
+	}
+	fmt.Printf("congestion mitigation sweep: proto=%v flows=%d drop=%.2f file=%dB\n",
+		proto, flows, drop, opts.FileBytes)
+	fmt.Printf("%-8s %8s %10s %10s %8s %8s %8s %10s\n",
+		"cc", "nodes", "pkt/s", "tx/pkt", "jainT", "done", "grants", "drops")
+	for _, pt := range grid {
+		tpp := "-"
+		if !math.IsNaN(pt.TxPerPacket) {
+			tpp = fmt.Sprintf("%.2f", pt.TxPerPacket)
+		}
+		drops := pt.CCStats.TailDrops + pt.CCStats.ChokeDrops + pt.CCStats.StaleDrops
+		fmt.Printf("%-8v %8d %10.1f %10s %8.3f %5d/%-2d %8d %8d\n",
+			pt.CC, pt.Nodes, pt.Throughput, tpp, pt.Fairness.JainThroughput,
+			pt.Completed, pt.Flows, pt.CCStats.GrantTx, drops)
+	}
+	return allDone
+}
+
+// parseCounts parses the -scale node-count list.
+func parseCounts(list string) ([]int, bool) {
+	var counts []int
+	for _, part := range strings.Split(list, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 2 {
+			fmt.Fprintf(os.Stderr, "bad -scale entry %q\n", part)
+			return nil, false
+		}
+		counts = append(counts, n)
+	}
+	return counts, true
 }
 
 // compareAll runs every protocol over the same pair, fanning the hermetic

@@ -1,0 +1,596 @@
+// Package congest is the congestion-control subsystem MORE deliberately
+// ships without (the paper notes the lack; the PR 2 scaling sweep shows the
+// cost: transmissions-per-packet exploding past ~500 nodes under multi-flow
+// load as hidden-terminal collisions compound). It layers a pluggable
+// congestion layer between each node's routing protocol and its MAC:
+//
+//   - a bounded per-node transmit queue with a selectable drop policy —
+//     plain tail drop, or a CHOKe-style fair AQM that, on overflow, compares
+//     the arriving frame against a randomly chosen queued frame and drops
+//     both when they belong to the same flow (Pan, Prabhakar & Psounis,
+//     INFOCOM'00), penalizing whichever flow dominates the queue;
+//   - credit-based forwarder pacing for MORE: every node that holds batch
+//     state broadcasts small credit grants advertising how many more
+//     innovative packets it can still use (K minus its current rank);
+//     upstream nodes stop transmitting a batch once every downstream
+//     listener they can hear reports zero need, and a positive grant tops
+//     a full-rank forwarder's Eq. (3.3) credit back up so suppression
+//     upstream cannot starve the frontier — receiver-driven flow control
+//     that throttles the innovation-less retransmission storms the
+//     open-loop credits cannot see;
+//   - per-source AIMD rate adaptation: a token bucket paces each source's
+//     packet injection, additively speeding up on batch progress and
+//     multiplicatively backing off when a batch stagnates (many sends, no
+//     advance) or unicast sends fail — end-to-end control in the spirit of
+//     utility-based on-line congestion control.
+//
+// The layer implements sim.Protocol and wraps the data protocol, so control
+// traffic the protocol prioritizes internally (batch ACKs, NACKs, LSAs in a
+// sibling stack layer) bypasses the data queue, and everything the layer
+// emits contends for the real medium. With Policy None no layer is
+// installed at all — runs are byte-identical to the pre-congestion code
+// (pinned by the experiments golden tests).
+package congest
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/exor"
+	"repro/internal/flow"
+	"repro/internal/graph"
+	"repro/internal/sim"
+	"repro/internal/srcr"
+)
+
+// Policy selects the congestion-control mechanism.
+type Policy int
+
+const (
+	// None installs no congestion layer (byte-identical baseline).
+	None Policy = iota
+	// Tail bounds the transmit queue with plain tail drop.
+	Tail
+	// Choke is Tail plus CHOKe-style fair dropping at overflow: the
+	// arriving frame is compared against a random queued frame and both are
+	// dropped when they share a flow.
+	Choke
+	// Credit adds receiver-driven pacing on top of the bounded queue:
+	// downstream nodes grant credits (their remaining rank deficit) and
+	// upstream nodes stop transmitting a batch its listeners cannot use.
+	Credit
+	// AIMD paces each source's injection rate with a token bucket,
+	// additively increasing on batch progress and multiplicatively backing
+	// off on stagnation or unicast failure.
+	AIMD
+)
+
+// String renders the -cc flag spelling of the policy.
+func (p Policy) String() string {
+	switch p {
+	case None:
+		return "none"
+	case Tail:
+		return "tail"
+	case Choke:
+		return "choke"
+	case Credit:
+		return "credit"
+	case AIMD:
+		return "aimd"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// MarshalText lets Policy fields render readably in -json output.
+func (p Policy) MarshalText() ([]byte, error) { return []byte(p.String()), nil }
+
+// ParsePolicy parses a -cc flag value.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "", "none":
+		return None, nil
+	case "tail":
+		return Tail, nil
+	case "choke":
+		return Choke, nil
+	case "credit":
+		return Credit, nil
+	case "aimd":
+		return AIMD, nil
+	default:
+		return 0, fmt.Errorf("congest: unknown policy %q (want none, tail, choke, credit, or aimd)", s)
+	}
+}
+
+// Config parameterizes the congestion layer.
+type Config struct {
+	// Policy selects the mechanism; None disables the layer entirely.
+	Policy Policy
+	// QueueLen bounds the per-node data transmit queue (default 2). The
+	// default is deliberately shallow: frames are generated at pull time,
+	// so a deep queue sends coded packets whose recombination predates the
+	// node's latest receptions — measurably redundant downstream. Two
+	// slots give the AQM policies a queue to manage without replicating
+	// the §4.1.2 50-packet driver queue's staleness at MORE's expense
+	// (the -cc-queue sweep in PERFORMANCE.md quantifies the cost of
+	// deeper queues).
+	QueueLen int
+
+	// GateTimeout is the base interval at which a credit-gated flow still
+	// releases a single probe transmission (default 60 ms; the interval
+	// doubles while nothing changes, up to 32×) — the liveness escape
+	// hatch when grants or batch ACKs are lost.
+	GateTimeout sim.Time
+	// NeedAdvertiseMax bounds the per-change positive grants: a granter
+	// re-advertises every change of its remaining need only once the need
+	// is at most this (default 8). Larger needs are announced once per
+	// batch; the endgame countdown — the part that decides gating — stays
+	// fresh without a grant per innovative reception.
+	NeedAdvertiseMax int
+	// GrantRefresh re-advertises a zero need at most this often while
+	// traffic for the completed batch keeps arriving (default 150 ms) —
+	// the retransmission path for a lost stop signal, self-limiting
+	// because it is driven by the very traffic it suppresses.
+	GrantRefresh sim.Time
+	// GrantMinInterval floors the spacing between a granter's successive
+	// grants for one flow (default 50 ms). Only the gating transitions —
+	// need hitting zero or reappearing — bypass it: every broadcast
+	// reception is a grant opportunity at every listener, so without a
+	// floor the endgame countdown multiplies across the neighborhood into
+	// a grant storm that feeds the very congestion it should damp.
+	GrantMinInterval sim.Time
+	// GrantTTL expires a grant's word (default 500 ms): a zero-need grant
+	// older than this no longer gates the sender. A suppressed flow's own
+	// residual traffic refreshes live zeros every GrantRefresh, so the
+	// gate holds exactly as long as the granter keeps restating it — and
+	// a silence deep enough to stop the refreshes releases the flow
+	// instead of stranding it on probe backoff.
+	GrantTTL sim.Time
+
+	// RateInit is the AIMD starting injection rate in packets/second
+	// (default 300). RateMin/RateMax clamp it (defaults 64 and 2000).
+	RateInit, RateMin, RateMax float64
+	// RateStep is the additive increase per batch advance (default 30).
+	RateStep float64
+	// RateBeta is the multiplicative decrease factor (default 0.5).
+	RateBeta float64
+	// StagnationFactor triggers a decrease after StagnationFactor×K sends
+	// within one batch without an advance (default 10; the threshold
+	// doubles after each decrease within the same batch).
+	StagnationFactor float64
+	// BucketDepth caps accumulated tokens (default 8 packets).
+	BucketDepth float64
+}
+
+// DefaultConfig returns the given policy with default knobs.
+func DefaultConfig(p Policy) Config {
+	return Config{Policy: p}
+}
+
+func (c *Config) fillDefaults() {
+	if c.QueueLen <= 0 {
+		c.QueueLen = 2
+	}
+	if c.GateTimeout <= 0 {
+		c.GateTimeout = 60 * sim.Millisecond
+	}
+	if c.NeedAdvertiseMax <= 0 {
+		c.NeedAdvertiseMax = 8
+	}
+	if c.GrantRefresh <= 0 {
+		c.GrantRefresh = 150 * sim.Millisecond
+	}
+	if c.GrantMinInterval <= 0 {
+		c.GrantMinInterval = 50 * sim.Millisecond
+	}
+	if c.GrantTTL <= 0 {
+		c.GrantTTL = 500 * sim.Millisecond
+	}
+	if c.RateInit <= 0 {
+		c.RateInit = 300
+	}
+	if c.RateMin <= 0 {
+		c.RateMin = 64
+	}
+	if c.RateMax <= 0 {
+		c.RateMax = 2000
+	}
+	if c.RateStep <= 0 {
+		c.RateStep = 30
+	}
+	if c.RateBeta <= 0 || c.RateBeta >= 1 {
+		c.RateBeta = 0.5
+	}
+	if c.StagnationFactor <= 0 {
+		c.StagnationFactor = 10
+	}
+	if c.BucketDepth <= 0 {
+		c.BucketDepth = 8
+	}
+}
+
+// Stats counts what the layer did to the traffic passing through it.
+type Stats struct {
+	// Enqueued counts data frames accepted into the queue.
+	Enqueued int64
+	// TailDrops counts frames dropped because the queue was full.
+	TailDrops int64
+	// ChokeDrops counts frames dropped by the CHOKe same-flow comparison
+	// (both members of each dropped pair are counted).
+	ChokeDrops int64
+	// StaleDrops counts queued frames dropped because their flow moved to
+	// a newer batch before they reached the air.
+	StaleDrops int64
+	// GrantTx counts credit-grant broadcasts sent.
+	GrantTx int64
+	// GateSkips counts transmission opportunities a gated frame declined.
+	GateSkips int64
+	// ProbeSends counts gated transmissions released by the GateTimeout
+	// liveness escape.
+	ProbeSends int64
+	// RateDecreases counts AIMD multiplicative-decrease events.
+	RateDecreases int64
+}
+
+// Add accumulates s2 into s (aggregating per-node layers into a run total).
+func (s *Stats) Add(s2 Stats) {
+	s.Enqueued += s2.Enqueued
+	s.TailDrops += s2.TailDrops
+	s.ChokeDrops += s2.ChokeDrops
+	s.StaleDrops += s2.StaleDrops
+	s.GrantTx += s2.GrantTx
+	s.GateSkips += s2.GateSkips
+	s.ProbeSends += s2.ProbeSends
+	s.RateDecreases += s2.RateDecreases
+}
+
+// NeedReporter is implemented by protocols that can report how many more
+// innovative packets they can use for a flow's current batch — the signal
+// the Credit policy turns into grants. core.Node implements it.
+type NeedReporter interface {
+	// BatchNeeded returns the flow's current batch at this node and how
+	// many more innovative packets this node can absorb for it (0 when the
+	// batch is complete or already acknowledged). ok is false when the
+	// node holds no receive-side state for the flow.
+	BatchNeeded(id flow.ID) (batch uint32, needed int, ok bool)
+}
+
+// CreditTopper is implemented by protocols whose forwarder transmission
+// rights the Credit policy can replenish from downstream grants: a
+// positive grant tops the forwarder's credit for that batch up to the
+// granted need, so a chain whose reception-driven credits drained keeps
+// serving advertised demand. core.Node implements it.
+type CreditTopper interface {
+	TopUpRelayCredit(id flow.ID, batch uint32, granter graph.NodeID, credit float64)
+}
+
+// ControlReporter is implemented by protocols that can say whether they
+// hold queued control traffic (batch ACKs, NACKs). The layer uses it to
+// decide whether a pull is worth making at a full queue: without the hint
+// it must pull speculatively (generating a data frame it may immediately
+// drop) so queued control can never starve behind a full data queue.
+type ControlReporter interface {
+	HasControl() bool
+}
+
+// Layer is the per-node congestion layer. It implements sim.Protocol,
+// wrapping the data protocol: Pull drains a bounded queue refilled from the
+// protocol (applying the drop policy), Receive snoops passing traffic for
+// the pacing policies, and protocol-internal control frames (batch ACKs,
+// NACKs, route control) bypass the queue entirely.
+type Layer struct {
+	cfg   Config
+	proto sim.Protocol
+	node  *sim.Node
+	need  NeedReporter    // proto's NeedReporter side, nil if unsupported
+	ctrl  ControlReporter // proto's ControlReporter side, nil if unsupported
+	top   CreditTopper    // proto's CreditTopper side, nil if unsupported
+
+	queue []*sim.Frame
+
+	credit *creditState
+	aimd   map[uint32]*aimdFlow
+
+	// pendingGrants holds at most one un-transmitted grant per flow.
+	pendingGrants []*CreditMsg
+
+	// wakeEv is the scheduled self-wake releasing gated traffic.
+	wakeEv *sim.Event
+	wakeAt sim.Time
+
+	// Stats is the layer's accounting; read it after the run.
+	Stats Stats
+}
+
+// New wraps the data protocol in a congestion layer. It panics on Policy
+// None: the byte-identical baseline is "no layer", not a pass-through one.
+func New(cfg Config, proto sim.Protocol) *Layer {
+	if cfg.Policy == None {
+		panic("congest: Policy None means no layer; attach the protocol directly")
+	}
+	cfg.fillDefaults()
+	l := &Layer{cfg: cfg, proto: proto}
+	if cfg.Policy == Credit {
+		l.credit = newCreditState()
+	}
+	if cfg.Policy == AIMD {
+		l.aimd = make(map[uint32]*aimdFlow)
+	}
+	return l
+}
+
+// Config returns the layer's effective (default-filled) configuration.
+func (l *Layer) Config() Config { return l.cfg }
+
+// QueueLen reports the current data-queue depth (for tests).
+func (l *Layer) QueueLen() int { return len(l.queue) }
+
+// Init implements sim.Protocol.
+func (l *Layer) Init(n *sim.Node) {
+	l.node = n
+	l.proto.Init(n)
+	l.need, _ = l.proto.(NeedReporter)
+	l.ctrl, _ = l.proto.(ControlReporter)
+	l.top, _ = l.proto.(CreditTopper)
+}
+
+// frameInfo is the congestion-relevant reading of a data frame.
+type frameInfo struct {
+	flow     uint32
+	batch    uint32 // zero for batch-less protocols (Srcr)
+	hasBatch bool
+	isSource bool          // the frame injects new data at this node
+	more     *core.DataMsg // non-nil for MORE data (credit pacing)
+}
+
+// dataInfo classifies a frame: (info, true) for data frames the queue and
+// pacing policies manage, false for control frames that bypass the layer.
+func (l *Layer) dataInfo(f *sim.Frame) (frameInfo, bool) {
+	switch m := f.Payload.(type) {
+	case *core.DataMsg:
+		return frameInfo{
+			flow: uint32(m.Flow), batch: m.Batch, hasBatch: true,
+			isSource: m.Src == l.node.ID(), more: m,
+		}, true
+	case *exor.DataMsg:
+		return frameInfo{
+			flow: uint32(m.Flow), batch: uint32(m.Batch), hasBatch: true,
+			isSource: m.Src == l.node.ID(),
+		}, true
+	case *srcr.DataMsg:
+		return frameInfo{flow: uint32(m.Flow), isSource: m.Hop == 0}, true
+	}
+	return frameInfo{}, false
+}
+
+// Receive implements sim.Protocol: grants are consumed here, everything
+// else flows to the protocol first (so its state is current) and is then
+// snooped — data receptions trigger grant generation, and overheard batch
+// acknowledgments purge queued frames the receiving side would now ignore.
+func (l *Layer) Receive(f *sim.Frame) {
+	if g, ok := f.Payload.(*CreditMsg); ok {
+		if l.credit != nil {
+			l.acceptGrant(f, g)
+		}
+		return
+	}
+	l.proto.Receive(f)
+	switch m := f.Payload.(type) {
+	case *core.AckMsg:
+		// The batch is done: every queued frame for it (or older) is dead
+		// weight the protocol itself would no longer generate. Multicast
+		// ACKs leave the queue alone, exactly as forwarders keep their
+		// buffers (other destinations may still need the batch).
+		if !m.Multicast {
+			l.purgeAcked(uint32(m.Flow), m.Batch)
+		}
+	case *exor.DoneMsg:
+		l.purgeAcked(uint32(m.Flow), uint32(m.Batch))
+	}
+	if l.credit != nil {
+		if info, ok := l.dataInfo(f); ok && info.more != nil {
+			l.maybeGrant(f, info.more)
+		}
+	}
+}
+
+// purgeAcked drops queued data frames of the flow whose batch the
+// destination just acknowledged (or older).
+func (l *Layer) purgeAcked(fid uint32, batch uint32) {
+	keep := l.queue[:0]
+	for _, q := range l.queue {
+		if qi, ok := l.dataInfo(q); ok && qi.flow == fid && qi.hasBatch && qi.batch <= batch {
+			l.Stats.StaleDrops++
+			l.drop(q)
+			continue
+		}
+		keep = append(keep, q)
+	}
+	l.queue = keep
+}
+
+// Pull implements sim.Protocol. Priority order: pending credit grants,
+// protocol control frames surfaced while refilling, then the data queue
+// subject to the pacing gate.
+func (l *Layer) Pull() *sim.Frame {
+	if len(l.pendingGrants) > 0 {
+		g := l.pendingGrants[0]
+		l.pendingGrants = l.pendingGrants[1:]
+		l.Stats.GrantTx++
+		return g.frame(l.node.ID())
+	}
+	// Refill from the protocol. Control frames surface immediately; data
+	// frames enter the queue under the drop policy. The QueueLen bound
+	// counts only sendable frames: pacing-gated frames must not block the
+	// node from pulling and forwarding other flows' traffic (head-of-line
+	// blocking), but the total still has a hard cap so gated flows cannot
+	// accumulate stale frames without bound. The pull count is bounded so
+	// a dropping policy cannot spin against a backlogged protocol. At a
+	// full queue one probe pull still runs when the protocol reports (or
+	// cannot deny) queued control traffic, so batch ACKs can never starve
+	// behind a full data queue.
+	pulls := 0
+	hardCap := 4 * l.cfg.QueueLen
+	for pulls <= hardCap {
+		if l.sendable() >= l.cfg.QueueLen || len(l.queue) >= hardCap {
+			if pulls > 0 || (l.ctrl != nil && !l.ctrl.HasControl()) {
+				break
+			}
+		}
+		f := l.proto.Pull()
+		if f == nil {
+			break
+		}
+		pulls++
+		info, ok := l.dataInfo(f)
+		if !ok {
+			return f // protocol control: bypasses the queue
+		}
+		l.enqueue(f, info)
+	}
+	return l.dequeue()
+}
+
+// sendable counts queued frames the pacing gate would release right now.
+func (l *Layer) sendable() int {
+	n := 0
+	for _, f := range l.queue {
+		info, _ := l.dataInfo(f)
+		if l.canSend(info) {
+			n++
+		}
+	}
+	return n
+}
+
+// enqueue admits a data frame under the drop policy.
+func (l *Layer) enqueue(f *sim.Frame, info frameInfo) {
+	l.purgeStale(info)
+	if len(l.queue) >= 4*l.cfg.QueueLen {
+		if l.cfg.Policy == Choke {
+			// CHOKe at overflow: draw a random victim; a same-flow match
+			// drops both (the dominant flow penalizes itself), otherwise
+			// the arrival tail-drops.
+			v := l.node.Rand().Intn(len(l.queue))
+			if l.queue[v].FlowID == f.FlowID {
+				victim := l.queue[v]
+				l.queue = append(l.queue[:v], l.queue[v+1:]...)
+				l.Stats.ChokeDrops += 2
+				l.drop(victim)
+				l.drop(f)
+				return
+			}
+		}
+		l.Stats.TailDrops++
+		l.drop(f)
+		return
+	}
+	l.Stats.Enqueued++
+	l.queue = append(l.queue, f)
+}
+
+// purgeStale drops queued frames of the same flow that belong to an older
+// batch than the arriving frame: the receiving side would discard them, so
+// transmitting them only burns air.
+func (l *Layer) purgeStale(info frameInfo) {
+	if !info.hasBatch {
+		return
+	}
+	keep := l.queue[:0]
+	for _, q := range l.queue {
+		if qi, ok := l.dataInfo(q); ok && qi.flow == info.flow && qi.hasBatch && qi.batch < info.batch {
+			l.Stats.StaleDrops++
+			l.drop(q)
+			continue
+		}
+		keep = append(keep, q)
+	}
+	l.queue = keep
+}
+
+// drop reports a never-transmitted frame back to the protocol as failed.
+func (l *Layer) drop(f *sim.Frame) {
+	l.proto.Sent(f, false)
+}
+
+// dequeue returns the first queued frame the pacing gate allows, FIFO
+// otherwise. When everything is gated it schedules a self-wake for the
+// earliest release and returns nil.
+func (l *Layer) dequeue() *sim.Frame {
+	for i, f := range l.queue {
+		info, _ := l.dataInfo(f)
+		if l.canSend(info) {
+			l.commitSend(info)
+			l.queue = append(l.queue[:i], l.queue[i+1:]...)
+			return f
+		}
+		l.Stats.GateSkips++
+	}
+	return nil
+}
+
+// canSend asks the active pacing policy whether the frame could transmit
+// now, without committing to it (no token or probe consumption).
+func (l *Layer) canSend(info frameInfo) bool {
+	switch l.cfg.Policy {
+	case Credit:
+		return l.creditCanSend(info)
+	case AIMD:
+		return l.aimdCanSend(info)
+	}
+	return true
+}
+
+// commitSend charges the pacing policy for a frame canSend just approved.
+func (l *Layer) commitSend(info frameInfo) {
+	switch l.cfg.Policy {
+	case Credit:
+		l.creditCommit(info)
+	case AIMD:
+		l.aimdCommit(info)
+	}
+}
+
+// Sent implements sim.Protocol, routing outcomes back to the protocol.
+// Grants are layer-owned and need no completion handling (broadcast).
+func (l *Layer) Sent(f *sim.Frame, ok bool) {
+	if _, isGrant := f.Payload.(*CreditMsg); isGrant {
+		if len(l.pendingGrants) > 0 || len(l.queue) > 0 {
+			l.node.Wake()
+		}
+		return
+	}
+	l.proto.Sent(f, ok)
+	if l.cfg.Policy == AIMD && !ok {
+		if info, isData := l.dataInfo(f); isData && info.isSource && !info.hasBatch {
+			// Batch-less unicast source (Srcr): a MAC-level failure is the
+			// congestion signal batch stagnation provides elsewhere.
+			l.aimdDecrease(l.aimdFlowFor(info.flow, l.node.Now()))
+		}
+	}
+	if len(l.queue) > 0 || len(l.pendingGrants) > 0 {
+		l.node.Wake()
+	}
+}
+
+// ensureWake guarantees the node re-pulls no later than at, so gated
+// traffic cannot sleep forever.
+func (l *Layer) ensureWake(at sim.Time) {
+	if l.wakeEv != nil && l.wakeAt <= at && l.wakeAt > l.node.Now() {
+		return
+	}
+	if l.wakeEv != nil {
+		l.wakeEv.Cancel()
+	}
+	delay := at - l.node.Now()
+	if delay < 0 {
+		delay = 0
+	}
+	l.wakeAt = at
+	l.wakeEv = l.node.After(delay, func() {
+		l.wakeEv = nil
+		l.node.Wake()
+	})
+}

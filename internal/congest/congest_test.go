@@ -1,0 +1,347 @@
+package congest
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/flow"
+	"repro/internal/graph"
+	"repro/internal/routing"
+	"repro/internal/sim"
+)
+
+func TestParsePolicyRoundTrip(t *testing.T) {
+	for _, p := range []Policy{None, Tail, Choke, Credit, AIMD} {
+		got, err := ParsePolicy(p.String())
+		if err != nil || got != p {
+			t.Errorf("round trip %v: got %v, %v", p, got, err)
+		}
+	}
+	if _, err := ParsePolicy("bogus"); err == nil {
+		t.Error("bogus policy accepted")
+	}
+	if p, err := ParsePolicy(""); err != nil || p != None {
+		t.Errorf("empty policy: got %v, %v", p, err)
+	}
+}
+
+func TestNewPanicsOnNone(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(None) did not panic")
+		}
+	}()
+	New(Config{Policy: None}, &fakeProto{})
+}
+
+// fakeProto is a scripted protocol: Pull returns the queued frames in
+// order; Sent outcomes are recorded.
+type fakeProto struct {
+	frames  []*sim.Frame
+	control []*sim.Frame
+	sent    []bool
+	dropped []*sim.Frame
+}
+
+func (p *fakeProto) Init(*sim.Node)     {}
+func (p *fakeProto) Receive(*sim.Frame) {}
+func (p *fakeProto) HasControl() bool   { return len(p.control) > 0 }
+func (p *fakeProto) Sent(f *sim.Frame, ok bool) {
+	p.sent = append(p.sent, ok)
+	if !ok {
+		p.dropped = append(p.dropped, f)
+	}
+}
+func (p *fakeProto) Pull() *sim.Frame {
+	if len(p.control) > 0 {
+		f := p.control[0]
+		p.control = p.control[1:]
+		return f
+	}
+	if len(p.frames) == 0 {
+		return nil
+	}
+	f := p.frames[0]
+	p.frames = p.frames[1:]
+	return f
+}
+
+// ctrlMsg is an unknown payload type: the layer must treat it as control.
+type ctrlMsg struct{}
+
+func moreFrame(fid flow.ID, batch uint32, src, from graph.NodeID) *sim.Frame {
+	m := &core.DataMsg{Flow: fid, Src: src, Dst: 9, Batch: batch, K: 4}
+	return &sim.Frame{From: from, To: graph.Broadcast, Bytes: 100, Payload: m, FlowID: uint32(fid)}
+}
+
+// newTestLayer builds a layer over a 2-node simulator so node handles,
+// RNG, and timers exist.
+func newTestLayer(t *testing.T, cfg Config, proto sim.Protocol) (*Layer, *sim.Simulator) {
+	t.Helper()
+	topo := graph.New(2)
+	topo.SetLink(0, 1, 1)
+	s := sim.New(topo, sim.DefaultConfig())
+	l := New(cfg, proto)
+	s.Attach(0, l)
+	s.Attach(1, &fakeProto{}) // sink for whatever node 0 puts on the air
+	return l, s
+}
+
+func TestQueueBoundsAndTailDrop(t *testing.T) {
+	p := &fakeProto{}
+	for i := 0; i < 10; i++ {
+		p.frames = append(p.frames, moreFrame(1, 0, 0, 0))
+	}
+	l, _ := newTestLayer(t, Config{Policy: Tail, QueueLen: 3}, p)
+	// First pull: refills up to the bound and returns the head.
+	f := l.Pull()
+	if f == nil {
+		t.Fatal("no frame")
+	}
+	if got := l.QueueLen(); got > 3 {
+		t.Errorf("queue %d exceeds bound 3", got)
+	}
+	// The layer backpressures instead of dropping: pull-based protocols
+	// only overflow via the full-queue control probe.
+	if l.Stats.TailDrops != 0 {
+		t.Errorf("unexpected tail drops: %d", l.Stats.TailDrops)
+	}
+}
+
+func TestControlBypassesQueue(t *testing.T) {
+	p := &fakeProto{}
+	p.frames = append(p.frames, moreFrame(1, 0, 0, 0), moreFrame(1, 0, 0, 0))
+	ctrl := &sim.Frame{From: 0, To: 1, Bytes: 10, Payload: &ctrlMsg{}}
+	p.control = append(p.control, ctrl)
+	l, _ := newTestLayer(t, Config{Policy: Tail, QueueLen: 2}, p)
+	if f := l.Pull(); f != ctrl {
+		t.Fatalf("control frame did not surface first: %v", f.Payload)
+	}
+}
+
+func TestFullQueueControlProbeUsesHasControl(t *testing.T) {
+	// A credit-gated flow keeps the queue blocked, which is the only state
+	// in which the full-queue control probe matters.
+	p := &fakeProto{}
+	for i := 0; i < 20; i++ {
+		p.frames = append(p.frames, moreFrameWithFwd(1, 0, 0, 0, []graph.NodeID{1}))
+	}
+	l, _ := newTestLayer(t, Config{Policy: Credit, QueueLen: 1}, p)
+	// Gate the flow, then fill the queue with gated frames.
+	l.Receive(&sim.Frame{From: 1, To: graph.Broadcast, Payload: &CreditMsg{Flow: 1, Batch: 0, Needed: 0}})
+	for i := 0; i < 6; i++ {
+		l.Pull()
+	}
+	if l.QueueLen() == 0 {
+		t.Fatal("queue did not retain gated frames")
+	}
+	before := len(p.frames)
+	// Queue blocked, no control: HasControl()==false must suppress the
+	// probe pull entirely.
+	if f := l.Pull(); f != nil {
+		t.Fatalf("gated flow transmitted: %T", f.Payload)
+	}
+	if len(p.frames) != before {
+		t.Fatalf("probe pull ran despite HasControl()==false: %d -> %d", before, len(p.frames))
+	}
+	// With control queued, the probe pull must surface it immediately.
+	ctrl := &sim.Frame{From: 0, To: 1, Bytes: 10, Payload: &ctrlMsg{}}
+	p.control = append(p.control, ctrl)
+	if f := l.Pull(); f != ctrl {
+		var typ interface{}
+		if f != nil {
+			typ = f.Payload
+		}
+		t.Fatalf("control frame stuck behind blocked queue: got %T", typ)
+	}
+}
+
+func TestChokeDropsSameFlowPairAtOverflow(t *testing.T) {
+	// Overflow cannot happen through normal refill (the layer
+	// backpressures pull-based protocols), so drive enqueue directly: a
+	// hard-capped queue receiving one more frame of the dominant flow.
+	p := &fakeProto{}
+	l, _ := newTestLayer(t, Config{Policy: Choke, QueueLen: 1}, p)
+	for i := 0; i < 4; i++ { // hard cap is 4×QueueLen
+		f := moreFrame(7, 0, 0, 0)
+		info, _ := l.dataInfo(f)
+		l.enqueue(f, info)
+	}
+	if got := l.QueueLen(); got != 4 {
+		t.Fatalf("queue at hard cap: %d", got)
+	}
+	f := moreFrame(7, 0, 0, 0)
+	info, _ := l.dataInfo(f)
+	l.enqueue(f, info)
+	if l.Stats.ChokeDrops != 2 {
+		t.Errorf("CHOKe drops = %d, want 2 (arrival + same-flow victim)", l.Stats.ChokeDrops)
+	}
+	if got := l.QueueLen(); got != 3 {
+		t.Errorf("queue after pair drop: %d, want 3", got)
+	}
+	// A different flow's arrival at the (refilled) full queue tail-drops
+	// instead: the victim comparison misses.
+	for l.QueueLen() < 4 {
+		f := moreFrame(7, 0, 0, 0)
+		info, _ := l.dataInfo(f)
+		l.enqueue(f, info)
+	}
+	g := moreFrame(8, 0, 0, 0)
+	ginfo, _ := l.dataInfo(g)
+	l.enqueue(g, ginfo)
+	if l.Stats.TailDrops != 1 {
+		t.Errorf("cross-flow overflow: tail drops = %d, want 1", l.Stats.TailDrops)
+	}
+	for _, ok := range p.sent {
+		if ok {
+			t.Error("dropped frame reported as sent ok")
+		}
+	}
+}
+
+func TestPurgeStaleOnNewerBatch(t *testing.T) {
+	p := &fakeProto{}
+	p.frames = append(p.frames,
+		moreFrame(1, 0, 0, 0), moreFrame(1, 0, 0, 0), moreFrame(1, 0, 0, 0),
+		moreFrame(1, 1, 0, 0))
+	l, _ := newTestLayer(t, Config{Policy: Tail, QueueLen: 3}, p)
+	l.Pull() // sends one batch-0 frame, queues two more
+	l.Pull() // sends another; refill pulls the batch-1 frame, purging batch 0
+	if l.Stats.StaleDrops == 0 {
+		t.Error("no stale drops after newer batch arrived")
+	}
+	for _, q := range l.queue {
+		if qi, _ := l.dataInfo(q); qi.batch != 1 {
+			t.Errorf("stale batch %d frame survived purge", qi.batch)
+		}
+	}
+}
+
+// TestCreditEndToEnd runs a full MORE transfer over a lossy chain with the
+// credit policy on every node and checks it completes with grants flowing.
+func TestCreditEndToEnd(t *testing.T) {
+	topo := graph.LossyChain(5, 20, 30)
+	s := sim.New(topo, sim.DefaultConfig())
+	oracle := flow.NewOracle(topo, routing.ETXOptions{Threshold: graph.RouteThreshold, AckAware: true})
+	cfg := core.DefaultConfig()
+	cfg.BatchSize = 8
+	cfg.PayloadSize = 256
+	nodes := make([]*core.Node, topo.N())
+	layers := make([]*Layer, topo.N())
+	for i := range nodes {
+		nodes[i] = core.NewNode(cfg, oracle)
+		layers[i] = New(Config{Policy: Credit}, nodes[i])
+		s.Attach(graph.NodeID(i), layers[i])
+	}
+	file := flow.NewFile(4096, 256, 1)
+	var result flow.Result
+	doneAt := sim.Time(0)
+	nodes[4].ExpectFlow(1, file, nil)
+	if err := nodes[0].StartFlow(1, 4, file, func(r flow.Result) { result = r; doneAt = s.Now() }); err != nil {
+		t.Fatal(err)
+	}
+	s.Run(120 * sim.Second)
+	if !result.Completed || doneAt == 0 {
+		t.Fatalf("transfer did not complete under credit policy: %+v", result)
+	}
+	var grants int64
+	for _, l := range layers {
+		grants += l.Stats.GrantTx
+	}
+	if grants == 0 {
+		t.Error("no credit grants were transmitted")
+	}
+}
+
+// TestCreditSuppressesSaturatedNeighborhood checks the gate itself: a
+// sender that heard only zero-need grants for the current batch is
+// silenced, then released by a positive grant.
+func TestCreditGate(t *testing.T) {
+	p := &fakeProto{}
+	for i := 0; i < 6; i++ {
+		p.frames = append(p.frames, moreFrameWithFwd(1, 0, 0, 0, []graph.NodeID{1}))
+	}
+	l, _ := newTestLayer(t, Config{Policy: Credit}, p)
+
+	// Cold start: no grants, traffic flows.
+	if l.Pull() == nil {
+		t.Fatal("cold start gated")
+	}
+	// A zero-need grant from the only downstream forwarder gates the flow.
+	l.Receive(&sim.Frame{From: 1, To: graph.Broadcast, Payload: &CreditMsg{Flow: 1, Batch: 0, Needed: 0}})
+	if f := l.Pull(); f != nil {
+		t.Fatalf("gated flow transmitted: %v", f.Payload)
+	}
+	if l.Stats.GateSkips == 0 {
+		t.Error("gate skip not recorded")
+	}
+	// A positive grant reopens it.
+	l.Receive(&sim.Frame{From: 1, To: graph.Broadcast, Payload: &CreditMsg{Flow: 1, Batch: 0, Needed: 3}})
+	if l.Pull() == nil {
+		t.Fatal("positive grant did not reopen the gate")
+	}
+}
+
+func moreFrameWithFwd(fid flow.ID, batch uint32, src, from graph.NodeID, fwd []graph.NodeID) *sim.Frame {
+	m := &core.DataMsg{Flow: fid, Src: src, Dst: 9, Batch: batch, K: 4}
+	for _, id := range fwd {
+		m.Forwarders = append(m.Forwarders, core.FwdEntry{Node: id, Credit: 1})
+	}
+	return &sim.Frame{From: from, To: graph.Broadcast, Bytes: 100, Payload: m, FlowID: uint32(fid)}
+}
+
+func TestAIMDGatesSourceAndAdapts(t *testing.T) {
+	p := &fakeProto{}
+	// A long backlog of source frames for one batch: the token bucket must
+	// gate once BucketDepth is spent, and the stagnation rule must
+	// eventually halve the rate.
+	for i := 0; i < 200; i++ {
+		p.frames = append(p.frames, moreFrame(1, 0, 0, 0))
+	}
+	l, s := newTestLayer(t, Config{Policy: AIMD, BucketDepth: 4, StagnationFactor: 1, RateInit: 100}, p)
+	sent := 0
+	for i := 0; i < 20; i++ {
+		if l.Pull() != nil {
+			sent++
+		}
+	}
+	if sent > 5 {
+		t.Errorf("token bucket did not gate: %d sends with depth 4", sent)
+	}
+	if l.Stats.RateDecreases != 0 {
+		// 4 sends of a 4-packet batch at factor 1 is exactly the
+		// threshold; tolerate either side but record it.
+		t.Logf("early decreases: %d", l.Stats.RateDecreases)
+	}
+	// Advance simulated time so the bucket refills.
+	s.After(sim.Second, func() {})
+	s.Run(2 * sim.Second)
+	if l.Pull() == nil {
+		t.Error("bucket did not refill after simulated time passed")
+	}
+	// Relay frames (not sourced here) are never gated: offered next by the
+	// protocol (a real protocol round-robins its flows), one surfaces
+	// within a few opportunities even while the source flow is paced.
+	p.frames = append([]*sim.Frame{moreFrame(2, 0, 5, 0)}, p.frames...)
+	var relay *sim.Frame
+	for i := 0; i < 10 && relay == nil; i++ {
+		if f := l.Pull(); f != nil {
+			if fi, _ := l.dataInfo(f); fi.flow == 2 {
+				relay = f
+			}
+		}
+	}
+	if relay == nil {
+		t.Error("relay frame was gated by source pacing")
+	}
+}
+
+func TestStatsAdd(t *testing.T) {
+	a := Stats{Enqueued: 1, TailDrops: 2, ChokeDrops: 3, StaleDrops: 4, GrantTx: 5, GateSkips: 6, ProbeSends: 7, RateDecreases: 8}
+	b := a
+	a.Add(b)
+	want := Stats{2, 4, 6, 8, 10, 12, 14, 16}
+	if a != want {
+		t.Errorf("Add: got %+v want %+v", a, want)
+	}
+}

@@ -1,0 +1,364 @@
+package congest
+
+import (
+	"repro/internal/core"
+	"repro/internal/flow"
+	"repro/internal/graph"
+	"repro/internal/sim"
+)
+
+// The Credit policy is receiver-driven suppression for MORE. Eq. (3.3)
+// credits are open loop: a forwarder earns transmission rights from
+// *receptions*, so once every downstream listener holds a full-rank batch,
+// upstream nodes keep burning airtime on packets nobody can use until the
+// batch ACK crawls back to the source — the innovation-less retransmission
+// storm that dominates the large-topology multi-flow sweeps. Here every
+// node with batch state broadcasts a small grant whenever its remaining
+// need (K − rank) changes; a node transmitting the batch listens to the
+// grants of its own downstream (per the packet's forwarder ordering) and
+// gates the flow once every downstream listener it has heard from reports
+// zero need for the current batch. Because grants fire only on gating
+// transitions (first word on a batch, need hitting zero, need
+// reappearing), a granter says only a few things per batch; and because
+// the gate is pure suppression layered over unchanged MORE crediting, a run
+// can only lose transmissions that provably could not have been
+// innovative downstream. A gated flow still releases one probe per
+// GateTimeout — with the interval doubling while nothing changes, up to
+// 32× — so a lost ACK or a starved forwarder chain cannot stall a flow,
+// and a stalled flow cannot storm the medium.
+
+// CreditMsg is a credit grant: the granter's current batch for the flow
+// and how many more innovative packets it can use. Broadcast, tiny, and
+// unacknowledged, like a probe.
+type CreditMsg struct {
+	Flow   flow.ID
+	Batch  uint32
+	Needed int
+}
+
+// grantWireBytes is the on-air size of a grant: type + flow + batch +
+// need + MAC framing.
+const grantWireBytes = 16
+
+func (g *CreditMsg) frame(from graph.NodeID) *sim.Frame {
+	return &sim.Frame{From: from, To: graph.Broadcast, Bytes: grantWireBytes, Payload: g}
+}
+
+// grantKey identifies a granter's latest word on a flow.
+type grantKey struct {
+	flow    uint32
+	granter graph.NodeID
+}
+
+// grantInfo is the latest grant received from one granter.
+type grantInfo struct {
+	batch  uint32
+	needed int
+	at     sim.Time
+}
+
+// creditFlow is the sender-side gate state for one flow.
+type creditFlow struct {
+	batch     uint32
+	lastProbe sim.Time // last GateTimeout liveness release
+	backoff   int      // consecutive probes without news (caps the interval)
+}
+
+// advertised is the granter-side memory of the last grant sent per flow.
+type advertised struct {
+	batch  uint32
+	needed int
+	at     sim.Time
+	valid  bool
+}
+
+type creditState struct {
+	grants map[grantKey]*grantInfo
+	flows  map[uint32]*creditFlow
+	adv    map[uint32]*advertised
+}
+
+func newCreditState() *creditState {
+	return &creditState{
+		grants: make(map[grantKey]*grantInfo),
+		flows:  make(map[uint32]*creditFlow),
+		adv:    make(map[uint32]*advertised),
+	}
+}
+
+// acceptGrant records a downstream node's latest need and releases any
+// traffic it ungates.
+func (l *Layer) acceptGrant(f *sim.Frame, g *CreditMsg) {
+	c := l.credit
+	key := grantKey{uint32(g.Flow), f.From}
+	gi, ok := c.grants[key]
+	if !ok {
+		gi = &grantInfo{}
+		c.grants[key] = gi
+	}
+	gi.batch, gi.needed, gi.at = g.Batch, g.Needed, l.node.Now()
+	if g.Needed > 0 {
+		// Fresh demand: reset the probe backoff so a re-opened gate reacts
+		// quickly, and grant the advertised credit upstream — if this node
+		// forwards the flow and its reception-driven credit drained, the
+		// receiver's word is its new transmission budget.
+		if cf, ok := c.flows[uint32(g.Flow)]; ok {
+			cf.backoff = 0
+		}
+		if l.top != nil {
+			// A trickle, not a budget: the granted need is demand on the
+			// whole upstream neighborhood, not on this node alone — every
+			// audible forwarder hears the same grant, so handing each the
+			// full need would multiply it by the neighborhood size. Two
+			// sends per grant event is enough to keep a full-buffer,
+			// drained-credit forwarder serving advertised demand (grants
+			// refresh while the need persists).
+			c := float64(g.Needed)
+			if c > 2 {
+				c = 2
+			}
+			l.top.TopUpRelayCredit(g.Flow, g.Batch, f.From, c)
+		}
+	}
+	if len(l.queue) > 0 {
+		l.node.Wake()
+	}
+}
+
+// maybeGrant advertises this node's need for the flow's current batch.
+// Grants answer an active upstream sender, so only receptions from
+// upstream trigger them; what gets said balances freshness against frame
+// count:
+//
+//   - a new batch (or need reappearing after a purge) is announced once;
+//   - the endgame countdown — need at or below NeedAdvertiseMax — is
+//     re-advertised on every change, keeping the upstream gate's positive
+//     signal alive through grant losses (each innovative reception is
+//     another chance to be heard);
+//   - a zero need is announced on the transition and then refreshed at
+//     most every GrantRefresh while traffic for the dead batch keeps
+//     arriving — the lost-stop-signal retransmission path, self-limiting
+//     because the suppressed traffic is what drives it.
+func (l *Layer) maybeGrant(f *sim.Frame, m *core.DataMsg) {
+	if l.need == nil {
+		return
+	}
+	if !l.senderUpstream(f.From, m) {
+		return // overheard downstream traffic; our state is no news to them
+	}
+	batch, needed, ok := l.need.BatchNeeded(m.Flow)
+	if !ok {
+		return
+	}
+	fid := uint32(m.Flow)
+	c := l.credit
+	a, have := c.adv[fid]
+	if !have {
+		a = &advertised{}
+		c.adv[fid] = a
+	}
+	now := l.node.Now()
+	if a.valid && a.batch == batch {
+		if (needed > 0) == (a.needed > 0) && now-a.at < l.cfg.GrantMinInterval {
+			// Not a stop/start transition: respect the spacing floor.
+			// Every broadcast reception offers every listener a grant
+			// opportunity, so un-floored chatter scales with the
+			// neighborhood size and feeds the congestion it should damp.
+			return
+		}
+		switch {
+		case needed == a.needed:
+			// Unchanged word, but upstream is still transmitting at us.
+			// The endgame states — zero (a lost stop signal keeps the
+			// storm alive) and a small positive (the top-up path that
+			// keeps the frontier serving) — are worth restating
+			// occasionally; an unchanged mid-batch need is not.
+			if needed > l.cfg.NeedAdvertiseMax || now-a.at < l.cfg.GrantRefresh {
+				return
+			}
+		case needed > 0 && a.needed > 0 && needed > l.cfg.NeedAdvertiseMax:
+			// Mid-batch countdown: a frame per innovative reception would
+			// drown the medium in grants, but total silence would leave a
+			// gated upstream probing blind. Announce halving-level
+			// crossings only (…32→16, 16→9: the 8-and-below endgame then
+			// re-advertises every change).
+			if bitLen(needed) == bitLen(a.needed) {
+				return
+			}
+		}
+	}
+	a.batch, a.needed, a.at, a.valid = batch, needed, now, true
+	l.queueGrant(&CreditMsg{Flow: m.Flow, Batch: batch, Needed: needed})
+}
+
+// queueGrant replaces any pending grant for the same flow and wakes the MAC.
+func (l *Layer) queueGrant(g *CreditMsg) {
+	for i, p := range l.pendingGrants {
+		if p.Flow == g.Flow {
+			l.pendingGrants[i] = g
+			l.node.Wake()
+			return
+		}
+	}
+	l.pendingGrants = append(l.pendingGrants, g)
+	l.node.Wake()
+}
+
+// creditFlowFor returns (creating and batch-syncing) the sender-side gate
+// state for the frame's flow.
+func (l *Layer) creditFlowFor(info frameInfo) *creditFlow {
+	c := l.credit
+	cf, ok := c.flows[info.flow]
+	if !ok {
+		cf = &creditFlow{batch: info.batch}
+		c.flows[info.flow] = cf
+	}
+	if cf.batch != info.batch {
+		cf.batch = info.batch
+		cf.backoff = 0
+	}
+	return cf
+}
+
+// creditSuppressed reports the downstream verdict: true when at least one
+// downstream granter has spoken for this batch within GrantTTL and none
+// of them still needs packets. No live grants (cold start, new batch, or
+// a neighborhood gone quiet) means transmit: a zero that is no longer
+// being restated by the traffic it suppresses has expired, and releasing
+// the flow beats stranding it on probe backoff.
+func (l *Layer) creditSuppressed(info frameInfo) bool {
+	m := info.more
+	horizon := l.node.Now() - l.cfg.GrantTTL
+	heard := false
+	for key, gi := range l.credit.grants {
+		if key.flow != info.flow || gi.batch != info.batch {
+			continue
+		}
+		if !l.granterDownstream(key.granter, m) {
+			continue
+		}
+		if gi.needed > 0 {
+			return false
+		}
+		if gi.at >= horizon {
+			heard = true
+		}
+	}
+	return heard
+}
+
+// creditCanSend gates a data frame when every downstream listener heard
+// from reports zero need for the frame's batch, except for one probe per
+// (exponentially backed-off) GateTimeout. Non-MORE frames pass untouched.
+func (l *Layer) creditCanSend(info frameInfo) bool {
+	if info.more == nil {
+		return true
+	}
+	cf := l.creditFlowFor(info)
+	if !l.creditSuppressed(info) {
+		return true
+	}
+	now := l.node.Now()
+	interval := l.cfg.GateTimeout << uint(minInt(cf.backoff, 5))
+	if now-cf.lastProbe >= interval {
+		return true // probe due: a send would be the liveness probe
+	}
+	l.ensureWake(cf.lastProbe + interval)
+	return false
+}
+
+// creditCommit charges the gate state for an approved send: a send under
+// suppression consumes the due probe and backs its successor off — a lost
+// grant, a lost batch ACK, or a credit-starved forwarder chain cannot
+// stall the flow (probe receptions still add Eq. (3.3) credit
+// downstream), and a stalled flow cannot storm the medium.
+func (l *Layer) creditCommit(info frameInfo) {
+	if info.more == nil {
+		return
+	}
+	cf := l.creditFlowFor(info)
+	if !l.creditSuppressed(info) {
+		return
+	}
+	cf.lastProbe = l.node.Now()
+	cf.backoff++
+	l.Stats.ProbeSends++
+}
+
+// senderUpstream reports whether the frame's sender sits above this node
+// in the packet's forwarder ordering (farther from the destination) — the
+// senders whose behavior this node's grants steer.
+func (l *Layer) senderUpstream(sender graph.NodeID, m *core.DataMsg) bool {
+	if sender == m.Src {
+		return true
+	}
+	me := l.node.ID()
+	myIdx, senderIdx := -1, -1
+	for i, e := range m.Forwarders {
+		if e.Node == me {
+			myIdx = i
+		}
+		if e.Node == sender {
+			senderIdx = i
+		}
+	}
+	if myIdx < 0 {
+		// We are the destination (or a multicast destination): everyone in
+		// the list is upstream of us.
+		return senderIdx >= 0
+	}
+	return senderIdx > myIdx
+}
+
+// granterDownstream reports whether the granter sits below this node in
+// the packet's forwarder ordering (closer to the destination), i.e. whether
+// its need is the demand this node's transmissions serve.
+func (l *Layer) granterDownstream(granter graph.NodeID, m *core.DataMsg) bool {
+	if granter == m.Dst {
+		return true
+	}
+	for _, d := range m.Dsts {
+		if d == granter {
+			return true
+		}
+	}
+	me := l.node.ID()
+	if m.Src == me {
+		// Every forwarder is downstream of the source.
+		for _, e := range m.Forwarders {
+			if e.Node == granter {
+				return true
+			}
+		}
+		return false
+	}
+	myIdx, granterIdx := -1, -1
+	for i, e := range m.Forwarders {
+		if e.Node == me {
+			myIdx = i
+		}
+		if e.Node == granter {
+			granterIdx = i
+		}
+	}
+	// The forwarder list is ordered closest-to-destination first.
+	return granterIdx >= 0 && myIdx >= 0 && granterIdx < myIdx
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// bitLen is the halving-level of a need: needs with the same bit length
+// are within 2× of each other.
+func bitLen(v int) int {
+	n := 0
+	for v > 0 {
+		n++
+		v >>= 1
+	}
+	return n
+}

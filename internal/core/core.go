@@ -440,6 +440,86 @@ func (n *Node) sinkFor(id flow.ID) *sinkState {
 	return s
 }
 
+// HasControl reports whether protocol control traffic (batch ACKs) is
+// queued — the congestion layer's hint that a pull is worth making even at
+// a full data queue (it implements congest.ControlReporter).
+func (n *Node) HasControl() bool { return len(n.ackQueue) > 0 }
+
+// TopUpRelayCredit raises this node's forwarder credit for the flow to at
+// least c, provided the granter is downstream of this forwarder (its need
+// is demand this forwarder's transmissions serve) and the forwarder is
+// still working on exactly the given batch (it implements
+// congest.CreditTopper). The congestion layer calls it when a downstream
+// node grants credit — positive remaining need — so a forwarder chain
+// whose Eq. (3.3) reception-driven credits drained can keep serving demand
+// the receivers themselves advertised. Topping up to the granted need
+// (rather than adding) keeps repeated grants idempotent: a forwarder never
+// accumulates more rights than the latest word from downstream justifies.
+func (n *Node) TopUpRelayCredit(id flow.ID, batch uint32, granter graph.NodeID, c float64) {
+	r, ok := n.relays[id]
+	if !ok || r.buffer == nil || r.curBatch != batch || int64(batch) <= r.ackedThrough {
+		return
+	}
+	if r.buffer.Rank() < r.k {
+		// Only full-rank forwarders take grant credit: a partially filled
+		// forwarder is still being fed reception-driven credit by the same
+		// upstream traffic filling its buffer, and topping it up as well
+		// would multiply every advertised need across the whole
+		// neighborhood. The grant path exists for the frontier case — a
+		// forwarder holding the complete batch whose credit drained while
+		// downstream still needs packets.
+		return
+	}
+	downstream := granter == r.dst
+	if !downstream {
+		me := n.node.ID()
+		myIdx, granterIdx := -1, -1
+		for i, e := range r.fwdList {
+			if e.Node == me {
+				myIdx = i
+			}
+			if e.Node == granter {
+				granterIdx = i
+			}
+		}
+		// The forwarder list is ordered closest-to-destination first.
+		downstream = myIdx >= 0 && granterIdx >= 0 && granterIdx < myIdx
+	}
+	if !downstream {
+		return
+	}
+	if r.credit < c {
+		r.credit = c
+	}
+	if r.credit > 0 && r.buffer.Rank() > 0 {
+		n.node.Wake()
+	}
+}
+
+// BatchNeeded reports how many more innovative packets this node can
+// absorb for the flow's current batch — the receive-side deficit the
+// congestion layer's credit policy broadcasts as grants (it implements
+// congest.NeedReporter). ok is false when the node holds no receive-side
+// state for the flow (e.g. it is the source, or never heard the flow).
+func (n *Node) BatchNeeded(id flow.ID) (batch uint32, needed int, ok bool) {
+	if s, ok := n.sinks[id]; ok {
+		if s.decoder != nil {
+			return s.curBatch, s.k - s.decoder.Rank(), true
+		}
+		if s.decodedUpTo >= 0 {
+			return uint32(s.decodedUpTo), 0, true
+		}
+		return 0, 0, false
+	}
+	if r, ok := n.relays[id]; ok && r.buffer != nil {
+		if int64(r.curBatch) <= r.ackedThrough {
+			return r.curBatch, 0, true
+		}
+		return r.curBatch, r.k - r.buffer.Rank(), true
+	}
+	return 0, 0, false
+}
+
 // Result returns the destination-side result for a flow (zero Result if
 // unknown).
 func (n *Node) Result(id flow.ID) flow.Result {
@@ -714,6 +794,7 @@ func (n *Node) Pull() *sim.Frame {
 			To:      next,
 			Bytes:   a.wireBytes(),
 			Payload: a,
+			FlowID:  uint32(a.Flow),
 		}
 		return f
 	}
@@ -744,7 +825,7 @@ func (n *Node) pullFlow(id flow.ID) *sim.Frame {
 			m.Dsts = st.multicast.dsts
 		}
 		n.DataSent++
-		return &sim.Frame{From: n.node.ID(), To: graph.Broadcast, Bytes: m.wireBytes(), Payload: m}
+		return &sim.Frame{From: n.node.ID(), To: graph.Broadcast, Bytes: m.wireBytes(), Payload: m, FlowID: uint32(id)}
 	}
 	if r, ok := n.relays[id]; ok && r.credit > 0 && r.buffer.Rank() > 0 {
 		var pkt *coding.Packet
@@ -772,7 +853,7 @@ func (n *Node) pullFlow(id flow.ID) *sim.Frame {
 			Forwarders:   n.fwdListFor(r),
 		}
 		n.DataSent++
-		return &sim.Frame{From: n.node.ID(), To: graph.Broadcast, Bytes: m.wireBytes(), Payload: m}
+		return &sim.Frame{From: n.node.ID(), To: graph.Broadcast, Bytes: m.wireBytes(), Payload: m, FlowID: uint32(id)}
 	}
 	if r, ok := n.relays[id]; ok && r.credit <= 0 && r.buffer != nil && r.buffer.Rank() > 0 {
 		n.CreditDenied++

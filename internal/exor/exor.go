@@ -615,14 +615,17 @@ func (n *Node) queueUnicast(payload interface{}, target graph.NodeID) {
 		return
 	}
 	var bytes int
+	var fid flow.ID
 	switch m := payload.(type) {
 	case *CleanupMsg:
 		bytes = m.wireBytes()
+		fid = m.Flow
 	case *DoneMsg:
 		bytes = m.wireBytes()
+		fid = m.Flow
 	}
 	n.unicast = append(n.unicast, &sim.Frame{
-		From: n.node.ID(), To: next, Bytes: bytes, Payload: payload,
+		From: n.node.ID(), To: next, Bytes: bytes, Payload: payload, FlowID: uint32(fid),
 	})
 	n.node.Wake()
 }
@@ -696,6 +699,11 @@ func (n *Node) onBatchDone(f *exorFlow) {
 	}
 }
 
+// HasControl reports whether hop-by-hop control traffic (cleanup, done
+// messages) is queued — the congestion layer's full-queue pull hint (it
+// implements congest.ControlReporter).
+func (n *Node) HasControl() bool { return len(n.unicast) > 0 }
+
 // Pull implements sim.Protocol: unicast control first, then fragment data.
 func (n *Node) Pull() *sim.Frame {
 	for len(n.unicast) > 0 {
@@ -751,7 +759,7 @@ func (n *Node) dataFrame(f *exorFlow, idx, remaining int) *sim.Frame {
 	if idx >= 0 {
 		m.Payload = f.payload[idx]
 	}
-	return &sim.Frame{From: n.node.ID(), To: graph.Broadcast, Bytes: m.wireBytes(), Payload: m}
+	return &sim.Frame{From: n.node.ID(), To: graph.Broadcast, Bytes: m.wireBytes(), Payload: m, FlowID: uint32(f.id)}
 }
 
 // Sent implements sim.Protocol.

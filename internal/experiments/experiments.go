@@ -13,6 +13,7 @@ import (
 	"math"
 	"math/rand"
 
+	"repro/internal/congest"
 	"repro/internal/core"
 	"repro/internal/exor"
 	"repro/internal/flow"
@@ -147,6 +148,10 @@ type Options struct {
 	// Recompute rate-limits each node's learned-view rebuilds (default 1 s
 	// of simulated time between topology/table recomputations).
 	Recompute sim.Time
+	// CC configures the congestion-control layer between every node's
+	// protocol and MAC. The zero value (policy "none") installs no layer:
+	// runs are byte-identical to the pre-congestion code.
+	CC congest.Config
 	// MORE ablation switches.
 	PreCoding              bool
 	InnovativeOnly         bool
@@ -288,6 +293,15 @@ type RunInfo struct {
 	// included in Counters.Transmissions — control traffic shares the
 	// medium with data, which is exactly the cost under study.
 	ProbeTx, FloodTx int64
+
+	// CC echoes the congestion policy the run used, and CCStats aggregates
+	// every node's congestion-layer accounting (zero when the policy is
+	// "none").
+	CC      congest.Policy
+	CCStats congest.Stats
+	// Fairness summarizes the per-flow outcome (per-flow throughput and
+	// transmissions, Jain's fairness index).
+	Fairness FairnessReport
 }
 
 // runtimeState carries the per-run control-plane wiring: one provider per
@@ -296,12 +310,14 @@ type RunInfo struct {
 type runtimeState struct {
 	providers []flow.RoutingState
 	agents    []*linkstate.Agent
+	cc        congest.Config
+	layers    []*congest.Layer
 }
 
 // newRuntimeState builds the control plane for a run.
 func newRuntimeState(topo *graph.Topology, opts Options) *runtimeState {
 	n := topo.N()
-	rs := &runtimeState{providers: make([]flow.RoutingState, n)}
+	rs := &runtimeState{providers: make([]flow.RoutingState, n), cc: opts.CC}
 	if opts.State == StateLearned {
 		recompute := opts.Recompute
 		if recompute == 0 {
@@ -321,10 +337,16 @@ func newRuntimeState(topo *graph.Topology, opts Options) *runtimeState {
 	return rs
 }
 
-// attach installs the node's data protocol, stacking the link-state agent
-// under it (higher priority: control frames are small and periodic) when
-// the run learns its state over the air.
+// attach installs the node's data protocol, wrapping it in a congestion
+// layer when one is configured and stacking the link-state agent above it
+// (higher priority: control frames are small and periodic) when the run
+// learns its state over the air.
 func (rs *runtimeState) attach(s *sim.Simulator, id graph.NodeID, p sim.Protocol) {
+	if rs.cc.Policy != congest.None {
+		l := congest.New(rs.cc, p)
+		rs.layers = append(rs.layers, l)
+		p = l
+	}
 	if rs.agents != nil {
 		s.Attach(id, sim.NewStack(rs.agents[id], p))
 		return
@@ -526,17 +548,27 @@ func finishRun(s *sim.Simulator, rs *runtimeState, pairs []Pair, results []flow.
 		}
 		results[i].Src = pairs[i].Src
 		results[i].Dst = pairs[i].Dst
+		// Per-flow transmission attribution: every data frame (and
+		// protocol-level ACK/NACK) carries its flow ID through the MAC, so
+		// multi-flow runs report each flow's own cost instead of the
+		// run-wide counter the MORE source used to record.
+		results[i].Transmissions = s.Counters.TxByFlow[uint32(i+1)]
 	}
 	info := RunInfo{
 		Results:     results,
 		Counters:    s.Counters,
 		State:       opts.State,
 		Convergence: conv,
+		CC:          opts.CC.Policy,
 	}
 	for _, a := range rs.agents {
 		info.ProbeTx += a.ProbeTx()
 		info.FloodTx += a.FloodTx
 	}
+	for _, l := range rs.layers {
+		info.CCStats.Add(l.Stats)
+	}
+	info.Fairness = BuildFairness(results, s.Counters)
 	return info
 }
 

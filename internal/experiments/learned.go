@@ -124,6 +124,11 @@ type GapSweepConfig struct {
 	// AdvertiseIntervals lists LSA flood periods; shorter floods converge
 	// faster but burn more airtime.
 	AdvertiseIntervals []sim.Time
+	// Damping lists LSA flood-damping trigger deltas (linkstate.Config.
+	// TriggerDelta; 0 = undamped) — the third knob of the grid, added so
+	// the sweep quantifies the frame savings of triggered updates +
+	// hold-down against the fidelity they cost. Empty sweeps only 0.
+	Damping []float64
 	// Protocol under test.
 	Protocol Protocol
 	// Flows is the number of concurrent random flows (≥1).
@@ -152,6 +157,7 @@ func DefaultGapSweepConfig() GapSweepConfig {
 type StateGapPoint struct {
 	Window    int
 	Advertise sim.Time
+	Damping   float64
 	GapReport
 }
 
@@ -163,14 +169,21 @@ func GapSweep(cfg GapSweepConfig) []StateGapPoint {
 	if cfg.Flows < 1 {
 		cfg.Flows = 1
 	}
+	damping := cfg.Damping
+	if len(damping) == 0 {
+		damping = []float64{0}
+	}
 	type knob struct {
 		window    int
 		advertise sim.Time
+		damping   float64
 	}
 	var grid []knob
 	for _, w := range cfg.Windows {
 		for _, adv := range cfg.AdvertiseIntervals {
-			grid = append(grid, knob{w, adv})
+			for _, d := range damping {
+				grid = append(grid, knob{w, adv, d})
+			}
 		}
 	}
 	points := make([]StateGapPoint, len(grid))
@@ -184,10 +197,12 @@ func GapSweep(cfg GapSweepConfig) []StateGapPoint {
 		lcfg := linkstate.DefaultConfig()
 		lcfg.Probe.Window = grid[i].window
 		lcfg.AdvertiseInterval = grid[i].advertise
+		lcfg.TriggerDelta = grid[i].damping
 		opts.LinkState = lcfg
 		points[i] = StateGapPoint{
 			Window:    grid[i].window,
 			Advertise: grid[i].advertise,
+			Damping:   grid[i].damping,
 			GapReport: GapRun(topo, cfg.Protocol, pairs, opts),
 		}
 	})

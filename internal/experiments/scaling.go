@@ -4,6 +4,7 @@ import (
 	"math"
 	"time"
 
+	"repro/internal/congest"
 	"repro/internal/graph"
 	"repro/internal/sim"
 )
@@ -62,6 +63,14 @@ type ScalingPoint struct {
 	// WallClock is the host time the run took (not deterministic; every
 	// other field is).
 	WallClock time.Duration
+
+	// CC echoes the congestion policy the point ran under, CCStats the
+	// aggregated congestion-layer accounting, and Fairness the per-flow
+	// breakdown (throughput, transmissions, Jain's index) the multi-flow
+	// comparison is judged on.
+	CC       congest.Policy
+	CCStats  congest.Stats
+	Fairness FairnessReport
 }
 
 // ScalingSweep runs one point per node count, fanned over cfg.Opts.Parallel
@@ -102,7 +111,7 @@ func runScalingPoint(cfg ScalingConfig, i int) ScalingPoint {
 // measureScalingPoint runs the flows over a prepared topology and collects
 // the point's metrics.
 func measureScalingPoint(topo *graph.Topology, seed int64, proto Protocol, flows int, opts Options) ScalingPoint {
-	pt := ScalingPoint{Nodes: topo.N(), Seed: seed, Flows: flows}
+	pt := ScalingPoint{Nodes: topo.N(), Seed: seed, Flows: flows, CC: opts.CC.Policy}
 	ls := topo.LinkStats(graph.RouteThreshold)
 	pt.UsableLinks = ls.Links
 	pt.MeanDegree = ls.MeanDegree
@@ -111,8 +120,11 @@ func measureScalingPoint(topo *graph.Topology, seed int64, proto Protocol, flows
 		return pt
 	}
 	start := time.Now()
-	results, counters := RunWithCounters(topo, proto, pairs, opts)
+	info := RunDetailed(topo, proto, pairs, opts)
+	results, counters := info.Results, info.Counters
 	pt.WallClock = time.Since(start)
+	pt.CCStats = info.CCStats
+	pt.Fairness = info.Fairness
 	delivered := 0
 	var endMax sim.Time
 	for _, r := range results {

@@ -143,9 +143,16 @@ func DefaultTestbed() TestbedConfig {
 // log-odds space and symmetrically correlated (the same obstruction affects
 // both directions), with a small asymmetric component, matching the mildly
 // asymmetric links observed on real meshes.
+//
+// Storage is sparse (neighbor lists, like the geometric generator), so the
+// same code serves arbitrarily large testbed-style layouts; candidate pairs
+// come from a spatial index over the channel cutoff, visited in ascending
+// (i, j) order so every noise draw matches the historical dense all-pairs
+// scan exactly — a pair beyond the cutoff never drew noise there either
+// (its base delivery was exactly zero).
 func Testbed(cfg TestbedConfig, seed int64) *Topology {
 	rng := rand.New(rand.NewSource(seed))
-	t := New(cfg.Nodes)
+	t := NewSparse(cfg.Nodes)
 	perFloor := cfg.Nodes / cfg.Floors
 	for i := 0; i < cfg.Nodes; i++ {
 		floor := i / perFloor
@@ -158,8 +165,14 @@ func Testbed(cfg TestbedConfig, seed int64) *Topology {
 			Z: float64(floor) * cfg.FloorSep,
 		}
 	}
+	cutoff := DeliveryCutoff(cfg.MidRange)
+	idx := NewSpatialIndex(t.Pos, cutoff)
 	for i := 0; i < cfg.Nodes; i++ {
-		for j := i + 1; j < cfg.Nodes; j++ {
+		iid := NodeID(i)
+		for _, j := range idx.Near(iid, cutoff) {
+			if j <= iid {
+				continue
+			}
 			d := t.Pos[i].Distance(t.Pos[j])
 			// Crossing floors is harder than the straight-line distance
 			// suggests: add an effective distance penalty per floor crossed.
@@ -174,14 +187,12 @@ func Testbed(cfg TestbedConfig, seed int64) *Topology {
 			asym := rng.NormFloat64() * cfg.Shadowing * 0.25
 			pij := logistic(logit(p) + sym + asym)
 			pji := logistic(logit(p) + sym - asym)
-			if pij < cfg.MinProb {
-				pij = 0
+			if pij >= cfg.MinProb {
+				t.SetDirected(iid, j, pij)
 			}
-			if pji < cfg.MinProb {
-				pji = 0
+			if pji >= cfg.MinProb {
+				t.SetDirected(j, iid, pji)
 			}
-			t.SetDirected(NodeID(i), NodeID(j), pij)
-			t.SetDirected(NodeID(j), NodeID(i), pji)
 		}
 	}
 	return t
@@ -238,19 +249,28 @@ func (t *Topology) fullyConnected(threshold float64) bool {
 }
 
 // Grid returns an r x c grid with the given spacing and distance-derived
-// all-pairs delivery probabilities.
+// delivery probabilities. Storage is sparse and candidate links come from a
+// spatial index over the channel cutoff, so arbitrarily large grids cost
+// memory and time proportional to their links, not rows²·cols².
 func Grid(rows, cols int, spacing, midRange float64) *Topology {
-	t := New(rows * cols)
+	t := NewSparse(rows * cols)
 	for r := 0; r < rows; r++ {
 		for c := 0; c < cols; c++ {
 			t.Pos[r*cols+c] = Position{float64(c) * spacing, float64(r) * spacing, 0}
 		}
 	}
-	n := t.N()
-	for i := 0; i < n; i++ {
-		for j := i + 1; j < n; j++ {
+	cutoff := DeliveryCutoff(midRange)
+	idx := NewSpatialIndex(t.Pos, cutoff)
+	for i := 0; i < t.N(); i++ {
+		iid := NodeID(i)
+		for _, j := range idx.Near(iid, cutoff) {
+			if j <= iid {
+				continue
+			}
 			d := t.Pos[i].Distance(t.Pos[j])
-			t.SetLink(NodeID(i), NodeID(j), DeliveryFromDistance(d, midRange))
+			if p := DeliveryFromDistance(d, midRange); p > 0 {
+				t.SetLink(iid, j, p)
+			}
 		}
 	}
 	return t
@@ -259,9 +279,12 @@ func Grid(rows, cols int, spacing, midRange float64) *Topology {
 // Corridor generates a long, thin topology (nodes scattered along a
 // corridor), which yields the 4+-hop paths with first-hop/last-hop
 // concurrency that the spatial-reuse experiment (Fig 4-4) selects for.
+// Sparse-native like Testbed — candidate pairs within the channel cutoff,
+// ascending order, draw-for-draw identical to the historical dense scan —
+// so corridors of any length stay O(links).
 func Corridor(n int, length, width, midRange float64, seed int64) *Topology {
 	rng := rand.New(rand.NewSource(seed))
-	t := New(n)
+	t := NewSparse(n)
 	for i := 0; i < n; i++ {
 		// Spread nodes roughly evenly along the corridor with jitter so
 		// hop structure is stable but not degenerate.
@@ -272,8 +295,14 @@ func Corridor(n int, length, width, midRange float64, seed int64) *Topology {
 			Z: 0,
 		}
 	}
+	cutoff := DeliveryCutoff(midRange)
+	idx := NewSpatialIndex(t.Pos, cutoff)
 	for i := 0; i < n; i++ {
-		for j := i + 1; j < n; j++ {
+		iid := NodeID(i)
+		for _, j := range idx.Near(iid, cutoff) {
+			if j <= iid {
+				continue
+			}
 			d := t.Pos[i].Distance(t.Pos[j])
 			p := DeliveryFromDistance(d, midRange)
 			if p <= 0 {
@@ -282,11 +311,10 @@ func Corridor(n int, length, width, midRange float64, seed int64) *Topology {
 			sym := rng.NormFloat64() * 0.5
 			pij := logistic(logit(p) + sym)
 			pji := logistic(logit(p) + sym)
-			if pij < 0.05 {
-				pij, pji = 0, 0
+			if pij >= 0.05 {
+				t.SetDirected(iid, j, pij)
+				t.SetDirected(j, iid, pji)
 			}
-			t.SetDirected(NodeID(i), NodeID(j), pij)
-			t.SetDirected(NodeID(j), NodeID(i), pji)
 		}
 	}
 	return t

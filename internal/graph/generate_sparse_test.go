@@ -1,0 +1,76 @@
+package graph
+
+import "testing"
+
+// The Grid/Corridor/Testbed generators are sparse-native: neighbor lists
+// plus a spatial candidate index, so memory and time scale with links, not
+// nodes². These tests pin the storage flavour and exercise sizes whose
+// dense matrices (10⁸+ float64 cells) would be prohibitive.
+
+func TestGeneratorsAreSparse(t *testing.T) {
+	for name, topo := range map[string]*Topology{
+		"testbed":  Testbed(DefaultTestbed(), 1),
+		"grid":     Grid(4, 5, 14, 30),
+		"corridor": Corridor(12, 12*26, 15, 28, 7),
+	} {
+		if !topo.Sparse() {
+			t.Errorf("%s: not sparse storage", name)
+		}
+		if err := topo.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestLargeGridFeasible(t *testing.T) {
+	// 120×120 = 14400 nodes: the dense matrix would be 14400² ≈ 2·10⁸
+	// cells (1.6 GB); sparse neighbor lists hold only real links.
+	topo := Grid(120, 120, 14, 30)
+	if !topo.Sparse() {
+		t.Fatal("large grid not sparse")
+	}
+	if err := topo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	edges := topo.Edges()
+	if edges == 0 {
+		t.Fatal("no edges")
+	}
+	// Bounded degree: each node links only within the channel cutoff (a
+	// ~65 m disc at this spacing holds ≈66 grid points), independent of
+	// the grid's total size.
+	if perNode := float64(edges) / float64(topo.N()); perNode > 80 {
+		t.Errorf("mean out-degree %v too high for a cutoff-bounded grid", perNode)
+	}
+	// Corner-to-corner connectivity over usable links.
+	if h := topo.HopCount(0, NodeID(topo.N()-1), RouteThreshold); h <= 0 {
+		t.Errorf("corner-to-corner hop count %d", h)
+	}
+}
+
+func TestLargeCorridorFeasible(t *testing.T) {
+	topo := Corridor(5000, 5000*26, 15, 28, 1)
+	if !topo.Sparse() {
+		t.Fatal("large corridor not sparse")
+	}
+	if err := topo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if perNode := float64(topo.Edges()) / float64(topo.N()); perNode > 64 {
+		t.Errorf("mean out-degree %v too high for a cutoff-bounded corridor", perNode)
+	}
+}
+
+func TestLargeTestbedFeasible(t *testing.T) {
+	cfg := DefaultTestbed()
+	cfg.Nodes = 5000
+	cfg.FloorW = 2000
+	cfg.FloorH = 1500
+	topo := Testbed(cfg, 1)
+	if !topo.Sparse() {
+		t.Fatal("large testbed not sparse")
+	}
+	if err := topo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -119,18 +119,19 @@ func TestTestbedShape(t *testing.T) {
 func TestTestbedDeterministic(t *testing.T) {
 	a := Testbed(DefaultTestbed(), 42)
 	b := Testbed(DefaultTestbed(), 42)
-	for i := range a.P {
-		for j := range a.P[i] {
-			if a.P[i][j] != b.P[i][j] {
+	n := a.N()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if a.Prob(NodeID(i), NodeID(j)) != b.Prob(NodeID(i), NodeID(j)) {
 				t.Fatal("same seed produced different topologies")
 			}
 		}
 	}
 	c := Testbed(DefaultTestbed(), 43)
 	same := true
-	for i := range a.P {
-		for j := range a.P[i] {
-			if a.P[i][j] != c.P[i][j] {
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if a.Prob(NodeID(i), NodeID(j)) != c.Prob(NodeID(i), NodeID(j)) {
 				same = false
 			}
 		}

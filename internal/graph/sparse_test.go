@@ -76,7 +76,10 @@ func edgesEqual(a, b []Edge) bool {
 }
 
 func TestSparsifyPreservesLinks(t *testing.T) {
-	topo, _ := ConnectedTestbed(DefaultTestbed(), 1)
+	// LossyChain still builds the dense matrix (a small paper topology);
+	// the generators that scale — Testbed, Grid, Corridor, Geometric —
+	// are sparse-native, so the dense flavour needs a dense source here.
+	topo := LossyChain(12, 15, 30)
 	sp := topo.Sparsify()
 	if !sp.Sparse() || topo.Sparse() {
 		t.Fatal("storage flavours wrong")

@@ -33,6 +33,20 @@ type Config struct {
 	// MinProb drops estimated links below this delivery ratio from the
 	// advertisement (noise suppression).
 	MinProb float64
+
+	// TriggerDelta enables flood damping: a fresh LSA is flooded only when
+	// some link estimate moved by at least this much since the last
+	// advertisement (or a link appeared/disappeared). Zero floods every
+	// AdvertiseInterval, the undamped original behavior. Each advertise
+	// tick that finds nothing moved is suppressed — no sequence bump, no
+	// flood, no database churn at any node — so a converged network goes
+	// quiet instead of refreshing n² frames per interval.
+	TriggerDelta float64
+	// MaxQuiet bounds the damping: an LSA is flooded regardless of change
+	// once this long has passed since the node's last flood, so newly
+	// joined listeners and lost floods eventually heal. Zero defaults to
+	// 6×AdvertiseInterval when damping is on.
+	MaxQuiet sim.Time
 }
 
 // DefaultConfig returns a Roofnet-like setup.
@@ -58,6 +72,15 @@ type Agent struct {
 	latestSeq  map[graph.NodeID]uint32
 	db         map[graph.NodeID]*packet.LSA
 
+	// Damping state: the estimates as last flooded, and when.
+	lastAdv    map[graph.NodeID]float64
+	lastAdvAt  sim.Time
+	advertised bool
+
+	// SuppressedAdv counts advertise ticks damped away (estimates within
+	// TriggerDelta of the last flood).
+	SuppressedAdv int64
+
 	// version counts LSA database changes; View uses it to decide when a
 	// cached topology and its route tables are stale.
 	version uint64
@@ -71,12 +94,16 @@ func NewAgent(cfg Config, n int) *Agent {
 	if cfg.AdvertiseInterval == 0 {
 		cfg = DefaultConfig()
 	}
+	if cfg.TriggerDelta > 0 && cfg.MaxQuiet == 0 {
+		cfg.MaxQuiet = 6 * cfg.AdvertiseInterval
+	}
 	return &Agent{
 		cfg:       cfg,
 		n:         n,
 		prober:    probe.NewProber(cfg.Probe),
 		latestSeq: make(map[graph.NodeID]uint32),
 		db:        make(map[graph.NodeID]*packet.LSA),
+		lastAdv:   make(map[graph.NodeID]float64),
 	}
 }
 
@@ -98,10 +125,20 @@ func (a *Agent) scheduleAdvertise() {
 	})
 }
 
-// advertise queues a fresh LSA of this node's inbound link estimates.
+// advertise queues a fresh LSA of this node's inbound link estimates —
+// unless damping is on and nothing moved past the trigger threshold since
+// the last flood (triggered updates; the periodic tick doubles as the
+// hold-down, and MaxQuiet bounds how long an unchanged node stays quiet).
 func (a *Agent) advertise() {
 	a.seq++
 	lsa := &packet.LSA{Origin: a.node.ID(), Seq: a.seq}
+	// The damping comparison wants the raw estimates; collect them in the
+	// same ascending pass that builds the LSA, and only when damping is on
+	// (the undamped default pays neither the map nor a second scan).
+	var estimates map[graph.NodeID]float64
+	if a.cfg.TriggerDelta > 0 {
+		estimates = make(map[graph.NodeID]float64)
+	}
 	for i := 0; i < a.n; i++ {
 		id := graph.NodeID(i)
 		if id == a.node.ID() {
@@ -111,12 +148,47 @@ func (a *Agent) advertise() {
 		if p < a.cfg.MinProb {
 			continue
 		}
+		if estimates != nil {
+			estimates[id] = p
+		}
 		lsa.Neighbors = append(lsa.Neighbors, id)
 		lsa.Probs = append(lsa.Probs, packet.QuantizeProb(p))
+	}
+	if a.cfg.TriggerDelta > 0 {
+		if a.damped(estimates) {
+			a.seq--
+			a.SuppressedAdv++
+			return
+		}
+		a.lastAdv = estimates
+		a.lastAdvAt = a.node.Now()
+		a.advertised = true
 	}
 	a.accept(lsa)
 	a.pendingAdv = append(a.pendingAdv, lsa)
 	a.node.Wake()
+}
+
+// damped reports whether this advertise tick should be suppressed: damping
+// enabled, a previous flood exists and is younger than MaxQuiet, and every
+// estimate is within TriggerDelta of what that flood said.
+func (a *Agent) damped(estimates map[graph.NodeID]float64) bool {
+	if a.cfg.TriggerDelta <= 0 || !a.advertised {
+		return false
+	}
+	if a.node.Now()-a.lastAdvAt >= a.cfg.MaxQuiet {
+		return false
+	}
+	if len(estimates) != len(a.lastAdv) {
+		return false
+	}
+	for id, p := range estimates {
+		last, ok := a.lastAdv[id]
+		if !ok || p-last >= a.cfg.TriggerDelta || last-p >= a.cfg.TriggerDelta {
+			return false
+		}
+	}
+	return true
 }
 
 // accept installs an LSA in the local database if it is new.

@@ -126,6 +126,12 @@ type Frame struct {
 	// Payload carries the protocol message. The simulator never inspects it.
 	Payload interface{}
 
+	// FlowID attributes the frame to an end-to-end flow for per-flow
+	// transmission accounting (Counters.TxByFlow) and per-flow queueing in
+	// the congestion layer. Zero marks control traffic (probes, LSAs,
+	// credit grants) and unattributed frames.
+	FlowID uint32
+
 	// Retries is filled in by the MAC before the Sent callback: how many
 	// retransmissions the frame needed (0 = first attempt succeeded).
 	// Autorate algorithms feed on it.
@@ -149,6 +155,11 @@ type Counters struct {
 	AirTimeByRate    map[Bitrate]Time
 	TxByRate         map[Bitrate]int64
 	TxByNode         []int64
+	// TxByFlow attributes data-frame transmissions (incl. MAC retries) to
+	// the flow stamped on each frame; key 0 collects control traffic and
+	// unattributed frames. Per-flow sums plus the 0 bucket always equal
+	// Transmissions.
+	TxByFlow map[uint32]int64
 }
 
 // Simulator is the event loop plus medium state.
@@ -216,6 +227,7 @@ func New(topo *graph.Topology, cfg Config) *Simulator {
 	s.Counters.AirTimeByRate = make(map[Bitrate]Time)
 	s.Counters.TxByRate = make(map[Bitrate]int64)
 	s.Counters.TxByNode = make([]int64, topo.N())
+	s.Counters.TxByFlow = make(map[uint32]int64)
 	s.nodes = make([]*Node, topo.N())
 	for i := range s.nodes {
 		s.nodes[i] = newNode(s, graph.NodeID(i))
@@ -436,6 +448,7 @@ func (s *Simulator) startTransmission(n *Node, f *Frame) *transmission {
 	} else {
 		s.Counters.Transmissions++
 		s.Counters.TxByNode[n.id]++
+		s.Counters.TxByFlow[f.FlowID]++
 	}
 	s.Counters.AirTime += dur
 	s.Counters.AirTimeByRate[rate] += dur

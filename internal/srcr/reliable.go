@@ -72,14 +72,17 @@ func (n *Node) queueControl(payload interface{}, target graph.NodeID) {
 		return
 	}
 	var bytes int
+	var fid flow.ID
 	switch m := payload.(type) {
 	case *FinMsg:
 		bytes = m.wireBytes()
+		fid = m.Flow
 	case *NackMsg:
 		bytes = m.wireBytes()
+		fid = m.Flow
 	}
 	n.control = append(n.control, &sim.Frame{
-		From: n.node.ID(), To: next, Bytes: bytes, Payload: payload,
+		From: n.node.ID(), To: next, Bytes: bytes, Payload: payload, FlowID: uint32(fid),
 	})
 	n.node.Wake()
 }

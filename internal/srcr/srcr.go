@@ -261,6 +261,11 @@ func bytesEqual(a, b []byte) bool {
 	return true
 }
 
+// HasControl reports whether FIN/NACK control traffic is queued — the
+// congestion layer's full-queue pull hint (it implements
+// congest.ControlReporter).
+func (n *Node) HasControl() bool { return len(n.control) > 0 }
+
 // Pull implements sim.Protocol: control messages first, then forwarding,
 // then source traffic.
 func (n *Node) Pull() *sim.Frame {
@@ -312,6 +317,7 @@ func (n *Node) frameFor(m *DataMsg) *sim.Frame {
 		To:      to,
 		Bytes:   m.wireBytes(),
 		Payload: m,
+		FlowID:  uint32(m.Flow),
 	}
 	if n.cfg.Autorate {
 		f.Rate = n.onoeFor(to).Rate()
