@@ -6,6 +6,12 @@
 //	moresim -proto srcr -topo diamond -verbose
 //	moresim -proto all -parallel 4               # compare all four protocols
 //
+// Declarative scenarios replace flag combinations with one versionable
+// file (topology + flows + knobs + event schedule; see scenarios/):
+//
+//	moresim -scenario scenarios/push-choke.json
+//	moresim -scenario scenarios/paper-testbed.json -json   # byte-identical across runs
+//
 // Large-topology scenarios run over the sparse random-geometric generator:
 //
 //	moresim -topo geometric -nodes 1000 -flows 4 -drop 0.1
@@ -34,6 +40,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/linkstate"
 	"repro/internal/routing"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -66,8 +73,16 @@ func main() {
 		ccSweep   = flag.Bool("cc-sweep", false, "with -scale: run every congestion policy over the same topologies and print the mitigation table")
 		verbose   = flag.Bool("verbose", false, "print the forwarding plan")
 		showTrace = flag.Bool("trace", false, "print a per-node medium activity timeline")
+		scenFile  = flag.String("scenario", "", "run a declarative scenario spec file (scenarios/*.json); only -json combines with it")
 	)
 	flag.Parse()
+
+	if *scenFile != "" {
+		if !runScenario(*scenFile, *jsonOut) {
+			os.Exit(1)
+		}
+		return
+	}
 
 	opts := experiments.DefaultOptions()
 	opts.FileBytes = *fileBytes
@@ -311,6 +326,63 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// runScenario loads, runs, and reports a declarative scenario. With
+// jsonOut it emits the canonical result document (byte-identical across
+// runs of the same spec — pipe it to cmd/scenariocheck to verify). It
+// reports whether every flow met its schedule.
+func runScenario(path string, jsonOut bool) bool {
+	spec, err := scenario.Load(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	res, err := scenario.Run(spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if jsonOut {
+		out, err := res.Encode()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		os.Stdout.Write(out)
+		return res.Done()
+	}
+	fmt.Printf("scenario: %s (%d nodes, seed %d, state %v, cc %v)\n",
+		res.Scenario, res.Nodes, res.Seed, res.State, res.CC)
+	if spec.Description != "" {
+		fmt.Printf("  %s\n", spec.Description)
+	}
+	fmt.Printf("%-12s %-6s %-6s %6s %12s %10s %10s %6s\n",
+		"flow", "proto", "model", "s->d", "delivered", "pkt/s", "tx", "done")
+	for _, f := range res.Flows {
+		fmt.Printf("%-12s %-6s %-6v %3d->%-3d %6d/%-6d %10.1f %10d %6v\n",
+			f.Name, f.Protocol, f.Traffic, f.Result.Src, f.Result.Dst,
+			f.Result.PacketsDelivered, f.Result.PacketsTotal,
+			f.Result.Throughput(), f.Result.Transmissions, f.Done)
+	}
+	fmt.Printf("medium: %d data tx, %d collisions, %d channel losses, air time %v, run %v\n",
+		res.Counters.Transmissions, res.Counters.Collisions,
+		res.Counters.ChannelLosses, res.Counters.AirTime, res.End-res.Epoch)
+	if len(res.Flows) > 1 {
+		fmt.Printf("fairness: Jain(throughput) %.3f, Jain(tx) %.3f, control tx %d\n",
+			res.Fairness.JainThroughput, res.Fairness.JainTx, res.Fairness.ControlTx)
+	}
+	if res.CC != congest.None {
+		st := res.CCStats
+		fmt.Printf("congestion: %d pushed, %d enqueued, %d tail + %d choke + %d stale drops, %d grants, %d probes\n",
+			st.Pushed, st.Enqueued, st.TailDrops, st.ChokeDrops, st.StaleDrops, st.GrantTx, st.ProbeSends)
+	}
+	if res.State == experiments.StateLearned {
+		fmt.Printf("measurement plane: converged at %v, %d probe tx, %d LSA tx\n",
+			res.Convergence, res.ProbeTx, res.FloodTx)
+	}
+	fmt.Printf("digest: %s\n", res.Digest)
+	return res.Done()
 }
 
 // runLearned runs the flows with routing state learned over the air (and

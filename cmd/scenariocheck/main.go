@@ -1,0 +1,65 @@
+// Command scenariocheck validates scenario result documents against the
+// schema: strict field checking, accounting invariants (per-flow
+// transmission attribution must sum to the medium total), and the embedded
+// digest recomputed over the canonical body. CI pipes `moresim -scenario
+// … -json` output through it so a malformed or non-reproducible result
+// fails the build rather than landing in a dashboard.
+//
+//	moresim -scenario scenarios/push-choke.json -json | scenariocheck
+//	scenariocheck run1.json run2.json
+//
+// With multiple files the documents must also be byte-identical to each
+// other — the quick reproducibility check (same spec, two runs, cmp).
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/scenario"
+)
+
+func main() {
+	inputs := os.Args[1:]
+	if len(inputs) == 0 {
+		data, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			fail("reading stdin: %v", err)
+		}
+		check("<stdin>", data)
+		return
+	}
+	var first []byte
+	for i, path := range inputs {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fail("%v", err)
+		}
+		check(path, data)
+		if i == 0 {
+			first = data
+		} else if !bytes.Equal(first, data) {
+			fail("%s differs from %s: runs of one spec must be byte-identical", path, inputs[0])
+		}
+	}
+}
+
+func check(name string, data []byte) {
+	res, err := scenario.ValidateResult(data)
+	if err != nil {
+		fail("%s: %v", name, err)
+	}
+	status := "done"
+	if !res.Done() {
+		status = "INCOMPLETE"
+	}
+	fmt.Printf("%s: ok — scenario %s, %d nodes, %d flows, %s, digest %s\n",
+		name, res.Scenario, res.Nodes, len(res.Flows), status, res.Digest[:12])
+}
+
+func fail(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "scenariocheck: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -86,6 +86,16 @@ func (p Policy) String() string {
 // MarshalText lets Policy fields render readably in -json output.
 func (p Policy) MarshalText() ([]byte, error) { return []byte(p.String()), nil }
 
+// UnmarshalText parses the MarshalText form back (JSON round trips).
+func (p *Policy) UnmarshalText(text []byte) error {
+	v, err := ParsePolicy(string(text))
+	if err != nil {
+		return err
+	}
+	*p = v
+	return nil
+}
+
 // ParsePolicy parses a -cc flag value.
 func ParsePolicy(s string) (Policy, error) {
 	switch s {
@@ -148,6 +158,17 @@ type Config struct {
 	// a silence deep enough to stop the refreshes releases the flow
 	// instead of stranding it on probe backoff.
 	GrantTTL sim.Time
+	// CreditMinK floors the batch rank the Credit machinery engages at
+	// (default 16): MORE batches with K below the floor bypass grants and
+	// gating entirely and run over the plain bounded queue. In a batch
+	// this small the whole transfer is "endgame" — the grant/probe
+	// machinery's own frames and probe backoffs outweigh any suppression
+	// savings, inverting the result credit wins at K = 32 (the sub-batch
+	// workload regression the scaling sweeps flagged). Negative disables
+	// the floor. For K at or above the floor the endgame-countdown
+	// threshold (NeedAdvertiseMax) additionally scales as K/4 so the grant
+	// count per batch stays a constant fraction of the batch.
+	CreditMinK int
 
 	// RateInit is the AIMD starting injection rate in packets/second
 	// (default 300). RateMin/RateMax clamp it (defaults 64 and 2000).
@@ -188,6 +209,9 @@ func (c *Config) fillDefaults() {
 	if c.GrantTTL <= 0 {
 		c.GrantTTL = 500 * sim.Millisecond
 	}
+	if c.CreditMinK == 0 {
+		c.CreditMinK = 16
+	}
 	if c.RateInit <= 0 {
 		c.RateInit = 300
 	}
@@ -213,6 +237,9 @@ func (c *Config) fillDefaults() {
 
 // Stats counts what the layer did to the traffic passing through it.
 type Stats struct {
+	// Pushed counts frames injected by push sources (sim.FrameSink), before
+	// the drop policy ruled on them.
+	Pushed int64
 	// Enqueued counts data frames accepted into the queue.
 	Enqueued int64
 	// TailDrops counts frames dropped because the queue was full.
@@ -236,6 +263,7 @@ type Stats struct {
 
 // Add accumulates s2 into s (aggregating per-node layers into a run total).
 func (s *Stats) Add(s2 Stats) {
+	s.Pushed += s2.Pushed
 	s.Enqueued += s2.Enqueued
 	s.TailDrops += s2.TailDrops
 	s.ChokeDrops += s2.ChokeDrops
@@ -273,6 +301,16 @@ type CreditTopper interface {
 // drop) so queued control can never starve behind a full data queue.
 type ControlReporter interface {
 	HasControl() bool
+}
+
+// PushSource is implemented by protocols hosting push (timer-driven)
+// traffic sources. At Init the layer hands such a protocol itself as the
+// frame sink: generated frames then enter the layer's bounded queue the
+// moment the source's clock fires, with no backpressure — the pressure that
+// lets the tail/CHOKe drop policies actually overflow, which pull-based
+// transfers never provide (they backpressure through the MAC instead).
+type PushSource interface {
+	SetPushSink(s sim.FrameSink)
 }
 
 // Layer is the per-node congestion layer. It implements sim.Protocol,
@@ -327,6 +365,9 @@ func (l *Layer) Config() Config { return l.cfg }
 // QueueLen reports the current data-queue depth (for tests).
 func (l *Layer) QueueLen() int { return len(l.queue) }
 
+// Node returns the node the layer is installed on (nil before Init).
+func (l *Layer) Node() *sim.Node { return l.node }
+
 // Init implements sim.Protocol.
 func (l *Layer) Init(n *sim.Node) {
 	l.node = n
@@ -334,6 +375,24 @@ func (l *Layer) Init(n *sim.Node) {
 	l.need, _ = l.proto.(NeedReporter)
 	l.ctrl, _ = l.proto.(ControlReporter)
 	l.top, _ = l.proto.(CreditTopper)
+	if ps, ok := l.proto.(PushSource); ok {
+		ps.SetPushSink(l)
+	}
+}
+
+// PushFrame implements sim.FrameSink: push sources inject generated frames
+// here, where the bounded queue's drop policy rules on them immediately —
+// overload overflows the queue (tail or CHOKe drops) instead of
+// backpressuring the source, exactly the unresponsive-flow pressure AQM is
+// designed for.
+func (l *Layer) PushFrame(f *sim.Frame) {
+	l.Stats.Pushed++
+	info, ok := l.dataInfo(f)
+	if !ok {
+		info = frameInfo{flow: f.FlowID}
+	}
+	l.enqueue(f, info)
+	l.node.Wake()
 }
 
 // frameInfo is the congestion-relevant reading of a data frame.

@@ -126,7 +126,7 @@ func TestFullQueueControlProbeUsesHasControl(t *testing.T) {
 	for i := 0; i < 20; i++ {
 		p.frames = append(p.frames, moreFrameWithFwd(1, 0, 0, 0, []graph.NodeID{1}))
 	}
-	l, _ := newTestLayer(t, Config{Policy: Credit, QueueLen: 1}, p)
+	l, _ := newTestLayer(t, Config{Policy: Credit, QueueLen: 1, CreditMinK: -1}, p)
 	// Gate the flow, then fill the queue with gated frames.
 	l.Receive(&sim.Frame{From: 1, To: graph.Broadcast, Payload: &CreditMsg{Flow: 1, Batch: 0, Needed: 0}})
 	for i := 0; i < 6; i++ {
@@ -230,7 +230,7 @@ func TestCreditEndToEnd(t *testing.T) {
 	layers := make([]*Layer, topo.N())
 	for i := range nodes {
 		nodes[i] = core.NewNode(cfg, oracle)
-		layers[i] = New(Config{Policy: Credit}, nodes[i])
+		layers[i] = New(Config{Policy: Credit, CreditMinK: -1}, nodes[i])
 		s.Attach(graph.NodeID(i), layers[i])
 	}
 	file := flow.NewFile(4096, 256, 1)
@@ -261,7 +261,7 @@ func TestCreditGate(t *testing.T) {
 	for i := 0; i < 6; i++ {
 		p.frames = append(p.frames, moreFrameWithFwd(1, 0, 0, 0, []graph.NodeID{1}))
 	}
-	l, _ := newTestLayer(t, Config{Policy: Credit}, p)
+	l, _ := newTestLayer(t, Config{Policy: Credit, CreditMinK: -1}, p)
 
 	// Cold start: no grants, traffic flows.
 	if l.Pull() == nil {
@@ -337,10 +337,10 @@ func TestAIMDGatesSourceAndAdapts(t *testing.T) {
 }
 
 func TestStatsAdd(t *testing.T) {
-	a := Stats{Enqueued: 1, TailDrops: 2, ChokeDrops: 3, StaleDrops: 4, GrantTx: 5, GateSkips: 6, ProbeSends: 7, RateDecreases: 8}
+	a := Stats{Pushed: 9, Enqueued: 1, TailDrops: 2, ChokeDrops: 3, StaleDrops: 4, GrantTx: 5, GateSkips: 6, ProbeSends: 7, RateDecreases: 8}
 	b := a
 	a.Add(b)
-	want := Stats{2, 4, 6, 8, 10, 12, 14, 16}
+	want := Stats{18, 2, 4, 6, 8, 10, 12, 14, 16}
 	if a != want {
 		t.Errorf("Add: got %+v want %+v", a, want)
 	}

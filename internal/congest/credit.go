@@ -143,6 +143,9 @@ func (l *Layer) maybeGrant(f *sim.Frame, m *core.DataMsg) {
 	if l.need == nil {
 		return
 	}
+	if l.creditBypass(m.K) {
+		return // sub-floor batch: the grant machinery costs more than it saves
+	}
 	if !l.senderUpstream(f.From, m) {
 		return // overheard downstream traffic; our state is no news to them
 	}
@@ -158,6 +161,7 @@ func (l *Layer) maybeGrant(f *sim.Frame, m *core.DataMsg) {
 		c.adv[fid] = a
 	}
 	now := l.node.Now()
+	advMax := l.needAdvertiseMax(m.K)
 	if a.valid && a.batch == batch {
 		if (needed > 0) == (a.needed > 0) && now-a.at < l.cfg.GrantMinInterval {
 			// Not a stop/start transition: respect the spacing floor.
@@ -173,10 +177,10 @@ func (l *Layer) maybeGrant(f *sim.Frame, m *core.DataMsg) {
 			// storm alive) and a small positive (the top-up path that
 			// keeps the frontier serving) — are worth restating
 			// occasionally; an unchanged mid-batch need is not.
-			if needed > l.cfg.NeedAdvertiseMax || now-a.at < l.cfg.GrantRefresh {
+			if needed > advMax || now-a.at < l.cfg.GrantRefresh {
 				return
 			}
-		case needed > 0 && a.needed > 0 && needed > l.cfg.NeedAdvertiseMax:
+		case needed > 0 && a.needed > 0 && needed > advMax:
 			// Mid-batch countdown: a frame per innovative reception would
 			// drown the medium in grants, but total silence would leave a
 			// gated upstream probing blind. Announce halving-level
@@ -247,11 +251,36 @@ func (l *Layer) creditSuppressed(info frameInfo) bool {
 	return heard
 }
 
+// creditBypass reports whether the credit machinery stands down for a
+// batch of rank k: below the CreditMinK floor the whole batch is endgame
+// and grants/gating cost more air than they save, so the flow runs over
+// the plain bounded queue (behavior-identical to the Tail policy).
+func (l *Layer) creditBypass(k int) bool {
+	return l.cfg.CreditMinK > 0 && k > 0 && k < l.cfg.CreditMinK
+}
+
+// needAdvertiseMax scales the endgame-countdown threshold with the batch
+// rank: NeedAdvertiseMax (default 8) is tuned for K = 32, where the
+// every-change countdown covers the last quarter of the batch. A smaller
+// batch keeps the same fraction (K/4) so the grant bill per batch shrinks
+// with the batch instead of staying fixed.
+func (l *Layer) needAdvertiseMax(k int) int {
+	max := l.cfg.NeedAdvertiseMax
+	if k > 0 && k/4 < max {
+		max = k / 4
+	}
+	if max < 1 {
+		max = 1
+	}
+	return max
+}
+
 // creditCanSend gates a data frame when every downstream listener heard
 // from reports zero need for the frame's batch, except for one probe per
-// (exponentially backed-off) GateTimeout. Non-MORE frames pass untouched.
+// (exponentially backed-off) GateTimeout. Non-MORE frames pass untouched,
+// as do sub-floor batches (see creditBypass).
 func (l *Layer) creditCanSend(info frameInfo) bool {
-	if info.more == nil {
+	if info.more == nil || l.creditBypass(info.more.K) {
 		return true
 	}
 	cf := l.creditFlowFor(info)
@@ -273,7 +302,7 @@ func (l *Layer) creditCanSend(info frameInfo) bool {
 // stall the flow (probe receptions still add Eq. (3.3) credit
 // downstream), and a stalled flow cannot storm the medium.
 func (l *Layer) creditCommit(info frameInfo) {
-	if info.more == nil {
+	if info.more == nil || l.creditBypass(info.more.K) {
 		return
 	}
 	cf := l.creditFlowFor(info)

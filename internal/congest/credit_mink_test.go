@@ -1,0 +1,105 @@
+package congest
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/flow"
+	"repro/internal/graph"
+	"repro/internal/routing"
+	"repro/internal/sim"
+)
+
+// runChainMORE transfers one small file over a lossy chain with the given
+// batch size and congestion config on every node, returning the result,
+// the medium counters, and the aggregated layer stats.
+func runChainMORE(t *testing.T, batch int, cfg Config) (flow.Result, sim.Counters, Stats) {
+	t.Helper()
+	topo := graph.LossyChain(5, 20, 30)
+	s := sim.New(topo, sim.DefaultConfig())
+	oracle := flow.NewOracle(topo, routing.ETXOptions{Threshold: graph.RouteThreshold, AckAware: true})
+	ccfg := core.DefaultConfig()
+	ccfg.BatchSize = batch
+	ccfg.PayloadSize = 256
+	nodes := make([]*core.Node, topo.N())
+	layers := make([]*Layer, topo.N())
+	for i := range nodes {
+		nodes[i] = core.NewNode(ccfg, oracle)
+		layers[i] = New(cfg, nodes[i])
+		s.Attach(graph.NodeID(i), layers[i])
+	}
+	file := flow.NewFile(batch*256, 256, 1) // exactly one batch of rank K
+	var result flow.Result
+	nodes[4].ExpectFlow(1, file, nil)
+	if err := nodes[0].StartFlow(1, 4, file, func(r flow.Result) { result = r }); err != nil {
+		t.Fatal(err)
+	}
+	s.Run(120 * sim.Second)
+	var st Stats
+	for _, l := range layers {
+		st.Add(l.Stats)
+	}
+	return result, s.Counters, st
+}
+
+// TestCreditBypassesSubFloorBatches is the sub-batch workload fix: a
+// single-batch transfer at K = 11 (below the CreditMinK floor of 16) must
+// not engage the grant/probe machinery at all — the run is byte-identical
+// to the plain bounded queue (Tail policy), because in a batch that small
+// the whole transfer is endgame and the machinery's own frames invert
+// credit's large-scale win.
+func TestCreditBypassesSubFloorBatches(t *testing.T) {
+	const k = 11
+	creditRes, creditCtr, creditStats := runChainMORE(t, k, Config{Policy: Credit})
+	tailRes, tailCtr, tailStats := runChainMORE(t, k, Config{Policy: Tail})
+
+	if creditStats.GrantTx != 0 || creditStats.ProbeSends != 0 || creditStats.GateSkips != 0 {
+		t.Errorf("credit machinery engaged below the K floor: grants=%d probes=%d gateSkips=%d",
+			creditStats.GrantTx, creditStats.ProbeSends, creditStats.GateSkips)
+	}
+	if !creditRes.Completed {
+		t.Fatalf("K=%d credit transfer incomplete: %+v", k, creditRes)
+	}
+	if !reflect.DeepEqual(creditCtr, tailCtr) {
+		t.Errorf("sub-floor credit run diverged from tail:\ncredit: %+v\ntail:   %+v", creditCtr, tailCtr)
+	}
+	if creditRes != tailRes {
+		t.Errorf("sub-floor credit result diverged from tail:\ncredit: %+v\ntail:   %+v", creditRes, tailRes)
+	}
+	if creditStats.Enqueued != tailStats.Enqueued {
+		t.Errorf("queue behavior diverged: credit enqueued %d, tail %d", creditStats.Enqueued, tailStats.Enqueued)
+	}
+}
+
+// TestCreditEngagesAtAndAboveFloor pins the other side of the floor: at
+// K = 32 (and at the floor itself) grants still flow.
+func TestCreditEngagesAtAndAboveFloor(t *testing.T) {
+	for _, k := range []int{16, 32} {
+		res, _, st := runChainMORE(t, k, Config{Policy: Credit})
+		if !res.Completed {
+			t.Fatalf("K=%d credit transfer incomplete: %+v", k, res)
+		}
+		if st.GrantTx == 0 {
+			t.Errorf("K=%d: no grants above the CreditMinK floor", k)
+		}
+	}
+}
+
+// TestNeedAdvertiseMaxScalesWithK checks the endgame-countdown threshold
+// shrinks proportionally with the batch rank.
+func TestNeedAdvertiseMaxScalesWithK(t *testing.T) {
+	l := New(Config{Policy: Credit}, &fakeProto{})
+	for _, c := range []struct{ k, want int }{
+		{32, 8}, // the K=32 tuning point: unchanged
+		{24, 6},
+		{16, 4},
+		{4, 1},  // floor: never below one
+		{0, 8},  // unknown rank: config value
+		{64, 8}, // large K: capped at the config value
+	} {
+		if got := l.needAdvertiseMax(c.k); got != c.want {
+			t.Errorf("needAdvertiseMax(%d) = %d, want %d", c.k, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,161 @@
+package congest
+
+import (
+	"repro/internal/flow"
+	"repro/internal/graph"
+	"repro/internal/sim"
+)
+
+// Multi composes several data protocols into the single protocol slot a
+// congestion layer wraps. Scenario runs mix protocols on one medium — a
+// MORE bulk transfer beside an unresponsive push flow is the fairness
+// experiment AQM exists for — and each node then runs one instance of every
+// protocol in play. The composition follows sim.Stack's semantics (every
+// member sees every decoded frame; the first member with traffic wins the
+// transmission opportunity) with one crucial difference: Sent outcomes are
+// routed by frame ownership, not by who answered the most recent Pull.
+// sim.Stack's single-puller slot is correct directly under the MAC, which
+// finishes one frame before pulling the next; under a congestion layer the
+// queue decouples the two — the layer may pull member A's frame, hold it,
+// pull member B's, and only later see A's frame transmitted or dropped —
+// so Multi remembers which member supplied each in-flight frame.
+//
+// Multi also forwards the congestion layer's optional capability
+// interfaces (NeedReporter, CreditTopper, ControlReporter, PushSource) to
+// whichever members implement them: the layer discovers capabilities by
+// type assertion on the one protocol it wraps, so the composite must
+// answer for its members.
+//
+// Member order is transmission priority. Put timer-driven push protocols
+// first: they only offer traffic their clocks have generated, while a
+// backlogged batch protocol always has something to send and would
+// otherwise starve them at every pull.
+type Multi struct {
+	members []sim.Protocol
+
+	// owner maps each pulled, not-yet-resolved frame to the member that
+	// supplied it. Entries live from Pull to Sent; the population is
+	// bounded by the congestion layer's queue plus the MAC's single slot.
+	owner map[*sim.Frame]sim.Protocol
+
+	needs []NeedReporter
+	tops  []CreditTopper
+	ctrls []ControlReporter
+	srcs  []PushSource
+	// opaque marks members that cannot report control state: the composite
+	// must then behave as if it had no ControlReporter hint (conservative
+	// speculative pulls) rather than denying control traffic exists.
+	opaque bool
+}
+
+// Combine composes the given protocols, first member highest priority. A
+// single protocol is returned unwrapped.
+func Combine(protos ...sim.Protocol) sim.Protocol {
+	if len(protos) == 1 {
+		return protos[0]
+	}
+	m := &Multi{members: protos, owner: make(map[*sim.Frame]sim.Protocol)}
+	for _, p := range protos {
+		if x, ok := p.(NeedReporter); ok {
+			m.needs = append(m.needs, x)
+		}
+		if x, ok := p.(CreditTopper); ok {
+			m.tops = append(m.tops, x)
+		}
+		if x, ok := p.(ControlReporter); ok {
+			m.ctrls = append(m.ctrls, x)
+		} else {
+			m.opaque = true
+		}
+		if x, ok := p.(PushSource); ok {
+			m.srcs = append(m.srcs, x)
+		}
+	}
+	return m
+}
+
+// Init implements sim.Protocol.
+func (m *Multi) Init(n *sim.Node) {
+	for _, p := range m.members {
+		p.Init(n)
+	}
+}
+
+// Receive implements sim.Protocol: every member sees every decoded frame
+// (each protocol already ignores payload types it does not own).
+func (m *Multi) Receive(f *sim.Frame) {
+	for _, p := range m.members {
+		p.Receive(f)
+	}
+}
+
+// Pull implements sim.Protocol: the first member with traffic wins, and
+// the frame is recorded against it for Sent routing.
+func (m *Multi) Pull() *sim.Frame {
+	for _, p := range m.members {
+		if f := p.Pull(); f != nil {
+			m.owner[f] = p
+			return f
+		}
+	}
+	return nil
+}
+
+// Sent implements sim.Protocol, routing the outcome to the member that
+// supplied the frame — however long ago that was. Frames with no recorded
+// owner entered sideways (push sources inject through the congestion
+// layer's FrameSink, bypassing Pull); those fan out to every member under
+// the same contract as Receive — each protocol ignores payload types it
+// does not own — so a push frame's fate still reaches its srcr instance
+// (MAC-drop accounting, autorate feedback) exactly as it would bare.
+func (m *Multi) Sent(f *sim.Frame, ok bool) {
+	if p, found := m.owner[f]; found {
+		delete(m.owner, f)
+		p.Sent(f, ok)
+		return
+	}
+	for _, p := range m.members {
+		p.Sent(f, ok)
+	}
+}
+
+// BatchNeeded implements NeedReporter: the first member holding state for
+// the flow answers (flow IDs are globally unique, so at most one does).
+func (m *Multi) BatchNeeded(id flow.ID) (batch uint32, needed int, ok bool) {
+	for _, nr := range m.needs {
+		if b, n, ok := nr.BatchNeeded(id); ok {
+			return b, n, ok
+		}
+	}
+	return 0, 0, false
+}
+
+// TopUpRelayCredit implements CreditTopper: every capable member is
+// offered the grant; members without state for the flow ignore it.
+func (m *Multi) TopUpRelayCredit(id flow.ID, batch uint32, granter graph.NodeID, credit float64) {
+	for _, t := range m.tops {
+		t.TopUpRelayCredit(id, batch, granter, credit)
+	}
+}
+
+// HasControl implements ControlReporter: control exists when any member
+// reports it — or might, for members that cannot say.
+func (m *Multi) HasControl() bool {
+	if m.opaque {
+		return true
+	}
+	for _, c := range m.ctrls {
+		if c.HasControl() {
+			return true
+		}
+	}
+	return false
+}
+
+// SetPushSink implements PushSource, fanning the sink out to every member
+// hosting push sources.
+func (m *Multi) SetPushSink(s sim.FrameSink) {
+	for _, src := range m.srcs {
+		src.SetPushSink(s)
+	}
+}

@@ -80,6 +80,16 @@ func (m StateMode) String() string {
 // MarshalText lets StateMode fields render readably in -json output.
 func (m StateMode) MarshalText() ([]byte, error) { return []byte(m.String()), nil }
 
+// UnmarshalText parses the MarshalText form back (JSON round trips).
+func (m *StateMode) UnmarshalText(text []byte) error {
+	v, err := ParseStateMode(string(text))
+	if err != nil {
+		return err
+	}
+	*m = v
+	return nil
+}
+
 // ParseStateMode parses a -state flag value.
 func ParseStateMode(s string) (StateMode, error) {
 	switch s {
@@ -182,7 +192,10 @@ func (o Options) file(seed int64) flow.File {
 	return flow.NewFile(o.FileBytes, o.PktSize, seed)
 }
 
-func (o Options) simConfig() sim.Config {
+// SimConfig derives the simulator configuration for a run (exported so the
+// scenario executor compiles specs onto the same substrate the figure
+// drivers use).
+func (o Options) SimConfig() sim.Config {
 	cfg := sim.DefaultConfig()
 	cfg.Seed = o.Seed
 	cfg.DataRate = o.DataRate
@@ -197,16 +210,55 @@ func (o Options) simConfig() sim.Config {
 	return cfg
 }
 
-func (o Options) etxOptions() routing.ETXOptions {
+// ETXOpts returns the ETX computation options every run routes with.
+func (o Options) ETXOpts() routing.ETXOptions {
 	return routing.ETXOptions{Threshold: graph.RouteThreshold, AckAware: true}
 }
 
-func (o Options) planOptions() routing.PlanOptions {
+// PlanOpts returns the forwarder-plan options for MORE/ExOR sources.
+func (o Options) PlanOpts() routing.PlanOptions {
 	p := routing.DefaultPlanOptions()
 	p.Metric = o.Metric
-	p.ETX = o.etxOptions()
+	p.ETX = o.ETXOpts()
 	p.PruneFraction = o.PruneFraction
 	return p
+}
+
+// CoreConfig, ExorConfig, and SrcrConfig assemble the per-protocol node
+// configurations for a run. RunDetailed and the scenario executor both
+// build nodes from these, so a new Options knob wired in here reaches
+// every runner — flag-driven and declarative — at once.
+
+// CoreConfig returns the MORE node configuration.
+func (o Options) CoreConfig() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.BatchSize = o.BatchSize
+	cfg.PayloadSize = o.PktSize
+	cfg.Plan = o.PlanOpts()
+	cfg.PreCoding = o.PreCoding
+	cfg.InnovativeOnly = o.InnovativeOnly
+	cfg.CreditOnInnovativeOnly = o.CreditOnInnovativeOnly
+	return cfg
+}
+
+// ExorConfig returns the ExOR node configuration.
+func (o Options) ExorConfig() exor.Config {
+	cfg := exor.DefaultConfig()
+	cfg.BatchSize = o.BatchSize
+	cfg.PayloadSize = o.PktSize
+	cfg.Plan = o.PlanOpts()
+	return cfg
+}
+
+// SrcrConfig returns the Srcr node configuration. Reliable is on: the
+// best-path baseline completes its file like MORE and ExOR do (push
+// sources bypass the ARQ regardless).
+func (o Options) SrcrConfig(autorate bool) srcr.Config {
+	cfg := srcr.DefaultConfig()
+	cfg.PayloadSize = o.PktSize
+	cfg.Autorate = autorate
+	cfg.Reliable = true
+	return cfg
 }
 
 // workers returns the driver worker count: Parallel, forced serial when a
@@ -304,59 +356,75 @@ type RunInfo struct {
 	Fairness FairnessReport
 }
 
-// runtimeState carries the per-run control-plane wiring: one provider per
-// node (the same oracle for every node, or a per-node learned view) plus
-// the agents behind learned views.
-type runtimeState struct {
+// ControlPlane carries the per-run control-plane wiring: one routing-state
+// provider per node (the same oracle for every node, or a per-node learned
+// view), the link-state agents behind learned views, and the congestion
+// layers wrapped around the data protocols. It is the machinery RunDetailed
+// always used, exported so the scenario executor (internal/scenario) can
+// compile declarative specs onto exactly the same stack.
+type ControlPlane struct {
 	providers []flow.RoutingState
 	agents    []*linkstate.Agent
+	oracle    *flow.Oracle
 	cc        congest.Config
 	layers    []*congest.Layer
 }
 
-// newRuntimeState builds the control plane for a run.
-func newRuntimeState(topo *graph.Topology, opts Options) *runtimeState {
+// NewControlPlane builds the control plane for a run over topo.
+func NewControlPlane(topo *graph.Topology, opts Options) *ControlPlane {
 	n := topo.N()
-	rs := &runtimeState{providers: make([]flow.RoutingState, n), cc: opts.CC}
+	cp := &ControlPlane{providers: make([]flow.RoutingState, n), cc: opts.CC}
 	if opts.State == StateLearned {
 		recompute := opts.Recompute
 		if recompute == 0 {
 			recompute = sim.Second
 		}
-		rs.agents = make([]*linkstate.Agent, n)
-		for i := range rs.agents {
-			rs.agents[i] = linkstate.NewAgent(opts.LinkState, n)
-			rs.providers[i] = linkstate.NewView(rs.agents[i], opts.etxOptions(), recompute)
+		cp.agents = make([]*linkstate.Agent, n)
+		for i := range cp.agents {
+			cp.agents[i] = linkstate.NewAgent(opts.LinkState, n)
+			cp.providers[i] = linkstate.NewView(cp.agents[i], opts.ETXOpts(), recompute)
 		}
-		return rs
+		return cp
 	}
-	oracle := flow.NewOracle(topo, opts.etxOptions())
-	for i := range rs.providers {
-		rs.providers[i] = oracle
+	cp.oracle = flow.NewOracle(topo, opts.ETXOpts())
+	for i := range cp.providers {
+		cp.providers[i] = cp.oracle
 	}
-	return rs
+	return cp
 }
 
-// attach installs the node's data protocol, wrapping it in a congestion
+// Provider returns the routing-state provider node id routes from.
+func (cp *ControlPlane) Provider(id graph.NodeID) flow.RoutingState {
+	return cp.providers[id]
+}
+
+// Oracle returns the shared ground-truth oracle, or nil for learned-state
+// runs. Scenario schedules invalidate it after mutating the topology.
+func (cp *ControlPlane) Oracle() *flow.Oracle { return cp.oracle }
+
+// Learned reports whether routing state is learned over the air.
+func (cp *ControlPlane) Learned() bool { return cp.agents != nil }
+
+// Attach installs the node's data protocol, wrapping it in a congestion
 // layer when one is configured and stacking the link-state agent above it
 // (higher priority: control frames are small and periodic) when the run
 // learns its state over the air.
-func (rs *runtimeState) attach(s *sim.Simulator, id graph.NodeID, p sim.Protocol) {
-	if rs.cc.Policy != congest.None {
-		l := congest.New(rs.cc, p)
-		rs.layers = append(rs.layers, l)
+func (cp *ControlPlane) Attach(s *sim.Simulator, id graph.NodeID, p sim.Protocol) {
+	if cp.cc.Policy != congest.None {
+		l := congest.New(cp.cc, p)
+		cp.layers = append(cp.layers, l)
 		p = l
 	}
-	if rs.agents != nil {
-		s.Attach(id, sim.NewStack(rs.agents[id], p))
+	if cp.agents != nil {
+		s.Attach(id, sim.NewStack(cp.agents[id], p))
 		return
 	}
 	s.Attach(id, p)
 }
 
 // converged reports whether every agent's LSA database covers every origin.
-func (rs *runtimeState) converged(n int) bool {
-	for _, a := range rs.agents {
+func (cp *ControlPlane) converged(n int) bool {
+	for _, a := range cp.agents {
 		if a.KnownOrigins() < n {
 			return false
 		}
@@ -364,10 +432,10 @@ func (rs *runtimeState) converged(n int) bool {
 	return true
 }
 
-// warmup lets the measurement plane flood before flows start and returns
+// Warmup lets the measurement plane flood before flows start and returns
 // the convergence time (see RunInfo.Convergence).
-func (rs *runtimeState) warmup(s *sim.Simulator, topo *graph.Topology, opts Options) sim.Time {
-	if rs.agents == nil {
+func (cp *ControlPlane) Warmup(s *sim.Simulator, topo *graph.Topology, opts Options) sim.Time {
+	if cp.agents == nil {
 		return 0
 	}
 	warmup := opts.Warmup
@@ -380,24 +448,24 @@ func (rs *runtimeState) warmup(s *sim.Simulator, topo *graph.Topology, opts Opti
 	conv := sim.Time(-1)
 	n := topo.N()
 	s.RunWhile(warmup, func() bool {
-		if conv < 0 && rs.converged(n) {
+		if conv < 0 && cp.converged(n) {
 			conv = s.Now()
 		}
 		return true
 	})
-	if conv < 0 && rs.converged(n) {
+	if conv < 0 && cp.converged(n) {
 		conv = s.Now()
 	}
 	return conv
 }
 
-// startFlow launches one flow. Under the oracle a start failure is final
+// StartFlow launches one flow. Under the oracle a start failure is final
 // (the ground truth says the destination is unreachable, as before). Under
 // learned state the view may simply not have converged yet — a cold start
 // with Warmup < 0, or a short warmup — so the start is retried each second
 // of simulated time until it succeeds or the deadline passes.
-func (rs *runtimeState) startFlow(s *sim.Simulator, deadline sim.Time, try func() error, onFail func()) {
-	if rs.agents == nil {
+func (cp *ControlPlane) StartFlow(s *sim.Simulator, deadline sim.Time, try func() error, onFail func()) {
+	if cp.agents == nil {
 		if try() != nil {
 			onFail()
 		}
@@ -417,19 +485,55 @@ func (rs *runtimeState) startFlow(s *sim.Simulator, deadline sim.Time, try func(
 	attempt()
 }
 
-// transferCond wraps a transfer's completion condition with convergence
+// TransferCond wraps a transfer's completion condition with convergence
 // tracking: a cold-started learned run converges under load, after flows
 // have begun, so the warmup-phase check alone would report -1.
-func (rs *runtimeState) transferCond(s *sim.Simulator, n int, conv *sim.Time, done func() bool) func() bool {
-	if rs.agents == nil {
+func (cp *ControlPlane) TransferCond(s *sim.Simulator, n int, conv *sim.Time, done func() bool) func() bool {
+	if cp.agents == nil {
 		return done
 	}
 	return func() bool {
-		if *conv < 0 && rs.converged(n) {
+		if *conv < 0 && cp.converged(n) {
 			*conv = s.Now()
 		}
 		return done()
 	}
+}
+
+// ControlTx sums the measurement plane's transmissions (probe broadcasts,
+// own + rebroadcast LSAs) across all nodes.
+func (cp *ControlPlane) ControlTx() (probeTx, floodTx int64) {
+	for _, a := range cp.agents {
+		probeTx += a.ProbeTx()
+		floodTx += a.FloodTx
+	}
+	return probeTx, floodTx
+}
+
+// CCStats aggregates every congestion layer's accounting.
+func (cp *ControlPlane) CCStats() congest.Stats {
+	var st congest.Stats
+	for _, l := range cp.layers {
+		st.Add(l.Stats)
+	}
+	return st
+}
+
+// QueuedData counts frames currently held in congestion-layer queues —
+// traffic pulled from the protocols but not yet on the air. The scenario
+// executor's drain phase runs until this (and the MACs) empties, so
+// datagrams already committed to a queue get their chance to fly after
+// every flow has met its schedule. Queues stranded on failed nodes are
+// excluded: they will never drain.
+func (cp *ControlPlane) QueuedData() int {
+	total := 0
+	for _, l := range cp.layers {
+		if n := l.Node(); n != nil && n.Failed() {
+			continue
+		}
+		total += l.QueueLen()
+	}
+	return total
 }
 
 // RunDetailed is the full-fidelity runner behind RunWithCounters: it wires
@@ -437,11 +541,11 @@ func (rs *runtimeState) transferCond(s *sim.Simulator, n int, conv *sim.Time, do
 // warmup when learning, transfers every flow, and reports convergence and
 // control-plane overhead alongside the results.
 func RunDetailed(topo *graph.Topology, proto Protocol, pairs []Pair, opts Options) RunInfo {
-	s := sim.New(topo, opts.simConfig())
+	s := sim.New(topo, opts.SimConfig())
 	if opts.Trace != nil {
 		s.Trace = opts.Trace
 	}
-	rs := newRuntimeState(topo, opts)
+	cp := NewControlPlane(topo, opts)
 	remaining := len(pairs)
 	results := make([]flow.Result, len(pairs))
 	markDone := func(i int) func(flow.Result) {
@@ -452,83 +556,71 @@ func RunDetailed(topo *graph.Topology, proto Protocol, pairs []Pair, opts Option
 
 	switch proto {
 	case MORE:
-		cfg := core.DefaultConfig()
-		cfg.BatchSize = opts.BatchSize
-		cfg.PayloadSize = opts.PktSize
-		cfg.Plan = opts.planOptions()
-		cfg.PreCoding = opts.PreCoding
-		cfg.InnovativeOnly = opts.InnovativeOnly
-		cfg.CreditOnInnovativeOnly = opts.CreditOnInnovativeOnly
+		cfg := opts.CoreConfig()
 		nodes := make([]*core.Node, topo.N())
 		for i := range nodes {
-			nodes[i] = core.NewNode(cfg, rs.providers[i])
-			rs.attach(s, graph.NodeID(i), nodes[i])
+			nodes[i] = core.NewNode(cfg, cp.Provider(graph.NodeID(i)))
+			cp.Attach(s, graph.NodeID(i), nodes[i])
 		}
-		conv := rs.warmup(s, topo, opts)
+		conv := cp.Warmup(s, topo, opts)
 		deadline := s.Now() + opts.Deadline
 		for i, p := range pairs {
 			i, p := i, p
 			f := opts.file(opts.Seed + int64(i))
 			nodes[p.Dst].ExpectFlow(flow.ID(i+1), f, nil)
-			rs.startFlow(s, deadline, func() error {
+			cp.StartFlow(s, deadline, func() error {
 				return nodes[p.Src].StartFlow(flow.ID(i+1), p.Dst, f, markDone(i))
 			}, func() { remaining-- })
 		}
-		s.RunWhile(deadline, rs.transferCond(s, topo.N(), &conv, func() bool { return remaining > 0 }))
+		s.RunWhile(deadline, cp.TransferCond(s, topo.N(), &conv, func() bool { return remaining > 0 }))
 		for i, p := range pairs {
 			results[i] = nodes[p.Dst].Result(flow.ID(i + 1))
 		}
-		return finishRun(s, rs, pairs, results, opts, conv)
+		return finishRun(s, cp, pairs, results, opts, conv)
 	case ExOR:
-		cfg := exor.DefaultConfig()
-		cfg.BatchSize = opts.BatchSize
-		cfg.PayloadSize = opts.PktSize
-		cfg.Plan = opts.planOptions()
+		cfg := opts.ExorConfig()
 		nodes := make([]*exor.Node, topo.N())
 		for i := range nodes {
-			nodes[i] = exor.NewNode(cfg, rs.providers[i])
-			rs.attach(s, graph.NodeID(i), nodes[i])
+			nodes[i] = exor.NewNode(cfg, cp.Provider(graph.NodeID(i)))
+			cp.Attach(s, graph.NodeID(i), nodes[i])
 		}
-		conv := rs.warmup(s, topo, opts)
+		conv := cp.Warmup(s, topo, opts)
 		deadline := s.Now() + opts.Deadline
 		for i, p := range pairs {
 			i, p := i, p
 			f := opts.file(opts.Seed + int64(i))
 			nodes[p.Dst].ExpectFlow(flow.ID(i+1), f, markDone(i))
-			rs.startFlow(s, deadline, func() error {
+			cp.StartFlow(s, deadline, func() error {
 				return nodes[p.Src].StartFlow(flow.ID(i+1), p.Dst, f, nil)
 			}, func() { remaining-- })
 		}
-		s.RunWhile(deadline, rs.transferCond(s, topo.N(), &conv, func() bool { return remaining > 0 }))
+		s.RunWhile(deadline, cp.TransferCond(s, topo.N(), &conv, func() bool { return remaining > 0 }))
 		for i, p := range pairs {
 			results[i] = nodes[p.Dst].Result(flow.ID(i + 1))
 		}
-		return finishRun(s, rs, pairs, results, opts, conv)
+		return finishRun(s, cp, pairs, results, opts, conv)
 	case Srcr, SrcrAutorate:
-		cfg := srcr.DefaultConfig()
-		cfg.PayloadSize = opts.PktSize
-		cfg.Autorate = proto == SrcrAutorate
-		cfg.Reliable = true // fair baseline: complete the file like MORE/ExOR
+		cfg := opts.SrcrConfig(proto == SrcrAutorate)
 		nodes := make([]*srcr.Node, topo.N())
 		for i := range nodes {
-			nodes[i] = srcr.NewNode(cfg, rs.providers[i])
-			rs.attach(s, graph.NodeID(i), nodes[i])
+			nodes[i] = srcr.NewNode(cfg, cp.Provider(graph.NodeID(i)))
+			cp.Attach(s, graph.NodeID(i), nodes[i])
 		}
-		conv := rs.warmup(s, topo, opts)
+		conv := cp.Warmup(s, topo, opts)
 		deadline := s.Now() + opts.Deadline
 		for i, p := range pairs {
 			i, p := i, p
 			f := opts.file(opts.Seed + int64(i))
 			nodes[p.Dst].ExpectFlow(flow.ID(i+1), f, nil)
-			rs.startFlow(s, deadline, func() error {
+			cp.StartFlow(s, deadline, func() error {
 				return nodes[p.Src].StartFlow(flow.ID(i+1), p.Dst, f, markDone(i))
 			}, func() { remaining-- })
 		}
-		s.RunWhile(deadline, rs.transferCond(s, topo.N(), &conv, func() bool { return remaining > 0 }))
+		s.RunWhile(deadline, cp.TransferCond(s, topo.N(), &conv, func() bool { return remaining > 0 }))
 		for i, p := range pairs {
 			results[i] = nodes[p.Dst].Result(flow.ID(i + 1))
 		}
-		return finishRun(s, rs, pairs, results, opts, conv)
+		return finishRun(s, cp, pairs, results, opts, conv)
 	default:
 		panic("experiments: unknown protocol")
 	}
@@ -536,7 +628,7 @@ func RunDetailed(topo *graph.Topology, proto Protocol, pairs []Pair, opts Option
 
 // finishRun normalizes results (incomplete transfers end at the deadline)
 // and assembles the RunInfo.
-func finishRun(s *sim.Simulator, rs *runtimeState, pairs []Pair, results []flow.Result, opts Options, conv sim.Time) RunInfo {
+func finishRun(s *sim.Simulator, cp *ControlPlane, pairs []Pair, results []flow.Result, opts Options, conv sim.Time) RunInfo {
 	for i := range results {
 		if results[i].End == 0 {
 			results[i].End = s.Now()
@@ -561,13 +653,8 @@ func finishRun(s *sim.Simulator, rs *runtimeState, pairs []Pair, results []flow.
 		Convergence: conv,
 		CC:          opts.CC.Policy,
 	}
-	for _, a := range rs.agents {
-		info.ProbeTx += a.ProbeTx()
-		info.FloodTx += a.FloodTx
-	}
-	for _, l := range rs.layers {
-		info.CCStats.Add(l.Stats)
-	}
+	info.ProbeTx, info.FloodTx = cp.ControlTx()
+	info.CCStats = cp.CCStats()
 	info.Fairness = BuildFairness(results, s.Counters)
 	return info
 }

@@ -161,7 +161,8 @@ type Oracle struct {
 	Topo *graph.Topology
 	Opt  routing.ETXOptions
 
-	tables map[graph.NodeID]*routing.ETXTable
+	tables  map[graph.NodeID]*routing.ETXTable
+	version uint64
 }
 
 // NewOracle builds an oracle over the topology with the given ETX options.
@@ -172,8 +173,20 @@ func NewOracle(t *graph.Topology, opt routing.ETXOptions) *Oracle {
 // Graph implements RoutingState: the ground-truth topology.
 func (o *Oracle) Graph() *graph.Topology { return o.Topo }
 
-// Version implements RoutingState: the oracle never changes.
-func (o *Oracle) Version() uint64 { return 0 }
+// Version implements RoutingState. It stays 0 — the static perfect-oracle
+// case — until Invalidate is called after a topology mutation.
+func (o *Oracle) Version() uint64 { return o.version }
+
+// Invalidate discards the cached shortest-path tables and bumps the state
+// version, so protocols rebuild plans and routes at their next boundary.
+// Scenario schedules call it after mutating the ground-truth topology
+// mid-run (link degradation, node failure): the oracle abstraction is
+// "everyone instantly knows the truth", so the truth changing must reach
+// every consumer.
+func (o *Oracle) Invalidate() {
+	o.tables = make(map[graph.NodeID]*routing.ETXTable)
+	o.version++
+}
 
 // Table returns (computing on first use) the ETX table toward dst.
 func (o *Oracle) Table(dst graph.NodeID) *routing.ETXTable {

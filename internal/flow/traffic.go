@@ -1,0 +1,113 @@
+package flow
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Traffic models. The paper's workload is pull-based file transfer: the
+// source is backlogged and the MAC's transmission opportunities pace it, so
+// queues below backpressure instead of overflowing. Push models generate
+// packets on a clock with no backpressure — the UDP-like constant-rate and
+// on/off sources that exercise bounded queues and AQM drop policies as
+// designed (and that congestion-control comparisons need as the
+// unresponsive side of a mixed workload).
+
+// TrafficModel selects how a flow's source generates packets.
+type TrafficModel int
+
+const (
+	// PullFile is the paper's workload: a backlogged file transfer paced by
+	// the MAC (and the protocol's own batching/ARQ).
+	PullFile TrafficModel = iota
+	// PushCBR generates packets at a constant rate, timer-driven, with no
+	// backpressure.
+	PushCBR
+	// PushOnOff alternates fixed on/off periods; during on periods it
+	// generates at the configured rate, during off periods it is silent.
+	PushOnOff
+)
+
+func (m TrafficModel) String() string {
+	switch m {
+	case PullFile:
+		return "file"
+	case PushCBR:
+		return "cbr"
+	case PushOnOff:
+		return "onoff"
+	default:
+		return fmt.Sprintf("TrafficModel(%d)", int(m))
+	}
+}
+
+// MarshalText renders the model name for -json output.
+func (m TrafficModel) MarshalText() ([]byte, error) { return []byte(m.String()), nil }
+
+// UnmarshalText parses the MarshalText form back (JSON round trips).
+func (m *TrafficModel) UnmarshalText(text []byte) error {
+	v, err := ParseTrafficModel(string(text))
+	if err != nil {
+		return err
+	}
+	*m = v
+	return nil
+}
+
+// ParseTrafficModel parses a traffic-model name.
+func ParseTrafficModel(s string) (TrafficModel, error) {
+	switch s {
+	case "", "file":
+		return PullFile, nil
+	case "cbr":
+		return PushCBR, nil
+	case "onoff":
+		return PushOnOff, nil
+	default:
+		return 0, fmt.Errorf("flow: unknown traffic model %q (want file, cbr, or onoff)", s)
+	}
+}
+
+// Traffic describes a push source's generation pattern.
+type Traffic struct {
+	// Model selects the generation pattern. PullFile is not a push model;
+	// Validate rejects it here.
+	Model TrafficModel
+	// RatePPS is the generation rate in packets per second while the source
+	// is on.
+	RatePPS float64
+	// Packets is the total number of packets the source generates before
+	// stopping. It must be positive: every push flow has a definite
+	// workload, so runs terminate and results are exactly reproducible.
+	Packets int
+	// On and Off are the burst and silence durations for PushOnOff.
+	On, Off sim.Time
+}
+
+// Interval returns the inter-packet generation interval.
+func (t Traffic) Interval() sim.Time {
+	return sim.Time(float64(sim.Second) / t.RatePPS)
+}
+
+// Push reports whether the model is a push (timer-driven) one.
+func (t Traffic) Push() bool { return t.Model == PushCBR || t.Model == PushOnOff }
+
+// Validate checks the push parameters are usable.
+func (t Traffic) Validate() error {
+	if !t.Push() {
+		return fmt.Errorf("flow: traffic model %v is not a push model", t.Model)
+	}
+	if t.RatePPS <= 0 {
+		return fmt.Errorf("flow: push traffic needs rate_pps > 0 (got %v)", t.RatePPS)
+	}
+	if t.Packets <= 0 {
+		return fmt.Errorf("flow: push traffic needs packets > 0 (got %d)", t.Packets)
+	}
+	if t.Model == PushOnOff {
+		if t.On <= 0 || t.Off <= 0 {
+			return fmt.Errorf("flow: onoff traffic needs on_s > 0 and off_s > 0 (got %v/%v)", t.On, t.Off)
+		}
+	}
+	return nil
+}

@@ -271,6 +271,33 @@ func (t *Topology) Degrade(drop float64) {
 	t.idx.Store(nil)
 }
 
+// Isolate removes every link into and out of node id, modelling a node
+// failure: the ground truth after a crash is that the radio is gone.
+// Callers running a live simulation should pair this with
+// sim.Simulator.FailNode, which silences the node itself (the simulator
+// reads link probabilities live, so deliveries stop with the links).
+func (t *Topology) Isolate(id NodeID) {
+	if t.P != nil {
+		for j := range t.P[id] {
+			t.P[id][j] = 0
+			t.P[j][id] = 0
+		}
+		t.idx.Store(nil)
+		return
+	}
+	// Collect the in-neighbors before mutating: InEdges reads the derived
+	// index this loop invalidates.
+	var in []NodeID
+	for _, e := range t.InEdges(id) {
+		in = append(in, e.Node)
+	}
+	t.out[id] = nil
+	for _, j := range in {
+		t.SetDirected(j, id, 0)
+	}
+	t.idx.Store(nil)
+}
+
 // Clone returns a deep copy (same storage flavour).
 func (t *Topology) Clone() *Topology {
 	if t.P != nil {

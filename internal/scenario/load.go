@@ -1,0 +1,54 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Parse decodes and validates a scenario spec. Decoding is strict — unknown
+// fields are rejected, so a typo'd knob fails loudly instead of silently
+// running the default — and the returned spec is normalized: defaulted
+// fields are filled in, so encoding it back yields an explicit, stable
+// document (Encode ∘ Parse is idempotent).
+func Parse(data []byte) (*Spec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("scenario: %v", err)
+	}
+	// A second document in the same file is a mistake, not extra input.
+	if dec.More() {
+		return nil, fmt.Errorf("scenario: trailing data after the spec document")
+	}
+	s.normalize()
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Load reads and parses a scenario spec file.
+func Load(path string) (*Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %v", err)
+	}
+	s, err := Parse(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return s, nil
+}
+
+// Encode renders the spec as indented JSON, the round-trippable canonical
+// form scenario files are written in.
+func (s *Spec) Encode() ([]byte, error) {
+	out, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}

@@ -1,0 +1,490 @@
+// Package scenario is the declarative scenario engine: one JSON file
+// describes a complete experiment — topology and seed, per-flow traffic
+// models (pull file transfers and push CBR/on-off sources), protocol,
+// routing-state and congestion-control knobs, and a time-phased schedule of
+// link-degradation and node-failure events — and the executor compiles it
+// onto the existing experiments.ControlPlane / sim.Stack machinery. What
+// used to live in moresim flag combinations and ad-hoc Go drivers becomes a
+// versionable corpus (see the repository's scenarios/ directory) whose
+// results are byte-identical across runs and pinned by the golden
+// regression suite, so every future change diffs its behavior per scenario.
+//
+// The mixed-workload scenarios are the point: CHOKe-style AQM (Pan,
+// Prabhakar & Psounis, INFOCOM'00) is motivated by unresponsive flows
+// pressing on responsive ones, and a pull-only repertoire can never apply
+// that pressure — the bounded queues backpressure through the MAC instead
+// of overflowing. Push sources close the gap, and the schedule closes a
+// second one: convergence behavior under mid-run topology change, which
+// static flag-driven runs cannot express.
+package scenario
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/congest"
+	"repro/internal/experiments"
+	"repro/internal/flow"
+	"repro/internal/graph"
+	"repro/internal/linkstate"
+	"repro/internal/sim"
+)
+
+// Spec is a complete declarative scenario.
+type Spec struct {
+	// Name identifies the scenario (golden results are filed under it).
+	Name string `json:"name"`
+	// Description says what the scenario exercises.
+	Description string `json:"description,omitempty"`
+	// Seed drives the simulator, workload contents, and auto-drawn pairs.
+	Seed int64 `json:"seed"`
+	// DeadlineS bounds simulated traffic time (seconds, measured from the
+	// end of any learned-state warmup).
+	DeadlineS float64 `json:"deadline_s"`
+	// Topology describes the mesh the scenario runs over.
+	Topology TopologySpec `json:"topology"`
+	// State selects the routing control plane (default oracle).
+	State StateSpec `json:"state,omitempty"`
+	// CC selects the congestion-control layer (default none).
+	CC CCSpec `json:"cc,omitempty"`
+	// Batch is K for MORE/ExOR (default 32).
+	Batch int `json:"batch,omitempty"`
+	// PktSize is the packet payload size in bytes (default 1500).
+	PktSize int `json:"pkt_size,omitempty"`
+	// Flows is the traffic matrix; at least one flow is required.
+	Flows []FlowSpec `json:"flows"`
+	// Events is the scenario schedule: topology mutations at fixed times.
+	Events []EventSpec `json:"events,omitempty"`
+}
+
+// TopologySpec selects and parameterizes a topology generator.
+type TopologySpec struct {
+	// Kind is one of testbed, chain, diamond, corridor, grid, geometric.
+	Kind string `json:"kind"`
+	// Nodes is the node count for chain/corridor/geometric.
+	Nodes int `json:"nodes,omitempty"`
+	// Degree is the target mean neighbor degree for geometric (default 10).
+	Degree float64 `json:"degree,omitempty"`
+	// Floors is the building floor count for geometric (default 1).
+	Floors int `json:"floors,omitempty"`
+	// Drop layers a uniform extra drop rate over every link at build time.
+	Drop float64 `json:"drop,omitempty"`
+	// Seed overrides the spec seed for topology generation when nonzero.
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// StateSpec configures the routing-state provider.
+type StateSpec struct {
+	// Mode is oracle (default) or learned.
+	Mode string `json:"mode,omitempty"`
+	// WarmupS runs the measurement plane this long before flows start
+	// (learned only; 0 means the 30 s default, negative starts flows cold).
+	WarmupS float64 `json:"warmup_s,omitempty"`
+	// Window is the probe window (probes per estimate; learned only).
+	Window int `json:"window,omitempty"`
+	// AdvertiseS is the LSA advertise interval in seconds (learned only).
+	AdvertiseS float64 `json:"advertise_s,omitempty"`
+	// Damp is the triggered-update delta (0 disables damping).
+	Damp float64 `json:"damp,omitempty"`
+}
+
+// CCSpec configures the congestion layer.
+type CCSpec struct {
+	// Policy is none (default), tail, choke, credit, or aimd.
+	Policy string `json:"policy,omitempty"`
+	// Queue overrides the transmit-queue bound (0: policy default).
+	Queue int `json:"queue,omitempty"`
+	// CreditMinK overrides the credit policy's batch-rank floor
+	// (0: default 16; negative disables the floor).
+	CreditMinK int `json:"credit_min_k,omitempty"`
+}
+
+// FlowSpec describes one flow.
+type FlowSpec struct {
+	// Name identifies the flow in results.
+	Name string `json:"name"`
+	// Protocol carries the flow: more, exor, or srcr for pull file
+	// transfers; push for UDP-like datagrams over Srcr forwarding.
+	Protocol string `json:"protocol"`
+	// Src and Dst are node IDs. With AutoPair they must be omitted; the
+	// executor draws a reachable pair from the seeded RNG instead.
+	Src int `json:"src,omitempty"`
+	Dst int `json:"dst,omitempty"`
+	// AutoPair draws src/dst as the next seeded reachable random pair.
+	AutoPair bool `json:"auto_pair,omitempty"`
+	// StartS is when the flow starts, seconds after the traffic epoch.
+	StartS float64 `json:"start_s,omitempty"`
+	// StopS, for push flows only, halts generation early (0: run until the
+	// packet budget is spent).
+	StopS float64 `json:"stop_s,omitempty"`
+	// Traffic is the flow's workload model.
+	Traffic TrafficSpec `json:"traffic"`
+}
+
+// TrafficSpec describes a flow's workload.
+type TrafficSpec struct {
+	// Model is file (pull transfer), cbr, or onoff (push).
+	Model string `json:"model"`
+	// Bytes is the file size for the file model.
+	Bytes int `json:"bytes,omitempty"`
+	// RatePPS is the push generation rate in packets per second.
+	RatePPS float64 `json:"rate_pps,omitempty"`
+	// Packets is the push packet budget.
+	Packets int `json:"packets,omitempty"`
+	// OnS and OffS are the onoff burst/silence durations in seconds.
+	OnS  float64 `json:"on_s,omitempty"`
+	OffS float64 `json:"off_s,omitempty"`
+}
+
+// EventSpec is one scheduled topology mutation.
+type EventSpec struct {
+	// AtS is the event time, seconds after the traffic epoch.
+	AtS float64 `json:"at_s"`
+	// Action is degrade or fail_node.
+	Action string `json:"action"`
+	// Drop is the uniform extra drop rate a degrade event layers on.
+	Drop float64 `json:"drop,omitempty"`
+	// Node is the node a fail_node event kills.
+	Node int `json:"node,omitempty"`
+}
+
+// Known spec vocabulary.
+const (
+	ActionDegrade  = "degrade"
+	ActionFailNode = "fail_node"
+	ProtoPush      = "push"
+)
+
+// normalize fills defaulted fields in place so an encoded spec is explicit
+// about what it runs.
+func (s *Spec) normalize() {
+	if s.Batch == 0 {
+		s.Batch = 32
+	}
+	if s.PktSize == 0 {
+		s.PktSize = 1500
+	}
+	if s.Topology.Kind == "geometric" {
+		if s.Topology.Degree == 0 {
+			s.Topology.Degree = 10
+		}
+		if s.Topology.Floors == 0 {
+			s.Topology.Floors = 1
+		}
+	}
+	if s.State.Mode == "" {
+		s.State.Mode = "oracle"
+	}
+	if s.CC.Policy == "" {
+		s.CC.Policy = "none"
+	}
+}
+
+// NodeCount returns the node count the topology will have, or -1 when the
+// kind is unknown.
+func (t TopologySpec) NodeCount() int {
+	switch t.Kind {
+	case "testbed":
+		return 20
+	case "chain", "corridor", "geometric":
+		return t.Nodes
+	case "diamond":
+		return 3 // src, relay, dst (with the lossy direct link)
+	case "grid":
+		return 20 // the fixed 4x5 grid moresim exposes
+	}
+	return -1
+}
+
+// sized reports whether the kind takes a node count (vs a fixed size).
+func (t TopologySpec) sized() bool {
+	switch t.Kind {
+	case "chain", "corridor", "geometric":
+		return true
+	}
+	return false
+}
+
+// Build constructs the topology (applying build-time degradation).
+// defaultSeed is used when the topology declares no seed of its own.
+func (t TopologySpec) Build(defaultSeed int64) (*graph.Topology, error) {
+	seed := t.Seed
+	if seed == 0 {
+		seed = defaultSeed
+	}
+	var topo *graph.Topology
+	switch t.Kind {
+	case "testbed":
+		topo = experiments.TestbedTopology()
+	case "chain":
+		topo = graph.LossyChain(t.Nodes, 15, 30)
+	case "diamond":
+		topo = graph.Diamond()
+	case "corridor":
+		topo = graph.Corridor(t.Nodes, float64(t.Nodes)*26, 15, 28, seed)
+	case "grid":
+		topo = graph.Grid(4, 5, 14, 30)
+	case "geometric":
+		gcfg := graph.DefaultGeometric(t.Nodes)
+		gcfg.TargetDegree = t.Degree
+		gcfg.Floors = t.Floors
+		topo, _ = graph.ConnectedGeometric(gcfg, seed)
+	default:
+		return nil, fmt.Errorf("scenario: unknown topology kind %q", t.Kind)
+	}
+	if t.Drop > 0 {
+		topo.Degrade(t.Drop)
+	}
+	return topo, nil
+}
+
+// Validate checks the spec is well formed and rejects the degenerate
+// configurations the executor cannot run sensibly. Error messages name the
+// offending flow or event.
+func (s *Spec) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("scenario: missing name")
+	}
+	if s.DeadlineS <= 0 {
+		return fmt.Errorf("scenario %s: deadline_s must be > 0 (got %v)", s.Name, s.DeadlineS)
+	}
+	n := s.Topology.NodeCount()
+	if n < 0 {
+		return fmt.Errorf("scenario %s: unknown topology kind %q (want testbed, chain, diamond, corridor, grid, or geometric)",
+			s.Name, s.Topology.Kind)
+	}
+	if s.Topology.sized() {
+		if n < 2 {
+			return fmt.Errorf("scenario %s: topology %s needs nodes >= 2 (got %d)", s.Name, s.Topology.Kind, n)
+		}
+	} else if s.Topology.Nodes != 0 {
+		// Silently running the fixed size would betray a spec author who
+		// believes they scaled the scenario.
+		return fmt.Errorf("scenario %s: topology %s has a fixed size of %d nodes; nodes does not apply",
+			s.Name, s.Topology.Kind, n)
+	}
+	if s.Topology.Kind != "geometric" && (s.Topology.Degree != 0 || s.Topology.Floors != 0) {
+		return fmt.Errorf("scenario %s: degree/floors apply to geometric topologies only", s.Name)
+	}
+	if s.Topology.Drop < 0 || s.Topology.Drop >= 1 {
+		return fmt.Errorf("scenario %s: topology drop %v outside [0,1)", s.Name, s.Topology.Drop)
+	}
+	switch s.State.Mode {
+	case "oracle", "learned":
+	default:
+		return fmt.Errorf("scenario %s: unknown state mode %q (want oracle or learned)", s.Name, s.State.Mode)
+	}
+	if s.State.Window < 0 || s.State.AdvertiseS < 0 || s.State.Damp < 0 {
+		return fmt.Errorf("scenario %s: state knobs must be non-negative", s.Name)
+	}
+	if _, err := congest.ParsePolicy(s.CC.Policy); err != nil {
+		return fmt.Errorf("scenario %s: %v", s.Name, err)
+	}
+	if s.CC.Queue < 0 {
+		return fmt.Errorf("scenario %s: cc queue must be >= 0 (got %d)", s.Name, s.CC.Queue)
+	}
+	if s.Batch < 2 {
+		return fmt.Errorf("scenario %s: batch must be >= 2 (got %d)", s.Name, s.Batch)
+	}
+	if s.PktSize < 64 {
+		return fmt.Errorf("scenario %s: pkt_size must be >= 64 (got %d)", s.Name, s.PktSize)
+	}
+	if len(s.Flows) == 0 {
+		return fmt.Errorf("scenario %s: no flows", s.Name)
+	}
+	names := map[string]bool{}
+	for i := range s.Flows {
+		if err := s.validateFlow(&s.Flows[i], n, names); err != nil {
+			return err
+		}
+	}
+	return s.validateEvents(n)
+}
+
+func (s *Spec) validateFlow(f *FlowSpec, n int, names map[string]bool) error {
+	where := func(format string, args ...interface{}) error {
+		return fmt.Errorf("scenario %s: flow %q: %s", s.Name, f.Name, fmt.Sprintf(format, args...))
+	}
+	if f.Name == "" {
+		return fmt.Errorf("scenario %s: flow with no name", s.Name)
+	}
+	if names[f.Name] {
+		return where("duplicate flow name")
+	}
+	names[f.Name] = true
+	switch f.Protocol {
+	case "more", "exor", "srcr", ProtoPush:
+	default:
+		return where("unknown protocol %q (want more, exor, srcr, or push)", f.Protocol)
+	}
+	if f.AutoPair {
+		if f.Src != 0 || f.Dst != 0 {
+			return where("auto_pair and explicit src/dst are mutually exclusive")
+		}
+	} else {
+		if f.Src < 0 || f.Src >= n || f.Dst < 0 || f.Dst >= n {
+			return where("src/dst %d->%d outside topology of %d nodes", f.Src, f.Dst, n)
+		}
+		if f.Src == f.Dst {
+			return where("src == dst (%d)", f.Src)
+		}
+	}
+	if f.StartS < 0 {
+		return where("start_s must be >= 0 (got %v)", f.StartS)
+	}
+	if f.StartS >= s.DeadlineS {
+		return where("start_s %v at or past the deadline %v", f.StartS, s.DeadlineS)
+	}
+	isPush := f.Protocol == ProtoPush
+	switch f.Traffic.Model {
+	case "file":
+		if isPush {
+			return where("push flows need a cbr or onoff traffic model, not file")
+		}
+		if f.Traffic.Bytes <= 0 {
+			return where("file traffic needs bytes > 0 (got %d)", f.Traffic.Bytes)
+		}
+		if f.Traffic.RatePPS != 0 || f.Traffic.Packets != 0 || f.Traffic.OnS != 0 || f.Traffic.OffS != 0 {
+			return where("file traffic takes only bytes")
+		}
+	case "cbr", "onoff":
+		if !isPush {
+			return where("%s traffic needs protocol push, not %s", f.Traffic.Model, f.Protocol)
+		}
+		if tr, err := f.traffic(); err != nil {
+			return where("%v", err)
+		} else if tr.Validate() != nil {
+			return where("%v", tr.Validate())
+		}
+		if f.Traffic.Bytes != 0 {
+			return where("push traffic sizes packets with pkt_size, not bytes")
+		}
+		if f.Traffic.Model == "cbr" && (f.Traffic.OnS != 0 || f.Traffic.OffS != 0) {
+			return where("cbr traffic takes no on_s/off_s (did you mean model onoff?)")
+		}
+	default:
+		return where("unknown traffic model %q (want file, cbr, or onoff)", f.Traffic.Model)
+	}
+	if f.StopS != 0 {
+		if !isPush {
+			return where("stop_s applies to push flows only")
+		}
+		if f.StopS <= f.StartS {
+			return where("stop_s %v does not follow start_s %v (overlapping schedule)", f.StopS, f.StartS)
+		}
+		if f.StopS > s.DeadlineS {
+			return where("stop_s %v past the deadline %v", f.StopS, s.DeadlineS)
+		}
+	}
+	return nil
+}
+
+func (s *Spec) validateEvents(n int) error {
+	failed := map[int]bool{}
+	type evKey struct {
+		at     float64
+		action string
+		node   int
+	}
+	seen := map[evKey]bool{}
+	for i, e := range s.Events {
+		where := func(format string, args ...interface{}) error {
+			return fmt.Errorf("scenario %s: event %d (%s at %vs): %s", s.Name, i, e.Action, e.AtS, fmt.Sprintf(format, args...))
+		}
+		if e.AtS < 0 || e.AtS >= s.DeadlineS {
+			return where("at_s outside [0, deadline)")
+		}
+		switch e.Action {
+		case ActionDegrade:
+			if e.Drop <= 0 || e.Drop >= 1 {
+				return where("degrade needs drop in (0,1), got %v", e.Drop)
+			}
+			if e.Node != 0 {
+				return where("degrade takes no node")
+			}
+		case ActionFailNode:
+			if e.Node < 0 || e.Node >= n {
+				return where("node %d outside topology of %d nodes", e.Node, n)
+			}
+			if failed[e.Node] {
+				return where("node %d already failed by an earlier event (overlapping schedule)", e.Node)
+			}
+			failed[e.Node] = true
+			if e.Drop != 0 {
+				return where("fail_node takes no drop")
+			}
+		default:
+			return where("unknown action (want %s or %s)", ActionDegrade, ActionFailNode)
+		}
+		key := evKey{e.AtS, e.Action, e.Node}
+		if seen[key] {
+			return where("duplicate event (overlapping schedule)")
+		}
+		seen[key] = true
+	}
+	return nil
+}
+
+// traffic converts the flow's traffic spec to the flow-package model.
+func (f *FlowSpec) traffic() (flow.Traffic, error) {
+	var model flow.TrafficModel
+	switch f.Traffic.Model {
+	case "cbr":
+		model = flow.PushCBR
+	case "onoff":
+		model = flow.PushOnOff
+	default:
+		return flow.Traffic{}, fmt.Errorf("traffic model %q is not a push model", f.Traffic.Model)
+	}
+	return flow.Traffic{
+		Model:   model,
+		RatePPS: f.Traffic.RatePPS,
+		Packets: f.Traffic.Packets,
+		On:      secs(f.Traffic.OnS),
+		Off:     secs(f.Traffic.OffS),
+	}, nil
+}
+
+// Options compiles the spec's run-wide knobs into experiments.Options, the
+// same parameter block every figure driver uses.
+func (s *Spec) Options() experiments.Options {
+	opts := experiments.DefaultOptions()
+	opts.Seed = s.Seed
+	opts.BatchSize = s.Batch
+	opts.PktSize = s.PktSize
+	opts.Deadline = secs(s.DeadlineS)
+	if s.State.Mode == "learned" {
+		opts.State = experiments.StateLearned
+		lcfg := linkstate.DefaultConfig()
+		if s.State.Window > 0 {
+			lcfg.Probe.Window = s.State.Window
+		}
+		if s.State.AdvertiseS > 0 {
+			lcfg.AdvertiseInterval = secs(s.State.AdvertiseS)
+		}
+		lcfg.TriggerDelta = s.State.Damp
+		opts.LinkState = lcfg
+		switch {
+		case s.State.WarmupS > 0:
+			opts.Warmup = secs(s.State.WarmupS)
+		case s.State.WarmupS < 0:
+			opts.Warmup = -1
+		}
+	}
+	policy, _ := congest.ParsePolicy(s.CC.Policy) // validated on load
+	opts.CC = congest.DefaultConfig(policy)
+	opts.CC.QueueLen = s.CC.Queue
+	opts.CC.CreditMinK = s.CC.CreditMinK
+	return opts
+}
+
+// secs converts float seconds to simulated time.
+func secs(v float64) sim.Time { return sim.Time(v * float64(sim.Second)) }
+
+// sortedEvents returns the schedule in firing order (stable over the spec
+// order for ties, so equal-time events run in the order they were written).
+func (s *Spec) sortedEvents() []EventSpec {
+	evs := append([]EventSpec(nil), s.Events...)
+	sort.SliceStable(evs, func(a, b int) bool { return evs[a].AtS < evs[b].AtS })
+	return evs
+}

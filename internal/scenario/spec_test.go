@@ -1,0 +1,241 @@
+package scenario
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// validSpec returns a small well-formed spec document.
+func validSpec() string {
+	return `{
+  "name": "unit",
+  "seed": 3,
+  "deadline_s": 20,
+  "topology": {"kind": "chain", "nodes": 4},
+  "flows": [
+    {"name": "bulk", "protocol": "more", "src": 0, "dst": 3,
+     "traffic": {"model": "file", "bytes": 32768}}
+  ]
+}`
+}
+
+func TestParseNormalizesDefaults(t *testing.T) {
+	s, err := Parse([]byte(validSpec()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Batch != 32 || s.PktSize != 1500 {
+		t.Errorf("defaults not filled: batch=%d pkt=%d", s.Batch, s.PktSize)
+	}
+	if s.State.Mode != "oracle" || s.CC.Policy != "none" {
+		t.Errorf("mode defaults not filled: %+v %+v", s.State, s.CC)
+	}
+}
+
+// TestEncodeParseRoundTrip is the loader's round-trip property: a parsed
+// spec encodes to a document that parses back to the identical spec, and
+// encoding is a fixed point from the first normalization on.
+func TestEncodeParseRoundTrip(t *testing.T) {
+	s, err := Parse([]byte(validSpec()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := s.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Parse(enc)
+	if err != nil {
+		t.Fatalf("re-parse of encoded spec failed: %v\n%s", err, enc)
+	}
+	if !reflect.DeepEqual(s, s2) {
+		t.Errorf("round trip changed the spec:\nbefore %+v\nafter  %+v", s, s2)
+	}
+	enc2, err := s2.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(enc) != string(enc2) {
+		t.Error("Encode is not a fixed point after normalization")
+	}
+}
+
+// mutate applies a JSON-level edit to the valid spec.
+func mutate(t *testing.T, edit func(m map[string]interface{})) []byte {
+	t.Helper()
+	var m map[string]interface{}
+	if err := json.Unmarshal([]byte(validSpec()), &m); err != nil {
+		t.Fatal(err)
+	}
+	edit(m)
+	out, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func flow0(m map[string]interface{}) map[string]interface{} {
+	return m["flows"].([]interface{})[0].(map[string]interface{})
+}
+
+// TestRejectsInvalidSpecs drives the validator through every rejection
+// class the satellite work names — unknown protocol, overlapping schedule
+// events, zero-rate flows — plus the rest of the vocabulary, checking each
+// error message names the problem.
+func TestRejectsInvalidSpecs(t *testing.T) {
+	cases := []struct {
+		name    string
+		edit    func(m map[string]interface{})
+		wantErr string
+	}{
+		{"unknown protocol", func(m map[string]interface{}) {
+			flow0(m)["protocol"] = "ospf"
+		}, "unknown protocol"},
+		{"unknown topology", func(m map[string]interface{}) {
+			m["topology"].(map[string]interface{})["kind"] = "torus"
+		}, "unknown topology kind"},
+		{"unknown traffic model", func(m map[string]interface{}) {
+			flow0(m)["traffic"] = map[string]interface{}{"model": "poisson"}
+		}, "unknown traffic model"},
+		{"zero-rate push flow", func(m map[string]interface{}) {
+			flow0(m)["protocol"] = "push"
+			flow0(m)["traffic"] = map[string]interface{}{"model": "cbr", "rate_pps": 0, "packets": 10}
+		}, "rate_pps > 0"},
+		{"push without packet budget", func(m map[string]interface{}) {
+			flow0(m)["protocol"] = "push"
+			flow0(m)["traffic"] = map[string]interface{}{"model": "cbr", "rate_pps": 100}
+		}, "packets > 0"},
+		{"push model on pull protocol", func(m map[string]interface{}) {
+			flow0(m)["traffic"] = map[string]interface{}{"model": "cbr", "rate_pps": 100, "packets": 10}
+		}, "needs protocol push"},
+		{"file model on push protocol", func(m map[string]interface{}) {
+			flow0(m)["protocol"] = "push"
+		}, "cbr or onoff"},
+		{"onoff without durations", func(m map[string]interface{}) {
+			flow0(m)["protocol"] = "push"
+			flow0(m)["traffic"] = map[string]interface{}{"model": "onoff", "rate_pps": 100, "packets": 10}
+		}, "on_s > 0"},
+		{"zero-byte file", func(m map[string]interface{}) {
+			flow0(m)["traffic"] = map[string]interface{}{"model": "file", "bytes": 0}
+		}, "bytes > 0"},
+		{"src out of range", func(m map[string]interface{}) {
+			flow0(m)["src"] = 99
+		}, "outside topology"},
+		{"src equals dst", func(m map[string]interface{}) {
+			flow0(m)["src"] = 3
+		}, "src == dst"},
+		{"auto_pair with explicit endpoints", func(m map[string]interface{}) {
+			flow0(m)["auto_pair"] = true
+		}, "mutually exclusive"},
+		{"duplicate flow names", func(m map[string]interface{}) {
+			f := flow0(m)
+			m["flows"] = []interface{}{f, f}
+		}, "duplicate flow name"},
+		{"missing deadline", func(m map[string]interface{}) {
+			delete(m, "deadline_s")
+		}, "deadline_s"},
+		{"start past deadline", func(m map[string]interface{}) {
+			flow0(m)["start_s"] = 30.0
+		}, "past the deadline"},
+		{"stop before start", func(m map[string]interface{}) {
+			flow0(m)["protocol"] = "push"
+			flow0(m)["traffic"] = map[string]interface{}{"model": "cbr", "rate_pps": 50, "packets": 10}
+			flow0(m)["start_s"] = 5.0
+			flow0(m)["stop_s"] = 5.0
+		}, "overlapping schedule"},
+		{"stop on pull flow", func(m map[string]interface{}) {
+			flow0(m)["stop_s"] = 5.0
+		}, "push flows only"},
+		{"no flows", func(m map[string]interface{}) {
+			m["flows"] = []interface{}{}
+		}, "no flows"},
+		{"unknown state mode", func(m map[string]interface{}) {
+			m["state"] = map[string]interface{}{"mode": "psychic"}
+		}, "unknown state mode"},
+		{"unknown cc policy", func(m map[string]interface{}) {
+			m["cc"] = map[string]interface{}{"policy": "red"}
+		}, "unknown policy"},
+		{"unknown event action", func(m map[string]interface{}) {
+			m["events"] = []interface{}{map[string]interface{}{"at_s": 1, "action": "reboot"}}
+		}, "unknown action"},
+		{"degrade without drop", func(m map[string]interface{}) {
+			m["events"] = []interface{}{map[string]interface{}{"at_s": 1, "action": "degrade"}}
+		}, "drop in (0,1)"},
+		{"event past deadline", func(m map[string]interface{}) {
+			m["events"] = []interface{}{map[string]interface{}{"at_s": 50, "action": "degrade", "drop": 0.1}}
+		}, "outside [0, deadline)"},
+		{"duplicate events", func(m map[string]interface{}) {
+			e := map[string]interface{}{"at_s": 1, "action": "degrade", "drop": 0.1}
+			m["events"] = []interface{}{e, e}
+		}, "overlapping schedule"},
+		{"repeated node failure", func(m map[string]interface{}) {
+			m["events"] = []interface{}{
+				map[string]interface{}{"at_s": 1, "action": "fail_node", "node": 1},
+				map[string]interface{}{"at_s": 2, "action": "fail_node", "node": 1},
+			}
+		}, "already failed"},
+		{"fail_node out of range", func(m map[string]interface{}) {
+			m["events"] = []interface{}{map[string]interface{}{"at_s": 1, "action": "fail_node", "node": 9}}
+		}, "outside topology"},
+		{"unknown field", func(m map[string]interface{}) {
+			m["dead_line_s"] = 10
+		}, "unknown field"},
+		{"sized topology without nodes", func(m map[string]interface{}) {
+			m["topology"] = map[string]interface{}{"kind": "chain"}
+			flow0(m)["dst"] = 1
+		}, "needs nodes >= 2"},
+		{"nodes on a fixed-size topology", func(m map[string]interface{}) {
+			m["topology"] = map[string]interface{}{"kind": "testbed", "nodes": 50}
+		}, "fixed size"},
+		{"geometric knobs on a chain", func(m map[string]interface{}) {
+			m["topology"] = map[string]interface{}{"kind": "chain", "nodes": 4, "degree": 8}
+		}, "geometric topologies only"},
+		{"onoff durations on cbr", func(m map[string]interface{}) {
+			flow0(m)["protocol"] = "push"
+			flow0(m)["traffic"] = map[string]interface{}{
+				"model": "cbr", "rate_pps": 100, "packets": 10, "on_s": 5,
+			}
+		}, "cbr traffic takes no on_s/off_s"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Parse(mutate(t, c.edit))
+			if err == nil {
+				t.Fatalf("invalid spec accepted")
+			}
+			if !strings.Contains(err.Error(), c.wantErr) {
+				t.Errorf("error %q does not mention %q", err, c.wantErr)
+			}
+		})
+	}
+}
+
+// FuzzParse feeds arbitrary bytes to the loader: it must never panic, and
+// anything it accepts must survive an encode/parse round trip.
+func FuzzParse(f *testing.F) {
+	f.Add([]byte(validSpec()))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"name":"x","deadline_s":1e300,"topology":{"kind":"chain","nodes":2},"flows":[]}`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte(``))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Parse(data)
+		if err != nil {
+			return
+		}
+		enc, err := s.Encode()
+		if err != nil {
+			t.Fatalf("accepted spec failed to encode: %v", err)
+		}
+		s2, err := Parse(enc)
+		if err != nil {
+			t.Fatalf("accepted spec failed to re-parse: %v\n%s", err, enc)
+		}
+		if !reflect.DeepEqual(s, s2) {
+			t.Fatalf("round trip changed accepted spec:\nbefore %+v\nafter  %+v", s, s2)
+		}
+	})
+}

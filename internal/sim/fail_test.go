@@ -1,0 +1,65 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// chatterProto transmits broadcast frames forever and counts receptions.
+type chatterProto struct {
+	node     *Node
+	received int
+	sent     int
+}
+
+func (p *chatterProto) Init(n *Node) { p.node = n; n.Wake() }
+func (p *chatterProto) Receive(f *Frame) {
+	p.received++
+}
+func (p *chatterProto) Pull() *Frame {
+	return &Frame{To: graph.Broadcast, Bytes: 100}
+}
+func (p *chatterProto) Sent(f *Frame, ok bool) {
+	p.sent++
+	p.node.Wake()
+}
+
+// TestFailNodeSilencesAndDeafens kills one of two chattering neighbors
+// mid-run: after the failure the dead node must stop transmitting and stop
+// receiving, while the survivor keeps going.
+func TestFailNodeSilencesAndDeafens(t *testing.T) {
+	topo := graph.New(2)
+	topo.SetLink(0, 1, 1)
+	s := New(topo, DefaultConfig())
+	a, b := &chatterProto{}, &chatterProto{}
+	s.Attach(0, a)
+	s.Attach(1, b)
+	s.Run(100 * Millisecond)
+	if a.sent == 0 || b.sent == 0 || a.received == 0 || b.received == 0 {
+		t.Fatalf("no traffic before failure: %+v %+v", a, b)
+	}
+	s.FailNode(1)
+	if !s.Node(1).Failed() {
+		t.Fatal("Failed() false after FailNode")
+	}
+	bSent, bRecv := b.sent, b.received
+	s.Run(200 * Millisecond)
+	if b.sent != bSent {
+		t.Errorf("failed node kept transmitting: %d -> %d", bSent, b.sent)
+	}
+	if b.received != bRecv {
+		t.Errorf("failed node kept decoding: %d -> %d", bRecv, b.received)
+	}
+	if a.sent == 0 {
+		t.Error("survivor stopped transmitting")
+	}
+	// Waking a failed node must be a no-op, not a resurrection.
+	s.Node(1).Wake()
+	s.Run(250 * Millisecond)
+	if b.sent != bSent {
+		t.Error("Wake resurrected a failed node")
+	}
+	// Failing twice is idempotent.
+	s.FailNode(1)
+}

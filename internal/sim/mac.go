@@ -73,10 +73,37 @@ func (m *mac) recordSeen(key uint64) {
 
 // wake is called by the protocol when it has traffic.
 func (m *mac) wake() {
+	if m.node.failed {
+		return
+	}
 	m.backlogged = true
 	if m.state == macIdle {
 		m.startContention()
 	}
+}
+
+// silence abandons all MAC activity permanently (Simulator.FailNode): timers
+// are canceled, the pending frame is forgotten without a Sent callback (the
+// dead node's protocol state no longer matters), and the state machine
+// parks idle. Carrier-sense bookkeeping keeps running so the busy count
+// stays balanced with neighbors' transmissions.
+func (m *mac) silence() {
+	if m.difsTimer != nil {
+		m.difsTimer.Cancel()
+		m.difsTimer = nil
+	}
+	if m.backoffTimer != nil {
+		m.backoffTimer.Cancel()
+		m.backoffTimer = nil
+	}
+	if m.ackTimer != nil {
+		m.ackTimer.Cancel()
+		m.ackTimer = nil
+	}
+	m.cur = nil
+	m.backlogged = false
+	m.backoffArmed = false
+	m.state = macIdle
 }
 
 func (m *mac) startContention() {
@@ -175,6 +202,9 @@ func (m *mac) transmitNow() {
 
 // txFinished is called when this node's own transmission leaves the air.
 func (m *mac) txFinished(tx *transmission) {
+	if m.node.failed {
+		return // silenced mid-flight: no callbacks, no new contention
+	}
 	f := tx.frame
 	if f.isMACAck {
 		// ACK transmissions are side-band; resume whatever we were doing.
@@ -284,8 +314,8 @@ func (m *mac) deliver(tx *transmission) {
 func (m *mac) scheduleMACAck(dataTx *transmission) {
 	n := m.node
 	n.sim.After(n.sim.cfg.SIFS, func() {
-		if m.onAir > 0 {
-			return // radio busy; sender will time out and retry
+		if m.onAir > 0 || n.failed {
+			return // radio busy (or dead); sender will time out and retry
 		}
 		ack := &Frame{
 			From:     n.id,

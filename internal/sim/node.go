@@ -31,12 +31,27 @@ type Protocol interface {
 	Sent(f *Frame, ok bool)
 }
 
+// FrameSink accepts frames injected by timer-driven (push) traffic
+// sources. Pull-based protocols generate a frame only when the MAC asks, so
+// the medium backpressures them; a push source instead hands each generated
+// frame to a sink the moment its clock fires, no matter how congested the
+// path below is. The congestion layer implements FrameSink (pushed frames
+// enter its bounded queue and can overflow, exercising the tail/CHOKe drop
+// policies as designed); protocols that host push sources accept a sink via
+// their own SetPushSink hook.
+type FrameSink interface {
+	// PushFrame offers a frame for transmission with no backpressure: the
+	// sink either queues it or drops it under its own policy.
+	PushFrame(f *Frame)
+}
+
 // Node is a simulated wireless router.
 type Node struct {
-	sim   *Simulator
-	id    graph.NodeID
-	proto Protocol
-	mac   *mac
+	sim    *Simulator
+	id     graph.NodeID
+	proto  Protocol
+	mac    *mac
+	failed bool
 }
 
 func newNode(s *Simulator, id graph.NodeID) *Node {
@@ -61,8 +76,16 @@ func (n *Node) Rand() *rand.Rand { return n.sim.rng }
 func (n *Node) After(delay Time, fn func()) *Event { return n.sim.After(delay, fn) }
 
 // Wake tells the MAC the protocol has traffic; the MAC will contend for the
-// medium and eventually call Pull.
-func (n *Node) Wake() { n.mac.wake() }
+// medium and eventually call Pull. Failed nodes ignore wakes.
+func (n *Node) Wake() {
+	if n.failed {
+		return
+	}
+	n.mac.wake()
+}
+
+// Failed reports whether the node has been silenced by Simulator.FailNode.
+func (n *Node) Failed() bool { return n.failed }
 
 // Busy reports whether the node's carrier sense currently detects energy.
 func (n *Node) Busy() bool { return n.mac.busy > 0 }

@@ -341,6 +341,25 @@ func (s *Simulator) Attach(id graph.NodeID, p Protocol) {
 	p.Init(n)
 }
 
+// FailNode silences a node permanently, modelling a mid-run crash or power
+// loss: the node initiates no further transmissions (pending contention and
+// retries are abandoned) and decodes nothing it would have received. A frame
+// already on the air completes — a dying radio's last frame still lands —
+// but its MAC-level outcome is never reported to the dead node's protocol.
+// Callers that want routing to learn the loss should also remove the node's
+// links from the topology (the simulator reads delivery probabilities live;
+// precomputed carrier-sense sets keep their pre-failure reach, which only
+// matters for frames the dead node no longer sends).
+func (s *Simulator) FailNode(id graph.NodeID) {
+	n := s.nodes[id]
+	if n.failed {
+		return
+	}
+	n.failed = true
+	n.mac.silence()
+	s.tracef("node %d failed", id)
+}
+
 // Run processes events until the queue empties or the deadline passes.
 // It returns the time of the last processed event.
 func (s *Simulator) Run(until Time) Time {
@@ -485,6 +504,9 @@ func (s *Simulator) endTransmission(tx *transmission) {
 	// skipped zero-probability receivers before drawing.
 	for _, e := range s.topo.OutEdges(tx.from.id) {
 		rcv := s.nodes[e.Node]
+		if rcv.failed {
+			continue // a dead radio decodes nothing (and draws no RNG)
+		}
 		outcome := s.receptionOutcome(tx, rcv, e.P)
 		switch outcome {
 		case rxOK:

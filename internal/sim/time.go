@@ -15,7 +15,11 @@
 // workload produce bit-identical runs.
 package sim
 
-import "fmt"
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
 
 // Time is simulated time in nanoseconds since the start of the run.
 type Time int64
@@ -71,6 +75,24 @@ func (r Bitrate) String() string {
 // Counters.AirTimeByRate) marshal to readable JSON.
 func (r Bitrate) MarshalText() ([]byte, error) {
 	return []byte(r.String()), nil
+}
+
+// UnmarshalText parses the MarshalText form back, so JSON result documents
+// (scenario golden files, -json output) round-trip. Parsing is strict —
+// the whole token must be <number>Mbps — so corrupted documents fail
+// schema validation instead of decoding to a near-miss rate.
+func (r *Bitrate) UnmarshalText(text []byte) error {
+	s := string(text)
+	num, ok := strings.CutSuffix(s, "Mbps")
+	if !ok {
+		return fmt.Errorf("sim: bad bitrate %q", s)
+	}
+	v, err := strconv.ParseFloat(num, 64)
+	if err != nil || v <= 0 {
+		return fmt.Errorf("sim: bad bitrate %q", s)
+	}
+	*r = Bitrate(v)
+	return nil
 }
 
 // PLCPOverhead is the 802.11b long-preamble PLCP preamble + header time,

@@ -1,0 +1,25 @@
+package sim
+
+import "testing"
+
+// TestBitrateTextRoundTrip pins the strict text form: every rate
+// round-trips, and corrupted tokens are rejected rather than decoded to a
+// near-miss value (scenariocheck's schema validation depends on it).
+func TestBitrateTextRoundTrip(t *testing.T) {
+	for _, r := range Rates {
+		text, err := r.MarshalText()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Bitrate
+		if err := back.UnmarshalText(text); err != nil || back != r {
+			t.Errorf("round trip %v: got %v, %v", r, back, err)
+		}
+	}
+	for _, bad := range []string{"", "Mbps", "2Mbpsgarbage", "fastMbps", "2", "-1Mbps", "0Mbps"} {
+		var r Bitrate
+		if err := r.UnmarshalText([]byte(bad)); err == nil {
+			t.Errorf("bad bitrate %q accepted as %v", bad, r)
+		}
+	}
+}

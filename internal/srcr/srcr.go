@@ -66,8 +66,18 @@ type Node struct {
 	queue   []*DataMsg   // forwarding queue, drop tail
 	control []*sim.Frame // FIN/NACK control messages (prioritized)
 	sources map[flow.ID]*sourceState
-	sinks   map[flow.ID]*sinkState
-	onoe    map[graph.NodeID]*Onoe
+	// sourceOrder fixes the service order of concurrent local sources: map
+	// iteration order would leak nondeterminism into multi-flow runs.
+	sourceOrder []flow.ID
+	sinks       map[flow.ID]*sinkState
+	pushes      map[flow.ID]*pushState
+	onoe        map[graph.NodeID]*Onoe
+
+	// sink, when set (congestion layer present), receives push-generated
+	// frames with no backpressure; pushQ is the bare-mode fallback, a local
+	// drop-tail queue bounded by Config.QueueSize.
+	sink  sim.FrameSink
+	pushQ []*sim.Frame
 
 	// Counters.
 	QueueDrops int64
@@ -117,6 +127,7 @@ func NewNode(cfg Config, state flow.RoutingState) *Node {
 		state:   state,
 		sources: make(map[flow.ID]*sourceState),
 		sinks:   make(map[flow.ID]*sinkState),
+		pushes:  make(map[flow.ID]*pushState),
 		onoe:    make(map[graph.NodeID]*Onoe),
 	}
 }
@@ -152,6 +163,7 @@ func (n *Node) StartFlow(id flow.ID, dst graph.NodeID, file flow.File, onDone fu
 		Start:        n.node.Now(),
 	}
 	n.sources[id] = st
+	n.sourceOrder = append(n.sourceOrder, id)
 	n.node.Wake()
 	return nil
 }
@@ -172,6 +184,9 @@ func (n *Node) Result(id flow.ID) flow.Result {
 	if s, ok := n.sources[id]; ok {
 		return s.result
 	}
+	if s, ok := n.pushes[id]; ok {
+		return s.result
+	}
 	return flow.Result{}
 }
 
@@ -184,6 +199,11 @@ func (n *Node) SourceFinished(id flow.ID) bool {
 
 // QueueLen exposes the forwarding queue depth (for tests).
 func (n *Node) QueueLen() int { return len(n.queue) }
+
+// Backlog counts every frame this node holds but has not yet offered to
+// the MAC: forwarding queue, bare-mode push queue, and queued control.
+// The scenario executor's drain phase runs until backlogs empty.
+func (n *Node) Backlog() int { return len(n.queue) + len(n.pushQ) + len(n.control) }
 
 // Receive implements sim.Protocol.
 func (n *Node) Receive(f *sim.Frame) {
@@ -266,12 +286,18 @@ func bytesEqual(a, b []byte) bool {
 // congest.ControlReporter).
 func (n *Node) HasControl() bool { return len(n.control) > 0 }
 
-// Pull implements sim.Protocol: control messages first, then forwarding,
-// then source traffic.
+// Pull implements sim.Protocol: control messages first, then bare-mode
+// push frames (timer-generated, time-sensitive), then forwarding, then
+// backlogged source traffic.
 func (n *Node) Pull() *sim.Frame {
 	if len(n.control) > 0 {
 		fr := n.control[0]
 		n.control = n.control[1:]
+		return fr
+	}
+	if len(n.pushQ) > 0 {
+		fr := n.pushQ[0]
+		n.pushQ = n.pushQ[1:]
 		return fr
 	}
 	if len(n.queue) > 0 {
@@ -279,7 +305,8 @@ func (n *Node) Pull() *sim.Frame {
 		n.queue = n.queue[1:]
 		return n.frameFor(m)
 	}
-	for _, st := range n.sources {
+	for _, id := range n.sourceOrder {
+		st := n.sources[id]
 		if st.done || st.inFlight {
 			continue
 		}
@@ -374,7 +401,7 @@ func (n *Node) Sent(f *sim.Frame, ok bool) {
 			}
 		}
 	}
-	if len(n.queue) > 0 || len(n.control) > 0 || n.hasPendingSource() {
+	if len(n.queue) > 0 || len(n.control) > 0 || len(n.pushQ) > 0 || n.hasPendingSource() {
 		n.node.Wake()
 	}
 }
