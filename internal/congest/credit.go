@@ -62,6 +62,10 @@ type creditFlow struct {
 	batch     uint32
 	lastProbe sim.Time // last GateTimeout liveness release
 	backoff   int      // consecutive probes without news (caps the interval)
+	// fwdSig fingerprints the forwarder set the gate's grants were collected
+	// against; route repair rewriting the set mid-batch resets the probe
+	// backoff (see creditFlowFor).
+	fwdSig uint64
 }
 
 // advertised is the granter-side memory of the last grant sent per flow.
@@ -215,13 +219,39 @@ func (l *Layer) creditFlowFor(info frameInfo) *creditFlow {
 	cf, ok := c.flows[info.flow]
 	if !ok {
 		cf = &creditFlow{batch: info.batch}
+		if info.more != nil {
+			cf.fwdSig = fwdSignature(info.more)
+		}
 		c.flows[info.flow] = cf
 	}
 	if cf.batch != info.batch {
 		cf.batch = info.batch
 		cf.backoff = 0
 	}
+	if info.more != nil {
+		// Route repair can rewrite a flow's forwarder set mid-batch; the
+		// probe backoff accumulated against the old set says nothing about
+		// the new one, so drop it and re-probe within one GateTimeout.
+		// Without repair a set change implies a batch change, whose reset
+		// above makes this a no-op — legacy runs are byte-identical.
+		if sig := fwdSignature(info.more); sig != cf.fwdSig {
+			cf.fwdSig = sig
+			cf.backoff = 0
+		}
+	}
 	return cf
+}
+
+// fwdSignature fingerprints a packet's forwarder ordering (FNV-1a over the
+// node IDs, order-sensitive — the ordering is what grants are judged
+// against).
+func fwdSignature(m *core.DataMsg) uint64 {
+	h := uint64(14695981039346656037)
+	for _, e := range m.Forwarders {
+		h ^= uint64(e.Node)
+		h *= 1099511628211
+	}
+	return h
 }
 
 // creditSuppressed reports the downstream verdict: true when at least one

@@ -61,6 +61,14 @@ type Config struct {
 	// receptions of an already-decoded batch (the stopping rule's guard
 	// against a lost ACK). Zero uses the default of 8.
 	AckRedundancy int
+	// RepairInterval arms a per-source stall watchdog: a source whose
+	// current batch completes no batch for a full interval rebuilds its
+	// forwarder plan unconditionally from the current routing state, so a
+	// flow planned through a node that has since died replans instead of
+	// broadcasting into the void until the deadline. Plan refreshes
+	// otherwise happen only at batch boundaries — exactly the event a
+	// stalled flow never reaches. Zero disables repair (the default).
+	RepairInterval sim.Time
 }
 
 // DefaultConfig matches the deployed MORE parameters.
@@ -227,6 +235,9 @@ type sourceState struct {
 	// built from; a learned view ticks it as estimates drift, and the
 	// source rebuilds the plan at the next batch boundary.
 	planVersion uint64
+	// repairBatch is curBatch as of the last repair-watchdog check; an
+	// unchanged value over a full RepairInterval marks the flow stalled.
+	repairBatch int
 	// multicast is non-nil for multicast flows.
 	multicast *multicastState
 }
@@ -269,8 +280,42 @@ func (n *Node) StartFlow(id flow.ID, dst graph.NodeID, file flow.File, onDone fu
 	st.src = src
 	n.sources[id] = st
 	n.rrAdd(id)
+	if n.cfg.RepairInterval > 0 {
+		st.repairBatch = -1
+		n.scheduleRepair(st)
+	}
 	n.node.Wake()
 	return nil
+}
+
+// scheduleRepair runs the stall watchdog for one source: if a whole
+// RepairInterval passes without a batch completing, the forwarder plan is
+// rebuilt from the current routing state regardless of version — the
+// oracle ticks its version on invalidation, and a learned view may have
+// purged a dead forwarder between batch boundaries, but refreshPlan only
+// runs at boundaries a stalled flow never reaches. Multicast sources are
+// left alone (their plan spans several destinations).
+func (n *Node) scheduleRepair(st *sourceState) {
+	n.node.After(n.cfg.RepairInterval, func() {
+		if st.done {
+			return
+		}
+		if n.node.Failed() {
+			// A dead source repairs nothing; keep watching for recovery.
+			st.repairBatch = st.curBatch
+			n.scheduleRepair(st)
+			return
+		}
+		if st.curBatch == st.repairBatch && st.multicast == nil {
+			st.planVersion = n.state.Version()
+			if plan, err := routing.BuildPlan(n.state.Graph(), n.node.ID(), st.dst, n.cfg.Plan); err == nil {
+				st.fwd = fwdEntries(plan)
+			}
+			n.node.Wake()
+		}
+		st.repairBatch = st.curBatch
+		n.scheduleRepair(st)
+	})
 }
 
 // fwdEntries flattens a plan's forwarder list into packet-header entries.

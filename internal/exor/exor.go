@@ -49,6 +49,16 @@ type Config struct {
 	// map ten times per round to make the highest-priority reception
 	// state survive losses.
 	DstGossipRepeat int
+	// RepairInterval arms route repair: a source whose batch makes no
+	// progress for a full interval rebuilds its priority list from the
+	// current routing state and restarts the batch (the turn schedule is
+	// priority-list-relative, so a mid-batch list swap would corrupt every
+	// node's batch map); failed cleanup/done unicasts re-resolve their next
+	// hop instead of retrying the stale one; and a destination that keeps
+	// hearing data for a batch it already completed re-announces the
+	// completion (its DoneMsg died on a stale route). Zero disables repair
+	// (the default).
+	RepairInterval sim.Time
 }
 
 // DefaultConfig matches the paper's ExOR setup.
@@ -157,6 +167,11 @@ type exorFlow struct {
 	// learned views tick it, and the source rebuilds the priority list at
 	// the next batch boundary.
 	planVersion uint64
+	// repairBatch is batch as of the last repair-watchdog check; an
+	// unchanged value over a full RepairInterval marks the flow stalled.
+	repairBatch int
+	// reDoneAt rate-limits destination completion re-announcements.
+	reDoneAt sim.Time
 
 	// Sink-only.
 	verify    [][]byte
@@ -246,8 +261,39 @@ func (n *Node) StartFlow(id flow.ID, dst graph.NodeID, file flow.File, onDone fu
 	n.flows[id] = f
 	n.flowOrder = append(n.flowOrder, id)
 	n.loadSourceBatch(f, 0)
+	if n.cfg.RepairInterval > 0 {
+		f.repairBatch = -1
+		n.scheduleRepair(f)
+	}
 	n.startTurn(f)
 	return nil
+}
+
+// scheduleRepair runs the stall watchdog for one source flow: a batch that
+// completes nothing for a full RepairInterval is restarted over a priority
+// list rebuilt from the current routing state. Restarting (rather than
+// swapping the list mid-batch) is deliberate: batch-map entries are indices
+// into the priority list, so every participant must see the new list from a
+// clean slate. Receivers keep their payloads — a restarted batch re-merges
+// their maps and skips straight to what is still missing.
+func (n *Node) scheduleRepair(f *exorFlow) {
+	n.node.After(n.cfg.RepairInterval, func() {
+		if f.done {
+			return
+		}
+		if !n.node.Failed() && f.batch == f.repairBatch {
+			if plan, err := routing.BuildPlan(n.state.Graph(), n.node.ID(), f.dst, n.cfg.Plan); err == nil {
+				prio := append([]graph.NodeID{f.dst}, plan.Forwarders()...)
+				f.prio = append(prio, n.node.ID())
+				f.myPrio = len(f.prio) - 1
+			}
+			f.planVersion = n.state.Version()
+			n.loadSourceBatch(f, f.batch)
+			n.startTurn(f)
+		}
+		f.repairBatch = f.batch
+		n.scheduleRepair(f)
+	})
 }
 
 // loadSourceBatch resets the source's per-batch state. When the routing
@@ -445,8 +491,38 @@ func (n *Node) Receive(fr *sim.Frame) {
 	}
 }
 
+// maybeReannounce handles a repair-mode destination that keeps hearing
+// data for a batch it already completed: the sender still advertising
+// missing packets means the DoneMsg never made it back (it died on a route
+// through a node that has since failed). Re-queue the completion and gossip
+// the all-zero map again, at most once per RepairInterval.
+func (n *Node) maybeReannounce(f *exorFlow, m *DataMsg) {
+	if n.cfg.RepairInterval <= 0 || f.myPrio != 0 || !f.doneSent || m.Batch != f.batch || m.PktIdx < 0 {
+		return
+	}
+	if n.node.Now()-f.reDoneAt < n.cfg.RepairInterval {
+		return
+	}
+	behind := false
+	for _, b := range m.BMap {
+		if b != 0 {
+			behind = true
+			break
+		}
+	}
+	if !behind {
+		return
+	}
+	f.reDoneAt = n.node.Now()
+	final := f.totalBatches > 0 && f.batch == f.totalBatches-1
+	n.queueUnicast(&DoneMsg{Flow: f.id, Batch: f.batch, Final: final, Target: f.src}, f.src)
+	f.mapDirty = true
+	n.takeTurn(f)
+}
+
 func (n *Node) receiveData(m *DataMsg) {
 	f := n.flowFor(m.Flow)
+	n.maybeReannounce(f, m)
 	if f.done {
 		return
 	}
@@ -767,15 +843,26 @@ func (n *Node) Sent(fr *sim.Frame, ok bool) {
 	switch m := fr.Payload.(type) {
 	case *CleanupMsg:
 		if !ok {
-			// Retry until the batch moves on.
+			// Retry until the batch moves on. With repair on, re-resolve the
+			// next hop instead of re-queuing the frame's original one: the
+			// frame was addressed when first queued, and retrying a next hop
+			// that has since died would spin until the deadline.
 			f := n.flowFor(m.Flow)
 			if f.k > 0 && m.Batch == f.batch && f.bmap[m.PktIdx] != 0 {
-				n.unicast = append(n.unicast, fr)
+				if n.cfg.RepairInterval > 0 {
+					n.queueUnicast(m, m.Target)
+				} else {
+					n.unicast = append(n.unicast, fr)
+				}
 			}
 		}
 	case *DoneMsg:
 		if !ok {
-			n.unicast = append(n.unicast, fr)
+			if n.cfg.RepairInterval > 0 {
+				n.queueUnicast(m, m.Target)
+			} else {
+				n.unicast = append(n.unicast, fr)
+			}
 		}
 	}
 	if len(n.unicast) > 0 {

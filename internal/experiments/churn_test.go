@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/linkstate"
+	"repro/internal/sim"
+)
+
+// TestGapChurnRunMeasuresReconvergence injects one crash/recover cycle into
+// a testbed gap run with the liveness and aging knobs armed: both sides
+// must still complete, and the learned side must report both reconvergence
+// times — crash-to-purge bounded by the liveness horizon plus an aging
+// period, and recovery-to-relearn within the advertisement cadence.
+func TestGapChurnRunMeasuresReconvergence(t *testing.T) {
+	opts := DefaultOptions()
+	opts.FileBytes = 4 << 20
+	opts.Repair = 2 * sim.Second
+	opts.LinkState = linkstate.DefaultConfig()
+	opts.LinkState.MaxAge = 10 * sim.Second
+	opts.LinkState.Probe.DeadInterval = 3 * sim.Second
+	rep := GapChurnRun(TestbedTopology(), MORE, []Pair{{Src: 3, Dst: 17}}, opts, ChurnSpec{
+		Node:      7,
+		FailAt:    2 * sim.Second,
+		RecoverAt: 25 * sim.Second,
+	})
+	if rep.Learned.Completed != 1 || rep.Oracle.Completed != 1 {
+		t.Fatalf("churned transfer incomplete: oracle=%v learned=%v",
+			rep.Oracle.Completed, rep.Learned.Completed)
+	}
+	if rep.FailPurge <= 0 {
+		t.Errorf("dead origin never purged (FailPurge=%v)", rep.FailPurge)
+	}
+	if rep.RecoverRelearn <= 0 {
+		t.Errorf("reborn origin never re-learned (RecoverRelearn=%v)", rep.RecoverRelearn)
+	}
+	// The purge cannot beat the machinery's own horizons: the probe plane
+	// needs DeadInterval of silence and the database MaxAge of staleness.
+	if rep.FailPurge < opts.LinkState.Probe.DeadInterval {
+		t.Errorf("purge at %v is faster than the %v liveness horizon",
+			rep.FailPurge, opts.LinkState.Probe.DeadInterval)
+	}
+}
+
+// TestGapChurnRunWithoutAgingNeverPurges is the knobs-off control: with
+// MaxAge and DeadInterval zero, the dead origin's LSA must live forever, so
+// FailPurge reports -1 while the transfer still completes on stale state.
+func TestGapChurnRunWithoutAgingNeverPurges(t *testing.T) {
+	opts := DefaultOptions()
+	opts.FileBytes = 32 << 10
+	rep := GapChurnRun(TestbedTopology(), MORE, []Pair{{Src: 3, Dst: 17}}, opts, ChurnSpec{
+		Node:   7,
+		FailAt: 2 * sim.Second,
+	})
+	if rep.Learned.Completed != 1 {
+		t.Fatalf("transfer incomplete without aging: %+v", rep.Learned)
+	}
+	if rep.FailPurge != -1 {
+		t.Errorf("FailPurge=%v with aging disabled; stale LSAs must be immortal by default", rep.FailPurge)
+	}
+	if rep.RecoverRelearn != -1 {
+		t.Errorf("RecoverRelearn=%v though the node never recovers", rep.RecoverRelearn)
+	}
+}

@@ -162,6 +162,17 @@ type Options struct {
 	// protocol and MAC. The zero value (policy "none") installs no layer:
 	// runs are byte-identical to the pre-congestion code.
 	CC congest.Config
+	// Repair arms the protocols' route-repair watchdogs (core/exor
+	// Config.RepairInterval, srcr's FIN-stall reroute): a source stalled
+	// for this long replans from current routing state instead of spinning
+	// on a dead route. Zero (the default) disables repair; runs are
+	// byte-identical to the pre-repair code.
+	Repair sim.Time
+	// Schedule, when set, is invoked by RunDetailed after the learned
+	// warmup and just before flows start — the injection point for
+	// topology events (node crashes, link flaps) and reconvergence
+	// instrumentation in churn experiments. Ordinary runs leave it nil.
+	Schedule func(s *sim.Simulator, cp *ControlPlane, flowsStart sim.Time)
 	// MORE ablation switches.
 	PreCoding              bool
 	InnovativeOnly         bool
@@ -238,6 +249,7 @@ func (o Options) CoreConfig() core.Config {
 	cfg.PreCoding = o.PreCoding
 	cfg.InnovativeOnly = o.InnovativeOnly
 	cfg.CreditOnInnovativeOnly = o.CreditOnInnovativeOnly
+	cfg.RepairInterval = o.Repair
 	return cfg
 }
 
@@ -247,6 +259,7 @@ func (o Options) ExorConfig() exor.Config {
 	cfg.BatchSize = o.BatchSize
 	cfg.PayloadSize = o.PktSize
 	cfg.Plan = o.PlanOpts()
+	cfg.RepairInterval = o.Repair
 	return cfg
 }
 
@@ -258,6 +271,7 @@ func (o Options) SrcrConfig(autorate bool) srcr.Config {
 	cfg.PayloadSize = o.PktSize
 	cfg.Autorate = autorate
 	cfg.Reliable = true
+	cfg.RepairInterval = o.Repair
 	return cfg
 }
 
@@ -564,6 +578,9 @@ func RunDetailed(topo *graph.Topology, proto Protocol, pairs []Pair, opts Option
 		}
 		conv := cp.Warmup(s, topo, opts)
 		deadline := s.Now() + opts.Deadline
+		if opts.Schedule != nil {
+			opts.Schedule(s, cp, s.Now())
+		}
 		for i, p := range pairs {
 			i, p := i, p
 			f := opts.file(opts.Seed + int64(i))
@@ -586,6 +603,9 @@ func RunDetailed(topo *graph.Topology, proto Protocol, pairs []Pair, opts Option
 		}
 		conv := cp.Warmup(s, topo, opts)
 		deadline := s.Now() + opts.Deadline
+		if opts.Schedule != nil {
+			opts.Schedule(s, cp, s.Now())
+		}
 		for i, p := range pairs {
 			i, p := i, p
 			f := opts.file(opts.Seed + int64(i))
@@ -608,6 +628,9 @@ func RunDetailed(topo *graph.Topology, proto Protocol, pairs []Pair, opts Option
 		}
 		conv := cp.Warmup(s, topo, opts)
 		deadline := s.Now() + opts.Deadline
+		if opts.Schedule != nil {
+			opts.Schedule(s, cp, s.Now())
+		}
 		for i, p := range pairs {
 			i, p := i, p
 			f := opts.file(opts.Seed + int64(i))

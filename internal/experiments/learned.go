@@ -116,6 +116,148 @@ func GapRun(topo *graph.Topology, proto Protocol, pairs []Pair, opts Options) Ga
 	return rep
 }
 
+// ChurnSpec injects one crash/recover cycle into both sides of a churn gap
+// run. Times are measured from flow start (after any learned warmup).
+type ChurnSpec struct {
+	// Node crashes at FailAt and — when RecoverAt > FailAt — comes back at
+	// RecoverAt. It should relay, not source or sink, the measured flows.
+	Node      graph.NodeID
+	FailAt    sim.Time
+	RecoverAt sim.Time // <= FailAt: the node never comes back
+	// Poll is the reconvergence sampling period (default 100 ms).
+	Poll sim.Time
+}
+
+// ChurnReport extends GapReport with the learned control plane's
+// post-event reconvergence times — how long the liveness and aging
+// machinery (probe.Config.DeadInterval, linkstate.Config.MaxAge) takes to
+// react to each half of the churn cycle.
+type ChurnReport struct {
+	GapReport
+	// FailPurge is crash -> every live agent has dropped the dead origin's
+	// LSA from its database (-1: not within the run, or liveness/aging are
+	// disabled and the stale LSA lives forever).
+	FailPurge sim.Time
+	// RecoverRelearn is recovery -> every agent holds the reborn origin's
+	// LSA again (-1: not within the run, or the node never recovers).
+	RecoverRelearn sim.Time
+}
+
+// GapChurnRun is GapRun with a crash/recover cycle injected into both
+// sides: the ground truth flips underneath the protocols (topology
+// mutation + node silencing + oracle invalidation), and the learned side
+// additionally measures how long the measurement plane takes to purge the
+// dead origin and to re-learn it after recovery. Each side runs on its own
+// topology clone, so churn in one cannot leak into the other.
+func GapChurnRun(topo *graph.Topology, proto Protocol, pairs []Pair, opts Options, churn ChurnSpec) ChurnReport {
+	poll := churn.Poll
+	if poll <= 0 {
+		poll = 100 * sim.Millisecond
+	}
+	rep := ChurnReport{FailPurge: -1, RecoverRelearn: -1}
+
+	schedule := func(t *graph.Topology, measure bool) func(*sim.Simulator, *ControlPlane, sim.Time) {
+		return func(s *sim.Simulator, cp *ControlPlane, start sim.Time) {
+			s.After(churn.FailAt, func() {
+				t.Isolate(churn.Node)
+				s.FailNode(churn.Node)
+				if o := cp.Oracle(); o != nil {
+					o.Invalidate()
+				}
+				if !measure {
+					return
+				}
+				failedAt := s.Now()
+				var watch func()
+				watch = func() {
+					if purgedFromAll(cp, churn.Node) {
+						rep.FailPurge = s.Now() - failedAt
+						return
+					}
+					s.After(poll, watch)
+				}
+				s.After(poll, watch)
+			})
+			if churn.RecoverAt <= churn.FailAt {
+				return
+			}
+			s.After(churn.RecoverAt, func() {
+				t.Restore(churn.Node)
+				s.RecoverNode(churn.Node)
+				if o := cp.Oracle(); o != nil {
+					o.Invalidate()
+				}
+				if !measure {
+					return
+				}
+				recoveredAt := s.Now()
+				var watch func()
+				watch = func() {
+					if knownToAll(cp, churn.Node) {
+						rep.RecoverRelearn = s.Now() - recoveredAt
+						return
+					}
+					s.After(poll, watch)
+				}
+				s.After(poll, watch)
+			})
+		}
+	}
+
+	oTopo, lTopo := topo.Clone(), topo.Clone()
+	oOpts := opts
+	oOpts.State = StateOracle
+	oOpts.Schedule = schedule(oTopo, false)
+	lOpts := opts
+	lOpts.State = StateLearned
+	lOpts.Schedule = schedule(lTopo, true)
+
+	oracle := RunDetailed(oTopo, proto, pairs, oOpts)
+	learned := RunDetailed(lTopo, proto, pairs, lOpts)
+
+	rep.GapReport = GapReport{
+		Protocol:    proto,
+		Flows:       len(pairs),
+		Oracle:      summarize(oracle),
+		Learned:     summarize(learned),
+		Convergence: learned.Convergence,
+		ProbeTx:     learned.ProbeTx,
+		FloodTx:     learned.FloodTx,
+	}
+	if rep.Oracle.Throughput > 0 {
+		rep.ThroughputRatio = rep.Learned.Throughput / rep.Oracle.Throughput
+	}
+	if rep.Oracle.TxPerPacket > 0 && !math.IsNaN(rep.Learned.TxPerPacket) {
+		rep.TxPerPacketRatio = rep.Learned.TxPerPacket / rep.Oracle.TxPerPacket
+		rep.DataTxPerPacketRatio = rep.Learned.DataTxPerPacket / rep.Oracle.TxPerPacket
+	}
+	return rep
+}
+
+// purgedFromAll reports whether every agent other than the dead origin's
+// own has dropped origin's LSA.
+func purgedFromAll(cp *ControlPlane, origin graph.NodeID) bool {
+	for i, a := range cp.agents {
+		if graph.NodeID(i) == origin {
+			continue // a node's own entry never expires
+		}
+		if a.Knows(origin) {
+			return false
+		}
+	}
+	return true
+}
+
+// knownToAll reports whether every agent holds origin's LSA.
+func knownToAll(cp *ControlPlane, origin graph.NodeID) bool {
+	for _, a := range cp.agents {
+		if !a.Knows(origin) {
+			return false
+		}
+	}
+	return true
+}
+
 // GapSweepConfig parameterizes the gap sweep over measurement-plane knobs.
 type GapSweepConfig struct {
 	// Windows lists probe window sizes (probes averaged per estimate);

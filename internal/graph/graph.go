@@ -83,7 +83,17 @@ type Topology struct {
 	// build it; every build yields identical contents, so whichever lands
 	// is correct. Mutators clear it.
 	idx atomic.Pointer[adjacency]
+
+	// severed remembers the delivery probability of each directed link
+	// removed by FailLink/Isolate so RestoreLink/Restore can put it back.
+	// down marks nodes currently isolated, so restoring one endpoint of a
+	// link never resurrects a link into a still-dead node.
+	severed map[linkKey]float64
+	down    map[NodeID]bool
 }
+
+// linkKey identifies one directed link a -> b in the severed-link record.
+type linkKey struct{ a, b NodeID }
 
 // New creates an empty dense topology with n nodes at the origin and zero
 // connectivity.
@@ -271,47 +281,127 @@ func (t *Topology) Degrade(drop float64) {
 	t.idx.Store(nil)
 }
 
+// sever zeroes the directed link a -> b, remembering its prior delivery
+// probability. The first removal wins: severing an already-severed link
+// must not overwrite the saved value with zero.
+func (t *Topology) sever(a, b NodeID) {
+	p := t.Prob(a, b)
+	if p <= 0 {
+		return
+	}
+	if t.severed == nil {
+		t.severed = make(map[linkKey]float64)
+	}
+	if _, dup := t.severed[linkKey{a, b}]; !dup {
+		t.severed[linkKey{a, b}] = p
+	}
+	t.SetDirected(a, b, 0)
+}
+
+// unsever restores a previously severed a -> b link at its saved delivery
+// probability, unless either endpoint is still isolated (the link comes
+// back when the last dead endpoint does).
+func (t *Topology) unsever(a, b NodeID) {
+	p, ok := t.severed[linkKey{a, b}]
+	if !ok || t.down[a] || t.down[b] {
+		return
+	}
+	delete(t.severed, linkKey{a, b})
+	t.SetDirected(a, b, p)
+}
+
+// FailLink removes the link between a and b in both directions, remembering
+// the delivery probabilities so RestoreLink can undo it. Failing an absent
+// or already-failed link is a no-op.
+func (t *Topology) FailLink(a, b NodeID) {
+	t.sever(a, b)
+	t.sever(b, a)
+}
+
+// RestoreLink undoes FailLink: the link between a and b comes back at its
+// pre-failure delivery probabilities (any Degrade applied while the link
+// was down does not retroactively apply to it). Restoring a link that was
+// never failed is a no-op.
+func (t *Topology) RestoreLink(a, b NodeID) {
+	t.unsever(a, b)
+	t.unsever(b, a)
+}
+
 // Isolate removes every link into and out of node id, modelling a node
 // failure: the ground truth after a crash is that the radio is gone.
 // Callers running a live simulation should pair this with
 // sim.Simulator.FailNode, which silences the node itself (the simulator
 // reads link probabilities live, so deliveries stop with the links).
+// Restore undoes it.
 func (t *Topology) Isolate(id NodeID) {
-	if t.P != nil {
-		for j := range t.P[id] {
-			t.P[id][j] = 0
-			t.P[j][id] = 0
-		}
-		t.idx.Store(nil)
-		return
+	// Collect both edge sets before mutating: OutEdges/InEdges may read the
+	// derived index the severing invalidates.
+	var out, in []NodeID
+	for _, e := range t.OutEdges(id) {
+		out = append(out, e.Node)
 	}
-	// Collect the in-neighbors before mutating: InEdges reads the derived
-	// index this loop invalidates.
-	var in []NodeID
 	for _, e := range t.InEdges(id) {
 		in = append(in, e.Node)
 	}
-	t.out[id] = nil
-	for _, j := range in {
-		t.SetDirected(j, id, 0)
+	for _, j := range out {
+		t.sever(id, j)
 	}
-	t.idx.Store(nil)
+	for _, j := range in {
+		t.sever(j, id)
+	}
+	if t.down == nil {
+		t.down = make(map[NodeID]bool)
+	}
+	t.down[id] = true
 }
 
-// Clone returns a deep copy (same storage flavour).
+// Restore undoes Isolate: node id's links come back at their pre-failure
+// delivery probabilities. Links whose other endpoint is itself still
+// isolated stay down until that endpoint is restored too. Callers running
+// a live simulation should pair this with sim.Simulator.RecoverNode, which
+// revives the silenced radio. Restoring a node that was never isolated is
+// a no-op.
+func (t *Topology) Restore(id NodeID) {
+	if !t.down[id] {
+		return
+	}
+	delete(t.down, id)
+	for k := range t.severed {
+		if k.a == id || k.b == id {
+			t.unsever(k.a, k.b)
+		}
+	}
+}
+
+// Clone returns a deep copy (same storage flavour), including any pending
+// failure state (severed links, down nodes), so a clone of a mid-churn
+// topology restores exactly like the original would.
 func (t *Topology) Clone() *Topology {
+	var c *Topology
 	if t.P != nil {
-		c := New(t.N())
+		c = New(t.N())
 		copy(c.Pos, t.Pos)
 		for i := range t.P {
 			copy(c.P[i], t.P[i])
 		}
-		return c
+	} else {
+		c = NewSparse(t.N())
+		copy(c.Pos, t.Pos)
+		for i := range t.out {
+			c.out[i] = append([]Edge(nil), t.out[i]...)
+		}
 	}
-	c := NewSparse(t.N())
-	copy(c.Pos, t.Pos)
-	for i := range t.out {
-		c.out[i] = append([]Edge(nil), t.out[i]...)
+	if t.severed != nil {
+		c.severed = make(map[linkKey]float64, len(t.severed))
+		for k, v := range t.severed {
+			c.severed[k] = v
+		}
+	}
+	if t.down != nil {
+		c.down = make(map[NodeID]bool, len(t.down))
+		for k, v := range t.down {
+			c.down[k] = v
+		}
 	}
 	return c
 }

@@ -47,6 +47,17 @@ type Config struct {
 	// joined listeners and lost floods eventually heal. Zero defaults to
 	// 6×AdvertiseInterval when damping is on.
 	MaxQuiet sim.Time
+
+	// MaxAge enables LSA aging: a database entry not refreshed for MaxAge
+	// is purged (except the node's own), so a crashed origin's links drop
+	// out of every learned view instead of persisting forever. The purged
+	// origin's sequence state is kept, so a stale replayed flood cannot
+	// resurrect the entry — only the origin itself, whose sequence keeps
+	// advancing, re-installs it when it comes back. MaxAge must exceed
+	// both AdvertiseInterval and MaxQuiet or live-but-quiet nodes expire;
+	// NewAgent caps MaxQuiet at MaxAge/2 when both are set. Zero disables
+	// aging (the pre-churn behavior, and the default).
+	MaxAge sim.Time
 }
 
 // DefaultConfig returns a Roofnet-like setup.
@@ -71,6 +82,9 @@ type Agent struct {
 	pendingFwd []*packet.LSA // LSAs to rebroadcast
 	latestSeq  map[graph.NodeID]uint32
 	db         map[graph.NodeID]*packet.LSA
+	// receivedAt[origin] is when origin's current database entry was
+	// installed (aging input for MaxAge).
+	receivedAt map[graph.NodeID]sim.Time
 
 	// Damping state: the estimates as last flooded, and when.
 	lastAdv    map[graph.NodeID]float64
@@ -80,6 +94,9 @@ type Agent struct {
 	// SuppressedAdv counts advertise ticks damped away (estimates within
 	// TriggerDelta of the last flood).
 	SuppressedAdv int64
+
+	// ExpiredLSAs counts database entries purged by MaxAge aging.
+	ExpiredLSAs int64
 
 	// version counts LSA database changes; View uses it to decide when a
 	// cached topology and its route tables are stale.
@@ -97,13 +114,17 @@ func NewAgent(cfg Config, n int) *Agent {
 	if cfg.TriggerDelta > 0 && cfg.MaxQuiet == 0 {
 		cfg.MaxQuiet = 6 * cfg.AdvertiseInterval
 	}
+	if cfg.MaxAge > 0 && cfg.MaxQuiet >= cfg.MaxAge {
+		cfg.MaxQuiet = cfg.MaxAge / 2 // a damped-quiet live node must not expire
+	}
 	return &Agent{
-		cfg:       cfg,
-		n:         n,
-		prober:    probe.NewProber(cfg.Probe),
-		latestSeq: make(map[graph.NodeID]uint32),
-		db:        make(map[graph.NodeID]*packet.LSA),
-		lastAdv:   make(map[graph.NodeID]float64),
+		cfg:        cfg,
+		n:          n,
+		prober:     probe.NewProber(cfg.Probe),
+		latestSeq:  make(map[graph.NodeID]uint32),
+		db:         make(map[graph.NodeID]*packet.LSA),
+		receivedAt: make(map[graph.NodeID]sim.Time),
+		lastAdv:    make(map[graph.NodeID]float64),
 	}
 }
 
@@ -112,6 +133,40 @@ func (a *Agent) Init(node *sim.Node) {
 	a.node = node
 	a.prober.Init(node)
 	a.scheduleAdvertise()
+	if a.cfg.MaxAge > 0 {
+		a.scheduleExpiry()
+	}
+}
+
+// scheduleExpiry runs the aging sweep at a quarter of MaxAge, bounding how
+// long past its horizon a dead entry can linger. The timer exists only when
+// aging is enabled, so the default configuration's event stream (and every
+// pinned golden) is untouched.
+func (a *Agent) scheduleExpiry() {
+	period := a.cfg.MaxAge / 4
+	if period <= 0 {
+		period = sim.Time(1)
+	}
+	a.node.After(period, func() {
+		a.expire()
+		a.scheduleExpiry()
+	})
+}
+
+// expire purges database entries older than MaxAge. The node's own entry
+// never expires (its refresh may be damped for up to MaxQuiet); sequence
+// state survives the purge so only a genuinely fresher flood — the reborn
+// origin's own, whose sequence kept advancing — re-installs an origin.
+func (a *Agent) expire() {
+	for origin, at := range a.receivedAt {
+		if origin == a.node.ID() || a.node.Now()-at < a.cfg.MaxAge {
+			continue
+		}
+		delete(a.db, origin)
+		delete(a.receivedAt, origin)
+		a.ExpiredLSAs++
+		a.version++
+	}
 }
 
 func (a *Agent) scheduleAdvertise() {
@@ -165,6 +220,12 @@ func (a *Agent) advertise() {
 		a.advertised = true
 	}
 	a.accept(lsa)
+	if a.node.Failed() {
+		// A dead radio cannot drain its queue; keep only the newest own LSA
+		// so arbitrarily long outages do not grow the backlog. On recovery
+		// the single queued advertisement re-announces the node.
+		a.pendingAdv = a.pendingAdv[:0]
+	}
 	a.pendingAdv = append(a.pendingAdv, lsa)
 	a.node.Wake()
 }
@@ -198,6 +259,9 @@ func (a *Agent) accept(l *packet.LSA) bool {
 	}
 	a.latestSeq[l.Origin] = l.Seq
 	a.db[l.Origin] = l
+	if a.node != nil { // tests drive accept without a simulated node
+		a.receivedAt[l.Origin] = a.node.Now()
+	}
 	a.version++
 	return true
 }
@@ -262,6 +326,14 @@ func (a *Agent) Sent(f *sim.Frame, ok bool) {
 // KnownOrigins returns how many nodes' LSAs this agent holds (including
 // its own).
 func (a *Agent) KnownOrigins() int { return len(a.db) }
+
+// Knows reports whether this agent currently holds an LSA from origin —
+// false once aging has purged a dead origin, true again after its reborn
+// flood lands. Reconvergence measurements poll it.
+func (a *Agent) Knows(origin graph.NodeID) bool {
+	_, ok := a.db[origin]
+	return ok
+}
 
 // Topology reconstructs this node's local view of the loss-annotated
 // network graph from its LSA database. Unknown links are 0.

@@ -34,6 +34,13 @@ type Config struct {
 	// PadToBytes pads probes to this on-air size so the measured loss
 	// matches data-frame loss (0 sends minimal probes).
 	PadToBytes int
+	// DeadInterval, when positive, declares a neighbor dead after this much
+	// probe silence: DeliveryFrom reports 0 for an origin not heard from in
+	// DeadInterval, so a crashed neighbor's stale window contents cannot
+	// keep its link alive in the learned view. A reborn neighbor's first
+	// probe revives the estimate. Zero keeps the estimator purely
+	// window-based (the original De Couto behavior, and the default).
+	DeadInterval sim.Time
 }
 
 // DefaultConfig matches a Roofnet-like prober.
@@ -59,6 +66,9 @@ type Prober struct {
 	received map[graph.NodeID][]uint32
 	// lastSeq[origin] is the highest sequence seen from origin.
 	lastSeq map[graph.NodeID]uint32
+	// lastHeard[origin] is when origin's latest probe arrived (liveness
+	// input for DeadInterval).
+	lastHeard map[graph.NodeID]sim.Time
 
 	// ProbeTx counts probe broadcasts sent (measurement-plane overhead
 	// accounting for the learned-vs-oracle gap experiments).
@@ -74,9 +84,10 @@ func NewProber(cfg Config) *Prober {
 		cfg.Window = 10
 	}
 	return &Prober{
-		cfg:      cfg,
-		received: make(map[graph.NodeID][]uint32),
-		lastSeq:  make(map[graph.NodeID]uint32),
+		cfg:       cfg,
+		received:  make(map[graph.NodeID][]uint32),
+		lastSeq:   make(map[graph.NodeID]uint32),
+		lastHeard: make(map[graph.NodeID]sim.Time),
 	}
 }
 
@@ -92,8 +103,12 @@ func (p *Prober) scheduleNext() {
 		d += sim.Time(p.node.Rand().Int63n(int64(2*p.cfg.Jitter))) - p.cfg.Jitter
 	}
 	p.node.After(d, func() {
-		p.pending++
-		p.node.Wake()
+		// A failed radio generates no probes (its clock keeps running, so a
+		// recovered node resumes on the next tick without a backlog burst).
+		if !p.node.Failed() {
+			p.pending++
+			p.node.Wake()
+		}
 		p.scheduleNext()
 	})
 }
@@ -105,6 +120,7 @@ func (p *Prober) Receive(f *sim.Frame) {
 		return
 	}
 	p.received[m.Origin] = append(p.received[m.Origin], m.Seq)
+	p.lastHeard[m.Origin] = p.node.Now()
 	if m.Seq > p.lastSeq[m.Origin] {
 		p.lastSeq[m.Origin] = m.Seq
 	}
@@ -151,6 +167,11 @@ func (p *Prober) DeliveryFrom(origin graph.NodeID) float64 {
 	last, ok := p.lastSeq[origin]
 	if !ok || last == 0 {
 		return 0
+	}
+	if p.cfg.DeadInterval > 0 {
+		if t, heard := p.lastHeard[origin]; !heard || p.node.Now()-t >= p.cfg.DeadInterval {
+			return 0 // silent past the liveness horizon: the link is down
+		}
 	}
 	window := uint32(p.cfg.Window)
 	if last < window {

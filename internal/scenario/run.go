@@ -115,6 +115,7 @@ func Run(spec *Spec) (*Result, error) {
 		file flow.File
 	}
 	runs := make([]flowRun, len(spec.Flows))
+	byName := make(map[string]flowRun, len(spec.Flows))
 	auto := 0
 	for i := range spec.Flows {
 		f := &spec.Flows[i]
@@ -129,6 +130,7 @@ func Run(spec *Spec) (*Result, error) {
 		}
 		fr.file = flow.NewFile(bytes, spec.PktSize, spec.Seed+int64(i))
 		runs[i] = fr
+		byName[f.Name] = fr
 
 		// Destination-side expectation wiring (protocol-specific callback
 		// placement mirrors experiments.RunDetailed).
@@ -175,13 +177,15 @@ func Run(spec *Spec) (*Result, error) {
 		})
 	}
 
-	// The event schedule mutates the live topology. The simulator reads
-	// delivery probabilities live, so the channel changes instantly;
-	// carrier-sense sets keep their pre-event reach (energy detection
-	// outlives decodability). The oracle, whose contract is "everyone
-	// instantly knows the truth", is invalidated so plans rebuild; learned
-	// state finds out the hard way, through probes and LSAs.
-	for _, e := range spec.sortedEvents() {
+	// The event schedule (declared events plus any expanded churn block)
+	// mutates the live topology. The simulator reads delivery probabilities
+	// live, so the channel changes instantly; carrier-sense sets keep their
+	// pre-event reach (energy detection outlives decodability). The oracle,
+	// whose contract is "everyone instantly knows the truth", is invalidated
+	// after every topology mutation so plans rebuild; learned state finds
+	// out the hard way, through probes and LSAs. set_rate mutates traffic,
+	// not topology, so it leaves the oracle alone.
+	for _, e := range spec.allEvents() {
 		e := e
 		s.After(at(e.AtS), func() {
 			switch e.Action {
@@ -190,6 +194,17 @@ func Run(spec *Spec) (*Result, error) {
 			case ActionFailNode:
 				topo.Isolate(graph.NodeID(e.Node))
 				s.FailNode(graph.NodeID(e.Node))
+			case ActionRecoverNode:
+				topo.Restore(graph.NodeID(e.Node))
+				s.RecoverNode(graph.NodeID(e.Node))
+			case ActionFailLink:
+				topo.FailLink(graph.NodeID(e.A), graph.NodeID(e.B))
+			case ActionRestoreLink:
+				topo.RestoreLink(graph.NodeID(e.A), graph.NodeID(e.B))
+			case ActionSetRate:
+				fr := byName[e.Flow]
+				srcrNodes[fr.src].SetPushRate(fr.id, e.RatePPS)
+				return
 			}
 			if o := cp.Oracle(); o != nil {
 				o.Invalidate()

@@ -20,6 +20,7 @@ package scenario
 
 import (
 	"fmt"
+	"math/rand"
 	"sort"
 
 	"repro/internal/congest"
@@ -51,10 +52,17 @@ type Spec struct {
 	Batch int `json:"batch,omitempty"`
 	// PktSize is the packet payload size in bytes (default 1500).
 	PktSize int `json:"pkt_size,omitempty"`
+	// RepairS arms the protocols' route-repair watchdogs: a source stalled
+	// this long (seconds) replans from current routing state instead of
+	// spinning on a dead route. 0 (the default) disables repair.
+	RepairS float64 `json:"repair_s,omitempty"`
 	// Flows is the traffic matrix; at least one flow is required.
 	Flows []FlowSpec `json:"flows"`
 	// Events is the scenario schedule: topology mutations at fixed times.
 	Events []EventSpec `json:"events,omitempty"`
+	// Churn generates a deterministic crash/recover schedule on top of
+	// Events — the declarative form of "N random fail/recover cycles".
+	Churn *ChurnSpec `json:"churn,omitempty"`
 }
 
 // TopologySpec selects and parameterizes a topology generator.
@@ -86,6 +94,12 @@ type StateSpec struct {
 	AdvertiseS float64 `json:"advertise_s,omitempty"`
 	// Damp is the triggered-update delta (0 disables damping).
 	Damp float64 `json:"damp,omitempty"`
+	// DeadIntervalS declares a neighbor dead after this much probe silence
+	// (seconds; learned only, 0 keeps the purely window-based estimator).
+	DeadIntervalS float64 `json:"dead_interval_s,omitempty"`
+	// MaxAgeS expires LSAs not refreshed within this long (seconds; learned
+	// only, 0 keeps databases immortal).
+	MaxAgeS float64 `json:"max_age_s,omitempty"`
 }
 
 // CCSpec configures the congestion layer.
@@ -136,23 +150,60 @@ type TrafficSpec struct {
 	OffS float64 `json:"off_s,omitempty"`
 }
 
-// EventSpec is one scheduled topology mutation.
+// EventSpec is one scheduled topology mutation (or, for set_rate, a
+// traffic mutation).
 type EventSpec struct {
 	// AtS is the event time, seconds after the traffic epoch.
 	AtS float64 `json:"at_s"`
-	// Action is degrade or fail_node.
+	// Action is degrade, fail_node, recover_node, fail_link, restore_link,
+	// or set_rate.
 	Action string `json:"action"`
 	// Drop is the uniform extra drop rate a degrade event layers on.
 	Drop float64 `json:"drop,omitempty"`
-	// Node is the node a fail_node event kills.
+	// Node is the node a fail_node event kills or a recover_node event
+	// revives.
 	Node int `json:"node,omitempty"`
+	// A and B are the endpoints a fail_link/restore_link event flaps.
+	A int `json:"a,omitempty"`
+	B int `json:"b,omitempty"`
+	// Flow names the push cbr flow a set_rate event retargets.
+	Flow string `json:"flow,omitempty"`
+	// RatePPS is the new generation rate a set_rate event installs.
+	RatePPS float64 `json:"rate_pps,omitempty"`
+}
+
+// ChurnSpec generates a deterministic crash/recover schedule over a node
+// range: Events cycles, each failing a distinct node for DownS seconds at a
+// time drawn uniformly from [StartS, EndS). Distinct nodes keep cycles
+// non-overlapping by construction; nodes that source or sink a flow are
+// excluded from the draw (so churn cannot silently kill a workload), which
+// is also why churn and auto_pair flows are mutually exclusive — the draw
+// must know every endpoint at validation time.
+type ChurnSpec struct {
+	// NodeLo and NodeHi bound the candidate node range (inclusive).
+	NodeLo int `json:"node_lo"`
+	NodeHi int `json:"node_hi"`
+	// Events is the number of crash/recover cycles to generate.
+	Events int `json:"events"`
+	// DownS is how long each churned node stays down (seconds).
+	DownS float64 `json:"down_s"`
+	// StartS and EndS bound the window crash times are drawn from; every
+	// recovery (crash + DownS) must land before the deadline.
+	StartS float64 `json:"start_s"`
+	EndS   float64 `json:"end_s"`
+	// Seed drives the draw (0: the spec seed).
+	Seed int64 `json:"seed,omitempty"`
 }
 
 // Known spec vocabulary.
 const (
-	ActionDegrade  = "degrade"
-	ActionFailNode = "fail_node"
-	ProtoPush      = "push"
+	ActionDegrade     = "degrade"
+	ActionFailNode    = "fail_node"
+	ActionRecoverNode = "recover_node"
+	ActionFailLink    = "fail_link"
+	ActionRestoreLink = "restore_link"
+	ActionSetRate     = "set_rate"
+	ProtoPush         = "push"
 )
 
 // normalize fills defaulted fields in place so an encoded spec is explicit
@@ -274,8 +325,12 @@ func (s *Spec) Validate() error {
 	default:
 		return fmt.Errorf("scenario %s: unknown state mode %q (want oracle or learned)", s.Name, s.State.Mode)
 	}
-	if s.State.Window < 0 || s.State.AdvertiseS < 0 || s.State.Damp < 0 {
+	if s.State.Window < 0 || s.State.AdvertiseS < 0 || s.State.Damp < 0 ||
+		s.State.DeadIntervalS < 0 || s.State.MaxAgeS < 0 {
 		return fmt.Errorf("scenario %s: state knobs must be non-negative", s.Name)
+	}
+	if s.RepairS < 0 {
+		return fmt.Errorf("scenario %s: repair_s must be >= 0 (got %v)", s.Name, s.RepairS)
 	}
 	if _, err := congest.ParsePolicy(s.CC.Policy); err != nil {
 		return fmt.Errorf("scenario %s: %v", s.Name, err)
@@ -298,7 +353,92 @@ func (s *Spec) Validate() error {
 			return err
 		}
 	}
+	if err := s.validateChurn(n); err != nil {
+		return err
+	}
 	return s.validateEvents(n)
+}
+
+// validateChurn checks the churn block's parameters; the expanded schedule
+// itself is re-checked by validateEvents, which sees declared and generated
+// events merged in firing order.
+func (s *Spec) validateChurn(n int) error {
+	c := s.Churn
+	if c == nil {
+		return nil
+	}
+	if c.NodeLo < 0 || c.NodeHi >= n || c.NodeLo > c.NodeHi {
+		return fmt.Errorf("scenario %s: churn node range [%d, %d] outside topology of %d nodes",
+			s.Name, c.NodeLo, c.NodeHi, n)
+	}
+	if c.Events < 1 {
+		return fmt.Errorf("scenario %s: churn needs events >= 1 (got %d)", s.Name, c.Events)
+	}
+	if c.DownS <= 0 {
+		return fmt.Errorf("scenario %s: churn needs down_s > 0 (got %v)", s.Name, c.DownS)
+	}
+	if c.StartS < 0 || c.EndS <= c.StartS {
+		return fmt.Errorf("scenario %s: churn window [%v, %v) is empty or negative", s.Name, c.StartS, c.EndS)
+	}
+	if c.EndS+c.DownS >= s.DeadlineS {
+		return fmt.Errorf("scenario %s: churn recoveries (end_s %v + down_s %v) must land before the deadline %v",
+			s.Name, c.EndS, c.DownS, s.DeadlineS)
+	}
+	used := map[int]bool{}
+	for _, f := range s.Flows {
+		if f.AutoPair {
+			return fmt.Errorf("scenario %s: churn and auto_pair flows are mutually exclusive (the churn draw must know every flow endpoint)", s.Name)
+		}
+		used[f.Src] = true
+		used[f.Dst] = true
+	}
+	candidates := 0
+	for id := c.NodeLo; id <= c.NodeHi; id++ {
+		if !used[id] {
+			candidates++
+		}
+	}
+	if c.Events > candidates {
+		return fmt.Errorf("scenario %s: churn wants %d events but only %d candidate nodes are free of flow endpoints",
+			s.Name, c.Events, candidates)
+	}
+	return nil
+}
+
+// churnEvents deterministically expands the churn block into fail/recover
+// event pairs. Each cycle hits a distinct node, so cycles never overlap and
+// the fail->recover alternation holds by construction.
+func (s *Spec) churnEvents() []EventSpec {
+	c := s.Churn
+	if c == nil {
+		return nil
+	}
+	seed := c.Seed
+	if seed == 0 {
+		seed = s.Seed
+	}
+	rng := rand.New(rand.NewSource(seed))
+	used := map[int]bool{}
+	for _, f := range s.Flows {
+		used[f.Src] = true
+		used[f.Dst] = true
+	}
+	var candidates []int
+	for id := c.NodeLo; id <= c.NodeHi; id++ {
+		if !used[id] {
+			candidates = append(candidates, id)
+		}
+	}
+	perm := rng.Perm(len(candidates))
+	evs := make([]EventSpec, 0, 2*c.Events)
+	for i := 0; i < c.Events && i < len(candidates); i++ {
+		node := candidates[perm[i]]
+		at := c.StartS + rng.Float64()*(c.EndS-c.StartS)
+		evs = append(evs,
+			EventSpec{AtS: at, Action: ActionFailNode, Node: node},
+			EventSpec{AtS: at + c.DownS, Action: ActionRecoverNode, Node: node})
+	}
+	return evs
 }
 
 func (s *Spec) validateFlow(f *FlowSpec, n int, names map[string]bool) error {
@@ -379,44 +519,116 @@ func (s *Spec) validateFlow(f *FlowSpec, n int, names map[string]bool) error {
 	return nil
 }
 
+// validateEvents walks the full schedule — declared events plus the
+// expanded churn block — in firing order, so fail/recover and
+// fail/restore alternation is checked against the state each event
+// actually finds, not the order events were written in.
 func (s *Spec) validateEvents(n int) error {
+	pushCBR := map[string]bool{}
+	for _, f := range s.Flows {
+		if f.Protocol == ProtoPush && f.Traffic.Model == "cbr" {
+			pushCBR[f.Name] = true
+		}
+	}
 	failed := map[int]bool{}
+	linkDown := map[[2]int]bool{}
 	type evKey struct {
 		at     float64
 		action string
 		node   int
+		a, b   int
+		flow   string
 	}
 	seen := map[evKey]bool{}
-	for i, e := range s.Events {
+	for i, e := range s.allEvents() {
 		where := func(format string, args ...interface{}) error {
 			return fmt.Errorf("scenario %s: event %d (%s at %vs): %s", s.Name, i, e.Action, e.AtS, fmt.Sprintf(format, args...))
 		}
 		if e.AtS < 0 || e.AtS >= s.DeadlineS {
 			return where("at_s outside [0, deadline)")
 		}
+		nodeOnly := func(verb string) error {
+			if e.Node < 0 || e.Node >= n {
+				return where("node %d outside topology of %d nodes", e.Node, n)
+			}
+			if e.Drop != 0 || e.A != 0 || e.B != 0 || e.Flow != "" || e.RatePPS != 0 {
+				return where("%s takes only a node", verb)
+			}
+			return nil
+		}
+		linkOnly := func(verb string) error {
+			if e.A < 0 || e.A >= n || e.B < 0 || e.B >= n {
+				return where("link %d-%d outside topology of %d nodes", e.A, e.B, n)
+			}
+			if e.A == e.B {
+				return where("link endpoints must differ (got %d)", e.A)
+			}
+			if e.Drop != 0 || e.Node != 0 || e.Flow != "" || e.RatePPS != 0 {
+				return where("%s takes only link endpoints a and b", verb)
+			}
+			return nil
+		}
+		linkKey := func() [2]int {
+			if e.A < e.B {
+				return [2]int{e.A, e.B}
+			}
+			return [2]int{e.B, e.A}
+		}
 		switch e.Action {
 		case ActionDegrade:
 			if e.Drop <= 0 || e.Drop >= 1 {
 				return where("degrade needs drop in (0,1), got %v", e.Drop)
 			}
-			if e.Node != 0 {
-				return where("degrade takes no node")
+			if e.Node != 0 || e.A != 0 || e.B != 0 || e.Flow != "" || e.RatePPS != 0 {
+				return where("degrade takes only drop")
 			}
 		case ActionFailNode:
-			if e.Node < 0 || e.Node >= n {
-				return where("node %d outside topology of %d nodes", e.Node, n)
+			if err := nodeOnly("fail_node"); err != nil {
+				return err
 			}
 			if failed[e.Node] {
 				return where("node %d already failed by an earlier event (overlapping schedule)", e.Node)
 			}
 			failed[e.Node] = true
-			if e.Drop != 0 {
-				return where("fail_node takes no drop")
+		case ActionRecoverNode:
+			if err := nodeOnly("recover_node"); err != nil {
+				return err
+			}
+			if !failed[e.Node] {
+				return where("node %d is not down at %vs (recover must follow a fail)", e.Node, e.AtS)
+			}
+			delete(failed, e.Node)
+		case ActionFailLink:
+			if err := linkOnly("fail_link"); err != nil {
+				return err
+			}
+			if linkDown[linkKey()] {
+				return where("link %d-%d already failed by an earlier event (overlapping schedule)", e.A, e.B)
+			}
+			linkDown[linkKey()] = true
+		case ActionRestoreLink:
+			if err := linkOnly("restore_link"); err != nil {
+				return err
+			}
+			if !linkDown[linkKey()] {
+				return where("link %d-%d is not down at %vs (restore must follow a fail)", e.A, e.B, e.AtS)
+			}
+			delete(linkDown, linkKey())
+		case ActionSetRate:
+			if !pushCBR[e.Flow] {
+				return where("set_rate targets flow %q, which is not a push cbr flow", e.Flow)
+			}
+			if e.RatePPS <= 0 {
+				return where("set_rate needs rate_pps > 0, got %v", e.RatePPS)
+			}
+			if e.Drop != 0 || e.Node != 0 || e.A != 0 || e.B != 0 {
+				return where("set_rate takes only flow and rate_pps")
 			}
 		default:
-			return where("unknown action (want %s or %s)", ActionDegrade, ActionFailNode)
+			return where("unknown action (want %s, %s, %s, %s, %s, or %s)",
+				ActionDegrade, ActionFailNode, ActionRecoverNode, ActionFailLink, ActionRestoreLink, ActionSetRate)
 		}
-		key := evKey{e.AtS, e.Action, e.Node}
+		key := evKey{e.AtS, e.Action, e.Node, e.A, e.B, e.Flow}
 		if seen[key] {
 			return where("duplicate event (overlapping schedule)")
 		}
@@ -463,6 +675,12 @@ func (s *Spec) Options() experiments.Options {
 			lcfg.AdvertiseInterval = secs(s.State.AdvertiseS)
 		}
 		lcfg.TriggerDelta = s.State.Damp
+		if s.State.DeadIntervalS > 0 {
+			lcfg.Probe.DeadInterval = secs(s.State.DeadIntervalS)
+		}
+		if s.State.MaxAgeS > 0 {
+			lcfg.MaxAge = secs(s.State.MaxAgeS)
+		}
 		opts.LinkState = lcfg
 		switch {
 		case s.State.WarmupS > 0:
@@ -475,16 +693,19 @@ func (s *Spec) Options() experiments.Options {
 	opts.CC = congest.DefaultConfig(policy)
 	opts.CC.QueueLen = s.CC.Queue
 	opts.CC.CreditMinK = s.CC.CreditMinK
+	opts.Repair = secs(s.RepairS)
 	return opts
 }
 
 // secs converts float seconds to simulated time.
 func secs(v float64) sim.Time { return sim.Time(v * float64(sim.Second)) }
 
-// sortedEvents returns the schedule in firing order (stable over the spec
-// order for ties, so equal-time events run in the order they were written).
-func (s *Spec) sortedEvents() []EventSpec {
-	evs := append([]EventSpec(nil), s.Events...)
+// allEvents returns the full schedule — declared events plus the expanded
+// churn block — in firing order (stable over the written order for ties, so
+// equal-time declared events run in the order they were written, ahead of
+// any generated ones).
+func (s *Spec) allEvents() []EventSpec {
+	evs := append(append([]EventSpec(nil), s.Events...), s.churnEvents()...)
 	sort.SliceStable(evs, func(a, b int) bool { return evs[a].AtS < evs[b].AtS })
 	return evs
 }

@@ -199,6 +199,116 @@ func TestRejectsInvalidSpecs(t *testing.T) {
 				"model": "cbr", "rate_pps": 100, "packets": 10, "on_s": 5,
 			}
 		}, "cbr traffic takes no on_s/off_s"},
+		{"recover without a fail", func(m map[string]interface{}) {
+			m["events"] = []interface{}{
+				map[string]interface{}{"at_s": 1, "action": "recover_node", "node": 1},
+			}
+		}, "recover must follow a fail"},
+		{"recover of a different node", func(m map[string]interface{}) {
+			m["events"] = []interface{}{
+				map[string]interface{}{"at_s": 1, "action": "fail_node", "node": 1},
+				map[string]interface{}{"at_s": 2, "action": "recover_node", "node": 2},
+			}
+		}, "recover must follow a fail"},
+		{"restore without a fail", func(m map[string]interface{}) {
+			m["events"] = []interface{}{
+				map[string]interface{}{"at_s": 1, "action": "restore_link", "a": 0, "b": 1},
+			}
+		}, "restore must follow a fail"},
+		{"link self-loop", func(m map[string]interface{}) {
+			m["events"] = []interface{}{
+				map[string]interface{}{"at_s": 1, "action": "fail_link", "a": 1, "b": 1},
+			}
+		}, "link endpoints must differ"},
+		{"fail_link out of range", func(m map[string]interface{}) {
+			m["events"] = []interface{}{
+				map[string]interface{}{"at_s": 1, "action": "fail_link", "a": 0, "b": 9},
+			}
+		}, "outside topology"},
+		{"repeated link failure", func(m map[string]interface{}) {
+			m["events"] = []interface{}{
+				map[string]interface{}{"at_s": 1, "action": "fail_link", "a": 0, "b": 1},
+				map[string]interface{}{"at_s": 2, "action": "fail_link", "b": 0, "a": 1},
+			}
+		}, "already failed"},
+		{"fail_node with stray link fields", func(m map[string]interface{}) {
+			m["events"] = []interface{}{
+				map[string]interface{}{"at_s": 1, "action": "fail_node", "node": 1, "a": 0, "b": 1},
+			}
+		}, "takes only a node"},
+		{"fail_link with stray node field", func(m map[string]interface{}) {
+			m["events"] = []interface{}{
+				map[string]interface{}{"at_s": 1, "action": "fail_link", "a": 0, "b": 1, "node": 2},
+			}
+		}, "takes only link endpoints"},
+		{"set_rate on a pull flow", func(m map[string]interface{}) {
+			m["events"] = []interface{}{
+				map[string]interface{}{"at_s": 1, "action": "set_rate", "flow": "bulk", "rate_pps": 50},
+			}
+		}, "not a push cbr flow"},
+		{"set_rate on an unknown flow", func(m map[string]interface{}) {
+			m["events"] = []interface{}{
+				map[string]interface{}{"at_s": 1, "action": "set_rate", "flow": "ghost", "rate_pps": 50},
+			}
+		}, "not a push cbr flow"},
+		{"set_rate with zero rate", func(m map[string]interface{}) {
+			flow0(m)["protocol"] = "push"
+			flow0(m)["traffic"] = map[string]interface{}{"model": "cbr", "rate_pps": 20, "packets": 10}
+			m["events"] = []interface{}{
+				map[string]interface{}{"at_s": 1, "action": "set_rate", "flow": "bulk", "rate_pps": 0},
+			}
+		}, "rate_pps > 0"},
+		{"set_rate with stray node field", func(m map[string]interface{}) {
+			flow0(m)["protocol"] = "push"
+			flow0(m)["traffic"] = map[string]interface{}{"model": "cbr", "rate_pps": 20, "packets": 10}
+			m["events"] = []interface{}{
+				map[string]interface{}{"at_s": 1, "action": "set_rate", "flow": "bulk", "rate_pps": 50, "node": 1},
+			}
+		}, "takes only flow and rate_pps"},
+		{"negative repair interval", func(m map[string]interface{}) {
+			m["repair_s"] = -1.0
+		}, "repair_s must be >= 0"},
+		{"churn range outside topology", func(m map[string]interface{}) {
+			m["churn"] = map[string]interface{}{
+				"node_lo": 0, "node_hi": 9, "events": 1, "down_s": 1, "start_s": 1, "end_s": 5,
+			}
+		}, "outside topology"},
+		{"churn without events", func(m map[string]interface{}) {
+			m["churn"] = map[string]interface{}{
+				"node_lo": 1, "node_hi": 2, "down_s": 1, "start_s": 1, "end_s": 5,
+			}
+		}, "events >= 1"},
+		{"churn without outage duration", func(m map[string]interface{}) {
+			m["churn"] = map[string]interface{}{
+				"node_lo": 1, "node_hi": 2, "events": 1, "start_s": 1, "end_s": 5,
+			}
+		}, "down_s > 0"},
+		{"churn with empty window", func(m map[string]interface{}) {
+			m["churn"] = map[string]interface{}{
+				"node_lo": 1, "node_hi": 2, "events": 1, "down_s": 1, "start_s": 5, "end_s": 5,
+			}
+		}, "empty or negative"},
+		{"churn recoveries past deadline", func(m map[string]interface{}) {
+			m["churn"] = map[string]interface{}{
+				"node_lo": 1, "node_hi": 2, "events": 1, "down_s": 10, "start_s": 1, "end_s": 15,
+			}
+		}, "before the deadline"},
+		{"churn with auto_pair flow", func(m map[string]interface{}) {
+			f := flow0(m)
+			delete(f, "src")
+			delete(f, "dst")
+			f["auto_pair"] = true
+			m["churn"] = map[string]interface{}{
+				"node_lo": 1, "node_hi": 2, "events": 1, "down_s": 1, "start_s": 1, "end_s": 5,
+			}
+		}, "mutually exclusive"},
+		{"churn wants more nodes than exist", func(m map[string]interface{}) {
+			// Flow endpoints 0 and 3 are excluded: only nodes 1 and 2 are
+			// candidates, so three events cannot draw distinct victims.
+			m["churn"] = map[string]interface{}{
+				"node_lo": 0, "node_hi": 3, "events": 3, "down_s": 1, "start_s": 1, "end_s": 5,
+			}
+		}, "candidate nodes are free of flow endpoints"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -221,6 +331,22 @@ func FuzzParse(f *testing.F) {
 	f.Add([]byte(`{"name":"x","deadline_s":1e300,"topology":{"kind":"chain","nodes":2},"flows":[]}`))
 	f.Add([]byte(`[1,2,3]`))
 	f.Add([]byte(``))
+	f.Add([]byte(`{"name":"x","deadline_s":20,"topology":{"kind":"chain","nodes":4},
+	  "flows":[{"name":"f","protocol":"more","src":0,"dst":3,"traffic":{"model":"file","bytes":1}}],
+	  "events":[{"at_s":1,"action":"fail_node","node":1},{"at_s":2,"action":"recover_node","node":1},
+	    {"at_s":3,"action":"fail_link","a":0,"b":1},{"at_s":4,"action":"restore_link","a":1,"b":0}]}`))
+	f.Add([]byte(`{"name":"x","deadline_s":20,"topology":{"kind":"chain","nodes":4},
+	  "flows":[{"name":"f","protocol":"push","src":0,"dst":3,"traffic":{"model":"cbr","rate_pps":10,"packets":5}}],
+	  "events":[{"at_s":1,"action":"set_rate","flow":"f","rate_pps":20}]}`))
+	f.Add([]byte(`{"name":"x","deadline_s":20,"topology":{"kind":"chain","nodes":6},"repair_s":2,
+	  "flows":[{"name":"f","protocol":"more","src":0,"dst":5,"traffic":{"model":"file","bytes":1}}],
+	  "churn":{"node_lo":1,"node_hi":4,"events":2,"down_s":1,"start_s":1,"end_s":5,"seed":9}}`))
+	f.Add([]byte(`{"name":"x","deadline_s":20,"topology":{"kind":"chain","nodes":4},
+	  "flows":[{"name":"f","protocol":"more","src":0,"dst":3,"traffic":{"model":"file","bytes":1}}],
+	  "churn":{"node_hi":-1,"events":-3,"down_s":-1e9,"start_s":9e18,"end_s":-9e18}}`))
+	f.Add([]byte(`{"name":"x","deadline_s":20,"topology":{"kind":"chain","nodes":4},
+	  "flows":[{"name":"f","protocol":"more","src":0,"dst":3,"traffic":{"model":"file","bytes":1}}],
+	  "events":[{"at_s":1,"action":"restore_link","a":0,"b":0},{"at_s":0,"action":"recover_node","node":99}]}`))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		s, err := Parse(data)
 		if err != nil {

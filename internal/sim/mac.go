@@ -106,6 +106,27 @@ func (m *mac) silence() {
 	m.state = macIdle
 }
 
+// revive resets a silenced MAC for a recovered node (Simulator.RecoverNode):
+// fresh contention state and an empty duplicate-suppression memory, as a
+// rebooted radio would have. The MAC sequence counter is NOT reset —
+// neighbors still remember the pre-crash (sender, sequence) keys, and
+// reusing them would make their duplicate suppression swallow the reborn
+// node's first frames. The carrier-sense count is left alone too: it tracks
+// neighbors' in-flight transmissions, which silence kept counting, and
+// zeroing it would unbalance the pending carrierDown events.
+func (m *mac) revive() {
+	m.state = macIdle
+	m.backlogged = false
+	m.cur = nil
+	m.retries = 0
+	m.cw = m.node.sim.cfg.CWMin
+	m.backoffSlots = 0
+	m.backoffArmed = false
+	m.seen = make(map[uint64]struct{})
+	m.seenRing = nil
+	m.seenNext = 0
+}
+
 func (m *mac) startContention() {
 	m.state = macContending
 	if !m.backoffArmed {

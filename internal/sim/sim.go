@@ -360,6 +360,28 @@ func (s *Simulator) FailNode(id graph.NodeID) {
 	s.tracef("node %d failed", id)
 }
 
+// RecoverNode revives a node silenced by FailNode, modelling a reboot: the
+// radio comes back with fresh MAC state (contention window at CWMin, empty
+// duplicate-suppression memory, monotonic sequence counter preserved) and
+// starts decoding and contending again. The protocol object was never
+// detached, so its state survives; protocol timers that kept firing while
+// the node was dead (probes, LSA advertisements) resume doing useful work
+// on their next tick. Callers that removed the node's links on failure
+// should pair this with graph.Topology.Restore so the links return with
+// the radio. Recovering a live node is a no-op.
+func (s *Simulator) RecoverNode(id graph.NodeID) {
+	n := s.nodes[id]
+	if !n.failed {
+		return
+	}
+	n.failed = false
+	n.mac.revive()
+	s.tracef("node %d recovered", id)
+	// The protocol may have had traffic queued all along; give it a
+	// transmission opportunity now that wakes work again.
+	n.Wake()
+}
+
 // Run processes events until the queue empties or the deadline passes.
 // It returns the time of the last processed event.
 func (s *Simulator) Run(until Time) Time {

@@ -112,6 +112,20 @@ func (n *Node) PushStats(id flow.ID) (generated int, sourceDrops int64, done boo
 	return st.generated, st.drops, st.done && !st.halted
 }
 
+// SetPushRate retargets a live push source's generation rate (the scenario
+// engine's set_rate action). The new rate takes effect from the next
+// generation tick; the epoch-anchored on/off pattern keeps its phase. It
+// reports whether a live constant-rate flow was found (on/off sources keep
+// their configured burst structure and are not retargetable).
+func (n *Node) SetPushRate(id flow.ID, pps float64) bool {
+	st, ok := n.pushes[id]
+	if !ok || st.done || pps <= 0 || st.tr.Model != flow.PushCBR {
+		return false
+	}
+	st.tr.RatePPS = pps
+	return true
+}
+
 // StopPushFlow halts a push source's generation early (a scheduled flow
 // stop). The source result keeps Completed=false — the schedule was cut
 // short — but counts as done for run-termination purposes via onDone.

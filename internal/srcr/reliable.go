@@ -130,6 +130,7 @@ func (n *Node) receiveNack(fr *sim.Frame, m *NackMsg) {
 		st.finTimer = nil
 	}
 	st.awaitingNack = false
+	st.finRetries = 0
 	if len(m.Missing) == 0 {
 		st.done = true
 		st.result.Completed = true
@@ -170,8 +171,27 @@ func (n *Node) finishPass(st *sourceState) {
 		st.finTimer.Cancel()
 	}
 	st.finTimer = n.node.After(nackTimeout, func() {
-		if !st.done && st.awaitingNack {
-			n.finishPass(st)
+		if st.done || !st.awaitingNack {
+			return
 		}
+		st.finRetries++
+		if n.cfg.RepairInterval > 0 && sim.Time(st.finRetries)*nackTimeout >= n.cfg.RepairInterval {
+			n.forceReroute(st)
+			st.finRetries = 0
+		}
+		n.finishPass(st)
 	})
+}
+
+// forceReroute recomputes the source route regardless of routing-state
+// version: the stall that triggers it — FIN passes going unanswered for a
+// whole RepairInterval — is itself the evidence the current route is broken
+// even if the state version has not ticked (e.g. the oracle was invalidated
+// and recomputed before this source noticed). Losing the route entirely
+// keeps the old one, like refreshRoute; the next repair tick tries again.
+func (n *Node) forceReroute(st *sourceState) {
+	st.planVersion = n.state.Version()
+	if route := n.state.Path(n.node.ID(), st.route[len(st.route)-1]); route != nil {
+		st.route = route
+	}
 }

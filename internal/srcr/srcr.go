@@ -32,6 +32,13 @@ type Config struct {
 	// transfer completes like MORE's and ExOR's do. Off, the source sends
 	// each packet once and losses are final.
 	Reliable bool
+	// RepairInterval arms route repair for reliable transfers: a source
+	// whose FIN passes go unanswered for this long recomputes its route
+	// regardless of routing-state version (the stall is itself the
+	// evidence the route is broken), and failed FIN/NACK retransmissions
+	// re-resolve their next hop instead of retrying the stale one. Zero
+	// disables repair (the default).
+	RepairInterval sim.Time
 }
 
 // DefaultConfig matches the paper's setup.
@@ -100,6 +107,9 @@ type sourceState struct {
 	pass         int
 	awaitingNack bool
 	finTimer     *sim.Event
+	// finRetries counts consecutive unanswered FIN timeouts; repair fires
+	// once they span RepairInterval.
+	finRetries int
 
 	// planVersion is the routing-state generation the route was computed
 	// from; learned views tick it, and the source re-routes at the next
@@ -365,10 +375,27 @@ func (n *Node) onoeFor(neighbor graph.NodeID) *Onoe {
 
 // Sent implements sim.Protocol.
 func (n *Node) Sent(f *sim.Frame, ok bool) {
-	switch f.Payload.(type) {
-	case *FinMsg, *NackMsg:
+	switch m := f.Payload.(type) {
+	case *FinMsg:
 		if !ok {
-			n.control = append(n.control, f) // retry until delivered
+			// Retry until delivered. With repair on, re-resolve the next hop
+			// rather than re-queuing the frame's original one, which may have
+			// died since the frame was addressed.
+			if n.cfg.RepairInterval > 0 {
+				n.queueControl(m, m.Target)
+			} else {
+				n.control = append(n.control, f)
+			}
+		}
+		n.node.Wake()
+		return
+	case *NackMsg:
+		if !ok {
+			if n.cfg.RepairInterval > 0 {
+				n.queueControl(m, m.Target)
+			} else {
+				n.control = append(n.control, f)
+			}
 		}
 		n.node.Wake()
 		return
