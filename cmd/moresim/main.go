@@ -68,8 +68,9 @@ func main() {
 		window    = flag.Int("window", 10, "learned-state probe window (probes per estimate, > 0)")
 		advertise = flag.Float64("advertise", 5, "learned-state LSA advertise interval (seconds, > 0)")
 		damp      = flag.Float64("damp", 0, "learned-state LSA flood damping trigger: advertise only when an estimate moved this much (0 disables; try 0.2)")
-		ccName    = flag.String("cc", "none", "congestion control: none, tail, choke, credit, or aimd")
+		ccName    = flag.String("cc", "none", "congestion control: none, tail, choke, credit, aimd, or cubic")
 		ccQueue   = flag.Int("cc-queue", 0, "congestion-layer transmit queue bound (0: policy default)")
+		loadPen   = flag.Float64("load-penalty", 0, "load-aware routing: ETX penalty of a fully saturated forwarder (0 disables; try 2)")
 		ccSweep   = flag.Bool("cc-sweep", false, "with -scale: run every congestion policy over the same topologies and print the mitigation table")
 		verbose   = flag.Bool("verbose", false, "print the forwarding plan")
 		showTrace = flag.Bool("trace", false, "print a per-node medium activity timeline")
@@ -104,6 +105,11 @@ func main() {
 	}
 	opts.CC = congest.DefaultConfig(ccPolicy)
 	opts.CC.QueueLen = *ccQueue
+	if *loadPen < 0 {
+		fmt.Fprintln(os.Stderr, "-load-penalty must be >= 0")
+		os.Exit(2)
+	}
+	opts.LoadPenalty = *loadPen
 	if state == experiments.StateLearned {
 		// linkstate.NewAgent treats a zero AdvertiseInterval as "use all
 		// defaults", which would silently discard -window too; reject the

@@ -22,7 +22,17 @@
 //     packet injection, additively speeding up on batch progress and
 //     multiplicatively backing off when a batch stagnates (many sends, no
 //     advance) or unicast sends fail — end-to-end control in the spirit of
-//     utility-based on-line congestion control.
+//     utility-based on-line congestion control;
+//   - CUBIC pacing (Policy Cubic): the Credit machinery's grants and gating
+//     plus a per-flow RTT estimator at each source — grant and FIN/ACK
+//     round trips are the samples — driving a CUBIC-style window whose
+//     W(t)/sRTT rate replaces AIMD's fixed token bucket (cubic.go).
+//
+// The layer also tracks per-node load signals (queue-depth EWMA, drop
+// rate, credit-grant starvation — load.go) that, when Config.LoadExport is
+// set, feed the routing.CostModel cost plane: saturated forwarders are
+// demoted in MORE forwarder sets, ExOR priority lists, and Srcr paths,
+// closing the loop from queues back to routing.
 //
 // The layer implements sim.Protocol and wraps the data protocol, so control
 // traffic the protocol prioritizes internally (batch ACKs, NACKs, LSAs in a
@@ -63,6 +73,11 @@ const (
 	// additively increasing on batch progress and multiplicatively backing
 	// off on stagnation or unicast failure.
 	AIMD
+	// Cubic keeps the Credit machinery's grants and gating and replaces
+	// the source-side token bucket with a per-flow RTT estimator driving a
+	// CUBIC-style window: grant and FIN/ACK round trips are the RTT sample
+	// source, and the pacing rate is W(t)/sRTT (see cubic.go).
+	Cubic
 )
 
 // String renders the -cc flag spelling of the policy.
@@ -78,6 +93,8 @@ func (p Policy) String() string {
 		return "credit"
 	case AIMD:
 		return "aimd"
+	case Cubic:
+		return "cubic"
 	default:
 		return fmt.Sprintf("Policy(%d)", int(p))
 	}
@@ -109,8 +126,10 @@ func ParsePolicy(s string) (Policy, error) {
 		return Credit, nil
 	case "aimd":
 		return AIMD, nil
+	case "cubic":
+		return Cubic, nil
 	default:
-		return 0, fmt.Errorf("congest: unknown policy %q (want none, tail, choke, credit, or aimd)", s)
+		return 0, fmt.Errorf("congest: unknown policy %q (want none, tail, choke, credit, aimd, or cubic)", s)
 	}
 }
 
@@ -183,6 +202,27 @@ type Config struct {
 	StagnationFactor float64
 	// BucketDepth caps accumulated tokens (default 8 packets).
 	BucketDepth float64
+
+	// CubicC is the CUBIC growth constant C in windows/second³
+	// (default 0.4, the RFC 8312 value).
+	CubicC float64
+	// CubicBeta is the CUBIC multiplicative-decrease factor β
+	// (default 0.7): after a congestion event the window restarts at
+	// β·W_max and grows back along the cubic curve.
+	CubicBeta float64
+	// CubicInitWindow seeds W_max for a new flow (default 32 packets):
+	// with the default 100 ms RTT seed the starting pacing rate lands
+	// near AIMD's RateInit.
+	CubicInitWindow float64
+
+	// LoadExport turns on export of the layer's load signals (queue-depth
+	// EWMA, drop rate, credit-grant starvation — see Load) to the cost
+	// plane: the per-node scores feed routing.CostModel penalties and
+	// ride on LSAs under learned state, and queue high-water marks are
+	// surfaced in sim.Counters. The layer tracks the signals regardless
+	// (observation only); this knob controls whether anything consumes
+	// them, so default-off runs stay byte-identical.
+	LoadExport bool
 }
 
 // DefaultConfig returns the given policy with default knobs.
@@ -232,6 +272,15 @@ func (c *Config) fillDefaults() {
 	}
 	if c.BucketDepth <= 0 {
 		c.BucketDepth = 8
+	}
+	if c.CubicC <= 0 {
+		c.CubicC = 0.4
+	}
+	if c.CubicBeta <= 0 || c.CubicBeta >= 1 {
+		c.CubicBeta = 0.7
+	}
+	if c.CubicInitWindow <= 0 {
+		c.CubicInitWindow = 32
 	}
 }
 
@@ -330,6 +379,11 @@ type Layer struct {
 
 	credit *creditState
 	aimd   map[uint32]*aimdFlow
+	cubic  map[uint32]*cubicFlow
+
+	// loadst is the always-on load tracking (see load.go); cfg.LoadExport
+	// controls whether anyone reads it.
+	loadst loadState
 
 	// pendingGrants holds at most one un-transmitted grant per flow.
 	pendingGrants []*CreditMsg
@@ -350,11 +404,14 @@ func New(cfg Config, proto sim.Protocol) *Layer {
 	}
 	cfg.fillDefaults()
 	l := &Layer{cfg: cfg, proto: proto}
-	if cfg.Policy == Credit {
+	if cfg.Policy == Credit || cfg.Policy == Cubic {
 		l.credit = newCreditState()
 	}
 	if cfg.Policy == AIMD {
 		l.aimd = make(map[uint32]*aimdFlow)
+	}
+	if cfg.Policy == Cubic {
+		l.cubic = make(map[uint32]*cubicFlow)
 	}
 	return l
 }
@@ -433,6 +490,9 @@ func (l *Layer) Receive(f *sim.Frame) {
 		if l.credit != nil {
 			l.acceptGrant(f, g)
 		}
+		// A grant from the downstream neighborhood doubles as an RTT
+		// sample for the CUBIC estimator at the flow's source.
+		l.cubicFeedback(uint32(g.Flow))
 		return
 	}
 	l.proto.Receive(f)
@@ -445,8 +505,13 @@ func (l *Layer) Receive(f *sim.Frame) {
 		if !m.Multicast {
 			l.purgeAcked(uint32(m.Flow), m.Batch)
 		}
+		l.cubicFeedback(uint32(m.Flow))
 	case *exor.DoneMsg:
 		l.purgeAcked(uint32(m.Flow), uint32(m.Batch))
+		l.cubicFeedback(uint32(m.Flow))
+	case *srcr.NackMsg:
+		// The FIN→NACK exchange is Srcr's end-to-end round trip.
+		l.cubicFeedback(uint32(m.Flow))
 	}
 	if l.credit != nil {
 		if info, ok := l.dataInfo(f); ok && info.more != nil {
@@ -539,15 +604,18 @@ func (l *Layer) enqueue(f *sim.Frame, info frameInfo) {
 				l.Stats.ChokeDrops += 2
 				l.drop(victim)
 				l.drop(f)
+				l.observeQueue(true)
 				return
 			}
 		}
 		l.Stats.TailDrops++
 		l.drop(f)
+		l.observeQueue(true)
 		return
 	}
 	l.Stats.Enqueued++
 	l.queue = append(l.queue, f)
+	l.observeQueue(false)
 }
 
 // purgeStale drops queued frames of the same flow that belong to an older
@@ -578,14 +646,19 @@ func (l *Layer) drop(f *sim.Frame) {
 // otherwise. When everything is gated it schedules a self-wake for the
 // earliest release and returns nil.
 func (l *Layer) dequeue() *sim.Frame {
+	backlogged := len(l.queue) > 0
 	for i, f := range l.queue {
 		info, _ := l.dataInfo(f)
 		if l.canSend(info) {
 			l.commitSend(info)
 			l.queue = append(l.queue[:i], l.queue[i+1:]...)
+			l.observeGate(true)
 			return f
 		}
 		l.Stats.GateSkips++
+	}
+	if backlogged {
+		l.observeGate(false)
 	}
 	return nil
 }
@@ -598,6 +671,10 @@ func (l *Layer) canSend(info frameInfo) bool {
 		return l.creditCanSend(info)
 	case AIMD:
 		return l.aimdCanSend(info)
+	case Cubic:
+		// Receiver-driven gating and source-side window pacing compose:
+		// a frame needs both verdicts to reach the air.
+		return l.creditCanSend(info) && l.cubicCanSend(info)
 	}
 	return true
 }
@@ -609,6 +686,9 @@ func (l *Layer) commitSend(info frameInfo) {
 		l.creditCommit(info)
 	case AIMD:
 		l.aimdCommit(info)
+	case Cubic:
+		l.creditCommit(info)
+		l.cubicCommit(info)
 	}
 }
 
@@ -622,11 +702,15 @@ func (l *Layer) Sent(f *sim.Frame, ok bool) {
 		return
 	}
 	l.proto.Sent(f, ok)
-	if l.cfg.Policy == AIMD && !ok {
+	if (l.cfg.Policy == AIMD || l.cfg.Policy == Cubic) && !ok {
 		if info, isData := l.dataInfo(f); isData && info.isSource && !info.hasBatch {
 			// Batch-less unicast source (Srcr): a MAC-level failure is the
 			// congestion signal batch stagnation provides elsewhere.
-			l.aimdDecrease(l.aimdFlowFor(info.flow, l.node.Now()))
+			if l.cfg.Policy == AIMD {
+				l.aimdDecrease(l.aimdFlowFor(info.flow, l.node.Now()))
+			} else {
+				l.cubicOnCongestion(l.cubicFlowFor(info.flow, l.node.Now()))
+			}
 		}
 	}
 	if len(l.queue) > 0 || len(l.pendingGrants) > 0 {

@@ -11,7 +11,7 @@ import (
 )
 
 func TestParsePolicyRoundTrip(t *testing.T) {
-	for _, p := range []Policy{None, Tail, Choke, Credit, AIMD} {
+	for _, p := range []Policy{None, Tail, Choke, Credit, AIMD, Cubic} {
 		got, err := ParsePolicy(p.String())
 		if err != nil || got != p {
 			t.Errorf("round trip %v: got %v, %v", p, got, err)

@@ -1,0 +1,253 @@
+package congest
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/flow"
+	"repro/internal/graph"
+	"repro/internal/routing"
+	"repro/internal/sim"
+	"repro/internal/srcr"
+)
+
+// TestCubicEndToEnd runs a full MORE transfer over a lossy chain under the
+// cubic policy: the credit machinery must still gate relays (grants flow,
+// giving the source its RTT samples) while the cubic window paces the
+// source, and the transfer must complete.
+func TestCubicEndToEnd(t *testing.T) {
+	topo := graph.LossyChain(5, 20, 30)
+	s := sim.New(topo, sim.DefaultConfig())
+	oracle := flow.NewOracle(topo, routing.ETXOptions{Threshold: graph.RouteThreshold, AckAware: true})
+	cfg := core.DefaultConfig()
+	cfg.BatchSize = 8
+	cfg.PayloadSize = 256
+	nodes := make([]*core.Node, topo.N())
+	layers := make([]*Layer, topo.N())
+	for i := range nodes {
+		nodes[i] = core.NewNode(cfg, oracle)
+		layers[i] = New(Config{Policy: Cubic, CreditMinK: -1}, nodes[i])
+		s.Attach(graph.NodeID(i), layers[i])
+	}
+	file := flow.NewFile(4096, 256, 1)
+	var result flow.Result
+	nodes[4].ExpectFlow(1, file, nil)
+	if err := nodes[0].StartFlow(1, 4, file, func(r flow.Result) { result = r }); err != nil {
+		t.Fatal(err)
+	}
+	s.Run(120 * sim.Second)
+	if !result.Completed {
+		t.Fatalf("transfer did not complete under cubic policy: %+v", result)
+	}
+	var grants int64
+	for _, l := range layers {
+		grants += l.Stats.GrantTx
+	}
+	if grants == 0 {
+		t.Error("cubic policy suppressed the credit plane's grants")
+	}
+	// The source held cubic per-flow state and took RTT samples from the
+	// grant/ACK round trips (SRTT departs from its cold-start seed).
+	cf := layers[0].cubic[1]
+	if cf == nil {
+		t.Fatal("source never created cubic flow state")
+	}
+	if cf.srtt == cubicDefaultRTT {
+		t.Error("no RTT sample ever updated the source's SRTT")
+	}
+	// Relays never source frames, so they never grow cubic state.
+	for i := 1; i < len(layers); i++ {
+		if len(layers[i].cubic) != 0 {
+			t.Errorf("relay %d holds cubic state for %d flows", i, len(layers[i].cubic))
+		}
+	}
+}
+
+// TestCubicPacesSourceNotRelay: the window's token bucket must gate a
+// backlogged source immediately, then drain it at the paced rate as
+// simulated time passes — and never touch relay traffic.
+func TestCubicPacesSourceNotRelay(t *testing.T) {
+	p := &fakeProto{}
+	for i := 0; i < 200; i++ {
+		p.frames = append(p.frames, moreFrame(1, 0, 0, 0))
+	}
+	l, s := newTestLayer(t, Config{Policy: Cubic, BucketDepth: 4, CubicInitWindow: 8, CreditMinK: -1}, p)
+	sent := 0
+	for i := 0; i < 20; i++ {
+		if l.Pull() != nil {
+			sent++
+		}
+	}
+	if sent > 5 {
+		t.Errorf("cubic token bucket did not gate: %d sends with depth 4", sent)
+	}
+	// The layer's wake events drive the node autonomously: over simulated
+	// time the backlog must drain at the paced rate — neither stalled (the
+	// bucket never refilling) nor unbounded (the window not gating).
+	before := len(p.frames)
+	s.After(sim.Second, func() {})
+	s.Run(2 * sim.Second)
+	drained := before - len(p.frames)
+	if drained == 0 {
+		t.Error("paced source never drained: bucket did not refill with time")
+	}
+	if drained > 190 {
+		t.Errorf("source drained %d frames in 2s: window pacing not applied", drained)
+	}
+
+	// Relay traffic (sourced elsewhere) bypasses the window entirely: a
+	// fresh layer offered only relay frames sends them all, without ever
+	// allocating per-flow cubic state.
+	rp := &fakeProto{}
+	for i := 0; i < 20; i++ {
+		rp.frames = append(rp.frames, moreFrame(2, 0, 5, 0))
+	}
+	rl, _ := newTestLayer(t, Config{Policy: Cubic, BucketDepth: 4, CreditMinK: -1}, rp)
+	relayed := 0
+	for i := 0; i < 20; i++ {
+		if rl.Pull() != nil {
+			relayed++
+		}
+	}
+	if relayed != 20 {
+		t.Errorf("relay frames gated by cubic source pacing: %d of 20 sent", relayed)
+	}
+	if len(rl.cubic) != 0 {
+		t.Errorf("relay traffic allocated cubic state for %d flows", len(rl.cubic))
+	}
+}
+
+// TestCubicStagnationShrinksWindow drives a source against a wall (no
+// receiver progress) and checks the stagnation rule registers congestion
+// events: w_max collapses toward the floor and decreases are counted.
+func TestCubicStagnationShrinksWindow(t *testing.T) {
+	p := &fakeProto{}
+	for i := 0; i < 400; i++ {
+		p.frames = append(p.frames, moreFrame(1, 0, 0, 0))
+	}
+	l, s := newTestLayer(t, Config{Policy: Cubic, StagnationFactor: 1, BucketDepth: 64, CubicInitWindow: 64, CreditMinK: -1}, p)
+	for i := 0; i < 40; i++ {
+		l.Pull()
+		s.Run(s.Now() + sim.Second/10)
+	}
+	if l.Stats.RateDecreases == 0 {
+		t.Error("stagnating batch never triggered a cubic congestion event")
+	}
+	cf := l.cubic[1]
+	if cf == nil {
+		t.Fatal("no cubic state")
+	}
+	if cf.wmax >= 64 {
+		t.Errorf("w_max did not shrink under stagnation: %v", cf.wmax)
+	}
+}
+
+// TestCombineCreditCubicStacking runs the mixed-protocol composition the
+// scenario engine builds — srcr and MORE members under one cubic layer —
+// and checks the stacking holds: the layer's credit plane still grants and
+// completes the MORE transfer while srcr datagram traffic shares the node.
+func TestCombineCreditCubicStacking(t *testing.T) {
+	topo := graph.Line(4, 0.9, 20)
+	s := sim.New(topo, sim.DefaultConfig())
+	oracle := flow.NewOracle(topo, routing.ETXOptions{Threshold: graph.RouteThreshold, AckAware: true})
+	cfg := core.DefaultConfig()
+	cfg.BatchSize = 8
+	cfg.PayloadSize = 256
+	srcrNodes := make([]*srcr.Node, topo.N())
+	coreNodes := make([]*core.Node, topo.N())
+	layers := make([]*Layer, topo.N())
+	for i := range srcrNodes {
+		srcrNodes[i] = srcr.NewNode(srcr.DefaultConfig(), oracle)
+		coreNodes[i] = core.NewNode(cfg, oracle)
+		layers[i] = New(Config{Policy: Cubic, CreditMinK: -1}, Combine(srcrNodes[i], coreNodes[i]))
+		s.Attach(graph.NodeID(i), layers[i])
+	}
+	moreFile := flow.NewFile(4096, 256, 1)
+	pushFile := flow.NewFile(200*256, 256, 2)
+	tr := flow.Traffic{Model: flow.PushCBR, RatePPS: 100, Packets: 200}
+	var moreRes flow.Result
+	coreNodes[3].ExpectFlow(1, moreFile, nil)
+	srcrNodes[3].ExpectFlow(2, pushFile, nil)
+	if err := coreNodes[0].StartFlow(1, 3, moreFile, func(r flow.Result) { moreRes = r }); err != nil {
+		t.Fatal(err)
+	}
+	if err := srcrNodes[0].StartPushFlow(2, 3, tr, pushFile, nil); err != nil {
+		t.Fatal(err)
+	}
+	s.Run(120 * sim.Second)
+	if !moreRes.Completed {
+		t.Fatalf("MORE transfer failed under cubic in a mixed stack: %+v", moreRes)
+	}
+	var st Stats
+	for _, l := range layers {
+		st.Add(l.Stats)
+	}
+	if st.GrantTx == 0 {
+		t.Error("no grants in the cubic mixed stack")
+	}
+	if srcrNodes[3].Result(2).PacketsDelivered == 0 {
+		t.Error("push traffic starved under the cubic layer")
+	}
+}
+
+// TestChokeLoadExportStacking: the other scenario composition — a choked
+// push overload with load export on. The layer must surface nonzero load
+// signals and a queue high-water mark without perturbing the choke policy
+// itself (load tracking is pure observation).
+func TestChokeLoadExportStacking(t *testing.T) {
+	topo := graph.Line(3, 0.95, 20)
+	s := sim.New(topo, sim.DefaultConfig())
+	oracle := flow.NewOracle(topo, routing.ETXOptions{Threshold: graph.RouteThreshold, AckAware: true})
+	nodes := make([]*srcr.Node, topo.N())
+	layers := make([]*Layer, topo.N())
+	for i := range nodes {
+		nodes[i] = srcr.NewNode(srcr.DefaultConfig(), oracle)
+		layers[i] = New(Config{Policy: Choke, LoadExport: true}, Combine(nodes[i]))
+		s.Attach(graph.NodeID(i), layers[i])
+	}
+	tr := flow.Traffic{Model: flow.PushCBR, RatePPS: 2000, Packets: 1000}
+	file := flow.NewFile(1000*1500, 1500, 3)
+	nodes[2].ExpectFlow(1, file, nil)
+	if err := nodes[0].StartPushFlow(1, 2, tr, file, nil); err != nil {
+		t.Fatal(err)
+	}
+	s.Run(30 * sim.Second)
+
+	src := layers[0]
+	if src.QueueHWM() == 0 {
+		t.Error("overloaded source recorded no queue high-water mark")
+	}
+	if src.LoadByte() == 0 {
+		t.Error("overloaded source exports a zero load byte")
+	}
+	ld := src.LoadSignals()
+	if ld.Queue == 0 && ld.Drop == 0 {
+		t.Errorf("no load signal moved under 5x overload: %+v", ld)
+	}
+	// An idle bystander prices as unloaded.
+	if layers[2].LoadByte() != 0 {
+		// The sink still receives and forwards nothing onward; its queue
+		// stays shallow, so its load score rounds to zero.
+		t.Errorf("idle sink exports load %d", layers[2].LoadByte())
+	}
+	// Same overload, load export off: signals still tracked internally but
+	// the policy outcome is unchanged — choke drops fire either way.
+	if src.Stats.ChokeDrops == 0 && src.Stats.TailDrops == 0 {
+		t.Error("overload produced no drops at the source")
+	}
+}
+
+// TestLoadScoreClamp pins the score weighting and its clamp.
+func TestLoadScoreClamp(t *testing.T) {
+	ld := Load{Queue: 1, Drop: 1, Starve: 1}
+	if got := ld.Score(); got != 1 {
+		t.Errorf("saturated score = %v, want clamp at 1", got)
+	}
+	if got := (Load{}).Score(); got != 0 {
+		t.Errorf("idle score = %v", got)
+	}
+	half := Load{Queue: 0.5}
+	if got := half.Score(); got <= 0 || got >= 1 {
+		t.Errorf("partial score out of range: %v", got)
+	}
+}

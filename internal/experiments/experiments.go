@@ -162,6 +162,15 @@ type Options struct {
 	// protocol and MAC. The zero value (policy "none") installs no layer:
 	// runs are byte-identical to the pre-congestion code.
 	CC congest.Config
+	// LoadPenalty arms the load-aware cost plane: the ETX penalty, in
+	// expected-transmission units, of routing through a fully saturated
+	// forwarder (routing.CostModel). The congest layer's per-node load
+	// scores — queue-depth EWMA, drop rate, grant starvation — feed the
+	// model: sampled globally under oracle state, carried on LSAs under
+	// learned state. Nonzero values force CC.LoadExport on. Zero (the
+	// default) installs no model anywhere; runs are byte-identical to
+	// loss-only routing.
+	LoadPenalty float64
 	// Repair arms the protocols' route-repair watchdogs (core/exor
 	// Config.RepairInterval, srcr's FIN-stall reroute): a source stalled
 	// for this long replans from current routing state instead of spinning
@@ -377,17 +386,58 @@ type RunInfo struct {
 // always used, exported so the scenario executor (internal/scenario) can
 // compile declarative specs onto exactly the same stack.
 type ControlPlane struct {
+	n         int
 	providers []flow.RoutingState
 	agents    []*linkstate.Agent
 	oracle    *flow.Oracle
 	cc        congest.Config
 	layers    []*congest.Layer
+	// layerByID indexes the congestion layers by node for the cost plane
+	// and the queue high-water export (layers holds attach order).
+	layerByID []*congest.Layer
+
+	// costs[i] is node i's routing.CostModel (nil when LoadPenalty is 0):
+	// the shared global sampler under oracle state, a per-node
+	// linkstate.LoadCost under learned state.
+	costs []routing.CostModel
+	// loadOracle is the oracle-mode snapshot model (nil otherwise).
+	loadOracle *oracleLoad
+}
+
+// loadRefresh is the oracle-mode load sampling cadence: the global
+// knowledge fiction refreshes every node's load score this often and
+// invalidates the oracle when anything moved, mirroring the granularity a
+// learned run gets from LSA floods.
+const loadRefresh = 2 * sim.Second
+
+// oracleLoad is the oracle-state routing.CostModel: a periodically
+// refreshed snapshot of every node's quantized load score. It prices load
+// from the same congest.Layer.LoadByte quantization LSAs carry, so
+// perfect and learned knowledge sit on one scale; snapshotting (rather
+// than reading layers live) keeps the oracle's cached tables coherent
+// between refreshes.
+type oracleLoad struct {
+	weight  float64
+	scores  []uint8
+	started bool
+}
+
+// NodePenalty implements routing.CostModel.
+func (m *oracleLoad) NodePenalty(id graph.NodeID) float64 {
+	return m.weight * float64(m.scores[id]) / 255
 }
 
 // NewControlPlane builds the control plane for a run over topo.
 func NewControlPlane(topo *graph.Topology, opts Options) *ControlPlane {
 	n := topo.N()
-	cp := &ControlPlane{providers: make([]flow.RoutingState, n), cc: opts.CC}
+	cp := &ControlPlane{n: n, providers: make([]flow.RoutingState, n), cc: opts.CC}
+	if opts.LoadPenalty > 0 {
+		// The cost plane needs the layers' load signals on the wire/in the
+		// counters regardless of what the spec said about export.
+		cp.cc.LoadExport = true
+		cp.costs = make([]routing.CostModel, n)
+	}
+	cp.layerByID = make([]*congest.Layer, n)
 	if opts.State == StateLearned {
 		recompute := opts.Recompute
 		if recompute == 0 {
@@ -396,15 +446,37 @@ func NewControlPlane(topo *graph.Topology, opts Options) *ControlPlane {
 		cp.agents = make([]*linkstate.Agent, n)
 		for i := range cp.agents {
 			cp.agents[i] = linkstate.NewAgent(opts.LinkState, n)
-			cp.providers[i] = linkstate.NewView(cp.agents[i], opts.ETXOpts(), recompute)
+			etx := opts.ETXOpts()
+			if cp.costs != nil {
+				cp.costs[i] = &linkstate.LoadCost{Agent: cp.agents[i], Weight: opts.LoadPenalty}
+				etx.Cost = cp.costs[i]
+			}
+			cp.providers[i] = linkstate.NewView(cp.agents[i], etx, recompute)
 		}
 		return cp
 	}
-	cp.oracle = flow.NewOracle(topo, opts.ETXOpts())
+	etx := opts.ETXOpts()
+	if cp.costs != nil {
+		cp.loadOracle = &oracleLoad{weight: opts.LoadPenalty, scores: make([]uint8, n)}
+		for i := range cp.costs {
+			cp.costs[i] = cp.loadOracle
+		}
+		etx.Cost = cp.loadOracle
+	}
+	cp.oracle = flow.NewOracle(topo, etx)
 	for i := range cp.providers {
 		cp.providers[i] = cp.oracle
 	}
 	return cp
+}
+
+// CostModel returns node id's routing.CostModel for forwarder-plan
+// construction, or nil when the load-aware cost plane is off.
+func (cp *ControlPlane) CostModel(id graph.NodeID) routing.CostModel {
+	if cp.costs == nil {
+		return nil
+	}
+	return cp.costs[id]
 }
 
 // Provider returns the routing-state provider node id routes from.
@@ -427,6 +499,11 @@ func (cp *ControlPlane) Attach(s *sim.Simulator, id graph.NodeID, p sim.Protocol
 	if cp.cc.Policy != congest.None {
 		l := congest.New(cp.cc, p)
 		cp.layers = append(cp.layers, l)
+		cp.layerByID[id] = l
+		if cp.cc.LoadExport && cp.agents != nil {
+			// Learned state: the node's congestion score rides its LSAs.
+			cp.agents[id].SetLoadFunc(l.LoadByte)
+		}
 		p = l
 	}
 	if cp.agents != nil {
@@ -434,6 +511,76 @@ func (cp *ControlPlane) Attach(s *sim.Simulator, id graph.NodeID, p sim.Protocol
 		return
 	}
 	s.Attach(id, p)
+}
+
+// WithNodeCost injects node id's cost model into a forwarder-plan options
+// value (both metrics); a no-op when the load-aware cost plane is off, so
+// legacy plans stay bit-identical.
+func (cp *ControlPlane) WithNodeCost(id graph.NodeID, p routing.PlanOptions) routing.PlanOptions {
+	if m := cp.CostModel(id); m != nil {
+		p.ETX.Cost = m
+		p.EOTX.Cost = m
+	}
+	return p
+}
+
+// loadOracleDelta is the quantized-load swing a node must show before the
+// oracle reprices it (same hysteresis as the LSA path's trigger delta):
+// repricing invalidates every cached plan, and replanning mid-batch on
+// 1/255-step EWMA wiggle churns forwarder sets faster than the traffic
+// can amortize them — the cure becomes the congestion.
+const loadOracleDelta = 16
+
+// startLoadSampler begins the oracle-mode load refresh loop: every
+// loadRefresh it snapshots each layer's quantized load score and, when
+// any node's score swung by loadOracleDelta or more, invalidates the
+// oracle so routes and plans rebuild on the new prices. Never scheduled
+// when the cost plane is off, keeping the legacy event stream untouched.
+func (cp *ControlPlane) startLoadSampler(s *sim.Simulator) {
+	lo := cp.loadOracle
+	if lo == nil || lo.started {
+		return
+	}
+	lo.started = true
+	var tick func()
+	tick = func() {
+		changed := false
+		for id, l := range cp.layerByID {
+			var b uint8
+			if l != nil {
+				b = l.LoadByte()
+			}
+			d := int(b) - int(lo.scores[id])
+			if d < 0 {
+				d = -d
+			}
+			if d >= loadOracleDelta {
+				lo.scores[id] = b
+				changed = true
+			}
+		}
+		if changed && cp.oracle != nil {
+			cp.oracle.Invalidate()
+		}
+		s.After(loadRefresh, tick)
+	}
+	s.After(loadRefresh, tick)
+}
+
+// QueueHighWater returns the per-node congestion-queue high-water marks
+// for sim.Counters.QueueHWM, or nil when load export is off (legacy
+// result documents stay byte-identical).
+func (cp *ControlPlane) QueueHighWater() []int64 {
+	if !cp.cc.LoadExport || len(cp.layers) == 0 {
+		return nil
+	}
+	out := make([]int64, cp.n)
+	for id, l := range cp.layerByID {
+		if l != nil {
+			out[id] = l.QueueHWM()
+		}
+	}
+	return out
 }
 
 // converged reports whether every agent's LSA database covers every origin.
@@ -449,6 +596,7 @@ func (cp *ControlPlane) converged(n int) bool {
 // Warmup lets the measurement plane flood before flows start and returns
 // the convergence time (see RunInfo.Convergence).
 func (cp *ControlPlane) Warmup(s *sim.Simulator, topo *graph.Topology, opts Options) sim.Time {
+	cp.startLoadSampler(s)
 	if cp.agents == nil {
 		return 0
 	}
@@ -573,7 +721,9 @@ func RunDetailed(topo *graph.Topology, proto Protocol, pairs []Pair, opts Option
 		cfg := opts.CoreConfig()
 		nodes := make([]*core.Node, topo.N())
 		for i := range nodes {
-			nodes[i] = core.NewNode(cfg, cp.Provider(graph.NodeID(i)))
+			ncfg := cfg
+			ncfg.Plan = cp.WithNodeCost(graph.NodeID(i), cfg.Plan)
+			nodes[i] = core.NewNode(ncfg, cp.Provider(graph.NodeID(i)))
 			cp.Attach(s, graph.NodeID(i), nodes[i])
 		}
 		conv := cp.Warmup(s, topo, opts)
@@ -598,7 +748,9 @@ func RunDetailed(topo *graph.Topology, proto Protocol, pairs []Pair, opts Option
 		cfg := opts.ExorConfig()
 		nodes := make([]*exor.Node, topo.N())
 		for i := range nodes {
-			nodes[i] = exor.NewNode(cfg, cp.Provider(graph.NodeID(i)))
+			ncfg := cfg
+			ncfg.Plan = cp.WithNodeCost(graph.NodeID(i), cfg.Plan)
+			nodes[i] = exor.NewNode(ncfg, cp.Provider(graph.NodeID(i)))
 			cp.Attach(s, graph.NodeID(i), nodes[i])
 		}
 		conv := cp.Warmup(s, topo, opts)
@@ -669,6 +821,7 @@ func finishRun(s *sim.Simulator, cp *ControlPlane, pairs []Pair, results []flow.
 		// run-wide counter the MORE source used to record.
 		results[i].Transmissions = s.Counters.TxByFlow[uint32(i+1)]
 	}
+	s.Counters.QueueHWM = cp.QueueHighWater()
 	info := RunInfo{
 		Results:     results,
 		Counters:    s.Counters,

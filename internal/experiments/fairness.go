@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"math"
+
 	"repro/internal/flow"
 	"repro/internal/graph"
 	"repro/internal/sim"
@@ -15,13 +17,18 @@ import (
 // JainIndex returns Jain's fairness index over the values:
 // (Σx)² / (n·Σx²), ranging from 1/n (one value takes everything) to 1
 // (perfectly even). Values must be non-negative; an empty or all-zero set
-// reports 0.
+// reports 0. Non-finite values (the throughput of a flow whose measured
+// interval collapsed to zero, a stalled flow's NaN ratio) count as zero
+// shares instead of poisoning the whole index with NaN.
 func JainIndex(xs []float64) float64 {
 	if len(xs) == 0 {
 		return 0
 	}
 	var sum, sumSq float64
 	for _, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			continue
+		}
 		sum += x
 		sumSq += x * x
 	}
@@ -29,6 +36,17 @@ func JainIndex(xs []float64) float64 {
 		return 0
 	}
 	return sum * sum / (float64(len(xs)) * sumSq)
+}
+
+// finiteOrZero clamps a per-flow ratio to a reportable value: a stalled or
+// zero-duration flow yields NaN/Inf arithmetic, which would otherwise leak
+// into JSON output (and break digest-sealed result documents, which cannot
+// encode NaN at all).
+func finiteOrZero(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return v
 }
 
 // FlowSummary is one flow's share of a multi-flow run.
@@ -69,12 +87,12 @@ func BuildFairness(results []flow.Result, counters sim.Counters) FairnessReport 
 	for i, r := range results {
 		fs := FlowSummary{
 			Flow: flow.ID(i + 1), Src: r.Src, Dst: r.Dst,
-			Throughput:    r.Throughput(),
+			Throughput:    finiteOrZero(r.Throughput()),
 			Transmissions: counters.TxByFlow[uint32(i+1)],
 			Completed:     r.Completed,
 		}
 		if r.PacketsDelivered > 0 {
-			fs.TxPerPacket = float64(fs.Transmissions) / float64(r.PacketsDelivered)
+			fs.TxPerPacket = finiteOrZero(float64(fs.Transmissions) / float64(r.PacketsDelivered))
 		}
 		rep.Flows = append(rep.Flows, fs)
 		tputs = append(tputs, fs.Throughput)

@@ -5,6 +5,8 @@ import (
 	"testing"
 
 	"repro/internal/congest"
+	"repro/internal/flow"
+	"repro/internal/sim"
 )
 
 func TestJainIndex(t *testing.T) {
@@ -28,6 +30,61 @@ func TestJainIndex(t *testing.T) {
 	// Invariance under scaling.
 	if math.Abs(JainIndex([]float64{1, 2, 3})-JainIndex([]float64{10, 20, 30})) > 1e-12 {
 		t.Error("Jain's index is not scale-invariant")
+	}
+}
+
+// TestJainIndexNonFinite: a stalled flow's NaN/Inf share must count as
+// zero, not poison the whole index.
+func TestJainIndexNonFinite(t *testing.T) {
+	if got := JainIndex([]float64{math.NaN(), math.Inf(1), math.Inf(-1)}); got != 0 {
+		t.Errorf("all-non-finite index = %v, want 0", got)
+	}
+	// One pathological member: the finite members' index, over the full n.
+	got := JainIndex([]float64{3, 3, math.NaN(), 3})
+	want := (9.0 * 9) / (4 * 27)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("index with NaN member = %v, want %v", got, want)
+	}
+	if math.IsNaN(JainIndex([]float64{1, math.Inf(1)})) {
+		t.Error("Inf member produced a NaN index")
+	}
+}
+
+// TestBuildFairnessStalledFlow: a flow result whose measured interval
+// collapsed (Start == End, zero delivery) must produce finite, zero-valued
+// report entries — the sealed result documents cannot encode NaN.
+func TestBuildFairnessStalledFlow(t *testing.T) {
+	if v := finiteOrZero(math.NaN()); v != 0 {
+		t.Errorf("finiteOrZero(NaN) = %v", v)
+	}
+	if v := finiteOrZero(math.Inf(1)); v != 0 {
+		t.Errorf("finiteOrZero(+Inf) = %v", v)
+	}
+	if v := finiteOrZero(2.5); v != 2.5 {
+		t.Errorf("finiteOrZero mangled a finite value: %v", v)
+	}
+
+	// End-to-end through the report builder: one healthy flow, one that
+	// never moved a packet. Every reported number must be finite.
+	results := []flow.Result{
+		{Src: 0, Dst: 5, PacketsDelivered: 40, Start: 0, End: 10 * sim.Second, Completed: true},
+		{Src: 1, Dst: 6, PacketsDelivered: 0, Start: 0, End: 0},
+	}
+	counters := sim.Counters{TxByFlow: map[uint32]int64{0: 3, 1: 80, 2: 12}}
+	rep := BuildFairness(results, counters)
+	for i, f := range rep.Flows {
+		for name, v := range map[string]float64{"Throughput": f.Throughput, "TxPerPacket": f.TxPerPacket} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Errorf("flow %d: non-finite %s %v in report", i, name, v)
+			}
+		}
+	}
+	if math.IsNaN(rep.JainThroughput) || math.IsNaN(rep.JainTx) {
+		t.Errorf("stalled flow poisoned Jain indexes: %v / %v", rep.JainThroughput, rep.JainTx)
+	}
+	if rep.JainThroughput != 0.5 {
+		// One flow with all the throughput, one with none: (x²)/(2·x²).
+		t.Errorf("JainThroughput = %v, want 0.5", rep.JainThroughput)
 	}
 }
 

@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/congest"
+)
+
+// TestLoadPenaltyEndToEnd runs the full load-aware pipeline under both
+// knowledge models: LoadPenalty > 0 must force load export on, surface
+// per-node queue high-water marks, and still complete every transfer.
+func TestLoadPenaltyEndToEnd(t *testing.T) {
+	topo := TestbedTopology()
+	for _, state := range []StateMode{StateOracle, StateLearned} {
+		opts := DefaultOptions()
+		opts.FileBytes = 16 << 10
+		opts.State = state
+		opts.CC = congest.DefaultConfig(congest.Cubic)
+		opts.LoadPenalty = 2
+		pairs := RandomPairs(topo, 2, opts.Seed)
+		info := RunDetailed(topo, MORE, pairs, opts)
+		for i, r := range info.Results {
+			if !r.Completed {
+				t.Errorf("%v: flow %d incomplete under load-aware cubic", state, i)
+			}
+		}
+		if info.Counters.QueueHWM == nil {
+			t.Fatalf("%v: LoadPenalty did not surface queue high-water marks", state)
+		}
+		if len(info.Counters.QueueHWM) != topo.N() {
+			t.Fatalf("%v: QueueHWM covers %d of %d nodes", state, len(info.Counters.QueueHWM), topo.N())
+		}
+		var any bool
+		for _, h := range info.Counters.QueueHWM {
+			if h > 0 {
+				any = true
+			}
+		}
+		if !any {
+			t.Errorf("%v: every node reports a zero high-water mark", state)
+		}
+	}
+}
+
+// TestLegacyRunsCarryNoHWM: with load export off, the counters must not
+// grow the new field — sealed legacy result documents stay byte-identical.
+func TestLegacyRunsCarryNoHWM(t *testing.T) {
+	topo := TestbedTopology()
+	opts := DefaultOptions()
+	opts.FileBytes = 8 << 10
+	opts.CC = congest.DefaultConfig(congest.Credit)
+	info := RunDetailed(topo, MORE, RandomPairs(topo, 1, opts.Seed), opts)
+	if info.Counters.QueueHWM != nil {
+		t.Fatalf("legacy run grew QueueHWM: %v", info.Counters.QueueHWM)
+	}
+}

@@ -1,0 +1,27 @@
+package linkstate
+
+import (
+	"repro/internal/graph"
+	"repro/internal/routing"
+)
+
+// LoadCost is the learned-state routing.CostModel: it prices each node by
+// the load byte carried on the latest LSA this agent has heard from it,
+// scaled by Weight (the penalty, in ETX-transmission units, of routing
+// through a fully saturated node). Nodes the agent has not heard from —
+// or whose LSAs carry no load — cost nothing, so the model degrades to
+// loss-only routing exactly where knowledge runs out.
+type LoadCost struct {
+	Agent  *Agent
+	Weight float64
+}
+
+// NodePenalty implements routing.CostModel.
+func (c *LoadCost) NodePenalty(id graph.NodeID) float64 {
+	if c == nil || c.Agent == nil || c.Weight == 0 {
+		return 0
+	}
+	return c.Weight * float64(c.Agent.LoadOf(id)) / 255
+}
+
+var _ routing.CostModel = (*LoadCost)(nil)

@@ -183,7 +183,17 @@ type LSA struct {
 	// probability of link Neighbors[i] -> Origin, quantized.
 	Neighbors []graph.NodeID
 	Probs     []uint8
+	// Load is the origin's quantized congestion score (0 = unloaded,
+	// 255 = saturated; see congest.Layer.LoadByte), piggybacked so
+	// learned views carry load for the cost plane. A zero load is not
+	// encoded at all — the count byte's high bit flags its presence — so
+	// load-unaware runs produce byte-identical LSAs.
+	Load uint8
 }
+
+// lsaLoadFlag marks an LSA that carries a trailing load byte. It rides the
+// high bit of the neighbor-count byte, capping LSA neighbors at 127.
+const lsaLoadFlag = 0x80
 
 // QuantizeProb maps [0,1] to a byte.
 func QuantizeProb(p float64) uint8 {
@@ -199,23 +209,40 @@ func QuantizeProb(p float64) uint8 {
 // UnquantizeProb inverts QuantizeProb.
 func UnquantizeProb(q uint8) float64 { return float64(q) / 255 }
 
-// EncodedSize returns the LSA's on-air size.
-func (l *LSA) EncodedSize() int { return 2 + 4 + 1 + 3*len(l.Neighbors) }
+// EncodedSize returns the LSA's on-air size. A nonzero load costs one
+// extra byte; the zero-load size matches the pre-load wire format exactly.
+func (l *LSA) EncodedSize() int {
+	n := 2 + 4 + 1 + 3*len(l.Neighbors)
+	if l.Load != 0 {
+		n++
+	}
+	return n
+}
 
 // Encode appends the wire form of l to dst.
 func (l *LSA) Encode(dst []byte) ([]byte, error) {
 	if len(l.Neighbors) != len(l.Probs) {
 		return nil, ErrTooMany
 	}
-	if len(l.Neighbors) > 255 {
+	// The count byte's high bit is the load flag, so 127 neighbors is the
+	// cap whether or not this LSA carries load (an order of magnitude
+	// above any simulated neighborhood).
+	if len(l.Neighbors) > 127 {
 		return nil, ErrTooMany
 	}
 	dst = binary.BigEndian.AppendUint16(dst, uint16(l.Origin))
 	dst = binary.BigEndian.AppendUint32(dst, l.Seq)
-	dst = append(dst, byte(len(l.Neighbors)))
+	count := byte(len(l.Neighbors))
+	if l.Load != 0 {
+		count |= lsaLoadFlag
+	}
+	dst = append(dst, count)
 	for i, nb := range l.Neighbors {
 		dst = binary.BigEndian.AppendUint16(dst, uint16(nb))
 		dst = append(dst, l.Probs[i])
+	}
+	if l.Load != 0 {
+		dst = append(dst, l.Load)
 	}
 	return dst, nil
 }
@@ -229,7 +256,9 @@ func DecodeLSA(b []byte) (*LSA, int, error) {
 		Origin: graph.NodeID(binary.BigEndian.Uint16(b)),
 		Seq:    binary.BigEndian.Uint32(b[2:]),
 	}
-	n := int(b[6])
+	count := b[6]
+	hasLoad := count&lsaLoadFlag != 0
+	n := int(count &^ byte(lsaLoadFlag))
 	off := 7
 	if off+3*n > len(b) {
 		return nil, 0, ErrTruncated
@@ -238,6 +267,13 @@ func DecodeLSA(b []byte) (*LSA, int, error) {
 		l.Neighbors = append(l.Neighbors, graph.NodeID(binary.BigEndian.Uint16(b[off:])))
 		l.Probs = append(l.Probs, b[off+2])
 		off += 3
+	}
+	if hasLoad {
+		if off >= len(b) {
+			return nil, 0, ErrTruncated
+		}
+		l.Load = b[off]
+		off++
 	}
 	return l, off, nil
 }

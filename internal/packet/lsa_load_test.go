@@ -1,0 +1,92 @@
+package packet
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// TestLSALoadRoundTrip: the piggybacked load byte must survive the wire,
+// and its flag bit must not disturb the neighbor count.
+func TestLSALoadRoundTrip(t *testing.T) {
+	l := &LSA{
+		Origin:    7,
+		Seq:       42,
+		Neighbors: []graph.NodeID{1, 3, 9},
+		Probs:     []uint8{200, 128, 25},
+		Load:      137,
+	}
+	buf, err := l.Encode(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) != l.EncodedSize() {
+		t.Fatalf("size %d != %d", len(buf), l.EncodedSize())
+	}
+	got, n, err := DecodeLSA(buf)
+	if err != nil || n != len(buf) {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, l) {
+		t.Fatalf("%+v != %+v", got, l)
+	}
+	// Every truncation must error, including one that cuts only the
+	// trailing load byte.
+	for cut := 0; cut < len(buf); cut++ {
+		if _, _, err := DecodeLSA(buf[:cut]); err == nil {
+			t.Fatalf("short decode at %d succeeded", cut)
+		}
+	}
+}
+
+// TestLSAZeroLoadBytesIdentical is the wire-compatibility contract: an LSA
+// with Load == 0 encodes to exactly the bytes the pre-load format
+// produced — same length, flag bit clear — so load-unaware runs keep
+// their golden digests.
+func TestLSAZeroLoadBytesIdentical(t *testing.T) {
+	a := &LSA{Origin: 3, Seq: 9, Neighbors: []graph.NodeID{2, 5}, Probs: []uint8{10, 250}}
+	b := &LSA{Origin: 3, Seq: 9, Neighbors: []graph.NodeID{2, 5}, Probs: []uint8{10, 250}, Load: 0}
+	ab, err := a.Encode(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := b.Encode(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ab, bb) {
+		t.Fatalf("zero load changed the encoding: %v vs %v", ab, bb)
+	}
+	if got, _, err := DecodeLSA(ab); err != nil || got.Load != 0 {
+		t.Fatalf("legacy bytes decoded with load %d, err %v", got.Load, err)
+	}
+}
+
+// TestLSANeighborCap: the load flag rides the count byte's high bit, so
+// 127 neighbors is the hard cap regardless of load.
+func TestLSANeighborCap(t *testing.T) {
+	mk := func(n int, load uint8) *LSA {
+		l := &LSA{Origin: 1, Seq: 1, Load: load}
+		for i := 0; i < n; i++ {
+			l.Neighbors = append(l.Neighbors, graph.NodeID(i+2))
+			l.Probs = append(l.Probs, 100)
+		}
+		return l
+	}
+	if _, err := mk(127, 0).Encode(nil); err != nil {
+		t.Fatalf("127 neighbors rejected: %v", err)
+	}
+	if _, err := mk(128, 0).Encode(nil); err == nil {
+		t.Fatal("128 neighbors accepted: count byte would collide with the load flag")
+	}
+	l := mk(127, 255)
+	buf, err := l.Encode(nil)
+	if err != nil {
+		t.Fatalf("127 neighbors with load rejected: %v", err)
+	}
+	got, _, err := DecodeLSA(buf)
+	if err != nil || got.Load != 255 || len(got.Neighbors) != 127 {
+		t.Fatalf("full LSA round trip: load %d, %d neighbors, err %v", got.Load, len(got.Neighbors), err)
+	}
+}

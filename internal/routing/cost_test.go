@@ -1,0 +1,120 @@
+package routing
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// TestZeroPenaltyIsByteIdentical is the digest-safety contract of the
+// CostModel refactor: a nil model, an empty StaticCost, and a StaticCost
+// of explicit zeros must all produce bit-identical ETX and EOTX results —
+// not merely approximately equal. Every golden in the corpus rides on
+// this (x + 0.0 preserves the float64 bit pattern for the non-negative
+// costs these metrics produce).
+func TestZeroPenaltyIsByteIdentical(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		topo := randomTopology(rand.New(rand.NewSource(seed)), 9, 0.5)
+		zeros := StaticCost{}
+		for i := 0; i < topo.N(); i++ {
+			zeros[graph.NodeID(i)] = 0
+		}
+		for dst := 0; dst < topo.N(); dst++ {
+			dd := graph.NodeID(dst)
+			base := EOTX(topo, dd, DefaultEOTXOptions())
+			for _, m := range []CostModel{StaticCost{}, zeros} {
+				opt := DefaultEOTXOptions()
+				opt.Cost = m
+				got := EOTX(topo, dd, opt)
+				for i := range base {
+					if math.Float64bits(got[i]) != math.Float64bits(base[i]) {
+						t.Fatalf("seed %d dst %d node %d: EOTX with zero model %v != %v (bits differ)",
+							seed, dst, i, got[i], base[i])
+					}
+				}
+			}
+			ebase := ETXToDestination(topo, dd, ETXOptions{Threshold: graph.RouteThreshold, AckAware: true})
+			eopt := ETXOptions{Threshold: graph.RouteThreshold, AckAware: true, Cost: zeros}
+			egot := ETXToDestination(topo, dd, eopt)
+			for i := range ebase.Dist {
+				if math.Float64bits(egot.Dist[i]) != math.Float64bits(ebase.Dist[i]) {
+					t.Fatalf("seed %d dst %d node %d: ETX dist with zero model %v != %v",
+						seed, dst, i, egot.Dist[i], ebase.Dist[i])
+				}
+				if egot.Next[i] != ebase.Next[i] {
+					t.Fatalf("seed %d dst %d node %d: ETX next hop moved under zero model",
+						seed, dst, i)
+				}
+			}
+		}
+	}
+}
+
+// TestPenaltyDemotesLoadedRelay: two otherwise-identical relays between
+// source and destination; pricing one as saturated must steer both metrics
+// through the other.
+func TestPenaltyDemotesLoadedRelay(t *testing.T) {
+	// 0 -> {1,2} -> 3, all links 0.8, symmetric.
+	topo := graph.New(4)
+	topo.SetLink(0, 1, 0.8)
+	topo.SetLink(0, 2, 0.8)
+	topo.SetLink(1, 3, 0.8)
+	topo.SetLink(2, 3, 0.8)
+	dst := graph.NodeID(3)
+
+	cost := StaticCost{1: 5}
+	et := ETXToDestination(topo, dst, ETXOptions{Threshold: graph.RouteThreshold, Cost: cost})
+	if et.Next[0] != 2 {
+		t.Errorf("ETX still routes through the penalized relay: next hop %d", et.Next[0])
+	}
+	// The relays are symmetric, so dodging the loaded one costs nothing:
+	// the source's distance must match the unpenalized run exactly.
+	ebase := ETXToDestination(topo, dst, ETXOptions{Threshold: graph.RouteThreshold})
+	if et.Dist[0] != ebase.Dist[0] {
+		t.Errorf("detour around the loaded relay changed the source cost: %v vs %v",
+			et.Dist[0], ebase.Dist[0])
+	}
+
+	opt := DefaultEOTXOptions()
+	opt.Cost = cost
+	d := EOTX(topo, dst, opt)
+	base := EOTX(topo, dst, DefaultEOTXOptions())
+	// The source's distance rises (its cheap path through 1 got pricier)
+	// but stays below the penalized path: opportunistic receptions at 2
+	// still carry the traffic.
+	if d[0] <= base[0] {
+		t.Errorf("EOTX source distance did not price in the loaded relay: %v <= %v", d[0], base[0])
+	}
+	if d[0] >= base[0]+5 {
+		t.Errorf("EOTX charged the full penalty despite an unloaded relay: %v vs base %v", d[0], base[0])
+	}
+}
+
+// TestPenaltyNeverChargesDestination: the destination is where traffic
+// wants to go; load pricing must not make delivery itself look expensive.
+func TestPenaltyNeverChargesDestination(t *testing.T) {
+	topo := graph.New(3)
+	topo.SetLink(0, 1, 0.9)
+	topo.SetLink(1, 2, 0.9)
+	dst := graph.NodeID(2)
+	cost := StaticCost{2: 100}
+
+	base := EOTX(topo, dst, DefaultEOTXOptions())
+	opt := DefaultEOTXOptions()
+	opt.Cost = cost
+	got := EOTX(topo, dst, opt)
+	for i := range base {
+		if math.Float64bits(got[i]) != math.Float64bits(base[i]) {
+			t.Fatalf("node %d: destination penalty leaked into EOTX: %v != %v", i, got[i], base[i])
+		}
+	}
+	ebase := ETXToDestination(topo, dst, ETXOptions{Threshold: graph.RouteThreshold})
+	egot := ETXToDestination(topo, dst, ETXOptions{Threshold: graph.RouteThreshold, Cost: cost})
+	for i := range ebase.Dist {
+		if math.Float64bits(egot.Dist[i]) != math.Float64bits(ebase.Dist[i]) {
+			t.Fatalf("node %d: destination penalty leaked into ETX", i)
+		}
+	}
+}

@@ -16,6 +16,14 @@ type EOTXOptions struct {
 	// receptions; a small threshold mirrors how marginal links are below
 	// the noise floor of probe-based estimation.
 	Threshold float64
+	// Cost, when non-nil, adds a per-node penalty each time the metric
+	// routes a packet through an intermediate forwarder (never the
+	// destination): the relaxation uses d(k) + penalty(k) as the cost of
+	// handing the packet to k. Nil or all-zero leaves EOTX bit-identical
+	// to the loss-only metric. The validation oracles (EOTXBellmanFord,
+	// EOTXFixedPoint) ignore Cost — they exist to cross-check the
+	// loss-only algorithm.
+	Cost CostModel
 }
 
 // DefaultEOTXOptions uses every link the channel can deliver on.
@@ -65,7 +73,9 @@ func EOTX(t *graph.Topology, dst graph.NodeID, opt EOTXOptions) []float64 {
 			if p <= opt.Threshold {
 				continue
 			}
-			T[i] += p * P[i] * d[k]
+			// Handing the packet to forwarder k pays k's load penalty on
+			// top of k's own remaining cost.
+			T[i] += p * P[i] * (d[k] + nodePenalty(opt.Cost, k, dst))
 			P[i] *= 1 - p
 			nd := T[i] / (1 - P[i])
 			if nd < d[i] {

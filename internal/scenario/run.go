@@ -46,14 +46,18 @@ func Run(spec *Spec) (*Result, error) {
 		cfg := opts.CoreConfig()
 		coreNodes = make([]*core.Node, n)
 		for i := range coreNodes {
-			coreNodes[i] = core.NewNode(cfg, cp.Provider(graph.NodeID(i)))
+			ncfg := cfg
+			ncfg.Plan = cp.WithNodeCost(graph.NodeID(i), cfg.Plan)
+			coreNodes[i] = core.NewNode(ncfg, cp.Provider(graph.NodeID(i)))
 		}
 	}
 	if needs["exor"] {
 		cfg := opts.ExorConfig()
 		exorNodes = make([]*exor.Node, n)
 		for i := range exorNodes {
-			exorNodes[i] = exor.NewNode(cfg, cp.Provider(graph.NodeID(i)))
+			ncfg := cfg
+			ncfg.Plan = cp.WithNodeCost(graph.NodeID(i), cfg.Plan)
+			exorNodes[i] = exor.NewNode(ncfg, cp.Provider(graph.NodeID(i)))
 		}
 	}
 	if needs["srcr"] || needs[ProtoPush] {
@@ -241,6 +245,7 @@ func Run(spec *Spec) (*Result, error) {
 	}
 
 	// Collect per-flow outcomes.
+	s.Counters.QueueHWM = cp.QueueHighWater()
 	res := &Result{
 		Scenario:    spec.Name,
 		Nodes:       n,

@@ -104,13 +104,21 @@ type StateSpec struct {
 
 // CCSpec configures the congestion layer.
 type CCSpec struct {
-	// Policy is none (default), tail, choke, credit, or aimd.
+	// Policy is none (default), tail, choke, credit, aimd, or cubic.
 	Policy string `json:"policy,omitempty"`
 	// Queue overrides the transmit-queue bound (0: policy default).
 	Queue int `json:"queue,omitempty"`
-	// CreditMinK overrides the credit policy's batch-rank floor
+	// CreditMinK overrides the credit/cubic policies' batch-rank floor
 	// (0: default 16; negative disables the floor).
 	CreditMinK int `json:"credit_min_k,omitempty"`
+	// LoadPenalty arms the load-aware cost plane: the ETX penalty of
+	// routing through a fully saturated forwarder (0 disables; see
+	// experiments.Options.LoadPenalty). Implies load_export.
+	LoadPenalty float64 `json:"load_penalty,omitempty"`
+	// LoadExport exports the layer's load signals without pricing them:
+	// queue high-water marks appear in the result counters and learned
+	// runs carry load bytes on LSAs, but routing stays loss-only.
+	LoadExport bool `json:"load_export,omitempty"`
 }
 
 // FlowSpec describes one flow.
@@ -337,6 +345,9 @@ func (s *Spec) Validate() error {
 	}
 	if s.CC.Queue < 0 {
 		return fmt.Errorf("scenario %s: cc queue must be >= 0 (got %d)", s.Name, s.CC.Queue)
+	}
+	if s.CC.LoadPenalty < 0 {
+		return fmt.Errorf("scenario %s: cc load_penalty must be >= 0 (got %v)", s.Name, s.CC.LoadPenalty)
 	}
 	if s.Batch < 2 {
 		return fmt.Errorf("scenario %s: batch must be >= 2 (got %d)", s.Name, s.Batch)
@@ -693,6 +704,8 @@ func (s *Spec) Options() experiments.Options {
 	opts.CC = congest.DefaultConfig(policy)
 	opts.CC.QueueLen = s.CC.Queue
 	opts.CC.CreditMinK = s.CC.CreditMinK
+	opts.CC.LoadExport = s.CC.LoadExport
+	opts.LoadPenalty = s.CC.LoadPenalty
 	opts.Repair = secs(s.RepairS)
 	return opts
 }
