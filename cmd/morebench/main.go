@@ -25,12 +25,39 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/gf256"
 	"repro/internal/stats"
 )
+
+// parseCores expands the -cores argument: a bare integer N becomes the
+// doubling sweep 1,2,4,…,N (N included), a comma-separated list is taken
+// as-is.
+func parseCores(s string) ([]int, error) {
+	var counts []int
+	if !strings.Contains(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("-cores: want a positive count or comma-separated list, got %q", s)
+		}
+		for c := 1; c < n; c *= 2 {
+			counts = append(counts, c)
+		}
+		return append(counts, n), nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("-cores: bad worker count %q", part)
+		}
+		counts = append(counts, n)
+	}
+	return counts, nil
+}
 
 func main() {
 	var (
@@ -44,8 +71,20 @@ func main() {
 		plotW    = flag.Int("plotw", 64, "ASCII plot width")
 		parallel = flag.Int("parallel", experiments.AutoParallel(), "worker goroutines for the figure drivers (results are identical for any value)")
 		jsonOut  = flag.Bool("json", false, "emit results as JSON instead of text tables")
+		gfKernel = flag.String("gf256", "", "pin the GF(256) kernel (auto, portable, reference, or a SIMD arm; see gf256.AvailableKernels)")
+		cores    = flag.String("cores", "", "sharded coding-pipeline scaling sweep: a max worker count (doublings from 1) or a comma-separated list")
+		baseline = flag.String("baseline", "", "write per-kernel GF(256) throughput grid to this JSON file (BENCH_gf256.json)")
+		checkBl  = flag.String("check-baseline", "", "compare current GF(256) throughput against this baseline; exit 1 on >20% portable regression")
+		blSecs   = flag.Float64("bench-secs", 0.25, "seconds per benchmark cell for -cores/-baseline/-check-baseline")
 	)
 	flag.Parse()
+
+	if *gfKernel != "" {
+		if err := gf256.SetKernel(*gfKernel); err != nil {
+			fmt.Fprintf(os.Stderr, "-gf256: %v\n", err)
+			os.Exit(2)
+		}
+	}
 
 	opts := experiments.DefaultOptions()
 	opts.FileBytes = *file
@@ -60,7 +99,7 @@ func main() {
 	}
 	var report []entry
 
-	all := *fig == "" && *table == ""
+	all := *fig == "" && *table == "" && *cores == "" && *baseline == "" && *checkBl == ""
 	ran := false
 	// run executes one experiment; fn returns the raw result for -json and
 	// a printer for the text tables.
@@ -188,6 +227,67 @@ func main() {
 		res := experiments.Sec57EOTXvsETX(topo, *parallel)
 		return res, func() { fmt.Print(res.Table()) }
 	})
+
+	benchDur := time.Duration(*blSecs * float64(time.Second))
+
+	if *cores != "" {
+		counts, err := parseCores(*cores)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		start := time.Now()
+		res := experiments.CodingScaling(counts, 32, 1500, benchDur)
+		if *jsonOut {
+			report = append(report, entry{Name: "sharded coding pipeline scaling", Key: "cores",
+				Seconds: time.Since(start).Seconds(), Result: res})
+		} else {
+			fmt.Printf("=== Sharded coding pipeline scaling ===\n%s\n", res.Table())
+		}
+		ran = true
+	}
+
+	if *baseline != "" || *checkBl != "" {
+		res := experiments.GF256Bench(gf256.AvailableKernels(), 32, experiments.GF256SizeClasses, benchDur)
+		if !*jsonOut {
+			fmt.Printf("=== GF(256) kernel throughput (K=32) ===\n%s\n", res.Table())
+		}
+		if *baseline != "" {
+			data, err := json.MarshalIndent(res, "", "  ")
+			if err == nil {
+				err = os.WriteFile(*baseline, append(data, '\n'), 0o644)
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "-baseline: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if *checkBl != "" {
+			data, err := os.ReadFile(*checkBl)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "-check-baseline: %v\n", err)
+				os.Exit(1)
+			}
+			var base experiments.GF256BenchResult
+			if err := json.Unmarshal(data, &base); err != nil {
+				fmt.Fprintf(os.Stderr, "-check-baseline: %v\n", err)
+				os.Exit(1)
+			}
+			// Only the portable arm gates: it is the one arm every host
+			// (and every CI runner) executes identically. SIMD cells are
+			// reported but advisory, since baselines move between CPUs.
+			bad := experiments.CompareGF256Baselines(&base, res, 0.20, []string{"portable"})
+			if len(bad) > 0 {
+				fmt.Fprintf(os.Stderr, "GF(256) throughput regressions beyond 20%%:\n")
+				for _, m := range bad {
+					fmt.Fprintf(os.Stderr, "  %s\n", m)
+				}
+				os.Exit(1)
+			}
+			fmt.Println("baseline check passed: no portable-kernel regression beyond 20%")
+		}
+		ran = true
+	}
 
 	if !ran {
 		fmt.Fprintf(os.Stderr, "unknown experiment: fig=%q table=%q\n", *fig, *table)

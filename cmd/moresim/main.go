@@ -37,6 +37,7 @@ import (
 	"repro/internal/congest"
 	"repro/internal/experiments"
 	"repro/internal/flow"
+	"repro/internal/gf256"
 	"repro/internal/graph"
 	"repro/internal/linkstate"
 	"repro/internal/routing"
@@ -75,8 +76,16 @@ func main() {
 		verbose   = flag.Bool("verbose", false, "print the forwarding plan")
 		showTrace = flag.Bool("trace", false, "print a per-node medium activity timeline")
 		scenFile  = flag.String("scenario", "", "run a declarative scenario spec file (scenarios/*.json); only -json combines with it")
+		gfKernel  = flag.String("gf256", "", "pin the GF(256) kernel (auto, portable, reference, or a SIMD arm); coded bytes are identical under every kernel")
 	)
 	flag.Parse()
+
+	if *gfKernel != "" {
+		if err := gf256.SetKernel(*gfKernel); err != nil {
+			fmt.Fprintf(os.Stderr, "-gf256: %v\n", err)
+			os.Exit(2)
+		}
+	}
 
 	if *scenFile != "" {
 		if !runScenario(*scenFile, *jsonOut) {

@@ -1,0 +1,189 @@
+package coding
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pipeline shards batch work across worker goroutines. Every component in
+// this package (Source, Buffer, Decoder, Pool) is single-goroutine by
+// design; the pipeline scales them to multiple cores without adding a
+// single lock to their hot paths by partitioning *batches*, not packets:
+//
+//   - Affinity: Submit(batch, fn) always routes a given batch ID to the
+//     worker batch % N. All coding state for one batch (buffers, decoders,
+//     pools, RNG) is therefore touched by exactly one goroutine for the
+//     lifetime of the batch. No sharing, no locks, and — because each
+//     batch's work is serialized in submission order on its worker — output
+//     is byte-identical for every worker count (TestPipelineDeterminism
+//     pins N workers against 1).
+//
+//   - Per-worker arenas: each worker owns a set of slab-backed Pools keyed
+//     by packet shape (Worker.Pool). Packets never migrate between workers,
+//     so the pools keep the single-owner contract from pool.go.
+//
+//   - Hand-off: jobs reach workers through bounded SPSC rings (ring.go) —
+//     Submit is the producer, the worker loop the consumer. A full ring
+//     back-pressures the producer (Submit spins with Gosched rather than
+//     growing a queue). Stages inside a job that want to stream results to
+//     another stage use their own Ring the same way (decode→recode in the
+//     experiments driver).
+//
+// Contract: Submit, Flush, and Close must all be called from one goroutine
+// (the coordinator). That single-producer discipline is what lets the rings
+// and the flush accounting run on plain atomics.
+type Pipeline struct {
+	workers []*Worker
+	pending atomic.Int64  // submitted minus completed jobs
+	idle    chan struct{} // cap 1; signaled when pending drains to zero
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+// Worker is one pipeline shard. The *Worker passed to a job must only be
+// used inside that job (it is the job's license to touch worker-owned
+// state).
+type Worker struct {
+	id    int
+	p     *Pipeline
+	in    *Ring[func(*Worker)]
+	wake  chan struct{} // cap 1: producer rings the bell after a push
+	pools map[poolKey]*Pool
+}
+
+type poolKey struct{ k, size int }
+
+// workerRingCap bounds the per-worker job queue; a full ring back-pressures
+// Submit instead of queueing unboundedly.
+const workerRingCap = 256
+
+// NewPipeline starts n workers (n < 1 selects GOMAXPROCS).
+func NewPipeline(n int) *Pipeline {
+	if n < 1 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	p := &Pipeline{
+		workers: make([]*Worker, n),
+		idle:    make(chan struct{}, 1),
+	}
+	for i := range p.workers {
+		w := &Worker{
+			id:    i,
+			p:     p,
+			in:    NewRing[func(*Worker)](workerRingCap),
+			wake:  make(chan struct{}, 1),
+			pools: make(map[poolKey]*Pool),
+		}
+		p.workers[i] = w
+		p.wg.Add(1)
+		go w.loop()
+	}
+	return p
+}
+
+// Workers returns the worker count.
+func (p *Pipeline) Workers() int { return len(p.workers) }
+
+// Submit routes fn to the worker owning batch (batch % Workers()) and
+// returns once it is enqueued. Jobs for the same batch run in submission
+// order on the same goroutine; jobs for different batches run concurrently.
+// Submit blocks (spinning with Gosched) while the target worker's ring is
+// full. Panics if the pipeline is closed.
+func (p *Pipeline) Submit(batch uint64, fn func(w *Worker)) {
+	if p.closed {
+		panic("coding: Submit on closed Pipeline")
+	}
+	w := p.workers[batch%uint64(len(p.workers))]
+	p.pending.Add(1)
+	for !w.in.TryPush(fn) {
+		runtime.Gosched()
+	}
+	// Ring the bell; a full cap-1 channel means the worker already has a
+	// pending wake and will see this push when it drains.
+	select {
+	case w.wake <- struct{}{}:
+	default:
+	}
+}
+
+// Flush blocks until every submitted job has finished. Because the caller
+// is the only producer, no new work can race in, so on return the pipeline
+// is quiescent.
+func (p *Pipeline) Flush() {
+	for p.pending.Load() != 0 {
+		<-p.idle
+	}
+	// Drain a stale idle signal (a worker may have signaled between our
+	// load and a previous drain) so the next Flush doesn't wake spuriously.
+	select {
+	case <-p.idle:
+	default:
+	}
+}
+
+// Close flushes outstanding work and stops the workers. The pipeline cannot
+// be reused afterwards; Close is idempotent.
+func (p *Pipeline) Close() {
+	if p.closed {
+		return
+	}
+	p.Flush()
+	p.closed = true
+	for _, w := range p.workers {
+		// Unbuffered-style guaranteed delivery: the bell channel has cap 1,
+		// so either this send lands or a wake is already pending; either
+		// way the worker re-checks closed.
+		select {
+		case w.wake <- struct{}{}:
+		default:
+		}
+		close(w.wake)
+	}
+	p.wg.Wait()
+}
+
+func (w *Worker) loop() {
+	defer w.p.wg.Done()
+	for {
+		fn, ok := w.in.TryPop()
+		if !ok {
+			// Park until the producer rings the bell. A closed bell means
+			// Close ran, and Close only runs after Flush, so an empty ring
+			// here is final.
+			if _, open := <-w.wake; !open {
+				return
+			}
+			continue
+		}
+		fn(w)
+		if w.p.pending.Add(-1) == 0 {
+			select {
+			case w.p.idle <- struct{}{}:
+			default:
+			}
+		}
+	}
+}
+
+// ID returns the worker's index in [0, Workers()).
+func (w *Worker) ID() int { return w.id }
+
+// Pool returns this worker's slab-backed packet pool for the given shape,
+// creating it on first use. The pool — like everything reached through w —
+// must only be used by jobs running on this worker, which the batch
+// affinity guarantees as long as each batch sticks to one shape's pool.
+func (w *Worker) Pool(k, size int) *Pool {
+	key := poolKey{k, size}
+	if pl, ok := w.pools[key]; ok {
+		return pl
+	}
+	// Size slabs so one slab holds a full batch plus recode slack.
+	pl := NewArenaPool(k, size, 2*k+8)
+	w.pools[key] = pl
+	return pl
+}
+
+// String identifies the worker in test failures.
+func (w *Worker) String() string { return fmt.Sprintf("worker%d", w.id) }

@@ -1,0 +1,391 @@
+package coding
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRingBounds(t *testing.T) {
+	r := NewRing[int](5) // rounds up to 8
+	if r.Cap() != 8 {
+		t.Fatalf("Cap = %d, want 8", r.Cap())
+	}
+	if _, ok := r.TryPop(); ok {
+		t.Fatal("TryPop on empty ring succeeded")
+	}
+	for i := 0; i < 8; i++ {
+		if !r.TryPush(i) {
+			t.Fatalf("TryPush %d failed before capacity", i)
+		}
+	}
+	if r.TryPush(99) {
+		t.Fatal("TryPush succeeded on full ring")
+	}
+	if r.Len() != 8 {
+		t.Fatalf("Len = %d, want 8", r.Len())
+	}
+	for i := 0; i < 8; i++ {
+		v, ok := r.TryPop()
+		if !ok || v != i {
+			t.Fatalf("TryPop = %d,%v, want %d,true (FIFO order)", v, ok, i)
+		}
+	}
+	if _, ok := r.TryPop(); ok {
+		t.Fatal("TryPop succeeded after drain")
+	}
+}
+
+// TestRingSPSCStress hammers one ring from one producer and one consumer
+// goroutine; under -race this proves the release/acquire hand-off publishes
+// slot contents, and the FIFO check proves no slot is lost or reordered.
+func TestRingSPSCStress(t *testing.T) {
+	const total = 100000
+	r := NewRing[*Packet](64)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < total; {
+			p := &Packet{Vector: []byte{byte(i)}, Payload: []byte{byte(i >> 8), byte(i >> 16), byte(i >> 24)}}
+			if r.TryPush(p) {
+				i++
+			} else {
+				runtime.Gosched() // full: let the consumer run (matters on 1 CPU)
+			}
+		}
+	}()
+	for i := 0; i < total; {
+		p, ok := r.TryPop()
+		if !ok {
+			runtime.Gosched()
+			continue
+		}
+		got := int(p.Vector[0]) | int(p.Payload[0])<<8 | int(p.Payload[1])<<16 | int(p.Payload[2])<<24
+		if got != i {
+			t.Fatalf("popped %d, want %d", got, i)
+		}
+		i++
+	}
+	wg.Wait()
+	if r.Len() != 0 {
+		t.Fatalf("ring not empty after stress: %d", r.Len())
+	}
+}
+
+func TestArenaPool(t *testing.T) {
+	p := NewArenaPool(4, 100, 8)
+	if p.Slabs() != 0 {
+		t.Fatalf("fresh arena pool has %d slabs", p.Slabs())
+	}
+	// Draw two slabs' worth and verify shape and non-aliasing.
+	pkts := make([]*Packet, 9)
+	for i := range pkts {
+		pkts[i] = p.Get()
+		if len(pkts[i].Vector) != 4 || len(pkts[i].Payload) != 100 {
+			t.Fatalf("packet %d has shape %d/%d", i, len(pkts[i].Vector), len(pkts[i].Payload))
+		}
+		for j := range pkts[i].Payload {
+			pkts[i].Payload[j] = byte(i)
+		}
+		pkts[i].Vector[0] = byte(i)
+	}
+	if p.Slabs() != 2 {
+		t.Fatalf("after 9 gets from slab-of-8: %d slabs, want 2", p.Slabs())
+	}
+	for i, q := range pkts {
+		if q.Payload[0] != byte(i) || q.Payload[99] != byte(i) || q.Vector[0] != byte(i) {
+			t.Fatalf("packet %d aliases another packet's storage", i)
+		}
+	}
+	// Append to a packet's slices must not bleed into the neighbor carved
+	// from the same slab (the three-index carve pins capacity).
+	pkts[0].Payload = append(pkts[0].Payload, 0xEE)
+	if pkts[1].Payload[0] != 1 {
+		t.Fatal("append to packet 0 payload overwrote packet 1")
+	}
+	pkts[0].Payload = pkts[0].Payload[:100]
+	// Put/Get reuses without growing.
+	for _, q := range pkts {
+		p.Put(q)
+	}
+	for range pkts {
+		p.Get()
+	}
+	if p.Slabs() != 2 {
+		t.Fatalf("reuse grew the pool to %d slabs", p.Slabs())
+	}
+}
+
+func TestPipelineAffinity(t *testing.T) {
+	p := NewPipeline(4)
+	defer p.Close()
+	const batches, perBatch = 64, 16
+	owner := make([][]int, batches) // worker IDs seen per batch
+	for i := range owner {
+		owner[i] = make([]int, 0, perBatch)
+	}
+	for round := 0; round < perBatch; round++ {
+		for b := 0; b < batches; b++ {
+			b := b
+			p.Submit(uint64(b), func(w *Worker) {
+				owner[b] = append(owner[b], w.ID()) // single writer per batch: no lock
+			})
+		}
+	}
+	p.Flush()
+	for b, ids := range owner {
+		if len(ids) != perBatch {
+			t.Fatalf("batch %d ran %d jobs, want %d", b, len(ids), perBatch)
+		}
+		want := b % p.Workers()
+		for _, id := range ids {
+			if id != want {
+				t.Fatalf("batch %d ran on worker %d, want %d (affinity broken)", b, id, want)
+			}
+		}
+	}
+}
+
+// TestPipelineStress runs a full coding workload — source-code, buffer,
+// recode, decode — per batch across 4 workers with per-worker arena pools,
+// under load. Run with -race this is the pipeline's data-race proof.
+func TestPipelineStress(t *testing.T) {
+	const nWorkers, batches = 4, 32
+	k, size := 8, 256
+	p := NewPipeline(nWorkers)
+	defer p.Close()
+
+	type batchState struct {
+		src  *Source
+		buf  *Buffer
+		dec  *Decoder
+		rng  *rand.Rand
+		want [][]byte
+		done bool
+	}
+	states := make([]*batchState, batches)
+
+	// Stage 1: per-batch setup, on the owning worker.
+	for b := 0; b < batches; b++ {
+		b := b
+		p.Submit(uint64(b), func(w *Worker) {
+			rng := rand.New(rand.NewSource(int64(1000 + b)))
+			native := make([][]byte, k)
+			for i := range native {
+				native[i] = make([]byte, size)
+				rng.Read(native[i])
+			}
+			src, err := NewSource(native, rng)
+			if err != nil {
+				panic(err)
+			}
+			pool := w.Pool(k, size)
+			src.UsePool(pool)
+			buf := NewBuffer(k, size)
+			buf.UsePool(pool)
+			dec := NewDecoder(k, size)
+			dec.UsePool(pool)
+			states[b] = &batchState{src: src, buf: buf, dec: dec, rng: rng, want: native}
+		})
+	}
+	p.Flush()
+
+	// Stage 2: many interleaved rounds of transmit → buffer(recode) → decode.
+	for round := 0; round < 3*k; round++ {
+		for b := 0; b < batches; b++ {
+			b := b
+			p.Submit(uint64(b), func(w *Worker) {
+				st := states[b]
+				if st.done {
+					return
+				}
+				st.buf.Add(st.src.Next())
+				if rc := st.buf.Recode(st.rng); rc != nil {
+					st.dec.Add(rc)
+				}
+				if st.dec.Complete() {
+					natives, err := st.dec.Decode()
+					if err != nil {
+						panic(err)
+					}
+					for i, got := range natives {
+						if !bytes.Equal(got, st.want[i]) {
+							panic(fmt.Sprintf("batch %d native %d corrupt", b, i))
+						}
+					}
+					st.done = true
+				}
+			})
+		}
+	}
+	p.Flush()
+	for b, st := range states {
+		if !st.done {
+			t.Fatalf("batch %d failed to decode after %d rounds", b, 3*k)
+		}
+	}
+}
+
+// runShardedWorkload codes, ships, and decodes `batches` batches on a
+// pipeline with n workers, handing decoded batches from the decode stage to
+// a recode stage through an SPSC ring, and returns one digest payload per
+// batch (a recode drawn from the decoded batch with a fixed-seed RNG). All
+// per-batch randomness is seeded by batch ID only, so the result must be
+// byte-identical for every n.
+func runShardedWorkload(t *testing.T, n, batches, k, size int) [][]byte {
+	t.Helper()
+	p := NewPipeline(n)
+	defer p.Close()
+
+	out := make([][]byte, batches)
+	natives := make([][][]byte, batches)
+
+	// Decode stage -> recode stage hand-off rings. SPSC needs one producer
+	// per ring, so each worker gets its own: the worker is the producer, the
+	// coordinator goroutine the consumer.
+	rings := make([]*Ring[int], p.Workers())
+	for i := range rings {
+		rings[i] = NewRing[int](batches)
+	}
+
+	for b := 0; b < batches; b++ {
+		b := b
+		p.Submit(uint64(b), func(w *Worker) {
+			rng := rand.New(rand.NewSource(int64(7000 + b)))
+			native := make([][]byte, k)
+			for i := range native {
+				native[i] = make([]byte, size)
+				rng.Read(native[i])
+			}
+			src, err := NewSource(native, rng)
+			if err != nil {
+				panic(err)
+			}
+			pool := w.Pool(k, size)
+			src.UsePool(pool)
+			dec := NewDecoder(k, size)
+			dec.UsePool(pool)
+			for !dec.Complete() {
+				dec.Add(src.Next())
+			}
+			pays, err := dec.Decode()
+			if err != nil {
+				panic(err)
+			}
+			natives[b] = pays
+			if !rings[w.ID()].TryPush(b) {
+				panic("hand-off ring overflow")
+			}
+		})
+	}
+	p.Flush()
+
+	// Recode stage: consume the hand-off rings (the coordinator is the sole
+	// consumer of each) and route each decoded batch back to its owning
+	// worker to draw the digest recode from a batch-seeded RNG.
+	for _, r := range rings {
+		for {
+			b, ok := r.TryPop()
+			if !ok {
+				break
+			}
+			p.Submit(uint64(b), func(w *Worker) {
+				rng := rand.New(rand.NewSource(int64(9000 + b)))
+				buf := NewBuffer(k, size)
+				buf.UsePool(w.Pool(k, size))
+				for i, pay := range natives[b] {
+					q := w.Pool(k, size).Get()
+					clear(q.Vector)
+					q.Vector[i] = 1
+					copy(q.Payload, pay)
+					buf.Add(q)
+				}
+				rc := buf.Recode(rng)
+				out[b] = append([]byte(nil), rc.Payload...)
+			})
+		}
+	}
+	p.Flush()
+
+	for b := range out {
+		if out[b] == nil {
+			t.Fatalf("batch %d produced no digest", b)
+		}
+	}
+	return out
+}
+
+// TestPipelineDeterminism pins the core scaling guarantee: the sharded
+// pipeline's output is byte-identical regardless of worker count, because
+// batch affinity serializes each batch's work and all randomness is
+// batch-seeded.
+func TestPipelineDeterminism(t *testing.T) {
+	const batches, k, size = 24, 8, 128
+	want := runShardedWorkload(t, 1, batches, k, size)
+	for _, n := range []int{2, 3, 4, 8} {
+		got := runShardedWorkload(t, n, batches, k, size)
+		for b := range want {
+			if !bytes.Equal(got[b], want[b]) {
+				t.Fatalf("cores=%d batch %d differs from cores=1", n, b)
+			}
+		}
+	}
+}
+
+func TestPipelineFlushIdle(t *testing.T) {
+	p := NewPipeline(2)
+	defer p.Close()
+	p.Flush() // flush with nothing submitted must not hang
+	ran := false
+	p.Submit(0, func(w *Worker) { ran = true })
+	p.Flush()
+	if !ran {
+		t.Fatal("job did not run before Flush returned")
+	}
+	p.Flush() // repeated flush must not hang on a stale idle signal
+}
+
+func TestPipelineCloseAndSubmitPanics(t *testing.T) {
+	p := NewPipeline(2)
+	var n atomic.Int64
+	for i := 0; i < 100; i++ {
+		p.Submit(uint64(i), func(w *Worker) { n.Add(1) })
+	}
+	p.Close()
+	if n.Load() != 100 {
+		t.Fatalf("Close lost jobs: %d of 100 ran", n.Load())
+	}
+	p.Close() // idempotent
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Submit after Close did not panic")
+		}
+	}()
+	p.Submit(0, func(w *Worker) {})
+}
+
+func TestWorkerPoolPerShape(t *testing.T) {
+	p := NewPipeline(1)
+	defer p.Close()
+	p.Submit(0, func(w *Worker) {
+		a := w.Pool(8, 256)
+		b := w.Pool(8, 256)
+		c := w.Pool(16, 256)
+		if a != b {
+			panic("same shape returned distinct pools")
+		}
+		if a == c {
+			panic("different shapes share a pool")
+		}
+		q := a.Get()
+		if len(q.Vector) != 8 || len(q.Payload) != 256 {
+			panic("worker pool packet has wrong shape")
+		}
+	})
+	p.Flush()
+}

@@ -1,0 +1,79 @@
+package coding
+
+import "sync/atomic"
+
+// Ring is a bounded single-producer/single-consumer queue (a Lamport ring):
+// exactly one goroutine may push and exactly one may pop. Under that
+// contract it is lock-free and wait-free — each side publishes with one
+// atomic store and observes the other with one atomic load — which is what
+// the pipeline wants for its decode→recode hand-off: the decode worker
+// streams recovered batches to the recode stage without either side taking
+// a lock on the hot path.
+//
+// Invariants (head and tail are free-running uint64 counters, never
+// wrapped; the slot index is counter&mask):
+//
+//   - head <= tail <= head+cap at every instant.
+//   - Slots [head, tail) are owned by the consumer (full), slots
+//     [tail, head+cap) by the producer (empty). Ownership transfers only at
+//     the single atomic store in TryPush/TryPop, so the two sides never
+//     touch a slot concurrently.
+//   - The producer writes buf[tail&mask] before storing tail+1; Go atomics
+//     are release/acquire, so a consumer that observes the new tail also
+//     observes the slot contents.
+//
+// The counters live on separate cache lines so the producer's tail stores
+// do not false-share with the consumer's head stores.
+type Ring[T any] struct {
+	_    [64]byte
+	head atomic.Uint64 // next slot to pop; advanced only by the consumer
+	_    [56]byte
+	tail atomic.Uint64 // next slot to push; advanced only by the producer
+	_    [56]byte
+	mask uint64
+	buf  []T
+}
+
+// NewRing creates a ring holding at least capacity elements (rounded up to
+// a power of two, minimum 2, so the index math is a mask).
+func NewRing[T any](capacity int) *Ring[T] {
+	n := 2
+	for n < capacity {
+		n <<= 1
+	}
+	return &Ring[T]{mask: uint64(n - 1), buf: make([]T, n)}
+}
+
+// TryPush appends v and reports success; it fails (without blocking) when
+// the ring is full. Producer side only.
+func (r *Ring[T]) TryPush(v T) bool {
+	tail := r.tail.Load()
+	if tail-r.head.Load() == uint64(len(r.buf)) {
+		return false
+	}
+	r.buf[tail&r.mask] = v
+	r.tail.Store(tail + 1)
+	return true
+}
+
+// TryPop removes the oldest element and reports success; it fails (without
+// blocking) when the ring is empty. The slot is zeroed so the ring does not
+// retain popped pointers. Consumer side only.
+func (r *Ring[T]) TryPop() (T, bool) {
+	var zero T
+	head := r.head.Load()
+	if head == r.tail.Load() {
+		return zero, false
+	}
+	v := r.buf[head&r.mask]
+	r.buf[head&r.mask] = zero
+	r.head.Store(head + 1)
+	return v, true
+}
+
+// Len returns a snapshot of the number of queued elements. With both sides
+// running it is advisory only.
+func (r *Ring[T]) Len() int { return int(r.tail.Load() - r.head.Load()) }
+
+// Cap returns the ring's fixed capacity.
+func (r *Ring[T]) Cap() int { return len(r.buf) }

@@ -1,0 +1,47 @@
+package gf256
+
+// CPUID-based feature detection for the amd64 kernel arms. The standard
+// library's internal/cpu is not importable and this repo takes no external
+// dependencies, so the two instructions needed (CPUID, XGETBV) live in
+// cpu_amd64.s.
+
+// cpuid executes CPUID with the given leaf and subleaf.
+func cpuid(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv reads XCR0 (only valid when CPUID reports OSXSAVE).
+func xgetbv() (eax, edx uint32)
+
+type cpuFeatures struct {
+	ssse3 bool // PSHUFB
+	avx2  bool // 256-bit integer ops, OS-enabled
+	gfni  bool // GF2P8AFFINEQB (VEX form; we pair it with AVX2)
+}
+
+// cpuFeat is computed during package variable initialization, before any
+// init function runs, so dispatch.go's env handling can rely on it.
+var cpuFeat = detectCPU()
+
+func detectCPU() cpuFeatures {
+	var f cpuFeatures
+	maxLeaf, _, _, _ := cpuid(0, 0)
+	if maxLeaf < 1 {
+		return f
+	}
+	_, _, ecx1, _ := cpuid(1, 0)
+	f.ssse3 = ecx1&(1<<9) != 0
+	// AVX requires the OS to have enabled XMM+YMM state saving (OSXSAVE,
+	// then XCR0 bits 1 and 2).
+	osxsave := ecx1&(1<<27) != 0
+	avxHW := ecx1&(1<<28) != 0
+	ymmOS := false
+	if osxsave {
+		xlo, _ := xgetbv()
+		ymmOS = xlo&0x6 == 0x6
+	}
+	if maxLeaf >= 7 {
+		_, ebx7, ecx7, _ := cpuid(7, 0)
+		f.avx2 = avxHW && ymmOS && ebx7&(1<<5) != 0
+		f.gfni = f.avx2 && ecx7&(1<<8) != 0
+	}
+	return f
+}

@@ -1,0 +1,106 @@
+package gf256
+
+// Kernel implementation dispatch. The package selects the best combine
+// implementation the CPU supports at startup; the GF256_KERNEL environment
+// variable forces a specific one (the CI matrix runs the whole test suite
+// with GF256_KERNEL=portable so the fallback arm can never rot), and
+// SetKernel switches at runtime (cmd flags: `-gf256 portable`). Selection
+// affects kernels created afterwards — existing Kernel values keep the
+// implementation they were built with.
+
+import (
+	"fmt"
+	"os"
+	"sync"
+)
+
+// Names of the kernel implementations accepted by SetKernel, NewKernelNamed
+// and the GF256_KERNEL environment variable.
+const (
+	// KernelAuto re-runs the hardware detection and selects the best
+	// supported implementation.
+	KernelAuto = "auto"
+	// KernelPortable is the word-wise SWAR form (kernel_generic.go). Always
+	// available; the escape hatch when an accelerated arm misbehaves.
+	KernelPortable = "portable"
+	// KernelReference is the byte-wise mulTable loop (reference.go). Always
+	// available but never auto-selected; it exists as the fuzzing oracle.
+	KernelReference = "reference"
+	// KernelPSHUFB is the amd64 16-byte-nibble-shuffle form (SSSE3, widened
+	// to AVX2 when available).
+	KernelPSHUFB = "pshufb"
+	// KernelGFNI is the amd64 Galois-field-affine form (GFNI + AVX2).
+	KernelGFNI = "gfni"
+)
+
+var kernelMu sync.Mutex
+var activeKernel string
+
+func init() {
+	name := os.Getenv("GF256_KERNEL")
+	if name == "" {
+		name = KernelAuto
+	}
+	if err := SetKernel(name); err != nil {
+		// A bad GF256_KERNEL must be loud, not silently fall back: the CI
+		// portable leg depends on the variable actually forcing the arm.
+		panic(fmt.Sprintf("gf256: GF256_KERNEL=%q: %v", os.Getenv("GF256_KERNEL"), err))
+	}
+}
+
+// AvailableKernels returns the implementation names supported on this
+// machine, best-first (the first entry is what auto selects; "reference"
+// is always last).
+func AvailableKernels() []string {
+	names := append([]string{}, archKernels()...)
+	return append(names, KernelPortable, KernelReference)
+}
+
+// ActiveKernel returns the name of the implementation NewKernel currently
+// builds.
+func ActiveKernel() string {
+	kernelMu.Lock()
+	defer kernelMu.Unlock()
+	return activeKernel
+}
+
+// SetKernel selects the implementation NewKernel builds from now on.
+// "auto" (or "") re-runs hardware detection and picks the best supported
+// arm. It errors, leaving the selection unchanged, if the name is unknown
+// or the CPU lacks the required features.
+func SetKernel(name string) error {
+	if name == "" || name == KernelAuto {
+		name = AvailableKernels()[0]
+	}
+	if err := kernelSupported(name); err != nil {
+		return err
+	}
+	kernelMu.Lock()
+	defer kernelMu.Unlock()
+	activeKernel = name
+	return nil
+}
+
+// kernelSupported reports whether name identifies an implementation this
+// machine can run.
+func kernelSupported(name string) error {
+	avail := AvailableKernels()
+	for _, a := range avail {
+		if a == name {
+			return nil
+		}
+	}
+	return fmt.Errorf("unknown or unsupported gf256 kernel %q (available: %v)", name, avail)
+}
+
+// newImpl builds the named implementation. The name must have passed
+// kernelSupported.
+func newImpl(name string) kernelImpl {
+	switch name {
+	case KernelPortable:
+		return &swarKernel{}
+	case KernelReference:
+		return &refKernel{}
+	}
+	return newArchImpl(name)
+}

@@ -1,0 +1,222 @@
+package gf256
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// Differential fuzzing across kernel arms. Every arm the host CPU supports
+// (asm SIMD forms included) plus the portable SWAR kernel is crossed against
+// the byte-wise reference kernel on the same inputs for all three combine
+// entry points. Any divergence is a correctness bug in exactly one place:
+// the faster arm.
+//
+// The fuzzer derives everything from five scalars so the corpus stays small
+// and minimizable. The derivation deliberately exercises the regions where
+// SIMD kernels break in practice:
+//
+//   - sizes straddling the vector block (sub-16-byte payloads, 16/32/64-byte
+//     boundaries, and +-1 off them) so aligned-prefix/scalar-tail splits and
+//     their hand-off are covered;
+//   - rows placed at an odd offset inside a larger backing array so no input
+//     pointer is 16-byte aligned (the asm uses unaligned loads; this proves
+//     it);
+//   - coefficient vectors biased towards 0 and 1 so the zero-skip and
+//     identity-copy short-circuits cross the same inputs as the general
+//     multiply, including all-zero vectors (output must be all zero bytes).
+
+// fuzzArms returns the kernels under test (everything but the reference
+// oracle itself) honoring any GF256_KERNEL pin only for ordering, never for
+// exclusion: differential coverage should not silently narrow.
+func fuzzArms(t testing.TB) []string {
+	var arms []string
+	for _, name := range AvailableKernels() {
+		if name != KernelReference {
+			arms = append(arms, name)
+		}
+	}
+	if len(arms) == 0 {
+		t.Fatal("no kernel arms to test")
+	}
+	return arms
+}
+
+// buildFuzzCase derives rows, coefficient vectors, and unaligned backing
+// storage from the fuzz scalars.
+type fuzzCase struct {
+	k      int
+	size   int
+	np     int      // products for CombineMany
+	rows   [][]byte // k rows of size bytes, unaligned within their backing
+	coeffs [][]byte // np coefficient vectors of length k
+}
+
+func buildFuzzCase(seed int64, kRaw, sizeRaw, offRaw, npRaw uint8) fuzzCase {
+	rng := rand.New(rand.NewSource(seed))
+	k := int(kRaw)%48 + 1
+	// Map sizeRaw onto a mix of block boundaries and arbitrary lengths:
+	// even inputs pick len in [1,96] directly (dense sub-vector coverage),
+	// odd inputs pick a boundary multiple with a -1/0/+1 nudge.
+	size := int(sizeRaw)%96 + 1
+	if sizeRaw%2 == 1 {
+		size = (int(sizeRaw/2)%40 + 1) * 16
+		switch sizeRaw % 3 {
+		case 0:
+			size--
+		case 2:
+			size++
+		}
+	}
+	off := int(offRaw) % 31
+	np := int(npRaw)%4 + 1
+
+	fc := fuzzCase{k: k, size: size, np: np}
+	fc.rows = make([][]byte, k)
+	for i := range fc.rows {
+		backing := make([]byte, off+size+7)
+		rng.Read(backing)
+		fc.rows[i] = backing[off : off+size]
+	}
+	fc.coeffs = make([][]byte, np)
+	for p := range fc.coeffs {
+		cv := make([]byte, k)
+		mode := rng.Intn(6)
+		for i := range cv {
+			switch mode {
+			case 0: // all zero
+			case 1: // all one
+				cv[i] = 1
+			case 2: // sparse: mostly zeros
+				if rng.Intn(4) == 0 {
+					cv[i] = byte(rng.Intn(256))
+				}
+			case 3: // zero/one mix
+				cv[i] = byte(rng.Intn(2))
+			default: // dense random
+				cv[i] = byte(rng.Intn(256))
+			}
+		}
+		fc.coeffs[p] = cv
+	}
+	return fc
+}
+
+// checkKernelEquivalence runs one derived case through every arm and fails
+// on the first byte diverging from the reference.
+func checkKernelEquivalence(t *testing.T, fc fuzzCase) {
+	t.Helper()
+	ref, err := NewKernelNamed(KernelReference)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.SetRows(fc.rows)
+
+	// Oracle outputs.
+	wantCombine := make([][]byte, fc.np)
+	for p := range wantCombine {
+		wantCombine[p] = make([]byte, fc.size)
+		ref.Combine(wantCombine[p], fc.coeffs[p])
+	}
+	wantMany := make([][]byte, fc.np)
+	for p := range wantMany {
+		wantMany[p] = make([]byte, fc.size)
+	}
+	ref.CombineMany(wantMany, fc.coeffs)
+	wantInto := make([]byte, fc.size)
+	ref.CombineInto(wantInto, fc.rows, fc.coeffs[0])
+
+	for _, name := range fuzzArms(t) {
+		kn, err := NewKernelNamed(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		kn.SetRows(fc.rows)
+
+		// Combine: dst starts dirty to catch arms that accumulate instead
+		// of overwrite. Dst is also placed unaligned.
+		for p := 0; p < fc.np; p++ {
+			backing := bytes.Repeat([]byte{0xa5}, fc.size+13)
+			got := backing[13:]
+			kn.Combine(got, fc.coeffs[p])
+			if !bytes.Equal(got, wantCombine[p]) {
+				t.Fatalf("%s Combine diverges from reference (k=%d size=%d p=%d coeffs=%x)\n got %x\nwant %x",
+					name, fc.k, fc.size, p, fc.coeffs[p], got, wantCombine[p])
+			}
+		}
+
+		gotMany := make([][]byte, fc.np)
+		for p := range gotMany {
+			gotMany[p] = bytes.Repeat([]byte{0x3c}, fc.size)
+		}
+		kn.CombineMany(gotMany, fc.coeffs)
+		for p := range gotMany {
+			if !bytes.Equal(gotMany[p], wantMany[p]) {
+				t.Fatalf("%s CombineMany diverges from reference (k=%d size=%d p=%d)",
+					name, fc.k, fc.size, p)
+			}
+		}
+
+		gotInto := bytes.Repeat([]byte{0x5a}, fc.size)
+		kn.CombineInto(gotInto, fc.rows, fc.coeffs[0])
+		if !bytes.Equal(gotInto, wantInto) {
+			t.Fatalf("%s CombineInto diverges from reference (k=%d size=%d coeffs=%x)\n got %x\nwant %x",
+				name, fc.k, fc.size, fc.coeffs[0], gotInto, wantInto)
+		}
+	}
+}
+
+func FuzzKernelEquivalence(f *testing.F) {
+	// Seeds cover: tiny payloads, exact block multiples, off-by-one around
+	// 16/32/64, unaligned offsets, single-row, and many-row cases.
+	f.Add(int64(1), uint8(0), uint8(0), uint8(0), uint8(0))    // k=1 size=1 aligned
+	f.Add(int64(2), uint8(31), uint8(14), uint8(0), uint8(1))  // size=15 sub-block
+	f.Add(int64(3), uint8(31), uint8(15), uint8(0), uint8(1))  // size=16 exact
+	f.Add(int64(4), uint8(31), uint8(16), uint8(0), uint8(1))  // size=17
+	f.Add(int64(5), uint8(31), uint8(3), uint8(5), uint8(2))   // 32-block, unaligned
+	f.Add(int64(6), uint8(31), uint8(7), uint8(1), uint8(2))   // 64-boundary region
+	f.Add(int64(7), uint8(15), uint8(62), uint8(3), uint8(3))  // size=63 (asm prefix + 31B tail)
+	f.Add(int64(8), uint8(15), uint8(9), uint8(30), uint8(0))  // 79, worst unalignment
+	f.Add(int64(9), uint8(47), uint8(95), uint8(17), uint8(3)) // k=48 wide
+	f.Add(int64(10), uint8(0), uint8(77), uint8(11), uint8(1)) // k=1 odd size
+	f.Fuzz(func(t *testing.T, seed int64, kRaw, sizeRaw, offRaw, npRaw uint8) {
+		checkKernelEquivalence(t, buildFuzzCase(seed, kRaw, sizeRaw, offRaw, npRaw))
+	})
+}
+
+// TestKernelEquivalenceSweep is the deterministic companion to the fuzzer:
+// a fixed sweep over every size 1..200 crossed with several row counts, so
+// plain `go test` (and the portable-only CI leg) still covers every
+// prefix/tail split without fuzzing infrastructure.
+func TestKernelEquivalenceSweep(t *testing.T) {
+	for _, k := range []int{1, 2, 3, 7, 32} {
+		for size := 1; size <= 200; size++ {
+			fc := buildFuzzCase(int64(k*1000+size), uint8(k-1), 0, uint8(size%31), 2)
+			fc.size = size
+			rng := rand.New(rand.NewSource(int64(size)))
+			for i := range fc.rows {
+				backing := make([]byte, (size%31)+size)
+				rng.Read(backing)
+				fc.rows[i] = backing[size%31:]
+			}
+			checkKernelEquivalence(t, fc)
+		}
+	}
+}
+
+// TestKernelEquivalenceSeedCorpus replays the checked-in fuzz seeds under
+// plain `go test` so the corpus cannot rot.
+func TestKernelEquivalenceSeedCorpus(t *testing.T) {
+	seeds := [][5]uint64{
+		{1, 0, 0, 0, 0}, {2, 31, 14, 0, 1}, {3, 31, 15, 0, 1},
+		{4, 31, 16, 0, 1}, {5, 31, 3, 5, 2}, {6, 31, 7, 1, 2},
+		{7, 15, 62, 3, 3}, {8, 15, 9, 30, 0}, {9, 47, 95, 17, 3},
+		{10, 0, 77, 11, 1},
+	}
+	for _, s := range seeds {
+		t.Run(fmt.Sprintf("seed%d", s[0]), func(t *testing.T) {
+			checkKernelEquivalence(t, buildFuzzCase(int64(s[0]), uint8(s[1]), uint8(s[2]), uint8(s[3]), uint8(s[4])))
+		})
+	}
+}

@@ -41,7 +41,18 @@ var (
 	invTable [256]byte
 )
 
-func init() {
+func init() { initBaseTables() }
+
+// baseTablesBuilt guards initBaseTables: the amd64 SIMD arm derives its
+// nibble tables and affine matrices from mulTable inside its own init, so
+// it calls initBaseTables first rather than relying on init file order.
+var baseTablesBuilt bool
+
+func initBaseTables() {
+	if baseTablesBuilt {
+		return
+	}
+	baseTablesBuilt = true
 	// Build exp/log tables by repeated multiplication by the generator.
 	x := 1
 	for i := 0; i < 255; i++ {

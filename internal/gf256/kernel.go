@@ -1,91 +1,88 @@
 package gf256
 
-// This file implements the word-wise multi-row coding kernel: computing
+// This file is the kernel façade: the multi-row combine API
 //
 //	dst = Σ coeffs[i] · rows[i]
 //
-// eight bytes per uint64 load/XOR instead of one table lookup per byte.
-// It is the hot path of packet coding: the source codes every transmitted
-// packet as a K-row combination (§3.1.1), and the destination's decode is K
-// such combinations (one per recovered native).
+// that the packet pipeline codes, recodes and decodes through. The façade
+// owns every argument check (so all implementations share identical panic
+// behavior, pinned by kernel_panic_test.go) and dispatches the byte
+// crunching to one of several interchangeable implementations:
 //
-// The design has three parts:
+//   - portable: the word-wise SWAR form in kernel_generic.go — bit-plane
+//     decomposition, 4-bit-nibble subset tables, 64-byte register strips.
+//     Runs everywhere; the fallback the SIMD forms are proven against.
+//   - pshufb (amd64): 16-byte-nibble-shuffle multiply in kernel_amd64.s —
+//     two PSHUFB table lookups per 16 input bytes, widened to 32-byte AVX2
+//     lanes when the CPU has them.
+//   - gfni (amd64): one VGF2P8AFFINEQB per 32 input bytes, multiplying by a
+//     constant via its 8×8 bit matrix over GF(2) (the affine form works for
+//     our 0x11D polynomial where GF2P8MULB's hardwired 0x11B would not).
+//   - reference: the byte-wise mulTable loop in reference.go — the oracle
+//     all word/vector forms are differentially fuzzed against, never
+//     selected by auto dispatch.
 //
-//  1. Bit-plane decomposition. By linearity over GF(2), c·p for c = Σ_j b_j 2^j
-//     is Σ_j b_j·(2^j·p), so a multi-row combination splits into eight XOR
-//     accumulations — plane j XORs together the rows whose coefficient has
-//     bit j set — followed by a Horner combine Σ_j 2^j·A_j. XOR and the
-//     doubling map both vectorize over a uint64 of eight byte lanes:
-//     doubling is the SWAR "xtimes" below, so no multiplication tables are
-//     touched per payload byte at all.
-//
-//  2. Nibble subset tables (four-Russians). When the same rows are combined
-//     repeatedly — the source codes dozens of packets per batch, the decoder
-//     recovers K natives from one stored batch — rows are grouped four at a
-//     time and all 16 subset XORs of each group are precomputed. A plane
-//     then XORs one precomputed row per group, selected by the 4-bit nibble
-//     formed by that plane's bit across the group's four coefficients,
-//     halving the XOR passes per combination. Table rows are padded to an
-//     odd multiple of 64 bytes so concurrent strips never collide in the
-//     same L1 cache sets.
-//
-//  3. Strip mining with an inline Horner. Payloads are processed in 64-byte
-//     strips held in eight uint64 registers; planes run from bit 7 down to
-//     bit 0 with an xtimes of the live registers between planes, so the
-//     Horner combine costs no extra accumulator traffic.
-//
-// Combine (table mode) and CombineInto (table-free mode, for recoding over a
-// buffer whose rows change every packet) must produce byte-identical output
-// to the byte-wise reference loop; kernel_test.go fuzzes that equivalence.
-
-import "encoding/binary"
-
-const (
-	// kernelStrip is the bytes processed per register-resident strip.
-	kernelStrip = 64
-
-	swarOnes    = 0x0101010101010101
-	swarLoSeven = 0x7f7f7f7f7f7f7f7f
-	swarHiBit   = 0x8080808080808080
-	// swarRed is the low byte of Poly, folded into lanes whose high bit
-	// overflowed during doubling.
-	swarRed = Poly & 0xFF
-)
-
-// xtimes doubles each of the eight byte lanes of w in GF(2^8): the lane is
-// shifted left and lanes that carried out of bit 7 are reduced by the
-// primitive polynomial.
-func xtimes(w uint64) uint64 {
-	return ((w & swarLoSeven) << 1) ^ (((w & swarHiBit) >> 7) * swarRed)
-}
+// Selection is automatic at startup (best kernel the CPU supports), forced
+// by the GF256_KERNEL environment variable, or switched programmatically
+// with SetKernel — see dispatch.go. Every implementation must produce
+// byte-identical output for identical inputs; FuzzKernelEquivalence crosses
+// all of them on random shapes, tails and alignments.
 
 // Kernel is a reusable multi-row combine engine. A zero-value Kernel is not
-// usable; obtain one with NewKernel. Kernels hold scratch state and are not
-// safe for concurrent use — the packet pipeline owns one per flow.
+// usable; obtain one with NewKernel (the active implementation) or
+// NewKernelNamed. Kernels hold scratch state and are not safe for
+// concurrent use — the packet pipeline owns one per flow, and the sharded
+// pipeline in internal/coding owns one per worker.
 type Kernel struct {
-	// Table mode (SetRows/Combine).
-	k      int    // rows captured by SetRows
-	size   int    // row length
-	stride int    // padded row stride in flat
-	groups int    // ceil(k/4)
-	flat   []byte // groups*16 subset rows, each stride bytes
-	sel    []int32
-	cnt    [8]int32
-	gw     []uint32 // per-group packed coefficient words (plan scratch)
-	msel   []int32  // CombineMany packed plans
-	mstart []int32
-
-	// Direct mode (CombineInto) scratch: plane-major row selections.
-	dsel [][]byte
-	dcnt [8]int
+	k    int // rows captured by SetRows
+	size int // row length
+	name string
+	impl kernelImpl
 }
 
-// NewKernel returns an empty kernel.
-func NewKernel() *Kernel { return &Kernel{} }
+// kernelImpl is the contract a combine implementation fulfills. The façade
+// validates every argument before dispatching, so implementations may
+// assume: setRows receives a non-empty set of equal-length nonzero rows;
+// combine/combineMany receive k-length coefficient vectors and size-length
+// destinations; combineInto receives sources matching the coefficient
+// count, all exactly len(dst) (it is independent of setRows state).
+type kernelImpl interface {
+	setRows(rows [][]byte)
+	combine(dst, coeffs []byte)
+	combineMany(dsts, coeffs [][]byte)
+	combineInto(dst []byte, srcs [][]byte, coeffs []byte)
+}
 
-// SetRows captures rows for repeated Combine calls, building the per-group
-// subset tables. All rows must have equal nonzero length. The rows are
-// copied; later mutation of the originals does not affect the kernel.
+// NewKernel returns an empty kernel backed by the active implementation
+// (ActiveKernel; portable SWAR unless the CPU offers better or GF256_KERNEL
+// overrides).
+func NewKernel() *Kernel {
+	name := ActiveKernel()
+	return &Kernel{name: name, impl: newImpl(name)}
+}
+
+// NewKernelNamed returns an empty kernel backed by the named implementation
+// regardless of the active selection. It errors if the implementation is
+// unknown or not supported on this CPU.
+func NewKernelNamed(name string) (*Kernel, error) {
+	if err := kernelSupported(name); err != nil {
+		return nil, err
+	}
+	return &Kernel{name: name, impl: newImpl(name)}, nil
+}
+
+// Name returns the name of the implementation backing this kernel.
+func (kn *Kernel) Name() string { return kn.name }
+
+// K returns the number of rows captured by SetRows (0 before the first
+// SetRows).
+func (kn *Kernel) K() int { return kn.k }
+
+// SetRows captures rows for repeated Combine calls, building whatever
+// per-batch acceleration state the implementation uses (subset tables for
+// the portable form, a flat row copy for the SIMD forms). All rows must
+// have equal nonzero length. The rows are copied; later mutation of the
+// originals does not affect the kernel.
 func (kn *Kernel) SetRows(rows [][]byte) {
 	if len(rows) == 0 {
 		panic("gf256: Kernel.SetRows with no rows")
@@ -101,52 +98,8 @@ func (kn *Kernel) SetRows(rows [][]byte) {
 	}
 	kn.k = len(rows)
 	kn.size = size
-	kn.groups = (kn.k + 3) / 4
-	// Round the stride up to a whole number of cache lines, then force an
-	// odd line count: with gcd(stride/64, 64) == 1 the table rows touched by
-	// one strip spread across all L1 sets instead of thrashing a few.
-	kn.stride = (size + 63) &^ 63
-	if (kn.stride/64)%2 == 0 {
-		kn.stride += 64
-	}
-	need := kn.groups * 16 * kn.stride
-	if cap(kn.flat) < need {
-		kn.flat = make([]byte, need)
-	}
-	kn.flat = kn.flat[:need]
-	if cap(kn.sel) < 8*kn.groups {
-		kn.sel = make([]int32, 8*kn.groups)
-	}
-	for g := 0; g < kn.groups; g++ {
-		// Singletons: subset {b} is row 4g+b itself (zeroed when the last
-		// group is short, so composite entries stay well defined).
-		for b := 0; b < 4; b++ {
-			d := kn.row(g, 1<<b)
-			if i := g*4 + b; i < kn.k {
-				copy(d, rows[i])
-			} else {
-				clear(d)
-			}
-		}
-		// Composites: peel the lowest set bit, one XOR pass each.
-		for m := 3; m < 16; m++ {
-			if m&(m-1) == 0 {
-				continue
-			}
-			lb := m & -m
-			xorAssign2(kn.row(g, m), kn.row(g, lb), kn.row(g, m&^lb))
-		}
-	}
+	kn.impl.setRows(rows)
 }
-
-func (kn *Kernel) row(g, mask int) []byte {
-	off := (g*16 + mask) * kn.stride
-	return kn.flat[off : off+kn.size]
-}
-
-// K returns the number of rows captured by SetRows (0 before the first
-// SetRows).
-func (kn *Kernel) K() int { return kn.k }
 
 // Combine sets dst = Σ coeffs[i]·rows[i] over the rows captured by SetRows.
 // len(coeffs) must equal K() and len(dst) must equal the row length; dst
@@ -159,38 +112,18 @@ func (kn *Kernel) Combine(dst, coeffs []byte) {
 	if len(dst) != kn.size {
 		panic("gf256: Kernel.Combine length mismatch")
 	}
-	// Plan: for each bit plane, the subset-table row of each group, indexed
-	// by the plane's bit across the group's four coefficients. The 4×8 bit
-	// transpose per group is a SWAR multiply-gather: lane b of
-	// (w>>j)&0x01010101 carries bit j of coefficient b, and the 0x01020408
-	// multiply packs the four lanes into the top byte as the 4-bit index.
-	kn.planInto(coeffs)
-	var start [9]int32
-	for j := 0; j < 8; j++ {
-		start[j+1] = start[j] + kn.cnt[j]
-	}
-	n := len(dst)
-	i := 0
-	for ; i+kernelStrip <= n; i += kernelStrip {
-		kn.combineStrip(dst, kn.sel, start[:], i)
-	}
-	// Word tail: the padded table rows make 8-byte reads past size safe.
-	for ; i < n; i += 8 {
-		kn.combineWordTail(dst, kn.sel, start[:], i)
-	}
+	kn.impl.combine(dst, coeffs)
 }
 
 // CombineMany computes dsts[p] = Σ coeffs[p][i]·rows[i] for every product p
-// over the rows captured by SetRows. It is Combine batched strip-major: all
-// products consume one 64-byte strip of the subset tables before moving to
-// the next, so the strip's table lines stay in L1 across products. This is
-// the decoder's shape — K natives recovered from one stored batch.
+// over the rows captured by SetRows. This is the decoder's shape — K
+// natives recovered from one stored batch — and implementations batch it so
+// per-batch state stays hot across products.
 func (kn *Kernel) CombineMany(dsts [][]byte, coeffs [][]byte) {
 	if len(dsts) != len(coeffs) {
 		panic("gf256: CombineMany product count mismatch")
 	}
-	np := len(dsts)
-	if np == 0 {
+	if len(dsts) == 0 {
 		return
 	}
 	for p := range dsts {
@@ -201,159 +134,14 @@ func (kn *Kernel) CombineMany(dsts [][]byte, coeffs [][]byte) {
 			panic("gf256: CombineMany length mismatch")
 		}
 	}
-	// Packed plans: product p's plane-j selections live at
-	// msel[mstart[p*9+j]:mstart[p*9+j+1]].
-	if cap(kn.msel) < np*8*kn.groups {
-		kn.msel = make([]int32, np*8*kn.groups)
-	}
-	if cap(kn.mstart) < np*9 {
-		kn.mstart = make([]int32, np*9)
-	}
-	msel := kn.msel[:0]
-	mstart := kn.mstart[:np*9]
-	for p := 0; p < np; p++ {
-		kn.planInto(coeffs[p])
-		base := int32(len(msel))
-		msel = append(msel, kn.sel...)
-		mstart[p*9] = base
-		for j := 0; j < 8; j++ {
-			mstart[p*9+j+1] = mstart[p*9+j] + kn.cnt[j]
-		}
-	}
-	n := kn.size
-	i := 0
-	for ; i+kernelStrip <= n; i += kernelStrip {
-		for p := 0; p < np; p++ {
-			kn.combineStrip(dsts[p], msel, mstart[p*9:p*9+9], i)
-		}
-	}
-	for ; i < n; i += 8 {
-		for p := 0; p < np; p++ {
-			kn.combineWordTail(dsts[p], msel, mstart[p*9:p*9+9], i)
-		}
-	}
-}
-
-// planInto fills kn.sel/kn.cnt with the plane-major subset-table offsets
-// for one coefficient vector.
-func (kn *Kernel) planInto(coeffs []byte) {
-	if cap(kn.gw) < kn.groups {
-		kn.gw = make([]uint32, kn.groups)
-	}
-	gw := kn.gw[:kn.groups]
-	for g := range gw {
-		base := g * 4
-		var w uint32
-		if base+4 <= len(coeffs) {
-			w = uint32(coeffs[base]) | uint32(coeffs[base+1])<<8 |
-				uint32(coeffs[base+2])<<16 | uint32(coeffs[base+3])<<24
-		} else {
-			for b := 0; base+b < len(coeffs); b++ {
-				w |= uint32(coeffs[base+b]) << (8 * b)
-			}
-		}
-		gw[g] = w
-	}
-	sel := kn.sel[:0]
-	for j := 0; j < 8; j++ {
-		n := 0
-		for g, w := range gw {
-			idx := int((((w >> uint(j)) & 0x01010101) * 0x01020408) >> 24 & 0xF)
-			if idx != 0 {
-				sel = append(sel, int32((g*16+idx)*kn.stride))
-				n++
-			}
-		}
-		kn.cnt[j] = int32(n)
-	}
-	kn.sel = sel
-}
-
-// combineStrip runs the inline-Horner bit-plane accumulation for one
-// 64-byte strip at offset i, selecting table rows via sel/start.
-func (kn *Kernel) combineStrip(dst []byte, sel []int32, start []int32, i int) {
-	flat := kn.flat
-	var a0, a1, a2, a3, a4, a5, a6, a7 uint64
-	for j := 7; j >= 0; j-- {
-		if j != 7 {
-			a0 = xtimes(a0)
-			a1 = xtimes(a1)
-			a2 = xtimes(a2)
-			a3 = xtimes(a3)
-			a4 = xtimes(a4)
-			a5 = xtimes(a5)
-			a6 = xtimes(a6)
-			a7 = xtimes(a7)
-		}
-		row := sel[start[j]:start[j+1]]
-		// Two selections per iteration: the independent load streams
-		// overlap and the loop overhead halves.
-		for ; len(row) >= 2; row = row[2:] {
-			off := int(row[0]) + i
-			s := flat[off : off+kernelStrip : off+kernelStrip]
-			off2 := int(row[1]) + i
-			t := flat[off2 : off2+kernelStrip : off2+kernelStrip]
-			a0 ^= binary.LittleEndian.Uint64(s[0:]) ^ binary.LittleEndian.Uint64(t[0:])
-			a1 ^= binary.LittleEndian.Uint64(s[8:]) ^ binary.LittleEndian.Uint64(t[8:])
-			a2 ^= binary.LittleEndian.Uint64(s[16:]) ^ binary.LittleEndian.Uint64(t[16:])
-			a3 ^= binary.LittleEndian.Uint64(s[24:]) ^ binary.LittleEndian.Uint64(t[24:])
-			a4 ^= binary.LittleEndian.Uint64(s[32:]) ^ binary.LittleEndian.Uint64(t[32:])
-			a5 ^= binary.LittleEndian.Uint64(s[40:]) ^ binary.LittleEndian.Uint64(t[40:])
-			a6 ^= binary.LittleEndian.Uint64(s[48:]) ^ binary.LittleEndian.Uint64(t[48:])
-			a7 ^= binary.LittleEndian.Uint64(s[56:]) ^ binary.LittleEndian.Uint64(t[56:])
-		}
-		if len(row) == 1 {
-			off := int(row[0]) + i
-			s := flat[off : off+kernelStrip : off+kernelStrip]
-			a0 ^= binary.LittleEndian.Uint64(s[0:])
-			a1 ^= binary.LittleEndian.Uint64(s[8:])
-			a2 ^= binary.LittleEndian.Uint64(s[16:])
-			a3 ^= binary.LittleEndian.Uint64(s[24:])
-			a4 ^= binary.LittleEndian.Uint64(s[32:])
-			a5 ^= binary.LittleEndian.Uint64(s[40:])
-			a6 ^= binary.LittleEndian.Uint64(s[48:])
-			a7 ^= binary.LittleEndian.Uint64(s[56:])
-		}
-	}
-	d := dst[i : i+kernelStrip : i+kernelStrip]
-	binary.LittleEndian.PutUint64(d[0:], a0)
-	binary.LittleEndian.PutUint64(d[8:], a1)
-	binary.LittleEndian.PutUint64(d[16:], a2)
-	binary.LittleEndian.PutUint64(d[24:], a3)
-	binary.LittleEndian.PutUint64(d[32:], a4)
-	binary.LittleEndian.PutUint64(d[40:], a5)
-	binary.LittleEndian.PutUint64(d[48:], a6)
-	binary.LittleEndian.PutUint64(d[56:], a7)
-}
-
-// combineWordTail handles one 8-byte word at offset i (padded table rows
-// make the full word read safe; the final partial word is written byte by
-// byte).
-func (kn *Kernel) combineWordTail(dst []byte, sel []int32, start []int32, i int) {
-	flat := kn.flat
-	var a uint64
-	for j := 7; j >= 0; j-- {
-		if j != 7 {
-			a = xtimes(a)
-		}
-		for _, off32 := range sel[start[j]:start[j+1]] {
-			off := int(off32) + i
-			a ^= binary.LittleEndian.Uint64(flat[off : off+8 : off+8])
-		}
-	}
-	if i+8 <= len(dst) {
-		binary.LittleEndian.PutUint64(dst[i:], a)
-	} else {
-		for b := i; b < len(dst); b++ {
-			dst[b] = byte(a >> (uint(b-i) * 8))
-		}
-	}
+	kn.impl.combineMany(dsts, coeffs)
 }
 
 // CombineInto sets dst = Σ coeffs[i]·srcs[i] without any precomputation —
 // the table-free path for recoding, where the combined rows change with
-// every received packet. All srcs and dst must share len(dst); dst must not
-// alias any src. Rows with coefficient zero are never read.
+// every received packet. All srcs must share len(dst); dst must not alias
+// any src. Rows with coefficient zero are never read. CombineInto is
+// independent of SetRows state.
 func (kn *Kernel) CombineInto(dst []byte, srcs [][]byte, coeffs []byte) {
 	if len(srcs) != len(coeffs) {
 		panic("gf256: CombineInto row/coefficient count mismatch")
@@ -363,83 +151,5 @@ func (kn *Kernel) CombineInto(dst []byte, srcs [][]byte, coeffs []byte) {
 			panic("gf256: CombineInto length mismatch")
 		}
 	}
-	if cap(kn.dsel) < 8*len(srcs) {
-		kn.dsel = make([][]byte, 8*len(srcs))
-	}
-	dsel := kn.dsel[:0]
-	for j := 0; j < 8; j++ {
-		n := 0
-		for i, c := range coeffs {
-			if c>>uint(j)&1 != 0 {
-				dsel = append(dsel, srcs[i])
-				n++
-			}
-		}
-		kn.dcnt[j] = n
-	}
-	var start [9]int
-	for j := 0; j < 8; j++ {
-		start[j+1] = start[j] + kn.dcnt[j]
-	}
-	n := len(dst)
-	i := 0
-	for ; i+kernelStrip <= n; i += kernelStrip {
-		var a0, a1, a2, a3, a4, a5, a6, a7 uint64
-		for j := 7; j >= 0; j-- {
-			if j != 7 {
-				a0 = xtimes(a0)
-				a1 = xtimes(a1)
-				a2 = xtimes(a2)
-				a3 = xtimes(a3)
-				a4 = xtimes(a4)
-				a5 = xtimes(a5)
-				a6 = xtimes(a6)
-				a7 = xtimes(a7)
-			}
-			for _, src := range dsel[start[j]:start[j+1]] {
-				s := src[i : i+kernelStrip : i+kernelStrip]
-				a0 ^= binary.LittleEndian.Uint64(s[0:])
-				a1 ^= binary.LittleEndian.Uint64(s[8:])
-				a2 ^= binary.LittleEndian.Uint64(s[16:])
-				a3 ^= binary.LittleEndian.Uint64(s[24:])
-				a4 ^= binary.LittleEndian.Uint64(s[32:])
-				a5 ^= binary.LittleEndian.Uint64(s[40:])
-				a6 ^= binary.LittleEndian.Uint64(s[48:])
-				a7 ^= binary.LittleEndian.Uint64(s[56:])
-			}
-		}
-		d := dst[i : i+kernelStrip : i+kernelStrip]
-		binary.LittleEndian.PutUint64(d[0:], a0)
-		binary.LittleEndian.PutUint64(d[8:], a1)
-		binary.LittleEndian.PutUint64(d[16:], a2)
-		binary.LittleEndian.PutUint64(d[24:], a3)
-		binary.LittleEndian.PutUint64(d[32:], a4)
-		binary.LittleEndian.PutUint64(d[40:], a5)
-		binary.LittleEndian.PutUint64(d[48:], a6)
-		binary.LittleEndian.PutUint64(d[56:], a7)
-	}
-	// Byte tail: source rows are exactly size bytes, so fall back to table
-	// lookups over the original rows.
-	for ; i < n; i++ {
-		var b byte
-		for r, c := range coeffs {
-			if c != 0 {
-				b ^= mulTable[c][srcs[r][i]]
-			}
-		}
-		dst[i] = b
-	}
-}
-
-// xorAssign2 sets dst[i] = a[i]^b[i]; all three must share a length. The
-// slice-advance shape keeps one bounds check per 8 bytes.
-func xorAssign2(dst, a, b []byte) {
-	for len(dst) >= 8 && len(a) >= 8 && len(b) >= 8 {
-		binary.LittleEndian.PutUint64(dst,
-			binary.LittleEndian.Uint64(a)^binary.LittleEndian.Uint64(b))
-		dst, a, b = dst[8:], a[8:], b[8:]
-	}
-	for i := range dst {
-		dst[i] = a[i] ^ b[i]
-	}
+	kn.impl.combineInto(dst, srcs, coeffs)
 }

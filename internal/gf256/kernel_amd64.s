@@ -1,0 +1,360 @@
+// amd64 constant-multiply primitives for the SIMD kernel arms
+// (kernel_simd_amd64.go). Each function applies one GF(2^8)
+// multiply-by-constant to a whole slice:
+//
+//	gfMul*   : dst[i]  = c * src[i]
+//	gfMulAdd*: dst[i] ^= c * src[i]
+//
+// The constant is passed pre-expanded: the PSHUFB forms take a 32-byte
+// nibble table (lo[16] = c*x, hi[16] = c*(x<<4); the product of a byte is
+// the XOR of its two nibble products, multiplication being linear over
+// GF(2)), and the GFNI forms take the 8x8 bit matrix of the linear map
+// x -> c*x packed in a qword, applied by VGF2P8AFFINEQB (which, unlike
+// GF2P8MULB's hardwired 0x11B polynomial, works for our 0x11D field).
+//
+// Callers guarantee: n > 0, n is a multiple of the form's block size
+// (16 for SSSE3, 32 for AVX2/GFNI), and dst/src do not overlap. Tails are
+// handled byte-wise in Go.
+
+#include "textflag.h"
+
+// func gfMulSSSE3(dst, src *byte, n int, tab *byte)
+TEXT ·gfMulSSSE3(SB), NOSPLIT, $0-32
+	MOVQ dst+0(FP), DI
+	MOVQ src+8(FP), SI
+	MOVQ n+16(FP), CX
+	MOVQ tab+24(FP), DX
+	MOVOU (DX), X0            // lo-nibble product table
+	MOVOU 16(DX), X1          // hi-nibble product table
+	MOVQ $0x0f0f0f0f0f0f0f0f, AX
+	MOVQ AX, X2
+	PSHUFD $0x44, X2, X2      // broadcast nibble mask to both qwords
+
+loop:
+	MOVOU (SI), X3
+	MOVO  X3, X4
+	PSRLQ $4, X4
+	PAND  X2, X3              // low nibbles
+	PAND  X2, X4              // high nibbles
+	MOVO  X0, X5
+	MOVO  X1, X6
+	PSHUFB X3, X5             // c * low nibble
+	PSHUFB X4, X6             // c * (high nibble << 4)
+	PXOR  X6, X5
+	MOVOU X5, (DI)
+	ADDQ $16, SI
+	ADDQ $16, DI
+	SUBQ $16, CX
+	JNE  loop
+	RET
+
+// func gfMulAddSSSE3(dst, src *byte, n int, tab *byte)
+TEXT ·gfMulAddSSSE3(SB), NOSPLIT, $0-32
+	MOVQ dst+0(FP), DI
+	MOVQ src+8(FP), SI
+	MOVQ n+16(FP), CX
+	MOVQ tab+24(FP), DX
+	MOVOU (DX), X0
+	MOVOU 16(DX), X1
+	MOVQ $0x0f0f0f0f0f0f0f0f, AX
+	MOVQ AX, X2
+	PSHUFD $0x44, X2, X2
+
+loop:
+	MOVOU (SI), X3
+	MOVO  X3, X4
+	PSRLQ $4, X4
+	PAND  X2, X3
+	PAND  X2, X4
+	MOVO  X0, X5
+	MOVO  X1, X6
+	PSHUFB X3, X5
+	PSHUFB X4, X6
+	PXOR  X6, X5
+	MOVOU (DI), X7
+	PXOR  X7, X5
+	MOVOU X5, (DI)
+	ADDQ $16, SI
+	ADDQ $16, DI
+	SUBQ $16, CX
+	JNE  loop
+	RET
+
+// func gfMulAVX2(dst, src *byte, n int, tab *byte)
+TEXT ·gfMulAVX2(SB), NOSPLIT, $0-32
+	MOVQ dst+0(FP), DI
+	MOVQ src+8(FP), SI
+	MOVQ n+16(FP), CX
+	MOVQ tab+24(FP), DX
+	VBROADCASTI128 (DX), Y0   // lo table in both 128-bit lanes
+	VBROADCASTI128 16(DX), Y1 // hi table (VPSHUFB shuffles per lane)
+	MOVQ $0x0f0f0f0f0f0f0f0f, AX
+	MOVQ AX, X2
+	VPBROADCASTQ X2, Y2
+	CMPQ CX, $64
+	JB   tail32
+
+loop64:
+	VMOVDQU (SI), Y3
+	VMOVDQU 32(SI), Y8
+	VPSRLQ $4, Y3, Y4
+	VPSRLQ $4, Y8, Y9
+	VPAND Y2, Y3, Y3
+	VPAND Y2, Y4, Y4
+	VPAND Y2, Y8, Y8
+	VPAND Y2, Y9, Y9
+	VPSHUFB Y3, Y0, Y5
+	VPSHUFB Y4, Y1, Y6
+	VPSHUFB Y8, Y0, Y10
+	VPSHUFB Y9, Y1, Y11
+	VPXOR Y6, Y5, Y5
+	VPXOR Y11, Y10, Y10
+	VMOVDQU Y5, (DI)
+	VMOVDQU Y10, 32(DI)
+	ADDQ $64, SI
+	ADDQ $64, DI
+	SUBQ $64, CX
+	CMPQ CX, $64
+	JAE  loop64
+
+tail32:
+	TESTQ CX, CX
+	JZ   done
+	VMOVDQU (SI), Y3
+	VPSRLQ $4, Y3, Y4
+	VPAND Y2, Y3, Y3
+	VPAND Y2, Y4, Y4
+	VPSHUFB Y3, Y0, Y5
+	VPSHUFB Y4, Y1, Y6
+	VPXOR Y6, Y5, Y5
+	VMOVDQU Y5, (DI)
+
+done:
+	VZEROUPPER
+	RET
+
+// func gfMulAddAVX2(dst, src *byte, n int, tab *byte)
+TEXT ·gfMulAddAVX2(SB), NOSPLIT, $0-32
+	MOVQ dst+0(FP), DI
+	MOVQ src+8(FP), SI
+	MOVQ n+16(FP), CX
+	MOVQ tab+24(FP), DX
+	VBROADCASTI128 (DX), Y0
+	VBROADCASTI128 16(DX), Y1
+	MOVQ $0x0f0f0f0f0f0f0f0f, AX
+	MOVQ AX, X2
+	VPBROADCASTQ X2, Y2
+	CMPQ CX, $64
+	JB   tail32
+
+loop64:
+	VMOVDQU (SI), Y3
+	VMOVDQU 32(SI), Y8
+	VPSRLQ $4, Y3, Y4
+	VPSRLQ $4, Y8, Y9
+	VPAND Y2, Y3, Y3
+	VPAND Y2, Y4, Y4
+	VPAND Y2, Y8, Y8
+	VPAND Y2, Y9, Y9
+	VPSHUFB Y3, Y0, Y5
+	VPSHUFB Y4, Y1, Y6
+	VPSHUFB Y8, Y0, Y10
+	VPSHUFB Y9, Y1, Y11
+	VPXOR Y6, Y5, Y5
+	VPXOR Y11, Y10, Y10
+	VPXOR (DI), Y5, Y5
+	VPXOR 32(DI), Y10, Y10
+	VMOVDQU Y5, (DI)
+	VMOVDQU Y10, 32(DI)
+	ADDQ $64, SI
+	ADDQ $64, DI
+	SUBQ $64, CX
+	CMPQ CX, $64
+	JAE  loop64
+
+tail32:
+	TESTQ CX, CX
+	JZ   done
+	VMOVDQU (SI), Y3
+	VPSRLQ $4, Y3, Y4
+	VPAND Y2, Y3, Y3
+	VPAND Y2, Y4, Y4
+	VPSHUFB Y3, Y0, Y5
+	VPSHUFB Y4, Y1, Y6
+	VPXOR Y6, Y5, Y5
+	VPXOR (DI), Y5, Y5
+	VMOVDQU Y5, (DI)
+
+done:
+	VZEROUPPER
+	RET
+
+// func gfMulGFNI(dst, src *byte, n int, mat uint64)
+TEXT ·gfMulGFNI(SB), NOSPLIT, $0-32
+	MOVQ dst+0(FP), DI
+	MOVQ src+8(FP), SI
+	MOVQ n+16(FP), CX
+	MOVQ mat+24(FP), AX
+	MOVQ AX, X0
+	VPBROADCASTQ X0, Y0       // multiply-by-c bit matrix in every qword
+	CMPQ CX, $64
+	JB   tail32
+
+loop64:
+	VMOVDQU (SI), Y1
+	VMOVDQU 32(SI), Y2
+	VGF2P8AFFINEQB $0, Y0, Y1, Y1
+	VGF2P8AFFINEQB $0, Y0, Y2, Y2
+	VMOVDQU Y1, (DI)
+	VMOVDQU Y2, 32(DI)
+	ADDQ $64, SI
+	ADDQ $64, DI
+	SUBQ $64, CX
+	CMPQ CX, $64
+	JAE  loop64
+
+tail32:
+	TESTQ CX, CX
+	JZ   done
+	VMOVDQU (SI), Y1
+	VGF2P8AFFINEQB $0, Y0, Y1, Y1
+	VMOVDQU Y1, (DI)
+
+done:
+	VZEROUPPER
+	RET
+
+// func gfMulAddGFNI(dst, src *byte, n int, mat uint64)
+TEXT ·gfMulAddGFNI(SB), NOSPLIT, $0-32
+	MOVQ dst+0(FP), DI
+	MOVQ src+8(FP), SI
+	MOVQ n+16(FP), CX
+	MOVQ mat+24(FP), AX
+	MOVQ AX, X0
+	VPBROADCASTQ X0, Y0
+	CMPQ CX, $64
+	JB   tail32
+
+loop64:
+	VMOVDQU (SI), Y1
+	VMOVDQU 32(SI), Y2
+	VGF2P8AFFINEQB $0, Y0, Y1, Y1
+	VGF2P8AFFINEQB $0, Y0, Y2, Y2
+	VPXOR (DI), Y1, Y1
+	VPXOR 32(DI), Y2, Y2
+	VMOVDQU Y1, (DI)
+	VMOVDQU Y2, 32(DI)
+	ADDQ $64, SI
+	ADDQ $64, DI
+	SUBQ $64, CX
+	CMPQ CX, $64
+	JAE  loop64
+
+tail32:
+	TESTQ CX, CX
+	JZ   done
+	VMOVDQU (SI), Y1
+	VGF2P8AFFINEQB $0, Y0, Y1, Y1
+	VPXOR (DI), Y1, Y1
+	VMOVDQU Y1, (DI)
+
+done:
+	VZEROUPPER
+	RET
+
+// func gfMulAdd2AVX2(dst, a, b *byte, n int, tabA, tabB *byte)
+// dst[i] ^= cA*a[i] ^ cB*b[i]: two fused multiply-accumulate streams per
+// pass, halving the dst load/store traffic of two gfMulAddAVX2 calls.
+TEXT ·gfMulAdd2AVX2(SB), NOSPLIT, $0-48
+	MOVQ dst+0(FP), DI
+	MOVQ a+8(FP), SI
+	MOVQ b+16(FP), BX
+	MOVQ n+24(FP), CX
+	MOVQ tabA+32(FP), DX
+	MOVQ tabB+40(FP), R8
+	VBROADCASTI128 (DX), Y0
+	VBROADCASTI128 16(DX), Y1
+	VBROADCASTI128 (R8), Y12
+	VBROADCASTI128 16(R8), Y13
+	MOVQ $0x0f0f0f0f0f0f0f0f, AX
+	MOVQ AX, X2
+	VPBROADCASTQ X2, Y2
+
+loop:
+	VMOVDQU (SI), Y3
+	VMOVDQU (BX), Y8
+	VPSRLQ $4, Y3, Y4
+	VPSRLQ $4, Y8, Y9
+	VPAND Y2, Y3, Y3
+	VPAND Y2, Y4, Y4
+	VPAND Y2, Y8, Y8
+	VPAND Y2, Y9, Y9
+	VPSHUFB Y3, Y0, Y5
+	VPSHUFB Y4, Y1, Y6
+	VPSHUFB Y8, Y12, Y10
+	VPSHUFB Y9, Y13, Y11
+	VPXOR Y6, Y5, Y5
+	VPXOR Y11, Y10, Y10
+	VPXOR Y10, Y5, Y5
+	VPXOR (DI), Y5, Y5
+	VMOVDQU Y5, (DI)
+	ADDQ $32, SI
+	ADDQ $32, BX
+	ADDQ $32, DI
+	SUBQ $32, CX
+	JNE  loop
+	VZEROUPPER
+	RET
+
+// func gfMulAdd2GFNI(dst, a, b *byte, n int, matA, matB uint64)
+// dst[i] ^= cA*a[i] ^ cB*b[i], GFNI form.
+TEXT ·gfMulAdd2GFNI(SB), NOSPLIT, $0-48
+	MOVQ dst+0(FP), DI
+	MOVQ a+8(FP), SI
+	MOVQ b+16(FP), BX
+	MOVQ n+24(FP), CX
+	MOVQ matA+32(FP), AX
+	MOVQ AX, X0
+	VPBROADCASTQ X0, Y0
+	MOVQ matB+40(FP), AX
+	MOVQ AX, X3
+	VPBROADCASTQ X3, Y3
+	CMPQ CX, $64
+	JB   tail32
+
+loop64:
+	VMOVDQU (SI), Y1
+	VMOVDQU 32(SI), Y2
+	VMOVDQU (BX), Y4
+	VMOVDQU 32(BX), Y5
+	VGF2P8AFFINEQB $0, Y0, Y1, Y1
+	VGF2P8AFFINEQB $0, Y0, Y2, Y2
+	VGF2P8AFFINEQB $0, Y3, Y4, Y4
+	VGF2P8AFFINEQB $0, Y3, Y5, Y5
+	VPXOR Y4, Y1, Y1
+	VPXOR Y5, Y2, Y2
+	VPXOR (DI), Y1, Y1
+	VPXOR 32(DI), Y2, Y2
+	VMOVDQU Y1, (DI)
+	VMOVDQU Y2, 32(DI)
+	ADDQ $64, SI
+	ADDQ $64, BX
+	ADDQ $64, DI
+	SUBQ $64, CX
+	CMPQ CX, $64
+	JAE  loop64
+
+tail32:
+	TESTQ CX, CX
+	JZ   done
+	VMOVDQU (SI), Y1
+	VMOVDQU (BX), Y4
+	VGF2P8AFFINEQB $0, Y0, Y1, Y1
+	VGF2P8AFFINEQB $0, Y3, Y4, Y4
+	VPXOR Y4, Y1, Y1
+	VPXOR (DI), Y1, Y1
+	VMOVDQU Y1, (DI)
+
+done:
+	VZEROUPPER
+	RET

@@ -1,0 +1,389 @@
+package gf256
+
+// This file implements the portable ("portable") word-wise multi-row
+// coding kernel: computing
+//
+//	dst = Σ coeffs[i] · rows[i]
+//
+// eight bytes per uint64 load/XOR instead of one table lookup per byte.
+// It is the fallback arm of the kernel dispatch (kernel.go) and the form
+// the SIMD arms are differentially fuzzed against.
+//
+// The design has three parts:
+//
+//  1. Bit-plane decomposition. By linearity over GF(2), c·p for c = Σ_j b_j 2^j
+//     is Σ_j b_j·(2^j·p), so a multi-row combination splits into eight XOR
+//     accumulations — plane j XORs together the rows whose coefficient has
+//     bit j set — followed by a Horner combine Σ_j 2^j·A_j. XOR and the
+//     doubling map both vectorize over a uint64 of eight byte lanes:
+//     doubling is the SWAR "xtimes" below, so no multiplication tables are
+//     touched per payload byte at all.
+//
+//  2. Nibble subset tables (four-Russians). When the same rows are combined
+//     repeatedly — the source codes dozens of packets per batch, the decoder
+//     recovers K natives from one stored batch — rows are grouped four at a
+//     time and all 16 subset XORs of each group are precomputed. A plane
+//     then XORs one precomputed row per group, selected by the 4-bit nibble
+//     formed by that plane's bit across the group's four coefficients,
+//     halving the XOR passes per combination. Table rows are padded to an
+//     odd multiple of 64 bytes so concurrent strips never collide in the
+//     same L1 cache sets.
+//
+//  3. Strip mining with an inline Horner. Payloads are processed in 64-byte
+//     strips held in eight uint64 registers; planes run from bit 7 down to
+//     bit 0 with an xtimes of the live registers between planes, so the
+//     Horner combine costs no extra accumulator traffic.
+//
+// combine (table mode) and combineInto (table-free mode, for recoding over a
+// buffer whose rows change every packet) must produce byte-identical output
+// to the byte-wise reference loop; kernel_test.go and the differential fuzz
+// harness pin that equivalence.
+
+import "encoding/binary"
+
+const (
+	// kernelStrip is the bytes processed per register-resident strip.
+	kernelStrip = 64
+
+	swarOnes    = 0x0101010101010101
+	swarLoSeven = 0x7f7f7f7f7f7f7f7f
+	swarHiBit   = 0x8080808080808080
+	// swarRed is the low byte of Poly, folded into lanes whose high bit
+	// overflowed during doubling.
+	swarRed = Poly & 0xFF
+)
+
+// xtimes doubles each of the eight byte lanes of w in GF(2^8): the lane is
+// shifted left and lanes that carried out of bit 7 are reduced by the
+// primitive polynomial.
+func xtimes(w uint64) uint64 {
+	return ((w & swarLoSeven) << 1) ^ (((w & swarHiBit) >> 7) * swarRed)
+}
+
+// swarKernel is the portable kernelImpl. See the file comment for the
+// design; the façade in kernel.go has already validated every argument by
+// the time these methods run.
+type swarKernel struct {
+	// Table mode (setRows/combine).
+	k      int    // rows captured by setRows
+	size   int    // row length
+	stride int    // padded row stride in flat
+	groups int    // ceil(k/4)
+	flat   []byte // groups*16 subset rows, each stride bytes
+	sel    []int32
+	cnt    [8]int32
+	gw     []uint32 // per-group packed coefficient words (plan scratch)
+	msel   []int32  // combineMany packed plans
+	mstart []int32
+
+	// Direct mode (combineInto) scratch: plane-major row selections.
+	dsel [][]byte
+	dcnt [8]int
+}
+
+func (kn *swarKernel) setRows(rows [][]byte) {
+	size := len(rows[0])
+	kn.k = len(rows)
+	kn.size = size
+	kn.groups = (kn.k + 3) / 4
+	// Round the stride up to a whole number of cache lines, then force an
+	// odd line count: with gcd(stride/64, 64) == 1 the table rows touched by
+	// one strip spread across all L1 sets instead of thrashing a few.
+	kn.stride = (size + 63) &^ 63
+	if (kn.stride/64)%2 == 0 {
+		kn.stride += 64
+	}
+	need := kn.groups * 16 * kn.stride
+	if cap(kn.flat) < need {
+		kn.flat = make([]byte, need)
+	}
+	kn.flat = kn.flat[:need]
+	if cap(kn.sel) < 8*kn.groups {
+		kn.sel = make([]int32, 8*kn.groups)
+	}
+	for g := 0; g < kn.groups; g++ {
+		// Singletons: subset {b} is row 4g+b itself (zeroed when the last
+		// group is short, so composite entries stay well defined).
+		for b := 0; b < 4; b++ {
+			d := kn.row(g, 1<<b)
+			if i := g*4 + b; i < kn.k {
+				copy(d, rows[i])
+			} else {
+				clear(d)
+			}
+		}
+		// Composites: peel the lowest set bit, one XOR pass each.
+		for m := 3; m < 16; m++ {
+			if m&(m-1) == 0 {
+				continue
+			}
+			lb := m & -m
+			xorAssign2(kn.row(g, m), kn.row(g, lb), kn.row(g, m&^lb))
+		}
+	}
+}
+
+func (kn *swarKernel) row(g, mask int) []byte {
+	off := (g*16 + mask) * kn.stride
+	return kn.flat[off : off+kn.size]
+}
+
+func (kn *swarKernel) combine(dst, coeffs []byte) {
+	// Plan: for each bit plane, the subset-table row of each group, indexed
+	// by the plane's bit across the group's four coefficients. The 4×8 bit
+	// transpose per group is a SWAR multiply-gather: lane b of
+	// (w>>j)&0x01010101 carries bit j of coefficient b, and the 0x01020408
+	// multiply packs the four lanes into the top byte as the 4-bit index.
+	kn.planInto(coeffs)
+	var start [9]int32
+	for j := 0; j < 8; j++ {
+		start[j+1] = start[j] + kn.cnt[j]
+	}
+	n := len(dst)
+	i := 0
+	for ; i+kernelStrip <= n; i += kernelStrip {
+		kn.combineStrip(dst, kn.sel, start[:], i)
+	}
+	// Word tail: the padded table rows make 8-byte reads past size safe.
+	for ; i < n; i += 8 {
+		kn.combineWordTail(dst, kn.sel, start[:], i)
+	}
+}
+
+// combineMany is combine batched strip-major: all products consume one
+// 64-byte strip of the subset tables before moving to the next, so the
+// strip's table lines stay in L1 across products.
+func (kn *swarKernel) combineMany(dsts [][]byte, coeffs [][]byte) {
+	np := len(dsts)
+	// Packed plans: product p's plane-j selections live at
+	// msel[mstart[p*9+j]:mstart[p*9+j+1]].
+	if cap(kn.msel) < np*8*kn.groups {
+		kn.msel = make([]int32, np*8*kn.groups)
+	}
+	if cap(kn.mstart) < np*9 {
+		kn.mstart = make([]int32, np*9)
+	}
+	msel := kn.msel[:0]
+	mstart := kn.mstart[:np*9]
+	for p := 0; p < np; p++ {
+		kn.planInto(coeffs[p])
+		base := int32(len(msel))
+		msel = append(msel, kn.sel...)
+		mstart[p*9] = base
+		for j := 0; j < 8; j++ {
+			mstart[p*9+j+1] = mstart[p*9+j] + kn.cnt[j]
+		}
+	}
+	n := kn.size
+	i := 0
+	for ; i+kernelStrip <= n; i += kernelStrip {
+		for p := 0; p < np; p++ {
+			kn.combineStrip(dsts[p], msel, mstart[p*9:p*9+9], i)
+		}
+	}
+	for ; i < n; i += 8 {
+		for p := 0; p < np; p++ {
+			kn.combineWordTail(dsts[p], msel, mstart[p*9:p*9+9], i)
+		}
+	}
+}
+
+// planInto fills kn.sel/kn.cnt with the plane-major subset-table offsets
+// for one coefficient vector.
+func (kn *swarKernel) planInto(coeffs []byte) {
+	if cap(kn.gw) < kn.groups {
+		kn.gw = make([]uint32, kn.groups)
+	}
+	gw := kn.gw[:kn.groups]
+	for g := range gw {
+		base := g * 4
+		var w uint32
+		if base+4 <= len(coeffs) {
+			w = uint32(coeffs[base]) | uint32(coeffs[base+1])<<8 |
+				uint32(coeffs[base+2])<<16 | uint32(coeffs[base+3])<<24
+		} else {
+			for b := 0; base+b < len(coeffs); b++ {
+				w |= uint32(coeffs[base+b]) << (8 * b)
+			}
+		}
+		gw[g] = w
+	}
+	sel := kn.sel[:0]
+	for j := 0; j < 8; j++ {
+		n := 0
+		for g, w := range gw {
+			idx := int((((w >> uint(j)) & 0x01010101) * 0x01020408) >> 24 & 0xF)
+			if idx != 0 {
+				sel = append(sel, int32((g*16+idx)*kn.stride))
+				n++
+			}
+		}
+		kn.cnt[j] = int32(n)
+	}
+	kn.sel = sel
+}
+
+// combineStrip runs the inline-Horner bit-plane accumulation for one
+// 64-byte strip at offset i, selecting table rows via sel/start.
+func (kn *swarKernel) combineStrip(dst []byte, sel []int32, start []int32, i int) {
+	flat := kn.flat
+	var a0, a1, a2, a3, a4, a5, a6, a7 uint64
+	for j := 7; j >= 0; j-- {
+		if j != 7 {
+			a0 = xtimes(a0)
+			a1 = xtimes(a1)
+			a2 = xtimes(a2)
+			a3 = xtimes(a3)
+			a4 = xtimes(a4)
+			a5 = xtimes(a5)
+			a6 = xtimes(a6)
+			a7 = xtimes(a7)
+		}
+		row := sel[start[j]:start[j+1]]
+		// Two selections per iteration: the independent load streams
+		// overlap and the loop overhead halves.
+		for ; len(row) >= 2; row = row[2:] {
+			off := int(row[0]) + i
+			s := flat[off : off+kernelStrip : off+kernelStrip]
+			off2 := int(row[1]) + i
+			t := flat[off2 : off2+kernelStrip : off2+kernelStrip]
+			a0 ^= binary.LittleEndian.Uint64(s[0:]) ^ binary.LittleEndian.Uint64(t[0:])
+			a1 ^= binary.LittleEndian.Uint64(s[8:]) ^ binary.LittleEndian.Uint64(t[8:])
+			a2 ^= binary.LittleEndian.Uint64(s[16:]) ^ binary.LittleEndian.Uint64(t[16:])
+			a3 ^= binary.LittleEndian.Uint64(s[24:]) ^ binary.LittleEndian.Uint64(t[24:])
+			a4 ^= binary.LittleEndian.Uint64(s[32:]) ^ binary.LittleEndian.Uint64(t[32:])
+			a5 ^= binary.LittleEndian.Uint64(s[40:]) ^ binary.LittleEndian.Uint64(t[40:])
+			a6 ^= binary.LittleEndian.Uint64(s[48:]) ^ binary.LittleEndian.Uint64(t[48:])
+			a7 ^= binary.LittleEndian.Uint64(s[56:]) ^ binary.LittleEndian.Uint64(t[56:])
+		}
+		if len(row) == 1 {
+			off := int(row[0]) + i
+			s := flat[off : off+kernelStrip : off+kernelStrip]
+			a0 ^= binary.LittleEndian.Uint64(s[0:])
+			a1 ^= binary.LittleEndian.Uint64(s[8:])
+			a2 ^= binary.LittleEndian.Uint64(s[16:])
+			a3 ^= binary.LittleEndian.Uint64(s[24:])
+			a4 ^= binary.LittleEndian.Uint64(s[32:])
+			a5 ^= binary.LittleEndian.Uint64(s[40:])
+			a6 ^= binary.LittleEndian.Uint64(s[48:])
+			a7 ^= binary.LittleEndian.Uint64(s[56:])
+		}
+	}
+	d := dst[i : i+kernelStrip : i+kernelStrip]
+	binary.LittleEndian.PutUint64(d[0:], a0)
+	binary.LittleEndian.PutUint64(d[8:], a1)
+	binary.LittleEndian.PutUint64(d[16:], a2)
+	binary.LittleEndian.PutUint64(d[24:], a3)
+	binary.LittleEndian.PutUint64(d[32:], a4)
+	binary.LittleEndian.PutUint64(d[40:], a5)
+	binary.LittleEndian.PutUint64(d[48:], a6)
+	binary.LittleEndian.PutUint64(d[56:], a7)
+}
+
+// combineWordTail handles one 8-byte word at offset i (padded table rows
+// make the full word read safe; the final partial word is written byte by
+// byte).
+func (kn *swarKernel) combineWordTail(dst []byte, sel []int32, start []int32, i int) {
+	flat := kn.flat
+	var a uint64
+	for j := 7; j >= 0; j-- {
+		if j != 7 {
+			a = xtimes(a)
+		}
+		for _, off32 := range sel[start[j]:start[j+1]] {
+			off := int(off32) + i
+			a ^= binary.LittleEndian.Uint64(flat[off : off+8 : off+8])
+		}
+	}
+	if i+8 <= len(dst) {
+		binary.LittleEndian.PutUint64(dst[i:], a)
+	} else {
+		for b := i; b < len(dst); b++ {
+			dst[b] = byte(a >> (uint(b-i) * 8))
+		}
+	}
+}
+
+// combineInto is the table-free direct path: plane-major over the source
+// rows themselves, no precomputation.
+func (kn *swarKernel) combineInto(dst []byte, srcs [][]byte, coeffs []byte) {
+	if cap(kn.dsel) < 8*len(srcs) {
+		kn.dsel = make([][]byte, 8*len(srcs))
+	}
+	dsel := kn.dsel[:0]
+	for j := 0; j < 8; j++ {
+		n := 0
+		for i, c := range coeffs {
+			if c>>uint(j)&1 != 0 {
+				dsel = append(dsel, srcs[i])
+				n++
+			}
+		}
+		kn.dcnt[j] = n
+	}
+	var start [9]int
+	for j := 0; j < 8; j++ {
+		start[j+1] = start[j] + kn.dcnt[j]
+	}
+	n := len(dst)
+	i := 0
+	for ; i+kernelStrip <= n; i += kernelStrip {
+		var a0, a1, a2, a3, a4, a5, a6, a7 uint64
+		for j := 7; j >= 0; j-- {
+			if j != 7 {
+				a0 = xtimes(a0)
+				a1 = xtimes(a1)
+				a2 = xtimes(a2)
+				a3 = xtimes(a3)
+				a4 = xtimes(a4)
+				a5 = xtimes(a5)
+				a6 = xtimes(a6)
+				a7 = xtimes(a7)
+			}
+			for _, src := range dsel[start[j]:start[j+1]] {
+				s := src[i : i+kernelStrip : i+kernelStrip]
+				a0 ^= binary.LittleEndian.Uint64(s[0:])
+				a1 ^= binary.LittleEndian.Uint64(s[8:])
+				a2 ^= binary.LittleEndian.Uint64(s[16:])
+				a3 ^= binary.LittleEndian.Uint64(s[24:])
+				a4 ^= binary.LittleEndian.Uint64(s[32:])
+				a5 ^= binary.LittleEndian.Uint64(s[40:])
+				a6 ^= binary.LittleEndian.Uint64(s[48:])
+				a7 ^= binary.LittleEndian.Uint64(s[56:])
+			}
+		}
+		d := dst[i : i+kernelStrip : i+kernelStrip]
+		binary.LittleEndian.PutUint64(d[0:], a0)
+		binary.LittleEndian.PutUint64(d[8:], a1)
+		binary.LittleEndian.PutUint64(d[16:], a2)
+		binary.LittleEndian.PutUint64(d[24:], a3)
+		binary.LittleEndian.PutUint64(d[32:], a4)
+		binary.LittleEndian.PutUint64(d[40:], a5)
+		binary.LittleEndian.PutUint64(d[48:], a6)
+		binary.LittleEndian.PutUint64(d[56:], a7)
+	}
+	// Byte tail: source rows are exactly size bytes, so fall back to table
+	// lookups over the original rows.
+	for ; i < n; i++ {
+		var b byte
+		for r, c := range coeffs {
+			if c != 0 {
+				b ^= mulTable[c][srcs[r][i]]
+			}
+		}
+		dst[i] = b
+	}
+}
+
+// xorAssign2 sets dst[i] = a[i]^b[i]; all three must share a length. The
+// slice-advance shape keeps one bounds check per 8 bytes.
+func xorAssign2(dst, a, b []byte) {
+	for len(dst) >= 8 && len(a) >= 8 && len(b) >= 8 {
+		binary.LittleEndian.PutUint64(dst,
+			binary.LittleEndian.Uint64(a)^binary.LittleEndian.Uint64(b))
+		dst, a, b = dst[8:], a[8:], b[8:]
+	}
+	for i := range dst {
+		dst[i] = a[i] ^ b[i]
+	}
+}

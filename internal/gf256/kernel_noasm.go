@@ -1,0 +1,12 @@
+//go:build !amd64
+
+package gf256
+
+// Non-amd64 builds carry no accelerated kernels: dispatch offers only the
+// portable SWAR form and the byte-wise reference.
+
+func archKernels() []string { return nil }
+
+func newArchImpl(name string) kernelImpl {
+	panic("gf256: no accelerated kernel " + name + " on this architecture")
+}

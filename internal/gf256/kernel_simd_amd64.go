@@ -1,0 +1,289 @@
+package gf256
+
+// The amd64 SIMD kernel arms. Where the portable kernel decomposes a
+// multi-row combination into bit planes (kernel_generic.go), the SIMD arms
+// take the direct route: one constant-multiply-accumulate pass over the
+// payload per nonzero coefficient, each pass running 16 bytes (SSSE3
+// PSHUFB), 32 bytes (AVX2 VPSHUFB) or 32 bytes at one instruction per lane
+// (GFNI VGF2P8AFFINEQB) at a time. The per-coefficient acceleration state —
+// the 32-byte nibble product tables and the 8x8 affine bit matrices — is
+// precomputed for all 256 coefficients at package init (10 KiB total), so a
+// combine touches no scalar multiplication tables at all.
+//
+// Both arms must produce byte-identical output to the portable kernel and
+// the byte-wise reference; FuzzKernelEquivalence crosses all of them.
+
+// Per-coefficient acceleration tables, filled at init from mulTable.
+var (
+	// nibTab[c] is the PSHUFB table pair for multiply-by-c:
+	// nibTab[c][x] = c*x and nibTab[c][16+x] = c*(x<<4) for x in 0..15.
+	nibTab [256][32]byte
+	// gfniMat[c] is the bit matrix of the GF(2)-linear map x -> c*x,
+	// packed for VGF2P8AFFINEQB: result bit j is the parity of
+	// (matrix byte 7-j) AND x, so byte 7-j holds bit j of c*2^i at bit i.
+	gfniMat [256]uint64
+)
+
+func init() {
+	initBaseTables()
+	for c := 0; c < 256; c++ {
+		row := &mulTable[c]
+		t := &nibTab[c]
+		for x := 0; x < 16; x++ {
+			t[x] = row[x]
+			t[16+x] = row[x<<4]
+		}
+		var q uint64
+		for j := 0; j < 8; j++ {
+			var bits byte
+			for i := 0; i < 8; i++ {
+				if row[1<<i]>>uint(j)&1 != 0 {
+					bits |= 1 << uint(i)
+				}
+			}
+			q |= uint64(bits) << uint(8*(7-j))
+		}
+		gfniMat[c] = q
+	}
+}
+
+// archKernels returns the accelerated arms this CPU supports, best-first.
+func archKernels() []string {
+	var names []string
+	if cpuFeat.gfni {
+		names = append(names, KernelGFNI)
+	}
+	if cpuFeat.ssse3 {
+		names = append(names, KernelPSHUFB)
+	}
+	return names
+}
+
+func newArchImpl(name string) kernelImpl {
+	switch name {
+	case KernelGFNI:
+		return &simdKernel{mul: gfniMulSlice, mulAdd: gfniMulAddSlice, mulAdd2: gfniMulAdd2Slice}
+	case KernelPSHUFB:
+		if cpuFeat.avx2 {
+			return &simdKernel{mul: pshufbMulSliceWide, mulAdd: pshufbMulAddSliceWide, mulAdd2: pshufbMulAdd2SliceWide}
+		}
+		return &simdKernel{mul: pshufbMulSlice, mulAdd: pshufbMulAddSlice}
+	}
+	panic("gf256: unknown arch kernel " + name)
+}
+
+// simdKernel implements kernelImpl as one constant-multiply pass per
+// nonzero coefficient. setRows only snapshots the rows (the per-coefficient
+// tables are global), so SetRows is far cheaper than the portable kernel's
+// subset-table build.
+type simdKernel struct {
+	mul    func(dst, src []byte, c byte) // dst = c*src
+	mulAdd func(dst, src []byte, c byte) // dst ^= c*src
+	// mulAdd2 fuses two accumulate streams (dst ^= c1*a ^ c2*b) in one pass
+	// over dst, halving the dst traffic of back-to-back mulAdd calls. Nil on
+	// arms without a fused form (bare SSSE3).
+	mulAdd2 func(dst, a, b []byte, c1, c2 byte)
+	size    int
+	flat    []byte   // row snapshot backing store
+	rows    [][]byte // views into flat
+	sel     []int32  // scratch: indices of nonzero coefficients
+}
+
+func (kn *simdKernel) setRows(rows [][]byte) {
+	size := len(rows[0])
+	kn.size = size
+	need := len(rows) * size
+	if cap(kn.flat) < need {
+		kn.flat = make([]byte, need)
+	}
+	kn.flat = kn.flat[:need]
+	if cap(kn.rows) < len(rows) {
+		kn.rows = make([][]byte, len(rows))
+	}
+	kn.rows = kn.rows[:len(rows)]
+	for i, r := range rows {
+		kn.rows[i] = kn.flat[i*size : (i+1)*size]
+		copy(kn.rows[i], r)
+	}
+}
+
+func (kn *simdKernel) combine(dst, coeffs []byte) {
+	kn.combineInto(dst, kn.rows, coeffs)
+}
+
+func (kn *simdKernel) combineMany(dsts [][]byte, coeffs [][]byte) {
+	for p := range dsts {
+		kn.combineInto(dsts[p], kn.rows, coeffs[p])
+	}
+}
+
+func (kn *simdKernel) combineInto(dst []byte, srcs [][]byte, coeffs []byte) {
+	sel := kn.sel[:0]
+	for i, c := range coeffs {
+		if c != 0 {
+			sel = append(sel, int32(i))
+		}
+	}
+	kn.sel = sel
+	if len(sel) == 0 {
+		clear(dst)
+		return
+	}
+	kn.mul(dst, srcs[sel[0]], coeffs[sel[0]])
+	i := 1
+	if kn.mulAdd2 != nil {
+		for ; i+1 < len(sel); i += 2 {
+			a, b := sel[i], sel[i+1]
+			kn.mulAdd2(dst, srcs[a], srcs[b], coeffs[a], coeffs[b])
+		}
+	}
+	for ; i < len(sel); i++ {
+		kn.mulAdd(dst, srcs[sel[i]], coeffs[sel[i]])
+	}
+}
+
+// Assembly primitives (kernel_amd64.s). n must be a positive multiple of
+// the form's block size; dst and src must not overlap.
+
+//go:noescape
+func gfMulSSSE3(dst, src *byte, n int, tab *byte)
+
+//go:noescape
+func gfMulAddSSSE3(dst, src *byte, n int, tab *byte)
+
+//go:noescape
+func gfMulAVX2(dst, src *byte, n int, tab *byte)
+
+//go:noescape
+func gfMulAddAVX2(dst, src *byte, n int, tab *byte)
+
+//go:noescape
+func gfMulAdd2AVX2(dst, a, b *byte, n int, tabA, tabB *byte)
+
+//go:noescape
+func gfMulGFNI(dst, src *byte, n int, mat uint64)
+
+//go:noescape
+func gfMulAddGFNI(dst, src *byte, n int, mat uint64)
+
+//go:noescape
+func gfMulAdd2GFNI(dst, a, b *byte, n int, matA, matB uint64)
+
+// The Go-side wrappers run the vector body over the aligned prefix and the
+// byte-wise reference loop over the tail, with the same c==0 / c==1
+// short-circuits as MulSlice/MulAddSlice.
+
+func pshufbMulSlice(dst, src []byte, c byte) {
+	switch c {
+	case 0:
+		clear(dst)
+		return
+	case 1:
+		copy(dst, src)
+		return
+	}
+	n := len(dst) &^ 15
+	if n > 0 {
+		gfMulSSSE3(&dst[0], &src[0], n, &nibTab[c][0])
+	}
+	mulSliceGeneric(dst[n:], src[n:], c)
+}
+
+func pshufbMulAddSlice(dst, src []byte, c byte) {
+	switch c {
+	case 0:
+		return
+	case 1:
+		AddSlice(dst, src)
+		return
+	}
+	n := len(dst) &^ 15
+	if n > 0 {
+		gfMulAddSSSE3(&dst[0], &src[0], n, &nibTab[c][0])
+	}
+	mulAddSliceGeneric(dst[n:], src[n:], c)
+}
+
+func pshufbMulSliceWide(dst, src []byte, c byte) {
+	switch c {
+	case 0:
+		clear(dst)
+		return
+	case 1:
+		copy(dst, src)
+		return
+	}
+	n := len(dst) &^ 31
+	if n > 0 {
+		gfMulAVX2(&dst[0], &src[0], n, &nibTab[c][0])
+	}
+	mulSliceGeneric(dst[n:], src[n:], c)
+}
+
+func pshufbMulAddSliceWide(dst, src []byte, c byte) {
+	switch c {
+	case 0:
+		return
+	case 1:
+		AddSlice(dst, src)
+		return
+	}
+	n := len(dst) &^ 31
+	if n > 0 {
+		gfMulAddAVX2(&dst[0], &src[0], n, &nibTab[c][0])
+	}
+	mulAddSliceGeneric(dst[n:], src[n:], c)
+}
+
+// The fused two-stream forms take only nonzero coefficients (combineInto
+// filters zeros); c==1 needs no special case because the identity table and
+// identity matrix are exact.
+
+func pshufbMulAdd2SliceWide(dst, a, b []byte, c1, c2 byte) {
+	n := len(dst) &^ 31
+	if n > 0 {
+		gfMulAdd2AVX2(&dst[0], &a[0], &b[0], n, &nibTab[c1][0], &nibTab[c2][0])
+	}
+	mulAddSliceGeneric(dst[n:], a[n:], c1)
+	mulAddSliceGeneric(dst[n:], b[n:], c2)
+}
+
+func gfniMulAdd2Slice(dst, a, b []byte, c1, c2 byte) {
+	n := len(dst) &^ 31
+	if n > 0 {
+		gfMulAdd2GFNI(&dst[0], &a[0], &b[0], n, gfniMat[c1], gfniMat[c2])
+	}
+	mulAddSliceGeneric(dst[n:], a[n:], c1)
+	mulAddSliceGeneric(dst[n:], b[n:], c2)
+}
+
+func gfniMulSlice(dst, src []byte, c byte) {
+	switch c {
+	case 0:
+		clear(dst)
+		return
+	case 1:
+		copy(dst, src)
+		return
+	}
+	n := len(dst) &^ 31
+	if n > 0 {
+		gfMulGFNI(&dst[0], &src[0], n, gfniMat[c])
+	}
+	mulSliceGeneric(dst[n:], src[n:], c)
+}
+
+func gfniMulAddSlice(dst, src []byte, c byte) {
+	switch c {
+	case 0:
+		return
+	case 1:
+		AddSlice(dst, src)
+		return
+	}
+	n := len(dst) &^ 31
+	if n > 0 {
+		gfMulAddGFNI(&dst[0], &src[0], n, gfniMat[c])
+	}
+	mulAddSliceGeneric(dst[n:], src[n:], c)
+}

@@ -1,0 +1,54 @@
+package gf256
+
+// refKernel is the byte-wise reference implementation ("reference"): one
+// mulTable lookup and one XOR per payload byte per row, no word-wise or
+// vector decomposition of any kind. It is deliberately the dumbest correct
+// form — the oracle the portable SWAR kernel and the amd64 SIMD kernels are
+// differentially fuzzed against (FuzzKernelEquivalence) — and is never
+// selected by automatic dispatch. It is also the honest seed-era baseline
+// the speedups in PERFORMANCE.md are quoted over.
+type refKernel struct {
+	rows [][]byte // private copies, per the SetRows contract
+	flat []byte   // backing store for rows
+}
+
+func (kn *refKernel) setRows(rows [][]byte) {
+	size := len(rows[0])
+	need := len(rows) * size
+	if cap(kn.flat) < need {
+		kn.flat = make([]byte, need)
+	}
+	kn.flat = kn.flat[:need]
+	if cap(kn.rows) < len(rows) {
+		kn.rows = make([][]byte, len(rows))
+	}
+	kn.rows = kn.rows[:len(rows)]
+	for i, r := range rows {
+		kn.rows[i] = kn.flat[i*size : (i+1)*size]
+		copy(kn.rows[i], r)
+	}
+}
+
+func (kn *refKernel) combine(dst, coeffs []byte) {
+	kn.combineInto(dst, kn.rows, coeffs)
+}
+
+func (kn *refKernel) combineMany(dsts [][]byte, coeffs [][]byte) {
+	for p := range dsts {
+		kn.combine(dsts[p], coeffs[p])
+	}
+}
+
+func (kn *refKernel) combineInto(dst []byte, srcs [][]byte, coeffs []byte) {
+	clear(dst)
+	for r, c := range coeffs {
+		if c == 0 {
+			continue
+		}
+		row := &mulTable[c]
+		src := srcs[r]
+		for i := range src {
+			dst[i] ^= row[src[i]]
+		}
+	}
+}
