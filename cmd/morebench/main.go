@@ -76,6 +76,9 @@ func main() {
 		baseline = flag.String("baseline", "", "write per-kernel GF(256) throughput grid to this JSON file (BENCH_gf256.json)")
 		checkBl  = flag.String("check-baseline", "", "compare current GF(256) throughput against this baseline; exit 1 on >20% portable regression")
 		blSecs   = flag.Float64("bench-secs", 0.25, "seconds per benchmark cell for -cores/-baseline/-check-baseline")
+		telBase  = flag.String("telemetry-baseline", "", "measure telemetry overhead (off vs full hub) and write it to this JSON file (BENCH_telemetry.json)")
+		telCheck = flag.String("check-telemetry-baseline", "", "compare telemetry overhead against this baseline; exit 1 if the off path regressed >20% or enabled overhead exceeds the 10% bound")
+		telRuns  = flag.Int("telemetry-runs", 5, "repetitions per mode for the telemetry overhead benchmark (minimum wall clock wins)")
 	)
 	flag.Parse()
 
@@ -99,7 +102,8 @@ func main() {
 	}
 	var report []entry
 
-	all := *fig == "" && *table == "" && *cores == "" && *baseline == "" && *checkBl == ""
+	all := *fig == "" && *table == "" && *cores == "" && *baseline == "" && *checkBl == "" &&
+		*telBase == "" && *telCheck == ""
 	ran := false
 	// run executes one experiment; fn returns the raw result for -json and
 	// a printer for the text tables.
@@ -285,6 +289,46 @@ func main() {
 				os.Exit(1)
 			}
 			fmt.Println("baseline check passed: no portable-kernel regression beyond 20%")
+		}
+		ran = true
+	}
+
+	if *telBase != "" || *telCheck != "" {
+		res := experiments.TelemetryBench(*telRuns)
+		if !*jsonOut {
+			fmt.Printf("=== Telemetry overhead ===\n%s\n", res.Table())
+		}
+		if *telBase != "" {
+			data, err := json.MarshalIndent(res, "", "  ")
+			if err == nil {
+				err = os.WriteFile(*telBase, append(data, '\n'), 0o644)
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "-telemetry-baseline: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if *telCheck != "" {
+			data, err := os.ReadFile(*telCheck)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "-check-telemetry-baseline: %v\n", err)
+				os.Exit(1)
+			}
+			var base experiments.TelemetryBenchResult
+			if err := json.Unmarshal(data, &base); err != nil {
+				fmt.Fprintf(os.Stderr, "-check-telemetry-baseline: %v\n", err)
+				os.Exit(1)
+			}
+			bad := experiments.CompareTelemetryBaselines(&base, res, 0.20)
+			if len(bad) > 0 {
+				fmt.Fprintf(os.Stderr, "telemetry overhead violations:\n")
+				for _, m := range bad {
+					fmt.Fprintf(os.Stderr, "  %s\n", m)
+				}
+				os.Exit(1)
+			}
+			fmt.Printf("telemetry overhead check passed: off within 20%% of baseline, on within %.0f%% of off\n",
+				experiments.TelemetryOverheadLimitPct)
 		}
 		ran = true
 	}

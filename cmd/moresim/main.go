@@ -17,6 +17,16 @@
 //	moresim -topo geometric -nodes 1000 -flows 4 -drop 0.1
 //	moresim -topo geometric -scale 125,250,500,1000 -flows 2 -json
 //
+// The telemetry plane rides on any single run (flag combination or
+// scenario): -metrics writes latency percentiles and per-node counters,
+// -trace-out a Chrome-trace-event file, -deadline-ms arms the per-packet
+// miss rate, -progress a stderr heartbeat. Stall post-mortems print to
+// stderr the moment a repair watchdog fires:
+//
+//	moresim -proto more -metrics metrics.json -trace-out trace.json
+//	moresim -scenario scenarios/paper-testbed.json -metrics - -deadline-ms 500
+//	moresim -topo geometric -nodes 500 -progress 5
+//
 // With -scale the node counts are swept (fanned over -parallel workers) and
 // a throughput/tx-per-packet/wall-clock table — or JSON with -json — is
 // printed. With -proto all the four protocols run over the same pair on
@@ -43,6 +53,7 @@ import (
 	"repro/internal/routing"
 	"repro/internal/scenario"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -75,10 +86,17 @@ func main() {
 		ccSweep   = flag.Bool("cc-sweep", false, "with -scale: run every congestion policy over the same topologies and print the mitigation table")
 		verbose   = flag.Bool("verbose", false, "print the forwarding plan")
 		showTrace = flag.Bool("trace", false, "print a per-node medium activity timeline")
-		scenFile  = flag.String("scenario", "", "run a declarative scenario spec file (scenarios/*.json); only -json combines with it")
+		scenFile  = flag.String("scenario", "", "run a declarative scenario spec file (scenarios/*.json); only -json and the telemetry flags combine with it")
 		gfKernel  = flag.String("gf256", "", "pin the GF(256) kernel (auto, portable, reference, or a SIMD arm); coded bytes are identical under every kernel")
+
+		metricsOut = flag.String("metrics", "", "write the telemetry metrics report (per-packet latency percentiles, per-node counters, stall count) as JSON to this file (\"-\" for stdout)")
+		traceOut   = flag.String("trace-out", "", "write a Chrome-trace-event JSON file of every telemetry event (load in Perfetto or chrome://tracing)")
+		deadlineMS = flag.Float64("deadline-ms", 0, "per-packet delivery deadline for the telemetry miss rate, in milliseconds (0 disables)")
+		progress   = flag.Float64("progress", 0, "print a progress heartbeat (events seen, simulated clock) to stderr every N wall-clock seconds (0 disables)")
 	)
 	flag.Parse()
+
+	tc := telemetryCLI{metrics: *metricsOut, trace: *traceOut, deadlineMS: *deadlineMS, progressS: *progress}
 
 	if *gfKernel != "" {
 		if err := gf256.SetKernel(*gfKernel); err != nil {
@@ -88,7 +106,7 @@ func main() {
 	}
 
 	if *scenFile != "" {
-		if !runScenario(*scenFile, *jsonOut) {
+		if !runScenario(*scenFile, *jsonOut, tc) {
 			os.Exit(1)
 		}
 		return
@@ -166,6 +184,10 @@ func main() {
 	if *scaleList != "" {
 		if *protoName == "all" {
 			fmt.Fprintln(os.Stderr, "-scale needs a single protocol (default: more)")
+			os.Exit(2)
+		}
+		if tc.active() {
+			fmt.Fprintln(os.Stderr, "-metrics/-trace-out/-deadline-ms/-progress need a single simulation run, not a -scale sweep")
 			os.Exit(2)
 		}
 		if state == experiments.StateLearned {
@@ -251,8 +273,8 @@ func main() {
 	}
 
 	if *protoName == "all" {
-		if *showTrace {
-			fmt.Fprintln(os.Stderr, "-trace is not supported with -proto all (one timeline per run; pick a protocol)")
+		if *showTrace || tc.active() {
+			fmt.Fprintln(os.Stderr, "-trace and the telemetry flags are not supported with -proto all (one simulator per run; pick a protocol)")
 			os.Exit(2)
 		}
 		if state == experiments.StateLearned {
@@ -283,8 +305,8 @@ func main() {
 	}
 
 	if state == experiments.StateLearned {
-		if *showTrace {
-			fmt.Fprintln(os.Stderr, "-trace is not supported with -state learned (the gap report runs two simulations)")
+		if *showTrace || tc.active() {
+			fmt.Fprintln(os.Stderr, "-trace and the telemetry flags are not supported with -state learned (the gap report runs two simulations)")
 			os.Exit(2)
 		}
 		if !runLearned(topo, proto, pairs, opts, *jsonOut) {
@@ -293,12 +315,25 @@ func main() {
 		return
 	}
 
+	var hub *telemetry.Hub
+	if tc.active() {
+		hub = tc.newHub()
+		opts.Telemetry = hub
+	}
 	var rec *trace.Recorder
 	if *showTrace {
+		// The recorder is an ordinary telemetry sink: alone it is the whole
+		// plane, next to a hub it rides along as an extra consumer.
 		rec = trace.NewRecorder(1 << 16)
-		opts.Trace = rec.Hook()
+		if hub != nil {
+			hub.AddSink(rec)
+		} else {
+			opts.Telemetry = rec
+		}
 	}
+	stopProgress := tc.startProgress(hub)
 	info := experiments.RunDetailed(topo, proto, pairs, opts)
+	stopProgress()
 	rs, counters := info.Results, info.Counters
 	if rec != nil {
 		end := rs[0].End
@@ -307,16 +342,20 @@ func main() {
 		}
 		fmt.Print(rec.Timeline(0, end, 96))
 	}
+	if hub != nil && !tc.finish(hub) {
+		os.Exit(1)
+	}
 	if *jsonOut {
 		out, _ := json.MarshalIndent(struct {
-			Protocol string
-			Nodes    int
-			CC       congest.Policy
-			Results  []flow.Result
-			Counters sim.Counters
-			CCStats  congest.Stats
-			Fairness experiments.FairnessReport
-		}{proto.String(), topo.N(), info.CC, rs, counters, info.CCStats, info.Fairness}, "", "  ")
+			Protocol  string
+			Nodes     int
+			CC        congest.Policy
+			Results   []flow.Result
+			Counters  sim.Counters
+			CCStats   congest.Stats
+			Fairness  experiments.FairnessReport
+			Telemetry *telemetry.Report `json:",omitempty"`
+		}{proto.String(), topo.N(), info.CC, rs, counters, info.CCStats, info.Fairness, info.Telemetry}, "", "  ")
 		fmt.Println(string(out))
 	} else {
 		fmt.Printf("protocol: %v, cc: %v\n", proto, info.CC)
@@ -345,17 +384,27 @@ func main() {
 
 // runScenario loads, runs, and reports a declarative scenario. With
 // jsonOut it emits the canonical result document (byte-identical across
-// runs of the same spec — pipe it to cmd/scenariocheck to verify). It
-// reports whether every flow met its schedule.
-func runScenario(path string, jsonOut bool) bool {
+// runs of the same spec — pipe it to cmd/scenariocheck to verify; the
+// telemetry flags add an optional Telemetry block, everything else stays
+// identical). It reports whether every flow met its schedule.
+func runScenario(path string, jsonOut bool, tc telemetryCLI) bool {
 	spec, err := scenario.Load(path)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	res, err := scenario.Run(spec)
+	var hub *telemetry.Hub
+	if tc.active() {
+		hub = tc.newHub()
+	}
+	stopProgress := tc.startProgress(hub)
+	res, err := scenario.RunWith(spec, hub)
+	stopProgress()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if hub != nil && !tc.finish(hub) {
 		os.Exit(1)
 	}
 	if jsonOut {
@@ -560,6 +609,105 @@ func compareAll(topo *graph.Topology, src, dst graph.NodeID, opts experiments.Op
 		allDone = allDone && results[i].Completed
 	}
 	return allDone
+}
+
+// telemetryCLI groups the observability flag surface: where to write the
+// metrics report and Chrome trace, the per-packet deadline, and the
+// heartbeat period.
+type telemetryCLI struct {
+	metrics    string
+	trace      string
+	deadlineMS float64
+	progressS  float64
+}
+
+// active reports whether any telemetry flag asks for a hub.
+func (tc telemetryCLI) active() bool {
+	return tc.metrics != "" || tc.trace != "" || tc.deadlineMS > 0 || tc.progressS > 0
+}
+
+// newHub builds the hub the flags describe. Stall dumps go to stderr as
+// indented JSON the moment the watchdog fires — the post-mortem survives
+// even if the process is killed before the run finishes.
+func (tc telemetryCLI) newHub() *telemetry.Hub {
+	return telemetry.NewHub(telemetry.Config{
+		DeadlineNS:  int64(tc.deadlineMS * 1e6),
+		ChromeTrace: tc.trace != "",
+		OnStall: func(d telemetry.StallDump) {
+			out, err := json.MarshalIndent(d, "", "  ")
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "moresim: stall dump: %v\n", err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "moresim: %s at node %d (flow %d, batch %d, t=%v):\n%s\n",
+				d.Reason, d.Node, d.Flow, d.Batch, sim.Time(d.At), out)
+		},
+	})
+}
+
+// startProgress launches the stderr heartbeat goroutine and returns its
+// stop function. The hub's atomic counters are the only shared state, so
+// reading them mid-run is safe; the simulated clock of the last event is
+// the best liveness signal a single-threaded simulation can offer.
+func (tc telemetryCLI) startProgress(hub *telemetry.Hub) func() {
+	if tc.progressS <= 0 || hub == nil {
+		return func() {}
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		tick := time.NewTicker(time.Duration(tc.progressS * float64(time.Second)))
+		defer tick.Stop()
+		start := time.Now()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				fmt.Fprintf(os.Stderr, "moresim: %v elapsed, %d events, sim clock %v\n",
+					time.Since(start).Round(time.Second), hub.Events(), sim.Time(hub.LastAt()))
+			}
+		}
+	}()
+	return func() { close(stop); <-done }
+}
+
+// finish writes the artifacts the flags requested from a completed run.
+func (tc telemetryCLI) finish(hub *telemetry.Hub) bool {
+	ok := true
+	if tc.metrics != "" {
+		out, err := json.MarshalIndent(hub.Report(), "", "  ")
+		if err == nil {
+			out = append(out, '\n')
+			if tc.metrics == "-" {
+				_, err = os.Stdout.Write(out)
+			} else {
+				err = os.WriteFile(tc.metrics, out, 0o644)
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "-metrics: %v\n", err)
+			ok = false
+		}
+	}
+	if tc.trace != "" {
+		f, err := os.Create(tc.trace)
+		if err == nil {
+			err = hub.WriteChromeTrace(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "-trace-out: %v\n", err)
+			ok = false
+		}
+		if n := hub.Truncated(); n > 0 {
+			fmt.Fprintf(os.Stderr, "moresim: chrome trace capped, %d events dropped\n", n)
+		}
+	}
+	return ok
 }
 
 // flagWasSet reports whether the named flag was given on the command line.

@@ -51,6 +51,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/sim"
 	"repro/internal/srcr"
+	"repro/internal/telemetry"
 )
 
 // Policy selects the congestion-control mechanism.
@@ -388,6 +389,11 @@ type Layer struct {
 	// pendingGrants holds at most one un-transmitted grant per flow.
 	pendingGrants []*CreditMsg
 
+	// enqAt timestamps queued frames for the queue-wait metric. Allocated
+	// lazily and only while a telemetry sink is installed, so the normal
+	// path never touches it.
+	enqAt map[*sim.Frame]int64
+
 	// wakeEv is the scheduled self-wake releasing gated traffic.
 	wakeEv *sim.Event
 	wakeAt sim.Time
@@ -527,7 +533,7 @@ func (l *Layer) purgeAcked(fid uint32, batch uint32) {
 	for _, q := range l.queue {
 		if qi, ok := l.dataInfo(q); ok && qi.flow == fid && qi.hasBatch && qi.batch <= batch {
 			l.Stats.StaleDrops++
-			l.drop(q)
+			l.drop(q, telemetry.QDropStale)
 			continue
 		}
 		keep = append(keep, q)
@@ -543,6 +549,10 @@ func (l *Layer) Pull() *sim.Frame {
 		g := l.pendingGrants[0]
 		l.pendingGrants = l.pendingGrants[1:]
 		l.Stats.GrantTx++
+		l.node.Emit(telemetry.Event{
+			Flow: uint32(g.Flow), Batch: g.Batch,
+			Aux: int64(g.Needed), Kind: telemetry.KindGrant,
+		})
 		return g.frame(l.node.ID())
 	}
 	// Refill from the protocol. Control frames surface immediately; data
@@ -602,19 +612,28 @@ func (l *Layer) enqueue(f *sim.Frame, info frameInfo) {
 				victim := l.queue[v]
 				l.queue = append(l.queue[:v], l.queue[v+1:]...)
 				l.Stats.ChokeDrops += 2
-				l.drop(victim)
-				l.drop(f)
+				l.drop(victim, telemetry.QDropChoke)
+				l.drop(f, telemetry.QDropChoke)
 				l.observeQueue(true)
 				return
 			}
 		}
 		l.Stats.TailDrops++
-		l.drop(f)
+		l.drop(f, telemetry.QDropTail)
 		l.observeQueue(true)
 		return
 	}
 	l.Stats.Enqueued++
 	l.queue = append(l.queue, f)
+	if l.node != nil && l.node.Telemetry() {
+		if l.enqAt == nil {
+			l.enqAt = make(map[*sim.Frame]int64)
+		}
+		l.enqAt[f] = int64(l.node.Now())
+		l.node.Emit(telemetry.Event{
+			Flow: f.FlowID, Aux: int64(len(l.queue)), Kind: telemetry.KindEnqueue,
+		})
+	}
 	l.observeQueue(false)
 }
 
@@ -629,7 +648,7 @@ func (l *Layer) purgeStale(info frameInfo) {
 	for _, q := range l.queue {
 		if qi, ok := l.dataInfo(q); ok && qi.flow == info.flow && qi.hasBatch && qi.batch < info.batch {
 			l.Stats.StaleDrops++
-			l.drop(q)
+			l.drop(q, telemetry.QDropStale)
 			continue
 		}
 		keep = append(keep, q)
@@ -637,8 +656,15 @@ func (l *Layer) purgeStale(info frameInfo) {
 	l.queue = keep
 }
 
-// drop reports a never-transmitted frame back to the protocol as failed.
-func (l *Layer) drop(f *sim.Frame) {
+// drop reports a never-transmitted frame back to the protocol as failed;
+// reason is the telemetry QDrop* code.
+func (l *Layer) drop(f *sim.Frame, reason int64) {
+	if l.enqAt != nil {
+		delete(l.enqAt, f)
+	}
+	if l.node != nil {
+		l.node.Emit(telemetry.Event{Flow: f.FlowID, Aux: reason, Kind: telemetry.KindQueueDrop})
+	}
 	l.proto.Sent(f, false)
 }
 
@@ -652,6 +678,15 @@ func (l *Layer) dequeue() *sim.Frame {
 		if l.canSend(info) {
 			l.commitSend(info)
 			l.queue = append(l.queue[:i], l.queue[i+1:]...)
+			if l.enqAt != nil {
+				if at, ok := l.enqAt[f]; ok {
+					delete(l.enqAt, f)
+					l.node.Emit(telemetry.Event{
+						Flow: f.FlowID, Dur: int64(l.node.Now()) - at,
+						Kind: telemetry.KindDequeue,
+					})
+				}
+			}
 			l.observeGate(true)
 			return f
 		}

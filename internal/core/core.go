@@ -31,6 +31,7 @@ import (
 	"repro/internal/packet"
 	"repro/internal/routing"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // Config parameterizes MORE.
@@ -278,6 +279,7 @@ func (n *Node) StartFlow(id flow.ID, dst graph.NodeID, file flow.File, onDone fu
 		return err
 	}
 	st.src = src
+	n.node.Emit(telemetry.Event{Flow: uint32(id), Kind: telemetry.KindBatchStart})
 	n.sources[id] = st
 	n.rrAdd(id)
 	if n.cfg.RepairInterval > 0 {
@@ -307,9 +309,17 @@ func (n *Node) scheduleRepair(st *sourceState) {
 			return
 		}
 		if st.curBatch == st.repairBatch && st.multicast == nil {
+			n.node.Emit(telemetry.Event{
+				Flow: uint32(st.id), Batch: uint32(st.curBatch),
+				Aux: telemetry.StallBatch, Kind: telemetry.KindStall,
+			})
 			st.planVersion = n.state.Version()
 			if plan, err := routing.BuildPlan(n.state.Graph(), n.node.ID(), st.dst, n.cfg.Plan); err == nil {
 				st.fwd = fwdEntries(plan)
+				n.node.Emit(telemetry.Event{
+					Flow: uint32(st.id), Batch: uint32(st.curBatch),
+					Aux: telemetry.ReplanStall, Kind: telemetry.KindReplan,
+				})
 			}
 			n.node.Wake()
 		}
@@ -340,6 +350,9 @@ func (n *Node) refreshPlan(st *sourceState, dst graph.NodeID) {
 	st.planVersion = v
 	if plan, err := routing.BuildPlan(n.state.Graph(), n.node.ID(), dst, n.cfg.Plan); err == nil {
 		st.fwd = fwdEntries(plan)
+		n.node.Emit(telemetry.Event{
+			Flow: uint32(st.id), Aux: telemetry.ReplanDrift, Kind: telemetry.KindReplan,
+		})
 	}
 }
 
@@ -366,6 +379,9 @@ func (n *Node) advanceBatch(st *sourceState, acked uint32) {
 		panic(err) // batches are validated at StartFlow
 	}
 	st.src = src
+	n.node.Emit(telemetry.Event{
+		Flow: uint32(st.id), Batch: uint32(st.curBatch), Kind: telemetry.KindBatchStart,
+	})
 	n.node.Wake()
 }
 
@@ -752,6 +768,10 @@ func (n *Node) sinkReceive(m *DataMsg) {
 	s.delivered += len(natives)
 	s.result.PacketsDelivered = s.delivered
 	s.result.End = n.node.Now()
+	n.node.Emit(telemetry.Event{
+		Flow: uint32(s.id), Batch: m.Batch, Aux: int64(len(natives)),
+		Kind: telemetry.KindBatchDecode,
+	})
 	if n.OnDeliver != nil {
 		n.OnDeliver(s.id, m.Batch, natives)
 	}

@@ -27,6 +27,7 @@ import (
 	"repro/internal/packet"
 	"repro/internal/routing"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // Config parameterizes ExOR.
@@ -282,10 +283,18 @@ func (n *Node) scheduleRepair(f *exorFlow) {
 			return
 		}
 		if !n.node.Failed() && f.batch == f.repairBatch {
+			n.node.Emit(telemetry.Event{
+				Flow: uint32(f.id), Batch: uint32(f.batch),
+				Aux: telemetry.StallBatch, Kind: telemetry.KindStall,
+			})
 			if plan, err := routing.BuildPlan(n.state.Graph(), n.node.ID(), f.dst, n.cfg.Plan); err == nil {
 				prio := append([]graph.NodeID{f.dst}, plan.Forwarders()...)
 				f.prio = append(prio, n.node.ID())
 				f.myPrio = len(f.prio) - 1
+				n.node.Emit(telemetry.Event{
+					Flow: uint32(f.id), Batch: uint32(f.batch),
+					Aux: telemetry.ReplanStall, Kind: telemetry.KindReplan,
+				})
 			}
 			f.planVersion = n.state.Version()
 			n.loadSourceBatch(f, f.batch)
@@ -325,6 +334,9 @@ func (n *Node) loadSourceBatch(f *exorFlow, b int) {
 	f.cleanedIdx = make(map[int]bool)
 	f.inTurn = false
 	f.fragQueue = nil
+	n.node.Emit(telemetry.Event{
+		Flow: uint32(f.id), Batch: uint32(b), Kind: telemetry.KindBatchStart,
+	})
 }
 
 // ExpectFlow wires destination-side reporting and verification.
@@ -630,6 +642,10 @@ func (n *Node) sinkProgress(f *exorFlow) {
 	// Destination holds everything: announce completion.
 	if count == f.k && !f.doneSent {
 		f.doneSent = true
+		n.node.Emit(telemetry.Event{
+			Flow: uint32(f.id), Batch: uint32(f.batch), Aux: int64(count),
+			Kind: telemetry.KindBatchDecode,
+		})
 		for i := range f.bmap {
 			f.bmap[i] = 0
 		}

@@ -22,6 +22,7 @@ import (
 	"repro/internal/routing"
 	"repro/internal/sim"
 	"repro/internal/srcr"
+	"repro/internal/telemetry"
 )
 
 // Protocol selects the routing protocol under test.
@@ -135,9 +136,14 @@ type Options struct {
 	// Deadline bounds each run's simulated transfer time, measured from
 	// when flows start (after any learned-state warmup).
 	Deadline sim.Time
-	// Trace, when set, receives the simulator's medium trace (see
-	// internal/trace for a structured recorder).
+	// Trace, when set, receives the simulator's medium trace (debug
+	// strings; see Telemetry for the typed plane).
 	Trace func(format string, args ...interface{})
+	// Telemetry, when set, receives every typed simulation event
+	// (sim.Simulator.Telem). Pass a *telemetry.Hub for metrics and the
+	// flight recorder, or a bare trace.Recorder for just a ring. Like
+	// Trace, a shared sink forces the figure drivers serial.
+	Telemetry telemetry.Sink
 	// Metric selects forwarder ordering for MORE/ExOR (default ETX).
 	Metric routing.OrderMetric
 	// State selects where routing state comes from: StateOracle (default)
@@ -285,10 +291,10 @@ func (o Options) SrcrConfig(autorate bool) srcr.Config {
 }
 
 // workers returns the driver worker count: Parallel, forced serial when a
-// Trace hook is installed (one shared callback must not be invoked from
-// concurrent simulations).
+// Trace hook or telemetry sink is installed (one shared callback must not
+// be invoked from concurrent simulations).
 func (o Options) workers() int {
-	if o.Trace != nil {
+	if o.Trace != nil || o.Telemetry != nil {
 		return 1
 	}
 	return o.Parallel
@@ -377,6 +383,11 @@ type RunInfo struct {
 	// Fairness summarizes the per-flow outcome (per-flow throughput and
 	// transmissions, Jain's fairness index).
 	Fairness FairnessReport
+
+	// Telemetry is the metrics snapshot when Options.Telemetry was a
+	// *telemetry.Hub; nil otherwise, and omitted from JSON so legacy
+	// output is unchanged.
+	Telemetry *telemetry.Report `json:",omitempty"`
 }
 
 // ControlPlane carries the per-run control-plane wiring: one routing-state
@@ -707,6 +718,9 @@ func RunDetailed(topo *graph.Topology, proto Protocol, pairs []Pair, opts Option
 	if opts.Trace != nil {
 		s.Trace = opts.Trace
 	}
+	if opts.Telemetry != nil {
+		s.Telem = opts.Telemetry
+	}
 	cp := NewControlPlane(topo, opts)
 	remaining := len(pairs)
 	results := make([]flow.Result, len(pairs))
@@ -832,6 +846,9 @@ func finishRun(s *sim.Simulator, cp *ControlPlane, pairs []Pair, results []flow.
 	info.ProbeTx, info.FloodTx = cp.ControlTx()
 	info.CCStats = cp.CCStats()
 	info.Fairness = BuildFairness(results, s.Counters)
+	if h, ok := opts.Telemetry.(*telemetry.Hub); ok {
+		info.Telemetry = h.Report()
+	}
 	return info
 }
 

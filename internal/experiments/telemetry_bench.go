@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/telemetry"
+)
+
+// Telemetry overhead guard (`morebench -telemetry-baseline`): times the
+// same deterministic MORE transfer with telemetry off and with a full Hub
+// installed, and gates both against BENCH_telemetry.json — the off path
+// must stay within noise of the pre-telemetry baseline (the nil check is
+// the whole cost), the on path within a bounded overhead of off.
+
+// TelemetryBenchResult is the measured pair (BENCH_telemetry.json).
+type TelemetryBenchResult struct {
+	// Workload names the timed scenario.
+	Workload string `json:"workload"`
+	// Runs is how many repetitions each timing took the minimum over.
+	Runs int `json:"runs"`
+	// OffNsPerRun / OnNsPerRun are the best (minimum) wall-clock times of
+	// one full simulation run with telemetry off / with a Hub installed.
+	OffNsPerRun float64 `json:"off_ns_per_run"`
+	OnNsPerRun  float64 `json:"on_ns_per_run"`
+	// OverheadPct is 100*(On-Off)/Off.
+	OverheadPct float64 `json:"overhead_pct"`
+	// Events is the event count one instrumented run emits.
+	Events int64 `json:"events"`
+}
+
+// telemetryWorkload builds the timed scenario: a 128 KB MORE transfer
+// across the paper's 20-node testbed — enough traffic to emit tens of
+// thousands of events, small enough to repeat many times.
+func telemetryWorkload() (*graph.Topology, Pair, Options) {
+	topo := graph.Testbed(graph.DefaultTestbed(), 7)
+	opts := DefaultOptions()
+	opts.FileBytes = 128 << 10
+	opts.Seed = 7
+	return topo, Pair{Src: 0, Dst: 19}, opts
+}
+
+// TelemetryBench runs the workload `runs` times per mode and keeps the
+// minimum — the standard way to strip scheduler noise from a
+// deterministic, allocation-stable benchmark.
+func TelemetryBench(runs int) *TelemetryBenchResult {
+	if runs <= 0 {
+		runs = 5
+	}
+	topo, pair, opts := telemetryWorkload()
+	res := &TelemetryBenchResult{Workload: "more-testbed-128k", Runs: runs}
+
+	timeRuns := func(instrument bool) float64 {
+		best := time.Duration(0)
+		for i := 0; i < runs; i++ {
+			o := opts
+			var hub *telemetry.Hub
+			if instrument {
+				hub = telemetry.NewHub(telemetry.Config{})
+				o.Telemetry = hub
+			}
+			start := time.Now()
+			RunDetailed(topo, MORE, []Pair{pair}, o)
+			d := time.Since(start)
+			if best == 0 || d < best {
+				best = d
+			}
+			if hub != nil && res.Events == 0 {
+				res.Events = hub.Events()
+			}
+		}
+		return float64(best.Nanoseconds())
+	}
+
+	res.OffNsPerRun = timeRuns(false)
+	res.OnNsPerRun = timeRuns(true)
+	if res.OffNsPerRun > 0 {
+		res.OverheadPct = 100 * (res.OnNsPerRun - res.OffNsPerRun) / res.OffNsPerRun
+	}
+	return res
+}
+
+// Table renders the result.
+func (r *TelemetryBenchResult) Table() string {
+	return fmt.Sprintf(
+		"telemetry overhead (%s, min of %d runs):\n  off %8.2f ms/run\n  on  %8.2f ms/run  (+%.1f%%, %d events)\n",
+		r.Workload, r.Runs, r.OffNsPerRun/1e6, r.OnNsPerRun/1e6, r.OverheadPct, r.Events)
+}
+
+// TelemetryOverheadLimitPct is the acceptance bound on enabled-telemetry
+// overhead (ISSUE 9: "enabled within 10%").
+const TelemetryOverheadLimitPct = 10.0
+
+// CompareTelemetryBaselines gates cur against base: the telemetry-off
+// time must be within offTol (fractional, e.g. 0.20) of the baseline's
+// off time — proving the nil-check path didn't slow the simulator — and
+// cur's measured overhead must not exceed TelemetryOverheadLimitPct.
+// Returns one message per violation.
+func CompareTelemetryBaselines(base, cur *TelemetryBenchResult, offTol float64) []string {
+	var bad []string
+	if base != nil && base.OffNsPerRun > 0 && cur.OffNsPerRun > base.OffNsPerRun*(1+offTol) {
+		bad = append(bad, fmt.Sprintf(
+			"telemetry-off run time regressed: %.2f ms vs baseline %.2f ms (+%.0f%%, tolerance %.0f%%)",
+			cur.OffNsPerRun/1e6, base.OffNsPerRun/1e6,
+			100*(cur.OffNsPerRun/base.OffNsPerRun-1), 100*offTol))
+	}
+	if cur.OverheadPct > TelemetryOverheadLimitPct {
+		bad = append(bad, fmt.Sprintf(
+			"telemetry-on overhead %.1f%% exceeds the %.0f%% bound",
+			cur.OverheadPct, TelemetryOverheadLimitPct))
+	}
+	return bad
+}

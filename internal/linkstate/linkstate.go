@@ -18,6 +18,7 @@ import (
 	"repro/internal/packet"
 	"repro/internal/probe"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // Config parameterizes the agent.
@@ -347,12 +348,14 @@ func (a *Agent) Pull() *sim.Frame {
 		l := a.pendingAdv[0]
 		a.pendingAdv = a.pendingAdv[1:]
 		a.FloodTx++
+		a.node.Emit(telemetry.Event{Aux: int64(l.Origin), Kind: telemetry.KindLSAFlood})
 		return &sim.Frame{From: a.node.ID(), To: graph.Broadcast, Bytes: l.EncodedSize(), Payload: l}
 	}
 	if len(a.pendingFwd) > 0 {
 		l := a.pendingFwd[0]
 		a.pendingFwd = a.pendingFwd[1:]
 		a.FloodTx++
+		a.node.Emit(telemetry.Event{Aux: int64(l.Origin), Kind: telemetry.KindLSAFlood})
 		return &sim.Frame{From: a.node.ID(), To: graph.Broadcast, Bytes: l.EncodedSize(), Payload: l}
 	}
 	return a.prober.Pull()

@@ -11,6 +11,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/flow"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // FlowOutcome is one flow's end of run.
@@ -57,6 +58,11 @@ type Result struct {
 	Counters sim.Counters
 	CCStats  congest.Stats
 	Fairness experiments.FairnessReport
+
+	// Telemetry is the metrics snapshot when the run was executed via
+	// RunWith and a hub; nil (and omitted from the encoding, keeping every
+	// pre-telemetry digest byte-identical) otherwise.
+	Telemetry *telemetry.Report `json:",omitempty"`
 
 	// Digest is the SHA-256 of the canonical encoding with this field
 	// empty — one line a regression diff can compare scenarios by.

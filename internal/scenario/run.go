@@ -11,6 +11,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/sim"
 	"repro/internal/srcr"
+	"repro/internal/telemetry"
 )
 
 // Run executes a validated spec and returns the sealed result. The
@@ -22,12 +23,25 @@ import (
 // topology (invalidating the oracle, so even perfect-knowledge runs must
 // react).
 func Run(spec *Spec) (*Result, error) {
+	return RunWith(spec, nil)
+}
+
+// RunWith executes a spec with an optional telemetry hub installed on the
+// simulator. With hub nil it is exactly Run. With a hub, typed events flow
+// through it for metrics, Chrome trace capture, and stall dumps, and the
+// sealed result carries the metrics Report — telemetry never perturbs the
+// simulation, so everything except that extra block (and hence the digest)
+// is byte-identical to the uninstrumented run.
+func RunWith(spec *Spec, hub *telemetry.Hub) (*Result, error) {
 	topo, err := spec.Topology.Build(spec.Seed)
 	if err != nil {
 		return nil, err
 	}
 	opts := spec.Options()
 	s := sim.New(topo, opts.SimConfig())
+	if hub != nil {
+		s.Telem = hub
+	}
 	cp := experiments.NewControlPlane(topo, opts)
 	n := topo.N()
 
@@ -290,6 +304,9 @@ func Run(spec *Spec) (*Result, error) {
 		res.Flows = append(res.Flows, out)
 	}
 	res.Fairness = experiments.BuildFairness(results, s.Counters)
+	if hub != nil {
+		res.Telemetry = hub.Report()
+	}
 	if err := res.seal(); err != nil {
 		return nil, err
 	}

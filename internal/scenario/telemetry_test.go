@@ -1,0 +1,73 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// TestRunWithTelemetryByteIdentity pins the observability contract at the
+// scenario level: a run with a full telemetry hub must agree with the
+// plain run on everything except the Telemetry block — strip that block,
+// recompute the digest, and the two results are identical.
+func TestRunWithTelemetryByteIdentity(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join(specDir, "paper-testbed.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := Parse(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	plain, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hub := telemetry.NewHub(telemetry.Config{ChromeTrace: true})
+	instr, err := RunWith(spec, hub)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if instr.Telemetry == nil {
+		t.Fatal("instrumented run carries no telemetry block")
+	}
+	if plain.Telemetry != nil {
+		t.Fatal("plain run carries a telemetry block")
+	}
+	if instr.Telemetry.Events != hub.Events() || hub.Events() == 0 {
+		t.Fatalf("report events %d, hub %d", instr.Telemetry.Events, hub.Events())
+	}
+	fm := instr.Telemetry.FlowMetrics(1)
+	if fm.Delivery.Count == 0 || fm.Delivery.P50Ms <= 0 {
+		t.Fatalf("scenario metrics missing delivery latency: %+v", fm)
+	}
+
+	// Strip the extra block and re-seal: must equal the plain result,
+	// digest included.
+	stripped := *instr
+	stripped.Telemetry = nil
+	if err := stripped.seal(); err != nil {
+		t.Fatal(err)
+	}
+	if stripped.Digest != plain.Digest {
+		t.Fatalf("digest diverged under telemetry: %s vs %s", stripped.Digest, plain.Digest)
+	}
+	if !reflect.DeepEqual(&stripped, plain) {
+		t.Fatal("stripped instrumented result differs from plain run")
+	}
+
+	// The instrumented result must still validate against the strict
+	// schema (the Telemetry block is part of it now).
+	enc, err := instr.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ValidateResult(enc); err != nil {
+		t.Fatalf("instrumented result fails validation: %v", err)
+	}
+}

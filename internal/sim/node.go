@@ -4,6 +4,7 @@ import (
 	"math/rand"
 
 	"repro/internal/graph"
+	"repro/internal/telemetry"
 )
 
 // Protocol is the interface a routing protocol implements per node. The
@@ -82,6 +83,22 @@ func (n *Node) Wake() {
 		return
 	}
 	n.mac.wake()
+}
+
+// Telemetry reports whether a telemetry sink is installed. Layers that
+// need per-event bookkeeping before emitting (e.g. queue-wait timestamps)
+// gate that bookkeeping on this so the off path stays free.
+func (n *Node) Telemetry() bool { return n.sim.Telem != nil }
+
+// Emit stamps a telemetry event with the current time and this node's ID
+// and forwards it to the installed sink; without a sink it is a single
+// nil check. Protocol layers emit through this.
+func (n *Node) Emit(ev telemetry.Event) {
+	if s := n.sim.Telem; s != nil {
+		ev.At = int64(n.sim.now)
+		ev.Node = int32(n.id)
+		s.Emit(ev)
+	}
 }
 
 // Failed reports whether the node has been silenced by Simulator.FailNode.

@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"repro/internal/graph"
+	"repro/internal/telemetry"
 )
 
 // Config parameterizes the simulated PHY and MAC.
@@ -200,6 +201,11 @@ type Simulator struct {
 
 	// Trace, when set, receives a line per interesting medium event.
 	Trace func(format string, args ...interface{})
+
+	// Telem, when set, receives a typed telemetry.Event per medium and
+	// protocol event (see internal/telemetry). Nil costs one pointer check
+	// per emission site and nothing else.
+	Telem telemetry.Sink
 }
 
 // transmission is a frame in flight.
@@ -363,6 +369,9 @@ func (s *Simulator) FailNode(id graph.NodeID) {
 	n.failed = true
 	n.mac.silence()
 	s.tracef("node %d failed", id)
+	if s.Telem != nil {
+		s.Telem.Emit(telemetry.Event{At: int64(s.now), Node: int32(id), Kind: telemetry.KindNodeFail})
+	}
 }
 
 // RecoverNode revives a node silenced by FailNode, modelling a reboot: the
@@ -382,6 +391,9 @@ func (s *Simulator) RecoverNode(id graph.NodeID) {
 	n.failed = false
 	n.mac.revive()
 	s.tracef("node %d recovered", id)
+	if s.Telem != nil {
+		s.Telem.Emit(telemetry.Event{At: int64(s.now), Node: int32(id), Kind: telemetry.KindNodeRecover})
+	}
 	// The protocol may have had traffic queued all along; give it a
 	// transmission opportunity now that wakes work again.
 	n.Wake()
@@ -500,6 +512,18 @@ func (s *Simulator) startTransmission(n *Node, f *Frame) *transmission {
 	s.Counters.AirTimeByRate[rate] += dur
 	s.Counters.TxByRate[rate]++
 
+	if s.Telem != nil {
+		var ack int64
+		if f.isMACAck {
+			ack = 1
+		}
+		s.Telem.Emit(telemetry.Event{
+			At: int64(s.now), Dur: int64(dur), Aux: ack,
+			Flow: f.FlowID, Node: int32(n.id), Peer: int32(f.To),
+			Bytes: int32(f.Bytes), Kind: telemetry.KindTx,
+		})
+	}
+
 	// Raise carrier at every sensing node (including the transmitter).
 	for _, id := range s.senseSet[n.id] {
 		s.nodes[id].mac.carrierUp()
@@ -544,6 +568,22 @@ func (s *Simulator) endTransmission(tx *transmission) {
 		case rxChannelLoss:
 			s.Counters.ChannelLosses++
 		case rxOutOfRange:
+		}
+		if s.Telem != nil && outcome != rxOutOfRange {
+			ev := telemetry.Event{
+				At: int64(s.now), Flow: tx.frame.FlowID,
+				Node: int32(rcv.id), Peer: int32(tx.from.id),
+				Bytes: int32(tx.frame.Bytes),
+			}
+			switch outcome {
+			case rxOK:
+				ev.Kind = telemetry.KindRx
+			case rxCollision:
+				ev.Kind, ev.Aux = telemetry.KindDrop, telemetry.DropCollision
+			case rxChannelLoss:
+				ev.Kind, ev.Aux = telemetry.KindDrop, telemetry.DropChannel
+			}
+			s.Telem.Emit(ev)
 		}
 	}
 	tx.from.mac.onAir--

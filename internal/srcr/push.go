@@ -6,6 +6,7 @@ import (
 	"repro/internal/flow"
 	"repro/internal/graph"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // Push traffic sources: UDP-like datagram flows over Srcr's source-routed
@@ -176,6 +177,9 @@ func (n *Node) pushTick(st *pushState) {
 		Hop:     0,
 		Payload: st.payloads[st.next],
 	}
+	n.node.Emit(telemetry.Event{
+		Flow: uint32(st.id), Aux: int64(st.next), Kind: telemetry.KindPktSend,
+	})
 	st.next++
 	st.generated++
 	f := n.frameFor(m)

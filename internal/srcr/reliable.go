@@ -5,6 +5,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/packet"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // End-to-end reliability for Srcr file transfers. MORE and ExOR deliver the
@@ -190,8 +191,14 @@ func (n *Node) finishPass(st *sourceState) {
 // and recomputed before this source noticed). Losing the route entirely
 // keeps the old one, like refreshRoute; the next repair tick tries again.
 func (n *Node) forceReroute(st *sourceState) {
+	n.node.Emit(telemetry.Event{
+		Flow: uint32(st.id), Aux: telemetry.StallFin, Kind: telemetry.KindStall,
+	})
 	st.planVersion = n.state.Version()
 	if route := n.state.Path(n.node.ID(), st.route[len(st.route)-1]); route != nil {
 		st.route = route
+		n.node.Emit(telemetry.Event{
+			Flow: uint32(st.id), Aux: telemetry.ReplanStall, Kind: telemetry.KindReplan,
+		})
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/packet"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // Config parameterizes Srcr.
@@ -263,6 +264,9 @@ func (n *Node) deliver(m *DataMsg) {
 		s.haveSeq[m.Seq] = true
 	}
 	s.delivered++
+	n.node.Emit(telemetry.Event{
+		Flow: uint32(m.Flow), Aux: int64(m.Seq), Kind: telemetry.KindPktDeliver,
+	})
 	s.result.PacketsDelivered = s.delivered
 	s.result.End = n.node.Now()
 	if s.verify != nil {
@@ -342,6 +346,9 @@ func (n *Node) Pull() *sim.Frame {
 			Payload: st.payloads[seq],
 		}
 		st.inFlight = true
+		n.node.Emit(telemetry.Event{
+			Flow: uint32(st.id), Aux: int64(seq), Kind: telemetry.KindPktSend,
+		})
 		return n.frameFor(m)
 	}
 	return nil

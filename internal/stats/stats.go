@@ -24,13 +24,22 @@ type Summary struct {
 	P90    float64
 }
 
-// Summarize computes a Summary. An empty sample yields the zero Summary.
+// Summarize computes a Summary over the finite values of the sample. NaN
+// and ±Inf inputs are skipped — one poisoned sample (a 0/0 throughput
+// ratio, an overflowed latency) must not turn every reported moment into
+// NaN, the same hardening JainIndex got. N counts the finite values; an
+// empty or all-non-finite sample yields the zero Summary.
 func Summarize(xs []float64) Summary {
-	s := Summary{N: len(xs)}
-	if len(xs) == 0 {
+	sorted := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if !math.IsNaN(x) && !math.IsInf(x, 0) {
+			sorted = append(sorted, x)
+		}
+	}
+	s := Summary{N: len(sorted)}
+	if len(sorted) == 0 {
 		return s
 	}
-	sorted := append([]float64(nil), xs...)
 	sort.Float64s(sorted)
 	s.Min = sorted[0]
 	s.Max = sorted[len(sorted)-1]
@@ -60,10 +69,27 @@ func (s Summary) String() string {
 }
 
 // Percentile returns the p-th percentile (0..100) of a *sorted* sample
-// using linear interpolation. It panics on an empty sample.
+// using linear interpolation. It panics on an empty sample. Non-finite
+// values are excluded: sort.Float64s places NaNs first and +Inf last, so
+// the finite window is trimmed from both ends before interpolating. A NaN
+// p, or a sample with no finite values, returns NaN.
 func Percentile(sorted []float64, p float64) float64 {
 	if len(sorted) == 0 {
 		panic("stats: percentile of empty sample")
+	}
+	if math.IsNaN(p) {
+		return math.NaN()
+	}
+	lo0, hi0 := 0, len(sorted)
+	for lo0 < hi0 && (math.IsNaN(sorted[lo0]) || math.IsInf(sorted[lo0], -1)) {
+		lo0++
+	}
+	for hi0 > lo0 && (math.IsNaN(sorted[hi0-1]) || math.IsInf(sorted[hi0-1], 1)) {
+		hi0--
+	}
+	sorted = sorted[lo0:hi0]
+	if len(sorted) == 0 {
+		return math.NaN()
 	}
 	if p <= 0 {
 		return sorted[0]

@@ -123,3 +123,40 @@ func TestGainVsBaseline(t *testing.T) {
 		t.Fatalf("gains %v", g)
 	}
 }
+
+func TestSummarizeSkipsNonFinite(t *testing.T) {
+	nan := math.NaN()
+	inf := math.Inf(1)
+	s := Summarize([]float64{1, nan, 2, inf, 3, math.Inf(-1)})
+	if s.N != 3 {
+		t.Fatalf("N = %d, want 3 finite values", s.N)
+	}
+	if s.Mean != 2 || s.Min != 1 || s.Max != 3 || s.Median != 2 {
+		t.Fatalf("moments poisoned: %+v", s)
+	}
+	z := Summarize([]float64{nan, inf})
+	if z.N != 0 || z.Mean != 0 {
+		t.Fatalf("all-non-finite sample should yield zero Summary, got %+v", z)
+	}
+}
+
+func TestPercentileNonFinite(t *testing.T) {
+	// sort.Float64s puts NaN first and +Inf last; Percentile must trim
+	// both and interpolate over the finite window only.
+	sorted := []float64{math.NaN(), math.Inf(-1), 1, 2, 3, math.Inf(1)}
+	if got := Percentile(sorted, 50); got != 2 {
+		t.Fatalf("p50 = %v, want 2", got)
+	}
+	if got := Percentile(sorted, 0); got != 1 {
+		t.Fatalf("p0 = %v, want 1", got)
+	}
+	if got := Percentile(sorted, 100); got != 3 {
+		t.Fatalf("p100 = %v, want 3", got)
+	}
+	if got := Percentile([]float64{1, 2, 3}, math.NaN()); !math.IsNaN(got) {
+		t.Fatalf("NaN p should return NaN, got %v", got)
+	}
+	if got := Percentile([]float64{math.NaN(), math.Inf(1)}, 50); !math.IsNaN(got) {
+		t.Fatalf("all-non-finite sample should return NaN, got %v", got)
+	}
+}

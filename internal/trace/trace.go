@@ -1,6 +1,7 @@
 // Package trace records structured simulation events for inspection: a
-// bounded ring of recent medium events plus per-node transmission
-// timelines. Attach a Recorder to sim.Simulator.Trace to capture activity,
+// bounded ring of recent events plus per-node transmission timelines.
+// The Recorder is a telemetry.Sink — install it as sim.Simulator.Telem
+// (or fan it off a telemetry.Hub with AddSink) to capture typed activity,
 // then render timelines or dump the tail — the debugging view the paper's
 // Click-based implementation (§4.1.1: MORE, ExOR, and Srcr all run as
 // user-level Click processes) got from its element logs, and the direct way
@@ -9,21 +10,27 @@ package trace
 
 import (
 	"fmt"
-	"regexp"
 	"strconv"
 	"strings"
 
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
-// Event is one recorded medium event.
+// Event is one recorded simulation event: the typed telemetry event plus
+// its rendered line.
 type Event struct {
 	At   sim.Time
 	Line string
-	Node int // transmitting node, -1 if unknown
+	// Node is the node the event happened at (the transmitter for tx
+	// events), -1 if unknown.
+	Node int
+	// Kind is the typed event kind.
+	Kind telemetry.Kind
 }
 
-// Recorder captures simulator trace output.
+// Recorder captures typed simulator events in a bounded ring. It
+// implements telemetry.Sink.
 type Recorder struct {
 	// Cap bounds the retained ring (0 means DefaultCap).
 	Cap int
@@ -32,7 +39,7 @@ type Recorder struct {
 	next   int
 	total  int
 
-	perNode map[int]int // transmissions per node
+	txPerNode map[int]int // data transmissions per node
 }
 
 // DefaultCap is the default ring size.
@@ -43,28 +50,49 @@ func NewRecorder(capacity int) *Recorder {
 	if capacity <= 0 {
 		capacity = DefaultCap
 	}
-	return &Recorder{Cap: capacity, perNode: make(map[int]int)}
+	return &Recorder{Cap: capacity, txPerNode: make(map[int]int)}
 }
 
-var nodeRe = regexp.MustCompile(`node=(\d+)`)
-
-// Hook returns the function to assign to sim.Simulator.Trace.
-func (r *Recorder) Hook() func(format string, args ...interface{}) {
-	return func(format string, args ...interface{}) {
-		line := fmt.Sprintf(format, args...)
-		ev := Event{Line: line, Node: -1}
-		// The simulator prefixes every line with the current time.
-		if i := strings.IndexByte(line, ' '); i > 0 {
-			ev.At = parseTime(line[:i])
-		}
-		if m := nodeRe.FindStringSubmatch(line); m != nil {
-			if id, err := strconv.Atoi(m[1]); err == nil {
-				ev.Node = id
-				r.perNode[id]++
-			}
-		}
-		r.push(ev)
+// Emit implements telemetry.Sink: the event is rendered to a line and
+// pushed into the ring. Only data transmissions (not MAC ACKs, and not
+// receptions or drops, which earlier versions of this package conflated
+// with them) count toward the per-node transmission tally.
+func (r *Recorder) Emit(ev telemetry.Event) {
+	if ev.Kind == telemetry.KindTx && ev.Aux == 0 {
+		r.txPerNode[int(ev.Node)]++
 	}
+	r.push(Event{
+		At:   sim.Time(ev.At),
+		Line: renderLine(ev),
+		Node: int(ev.Node),
+		Kind: ev.Kind,
+	})
+}
+
+// renderLine formats a typed event the way the old string hook did, from
+// fields instead of fmt verbs.
+func renderLine(ev telemetry.Event) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%v %s node=%d", sim.Time(ev.At), ev.Kind, ev.Node)
+	if ev.Peer != 0 || ev.Kind == telemetry.KindTx || ev.Kind == telemetry.KindRx {
+		fmt.Fprintf(&b, " peer=%d", ev.Peer)
+	}
+	if ev.Flow != 0 {
+		fmt.Fprintf(&b, " flow=%d", ev.Flow)
+	}
+	if ev.Batch != 0 {
+		fmt.Fprintf(&b, " batch=%d", ev.Batch)
+	}
+	if ev.Bytes != 0 {
+		fmt.Fprintf(&b, " bytes=%d", ev.Bytes)
+	}
+	if ev.Dur != 0 {
+		fmt.Fprintf(&b, " dur=%v", sim.Time(ev.Dur))
+	}
+	if ev.Aux != 0 {
+		fmt.Fprintf(&b, " aux=%d", ev.Aux)
+	}
+	return b.String()
 }
 
 func (r *Recorder) push(ev Event) {
@@ -77,36 +105,37 @@ func (r *Recorder) push(ev Event) {
 	r.total++
 }
 
-// parseTime reverses sim.Time.String for the common unit suffixes; it
-// returns 0 for unparseable input (the trace stays usable either way).
-func parseTime(s string) sim.Time {
+// ParseTime reverses sim.Time.String for the common unit suffixes. Unlike
+// the unexported predecessor — which silently returned 0 and made
+// unparseable prefixes indistinguishable from t=0 — it reports an error.
+func ParseTime(s string) (sim.Time, error) {
 	switch {
 	case strings.HasSuffix(s, "ms"):
 		v, err := strconv.ParseFloat(strings.TrimSuffix(s, "ms"), 64)
 		if err != nil {
-			return 0
+			return 0, fmt.Errorf("trace: bad time %q: %w", s, err)
 		}
-		return sim.Time(v * float64(sim.Millisecond))
+		return sim.Time(v * float64(sim.Millisecond)), nil
 	case strings.HasSuffix(s, "us"):
 		v, err := strconv.ParseFloat(strings.TrimSuffix(s, "us"), 64)
 		if err != nil {
-			return 0
+			return 0, fmt.Errorf("trace: bad time %q: %w", s, err)
 		}
-		return sim.Time(v * float64(sim.Microsecond))
+		return sim.Time(v * float64(sim.Microsecond)), nil
 	case strings.HasSuffix(s, "ns"):
 		v, err := strconv.ParseInt(strings.TrimSuffix(s, "ns"), 10, 64)
 		if err != nil {
-			return 0
+			return 0, fmt.Errorf("trace: bad time %q: %w", s, err)
 		}
-		return sim.Time(v)
+		return sim.Time(v), nil
 	case strings.HasSuffix(s, "s"):
 		v, err := strconv.ParseFloat(strings.TrimSuffix(s, "s"), 64)
 		if err != nil {
-			return 0
+			return 0, fmt.Errorf("trace: bad time %q: %w", s, err)
 		}
-		return sim.Time(v * float64(sim.Second))
+		return sim.Time(v * float64(sim.Second)), nil
 	default:
-		return 0
+		return 0, fmt.Errorf("trace: bad time %q: no unit suffix", s)
 	}
 }
 
@@ -133,10 +162,12 @@ func (r *Recorder) ordered() []Event {
 	return out
 }
 
-// PerNode returns the transmission count per node seen in the trace.
-func (r *Recorder) PerNode() map[int]int {
-	out := make(map[int]int, len(r.perNode))
-	for k, v := range r.perNode {
+// TxPerNode returns the data-transmission count per node (MAC ACKs,
+// receptions, and drops excluded). It replaces the old PerNode, which
+// counted every traced event mentioning a node as a "transmission".
+func (r *Recorder) TxPerNode() map[int]int {
+	out := make(map[int]int, len(r.txPerNode))
+	for k, v := range r.txPerNode {
 		out[k] = v
 	}
 	return out
@@ -159,7 +190,7 @@ func (r *Recorder) Timeline(from, to sim.Time, width int) string {
 	}
 	marks := map[int][]bool{}
 	for _, ev := range r.ordered() {
-		if ev.Node < 0 || ev.At < from || ev.At >= to {
+		if ev.Node < 0 || ev.Kind != telemetry.KindTx || ev.At < from || ev.At >= to {
 			continue
 		}
 		row, ok := marks[ev.Node]

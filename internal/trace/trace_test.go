@@ -9,6 +9,7 @@ import (
 	"repro/internal/routing"
 	"repro/internal/sim"
 	"repro/internal/srcr"
+	"repro/internal/telemetry"
 )
 
 func TestRecorderCapturesSimulatorEvents(t *testing.T) {
@@ -17,7 +18,7 @@ func TestRecorderCapturesSimulatorEvents(t *testing.T) {
 	topo.SetLink(1, 2, 0.95)
 	s := sim.New(topo, sim.DefaultConfig())
 	rec := NewRecorder(0)
-	s.Trace = rec.Hook()
+	s.Telem = rec
 
 	oracle := flow.NewOracle(topo, routing.ETXOptions{Threshold: 0.15, AckAware: true})
 	nodes := make([]*srcr.Node, 3)
@@ -35,9 +36,15 @@ func TestRecorderCapturesSimulatorEvents(t *testing.T) {
 	if rec.Total() == 0 {
 		t.Fatal("no events recorded")
 	}
-	per := rec.PerNode()
+	per := rec.TxPerNode()
 	if per[0] == 0 || per[1] == 0 {
-		t.Fatalf("per-node counts missing: %v", per)
+		t.Fatalf("per-node tx counts missing: %v", per)
+	}
+	// Node 2 is the destination: it receives and MAC-acks but relays no
+	// data, so the corrected tally must not count it — the old PerNode
+	// counted its receptions as "transmissions".
+	if per[2] != 0 {
+		t.Fatalf("destination counted %d data transmissions, want 0", per[2])
 	}
 	tail := rec.Tail(5)
 	if len(tail) == 0 || len(tail) > 5 {
@@ -54,11 +61,17 @@ func TestRecorderCapturesSimulatorEvents(t *testing.T) {
 	}
 }
 
+func txEvent(node int32, at sim.Time) telemetry.Event {
+	return telemetry.Event{
+		At: int64(at), Dur: int64(sim.Millisecond), Flow: 1,
+		Node: node, Peer: -1, Bytes: 1500, Kind: telemetry.KindTx,
+	}
+}
+
 func TestRecorderRingEviction(t *testing.T) {
 	rec := NewRecorder(4)
-	hook := rec.Hook()
 	for i := 0; i < 10; i++ {
-		hook("%s tx start node=%d to=-1 bytes=1 rate=1Mbps ack=false", sim.Time(i)*sim.Millisecond, i)
+		rec.Emit(txEvent(int32(i), sim.Time(i)*sim.Millisecond))
 	}
 	if rec.Total() != 10 {
 		t.Fatalf("total = %d", rec.Total())
@@ -72,6 +85,71 @@ func TestRecorderRingEviction(t *testing.T) {
 	}
 }
 
+// TestRecorderWraparound drives the ring exactly across its eviction
+// boundary and checks Tail and Timeline agree on the surviving window.
+func TestRecorderWraparound(t *testing.T) {
+	const cap = 8
+	rec := NewRecorder(cap)
+	// Fill to capacity exactly: no eviction yet.
+	for i := 0; i < cap; i++ {
+		rec.Emit(txEvent(int32(i), sim.Time(i)*sim.Millisecond))
+	}
+	tail := rec.Tail(cap)
+	if len(tail) != cap || tail[0].Node != 0 || tail[cap-1].Node != cap-1 {
+		t.Fatalf("pre-eviction tail wrong: %+v", tail)
+	}
+
+	// One more event evicts exactly the oldest.
+	rec.Emit(txEvent(int32(cap), sim.Time(cap)*sim.Millisecond))
+	tail = rec.Tail(cap)
+	if len(tail) != cap || tail[0].Node != 1 || tail[cap-1].Node != cap {
+		t.Fatalf("post-eviction tail wrong: %+v", tail)
+	}
+	for i := 1; i < len(tail); i++ {
+		if tail[i].At <= tail[i-1].At {
+			t.Fatal("tail not strictly ordered across wraparound")
+		}
+	}
+
+	// A Tail smaller than the ring returns the most recent slice.
+	short := rec.Tail(3)
+	if len(short) != 3 || short[0].Node != cap-2 || short[2].Node != cap {
+		t.Fatalf("short tail wrong: %+v", short)
+	}
+
+	// Timeline over the full interval must show only the survivors: node 0
+	// was evicted, nodes 1..cap survive.
+	tl := rec.Timeline(0, sim.Time(cap+1)*sim.Millisecond, 20)
+	if strings.Contains(tl, "node 0 ") {
+		t.Fatalf("timeline shows evicted node:\n%s", tl)
+	}
+	if !strings.Contains(tl, "node 1 ") || !strings.Contains(tl, "node 8 ") {
+		t.Fatalf("timeline missing survivors:\n%s", tl)
+	}
+}
+
+// TestRecorderCountsOnlyDataTx pins the satellite fix: receptions, drops,
+// and MAC ACKs must not count as transmissions.
+func TestRecorderCountsOnlyDataTx(t *testing.T) {
+	rec := NewRecorder(16)
+	rec.Emit(txEvent(1, 0))
+	ack := txEvent(1, sim.Millisecond)
+	ack.Aux = 1 // MAC ACK
+	rec.Emit(ack)
+	rec.Emit(telemetry.Event{At: int64(2 * sim.Millisecond), Node: 2, Peer: 1, Kind: telemetry.KindRx})
+	rec.Emit(telemetry.Event{At: int64(3 * sim.Millisecond), Node: 2, Peer: 1, Aux: telemetry.DropCollision, Kind: telemetry.KindDrop})
+	per := rec.TxPerNode()
+	if per[1] != 1 {
+		t.Fatalf("node 1: %d transmissions, want 1 (MAC ACK must not count)", per[1])
+	}
+	if per[2] != 0 {
+		t.Fatalf("node 2: %d transmissions, want 0 (rx/drop must not count)", per[2])
+	}
+	if rec.Total() != 4 {
+		t.Fatalf("ring recorded %d events, want all 4", rec.Total())
+	}
+}
+
 func TestParseTimeRoundTrip(t *testing.T) {
 	for _, d := range []sim.Time{
 		5 * sim.Nanosecond,
@@ -79,18 +157,23 @@ func TestParseTimeRoundTrip(t *testing.T) {
 		2 * sim.Millisecond,
 		1500 * sim.Millisecond,
 	} {
-		got := parseTime(d.String())
+		got, err := ParseTime(d.String())
+		if err != nil {
+			t.Fatalf("ParseTime(%q): %v", d.String(), err)
+		}
 		// String rounds to limited precision; allow 1% slack.
 		diff := got - d
 		if diff < 0 {
 			diff = -diff
 		}
 		if diff > d/100+1 {
-			t.Errorf("parseTime(%q) = %v, want ≈%v", d.String(), got, d)
+			t.Errorf("ParseTime(%q) = %v, want ≈%v", d.String(), got, d)
 		}
 	}
-	if parseTime("garbage") != 0 {
-		t.Error("garbage should parse to 0")
+	for _, bad := range []string{"garbage", "", "12", "xms", "s", "--3us"} {
+		if _, err := ParseTime(bad); err == nil {
+			t.Errorf("ParseTime(%q) should error", bad)
+		}
 	}
 }
 
@@ -101,5 +184,15 @@ func TestTimelineEdgeCases(t *testing.T) {
 	}
 	if out := rec.Timeline(0, sim.Second, 0); !strings.Contains(out, "timeline") {
 		t.Error("zero width should use a default")
+	}
+}
+
+func TestRenderLine(t *testing.T) {
+	ev := txEvent(3, 2*sim.Millisecond)
+	line := renderLine(ev)
+	for _, want := range []string{"tx", "node=3", "peer=-1", "flow=1", "bytes=1500", "dur=1.000ms"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("line %q missing %q", line, want)
+		}
 	}
 }
