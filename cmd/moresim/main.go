@@ -80,6 +80,9 @@ func main() {
 		window    = flag.Int("window", 10, "learned-state probe window (probes per estimate, > 0)")
 		advertise = flag.Float64("advertise", 5, "learned-state LSA advertise interval (seconds, > 0)")
 		damp      = flag.Float64("damp", 0, "learned-state LSA flood damping trigger: advertise only when an estimate moved this much (0 disables; try 0.2)")
+		scopeList = flag.String("scope-rings", "", "learned-state fisheye scope rings: comma-separated ascending hop radii (e.g. 2,8); near rings get every update, the rest wait for summaries (empty disables scoping)")
+		summaryS  = flag.Float64("summary-interval", 0, "learned-state network-wide summary flood period with -scope-rings, seconds (0: 8x advertise interval)")
+		piggyback = flag.Bool("piggyback", false, "learned-state: ride pending LSAs on outgoing broadcast data frames instead of dedicated floods")
 		ccName    = flag.String("cc", "none", "congestion control: none, tail, choke, credit, aimd, or cubic")
 		ccQueue   = flag.Int("cc-queue", 0, "congestion-layer transmit queue bound (0: policy default)")
 		loadPen   = flag.Float64("load-penalty", 0, "load-aware routing: ETX penalty of a fully saturated forwarder (0 disables; try 2)")
@@ -92,6 +95,7 @@ func main() {
 		metricsOut = flag.String("metrics", "", "write the telemetry metrics report (per-packet latency percentiles, per-node counters, stall count) as JSON to this file (\"-\" for stdout)")
 		traceOut   = flag.String("trace-out", "", "write a Chrome-trace-event JSON file of every telemetry event (load in Perfetto or chrome://tracing)")
 		deadlineMS = flag.Float64("deadline-ms", 0, "per-packet delivery deadline for the telemetry miss rate, in milliseconds (0 disables)")
+		simLimit   = flag.Float64("sim-deadline", 0, "simulated transfer deadline in seconds, measured from flow start (0: the 3600 s default); bounds slow learned-state runs at scale")
 		progress   = flag.Float64("progress", 0, "print a progress heartbeat (events seen, simulated clock) to stderr every N wall-clock seconds (0 disables)")
 	)
 	flag.Parse()
@@ -117,6 +121,13 @@ func main() {
 	opts.BatchSize = *batch
 	opts.Seed = *seed
 	opts.Parallel = *parallel
+	if *simLimit < 0 {
+		fmt.Fprintln(os.Stderr, "-sim-deadline must be >= 0")
+		os.Exit(2)
+	}
+	if *simLimit > 0 {
+		opts.Deadline = sim.Time(*simLimit * float64(sim.Second))
+	}
 	if *metric == "eotx" {
 		opts.Metric = routing.OrderEOTX
 	}
@@ -154,6 +165,19 @@ func main() {
 		lcfg.Probe.Window = *window
 		lcfg.AdvertiseInterval = sim.Time(*advertise * float64(sim.Second))
 		lcfg.TriggerDelta = *damp
+		if *scopeList != "" {
+			rings, ok := parseRings(*scopeList)
+			if !ok {
+				os.Exit(2)
+			}
+			lcfg.ScopeRings = rings
+		}
+		if *summaryS < 0 {
+			fmt.Fprintln(os.Stderr, "-summary-interval must be >= 0")
+			os.Exit(2)
+		}
+		lcfg.SummaryInterval = sim.Time(*summaryS * float64(sim.Second))
+		lcfg.Piggyback = *piggyback
 		opts.LinkState = lcfg
 	}
 
@@ -191,8 +215,13 @@ func main() {
 			os.Exit(2)
 		}
 		if state == experiments.StateLearned {
-			fmt.Fprintln(os.Stderr, "-scale runs the oracle control plane; use -state learned with a single run")
-			os.Exit(2)
+			// Each point runs the whole measurement plane in-sim: probes,
+			// scoped LSA floods, per-node learned routing.
+			opts.State = experiments.StateLearned
+			if *ccSweep {
+				fmt.Fprintln(os.Stderr, "-cc-sweep runs the oracle control plane; drop -state learned")
+				os.Exit(2)
+			}
 		}
 		if *ccSweep {
 			if !runCCSweep(*scaleList, *flows, *drop, gcfg, proto, opts, *jsonOut) {
@@ -503,18 +532,26 @@ func runScale(list string, flows int, drop float64, gcfg graph.GeometricConfig,
 		}
 		return ok
 	}
-	fmt.Printf("scaling sweep: proto=%v flows=%d drop=%.2f file=%dB degree=%.0f\n",
-		proto, flows, drop, opts.FileBytes, gcfg.TargetDegree)
-	fmt.Printf("%8s %8s %10s %10s %10s %8s %12s\n",
-		"nodes", "links", "deg", "pkt/s", "tx/pkt", "done", "wall")
+	learned := opts.State == experiments.StateLearned
+	fmt.Printf("scaling sweep: proto=%v flows=%d drop=%.2f file=%dB degree=%.0f state=%v\n",
+		proto, flows, drop, opts.FileBytes, gcfg.TargetDegree, opts.State)
+	fmt.Printf("%8s %8s %10s %10s %10s %8s %12s", "nodes", "links", "deg", "pkt/s", "tx/pkt", "done", "wall")
+	if learned {
+		fmt.Printf(" %10s %10s %10s", "probe-tx", "flood-tx", "flood/node")
+	}
+	fmt.Println()
 	for _, pt := range points {
 		tpp := "-"
 		if !math.IsNaN(pt.TxPerPacket) {
 			tpp = fmt.Sprintf("%.2f", pt.TxPerPacket)
 		}
-		fmt.Printf("%8d %8d %10.1f %10.1f %10s %5d/%-2d %12v\n",
+		fmt.Printf("%8d %8d %10.1f %10.1f %10s %5d/%-2d %12v",
 			pt.Nodes, pt.UsableLinks, pt.MeanDegree, pt.Throughput, tpp,
 			pt.Completed, pt.Flows, pt.WallClock.Round(time.Millisecond))
+		if learned {
+			fmt.Printf(" %10d %10d %10.1f", pt.ProbeTx, pt.FloodTx, float64(pt.FloodTx)/float64(pt.Nodes))
+		}
+		fmt.Println()
 		ok = ok && pt.Completed == pt.Flows
 	}
 	return ok
@@ -563,6 +600,21 @@ func runCCSweep(list string, flows int, drop float64, gcfg graph.GeometricConfig
 			pt.Completed, pt.Flows, pt.CCStats.GrantTx, drops)
 	}
 	return allDone
+}
+
+// parseRings parses the -scope-rings hop-radius list: ascending positive
+// integers.
+func parseRings(list string) ([]int, bool) {
+	var rings []int
+	for _, part := range strings.Split(list, ",") {
+		r, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || r < 1 || r > 255 || (len(rings) > 0 && r <= rings[len(rings)-1]) {
+			fmt.Fprintf(os.Stderr, "bad -scope-rings entry %q (want ascending radii 1..255)\n", part)
+			return nil, false
+		}
+		rings = append(rings, r)
+	}
+	return rings, true
 }
 
 // parseCounts parses the -scale node-count list.

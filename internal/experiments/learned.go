@@ -1,8 +1,6 @@
 package experiments
 
 import (
-	"math"
-
 	"repro/internal/graph"
 	"repro/internal/linkstate"
 	"repro/internal/sim"
@@ -48,12 +46,12 @@ func summarize(info RunInfo) GapSummary {
 		delivered += r.PacketsDelivered
 		g.Throughput += r.Throughput()
 	}
+	// A run that delivered nothing reports 0 tx/pkt, not NaN: the gap
+	// report is emitted as JSON, which cannot encode NaN (a silent
+	// marshal failure would swallow the whole document).
 	if delivered > 0 {
 		g.TxPerPacket = float64(info.Counters.Transmissions) / float64(delivered)
 		g.DataTxPerPacket = float64(info.Counters.Transmissions-info.ProbeTx-info.FloodTx) / float64(delivered)
-	} else {
-		g.TxPerPacket = math.NaN()
-		g.DataTxPerPacket = math.NaN()
 	}
 	return g
 }
@@ -109,7 +107,7 @@ func GapRun(topo *graph.Topology, proto Protocol, pairs []Pair, opts Options) Ga
 	if rep.Oracle.Throughput > 0 {
 		rep.ThroughputRatio = rep.Learned.Throughput / rep.Oracle.Throughput
 	}
-	if rep.Oracle.TxPerPacket > 0 && !math.IsNaN(rep.Learned.TxPerPacket) {
+	if rep.Oracle.TxPerPacket > 0 {
 		rep.TxPerPacketRatio = rep.Learned.TxPerPacket / rep.Oracle.TxPerPacket
 		rep.DataTxPerPacketRatio = rep.Learned.DataTxPerPacket / rep.Oracle.TxPerPacket
 	}
@@ -227,7 +225,7 @@ func GapChurnRun(topo *graph.Topology, proto Protocol, pairs []Pair, opts Option
 	if rep.Oracle.Throughput > 0 {
 		rep.ThroughputRatio = rep.Learned.Throughput / rep.Oracle.Throughput
 	}
-	if rep.Oracle.TxPerPacket > 0 && !math.IsNaN(rep.Learned.TxPerPacket) {
+	if rep.Oracle.TxPerPacket > 0 {
 		rep.TxPerPacketRatio = rep.Learned.TxPerPacket / rep.Oracle.TxPerPacket
 		rep.DataTxPerPacketRatio = rep.Learned.DataTxPerPacket / rep.Oracle.TxPerPacket
 	}
@@ -278,6 +276,19 @@ type GapSweepConfig struct {
 	// Opts carries topology-independent options (file size, seed,
 	// deadline, parallelism, warmup).
 	Opts Options
+
+	// Nodes, when positive, replaces the paper testbed with a connected
+	// random-geometric mesh of that size (graph.DefaultGeometric density),
+	// so the sweep can ask the 512–1024-node questions the 20-node testbed
+	// cannot — where does the measurement plane saturate the medium, and
+	// what does scoping buy. Flows are drawn with RandomPairs.
+	Nodes int
+	// ScopeRings, SummaryInterval, and Piggyback apply fisheye scoping and
+	// data-frame piggybacking to every grid point (linkstate.Config); zero
+	// values keep every flood network-wide, the classic behavior.
+	ScopeRings      []int
+	SummaryInterval sim.Time
+	Piggyback       bool
 }
 
 // DefaultGapSweepConfig sweeps MORE over the paper testbed with a small
@@ -300,6 +311,10 @@ type StateGapPoint struct {
 	Window    int
 	Advertise sim.Time
 	Damping   float64
+	// Nodes is the topology size the point ran on (the testbed's 20 unless
+	// GapSweepConfig.Nodes overrode it); FloodTx/Nodes is the per-node
+	// flood bill scoping is judged on.
+	Nodes int
 	GapReport
 }
 
@@ -330,21 +345,33 @@ func GapSweep(cfg GapSweepConfig) []StateGapPoint {
 	}
 	points := make([]StateGapPoint, len(grid))
 	forEach(len(grid), cfg.Opts.workers(), func(i int) {
-		topo := TestbedTopology()
-		pairs := []Pair{{Src: 3, Dst: 17}}
-		if cfg.Flows > 1 {
+		var topo *graph.Topology
+		var pairs []Pair
+		if cfg.Nodes > 0 {
+			gcfg := graph.DefaultGeometric(cfg.Nodes)
+			topo, _ = graph.ConnectedGeometric(gcfg, cfg.Opts.Seed)
 			pairs = RandomPairs(topo, cfg.Flows, cfg.Opts.Seed)
+		} else {
+			topo = TestbedTopology()
+			pairs = []Pair{{Src: 3, Dst: 17}}
+			if cfg.Flows > 1 {
+				pairs = RandomPairs(topo, cfg.Flows, cfg.Opts.Seed)
+			}
 		}
 		opts := cfg.Opts
 		lcfg := linkstate.DefaultConfig()
 		lcfg.Probe.Window = grid[i].window
 		lcfg.AdvertiseInterval = grid[i].advertise
 		lcfg.TriggerDelta = grid[i].damping
+		lcfg.ScopeRings = cfg.ScopeRings
+		lcfg.SummaryInterval = cfg.SummaryInterval
+		lcfg.Piggyback = cfg.Piggyback
 		opts.LinkState = lcfg
 		points[i] = StateGapPoint{
 			Window:    grid[i].window,
 			Advertise: grid[i].advertise,
 			Damping:   grid[i].damping,
+			Nodes:     topo.N(),
 			GapReport: GapRun(topo, cfg.Protocol, pairs, opts),
 		}
 	})

@@ -1,7 +1,6 @@
 package experiments
 
 import (
-	"math"
 	"time"
 
 	"repro/internal/congest"
@@ -71,6 +70,14 @@ type ScalingPoint struct {
 	CC       congest.Policy
 	CCStats  congest.Stats
 	Fairness FairnessReport
+
+	// ProbeTx and FloodTx count the measurement plane's transmissions when
+	// the point ran from learned state (both zero under the oracle) —
+	// FloodTx/Nodes is the flood cost per node the scoped-dissemination
+	// work is judged on. Convergence is when every node first held every
+	// origin's LSA (-1: never within the warmup; 0 under the oracle).
+	ProbeTx, FloodTx int64
+	Convergence      sim.Time
 }
 
 // ScalingSweep runs one point per node count, fanned over cfg.Opts.Parallel
@@ -125,6 +132,9 @@ func measureScalingPoint(topo *graph.Topology, seed int64, proto Protocol, flows
 	pt.WallClock = time.Since(start)
 	pt.CCStats = info.CCStats
 	pt.Fairness = info.Fairness
+	pt.ProbeTx = info.ProbeTx
+	pt.FloodTx = info.FloodTx
+	pt.Convergence = info.Convergence
 	delivered := 0
 	var endMax sim.Time
 	for _, r := range results {
@@ -138,10 +148,10 @@ func measureScalingPoint(topo *graph.Topology, seed int64, proto Protocol, flows
 		}
 	}
 	pt.SimTime = endMax
+	// 0, not NaN, when nothing was delivered: the sweep is emitted as
+	// JSON, which cannot encode NaN (Completed disambiguates).
 	if delivered > 0 {
 		pt.TxPerPacket = float64(counters.Transmissions) / float64(delivered)
-	} else {
-		pt.TxPerPacket = math.NaN()
 	}
 	return pt
 }

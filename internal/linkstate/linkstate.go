@@ -59,6 +59,33 @@ type Config struct {
 	// NewAgent caps MaxQuiet at MaxAge/2 when both are set. Zero disables
 	// aging (the pre-churn behavior, and the default).
 	MaxAge sim.Time
+
+	// ScopeRings enables fisheye-scoped flooding: ascending hop radii, one
+	// per ring. Ring 0 (radius ScopeRings[0]) is refreshed on every other
+	// advertise tick, ring 1 every fourth, and so on — a geometric cadence,
+	// so near neighbors see every estimate move at full rate while distant
+	// regions are refreshed by the slower rings and, network-wide, by the
+	// periodic unscoped summary (SummaryInterval). Each scoped LSA carries
+	// its radius as a TTL (packet.LSA.TTL) that forwarders decrement; the
+	// flood dies at the ring boundary instead of costing n² frames. Empty
+	// disables scoping: every flood is network-wide, the classic behavior
+	// and the default.
+	ScopeRings []int
+	// SummaryInterval is the period of unscoped network-wide floods when
+	// scoping is on — the "aggregated summary" distant regions converge
+	// on. Zero defaults to 8×AdvertiseInterval; when aging is on it is
+	// capped at MaxAge/2 so remote entries refresh before they expire.
+	SummaryInterval sim.Time
+
+	// Piggyback opportunistically attaches pending LSAs to outgoing
+	// broadcast data frames (the sim.Piggybacker hand-off): an LSA waits up
+	// to PiggybackDelay for a data frame to ride before falling back to a
+	// dedicated flood, so a converged network moving traffic spends almost
+	// zero dedicated control frames. Off by default.
+	Piggyback bool
+	// PiggybackDelay bounds how long an LSA waits for a ride. Zero
+	// defaults to AdvertiseInterval/2.
+	PiggybackDelay sim.Time
 }
 
 // DefaultConfig returns a Roofnet-like setup.
@@ -79,8 +106,8 @@ type Agent struct {
 	prober *probe.Prober
 
 	seq        uint32
-	pendingAdv []*packet.LSA // own advertisement awaiting transmission
-	pendingFwd []*packet.LSA // LSAs to rebroadcast
+	pendingAdv []pendingLSA // own advertisement awaiting transmission
+	pendingFwd []pendingLSA // LSAs to rebroadcast
 	latestSeq  map[graph.NodeID]uint32
 	db         map[graph.NodeID]*packet.LSA
 	// receivedAt[origin] is when origin's current database entry was
@@ -100,9 +127,20 @@ type Agent struct {
 	loadFunc    func() uint8
 	lastAdvLoad uint8
 
+	// Fisheye cadence state: advTick counts advertise ticks (the ring
+	// selector), lastSummaryAt/summarized track the periodic unscoped
+	// summary flood.
+	advTick       uint64
+	lastSummaryAt sim.Time
+	summarized    bool
+
 	// SuppressedAdv counts advertise ticks damped away (estimates within
 	// TriggerDelta of the last flood).
 	SuppressedAdv int64
+
+	// PiggyTx counts LSAs that rode outgoing data frames instead of costing
+	// a dedicated flood transmission.
+	PiggyTx int64
 
 	// ExpiredLSAs counts database entries purged by MaxAge aging.
 	ExpiredLSAs int64
@@ -115,6 +153,14 @@ type Agent struct {
 	FloodTx int64
 }
 
+// pendingLSA is an LSA queued for transmission. due is when a dedicated
+// flood becomes allowed: zero (the non-piggyback default) means immediately;
+// with piggybacking on, the LSA waits for a data-frame ride until due.
+type pendingLSA struct {
+	lsa *packet.LSA
+	due sim.Time
+}
+
 // NewAgent creates an agent for a network of n nodes.
 func NewAgent(cfg Config, n int) *Agent {
 	if cfg.AdvertiseInterval == 0 {
@@ -125,6 +171,15 @@ func NewAgent(cfg Config, n int) *Agent {
 	}
 	if cfg.MaxAge > 0 && cfg.MaxQuiet >= cfg.MaxAge {
 		cfg.MaxQuiet = cfg.MaxAge / 2 // a damped-quiet live node must not expire
+	}
+	if len(cfg.ScopeRings) > 0 && cfg.SummaryInterval == 0 {
+		cfg.SummaryInterval = 8 * cfg.AdvertiseInterval
+	}
+	if cfg.MaxAge > 0 && cfg.SummaryInterval >= cfg.MaxAge {
+		cfg.SummaryInterval = cfg.MaxAge / 2 // remote entries must refresh before expiring
+	}
+	if cfg.Piggyback && cfg.PiggybackDelay == 0 {
+		cfg.PiggybackDelay = cfg.AdvertiseInterval / 2
 	}
 	return &Agent{
 		cfg:        cfg,
@@ -221,8 +276,12 @@ func (a *Agent) advertise() {
 	if a.loadFunc != nil {
 		lsa.Load = a.loadFunc()
 	}
+	a.advTick++
 	if a.cfg.TriggerDelta > 0 {
-		if a.damped(estimates) && !loadMoved(a.lastAdvLoad, lsa.Load) {
+		// A due network-wide summary bypasses damping: under scoped flooding
+		// the periodic summary is the only refresh distant regions ever see,
+		// and a quiet period must not starve them onto bootstrap-era state.
+		if !a.summaryDue(a.node.Now()) && a.damped(estimates) && !loadMoved(a.lastAdvLoad, lsa.Load) {
 			a.seq--
 			a.SuppressedAdv++
 			return
@@ -232,6 +291,7 @@ func (a *Agent) advertise() {
 		a.lastAdvLoad = lsa.Load
 		a.advertised = true
 	}
+	lsa.TTL = a.scopeTTL(a.node.Now())
 	a.accept(lsa)
 	if a.node.Failed() {
 		// A dead radio cannot drain its queue; keep only the newest own LSA
@@ -239,8 +299,61 @@ func (a *Agent) advertise() {
 		// the single queued advertisement re-announces the node.
 		a.pendingAdv = a.pendingAdv[:0]
 	}
-	a.pendingAdv = append(a.pendingAdv, lsa)
+	a.pendingAdv = append(a.pendingAdv, pendingLSA{lsa: lsa, due: a.holdUntil()})
 	a.node.Wake()
+}
+
+// scopeTTL picks the flood radius for this advertise tick. With scoping off
+// it always returns 0 (unscoped). With scoping on, a network-wide summary
+// (TTL 0) goes out on the first flood and then every SummaryInterval; the
+// ticks between are scoped on the fisheye cadence — ring 0 on every odd
+// tick, ring 1 on every second even tick, and so on geometrically, so the
+// smallest radius refreshes most often.
+// summaryDue reports whether the next advertisement must be a network-wide
+// summary: scoping is on and either no summary has ever gone out (bootstrap)
+// or the last one is a full SummaryInterval old. Pure predicate — scopeTTL
+// does the bookkeeping when the summary actually goes out.
+func (a *Agent) summaryDue(now sim.Time) bool {
+	if len(a.cfg.ScopeRings) == 0 {
+		return false
+	}
+	return !a.summarized || now-a.lastSummaryAt >= a.cfg.SummaryInterval
+}
+
+func (a *Agent) scopeTTL(now sim.Time) uint8 {
+	if len(a.cfg.ScopeRings) == 0 {
+		return 0
+	}
+	if a.summaryDue(now) {
+		a.summarized = true
+		a.lastSummaryAt = now
+		return 0
+	}
+	level := 0
+	for t := a.advTick; t&1 == 0 && level < len(a.cfg.ScopeRings)-1; t >>= 1 {
+		level++
+	}
+	r := a.cfg.ScopeRings[level]
+	if r < 1 {
+		r = 1
+	}
+	if r > 255 {
+		r = 255
+	}
+	return uint8(r)
+}
+
+// holdUntil is the dedicated-flood deadline for a newly queued LSA: now when
+// piggybacking is off, now+PiggybackDelay when it may catch a data ride.
+func (a *Agent) holdUntil() sim.Time {
+	if !a.cfg.Piggyback {
+		return 0
+	}
+	due := a.node.Now() + a.cfg.PiggybackDelay
+	// The node may go idle before the deadline; make sure the MAC pulls
+	// again once the fallback flood becomes eligible.
+	a.node.After(a.cfg.PiggybackDelay+1, func() { a.node.Wake() })
+	return due
 }
 
 // damped reports whether this advertise tick should be suppressed: damping
@@ -265,9 +378,17 @@ func (a *Agent) damped(estimates map[graph.NodeID]float64) bool {
 	return true
 }
 
+// serialNewer reports whether sequence a is newer than b under RFC 1982
+// serial-number arithmetic: the comparison stays correct when a uint32
+// sequence wraps (a crash-looping origin, or a soak run long enough to pass
+// 2³²), where a plain <= would reject every genuine LSA forever.
+func serialNewer(a, b uint32) bool {
+	return a != b && int32(a-b) > 0
+}
+
 // accept installs an LSA in the local database if it is new.
 func (a *Agent) accept(l *packet.LSA) bool {
-	if last, ok := a.latestSeq[l.Origin]; ok && l.Seq <= last {
+	if last, ok := a.latestSeq[l.Origin]; ok && !serialNewer(l.Seq, last) {
 		return false
 	}
 	a.latestSeq[l.Origin] = l.Seq
@@ -320,45 +441,114 @@ func (a *Agent) ProbeTx() int64 { return a.prober.ProbeTx }
 
 // Receive implements sim.Protocol.
 func (a *Agent) Receive(f *sim.Frame) {
+	for _, p := range f.Piggyback {
+		if m, ok := p.(*packet.LSA); ok {
+			a.handleLSA(m)
+		}
+	}
 	switch m := f.Payload.(type) {
 	case *packet.LSA:
-		if a.accept(m) {
-			// Rebroadcast after jitter.
-			delay := sim.Time(1)
-			if a.cfg.FloodJitter > 0 {
-				delay = sim.Time(a.node.Rand().Int63n(int64(a.cfg.FloodJitter)))
-			}
-			a.node.After(delay, func() {
-				// Only flood if still the freshest we know.
-				if a.latestSeq[m.Origin] == m.Seq {
-					a.pendingFwd = append(a.pendingFwd, m)
-					a.node.Wake()
-				}
-			})
-		}
+		a.handleLSA(m)
 	default:
 		a.prober.Receive(f)
 	}
 }
 
-// Pull implements sim.Protocol: own advertisements, then rebroadcasts,
-// then probes.
-func (a *Agent) Pull() *sim.Frame {
-	if len(a.pendingAdv) > 0 {
-		l := a.pendingAdv[0]
-		a.pendingAdv = a.pendingAdv[1:]
-		a.FloodTx++
-		a.node.Emit(telemetry.Event{Aux: int64(l.Origin), Kind: telemetry.KindLSAFlood})
-		return &sim.Frame{From: a.node.ID(), To: graph.Broadcast, Bytes: l.EncodedSize(), Payload: l}
+// handleLSA installs a received LSA (dedicated flood or piggybacked ride)
+// and schedules its rebroadcast. A scoped LSA is forwarded with the TTL
+// decremented on a copy — the broadcast frame's payload pointer is shared
+// with every other receiver and with this node's own database — and dies at
+// the ring boundary (TTL 1) instead of flooding the whole network.
+func (a *Agent) handleLSA(m *packet.LSA) {
+	if !a.accept(m) {
+		return
 	}
-	if len(a.pendingFwd) > 0 {
-		l := a.pendingFwd[0]
-		a.pendingFwd = a.pendingFwd[1:]
-		a.FloodTx++
-		a.node.Emit(telemetry.Event{Aux: int64(l.Origin), Kind: telemetry.KindLSAFlood})
-		return &sim.Frame{From: a.node.ID(), To: graph.Broadcast, Bytes: l.EncodedSize(), Payload: l}
+	if m.TTL == 1 {
+		return // scope boundary: install locally, do not re-flood
+	}
+	fwd := m
+	if m.TTL > 1 {
+		c := *m
+		c.TTL = m.TTL - 1
+		fwd = &c
+	}
+	// Rebroadcast after jitter.
+	delay := sim.Time(1)
+	if a.cfg.FloodJitter > 0 {
+		delay = sim.Time(a.node.Rand().Int63n(int64(a.cfg.FloodJitter)))
+	}
+	a.node.After(delay, func() {
+		// Only flood if still the freshest we know.
+		if a.latestSeq[fwd.Origin] == fwd.Seq {
+			a.pendingFwd = append(a.pendingFwd, pendingLSA{lsa: fwd, due: a.holdUntil()})
+			a.node.Wake()
+		}
+	})
+}
+
+// Pull implements sim.Protocol: own advertisements, then rebroadcasts,
+// then probes. With piggybacking on, queued LSAs whose ride deadline has
+// not passed are skipped — they wait for a data frame — but never block the
+// prober behind them.
+func (a *Agent) Pull() *sim.Frame {
+	if l, ok := a.popDue(&a.pendingAdv); ok {
+		return a.floodFrame(l)
+	}
+	if l, ok := a.popDue(&a.pendingFwd); ok {
+		return a.floodFrame(l)
 	}
 	return a.prober.Pull()
+}
+
+// popDue pops the queue head if its dedicated-flood deadline has passed.
+// Queues are appended in time order, so the head always has the earliest
+// deadline.
+func (a *Agent) popDue(q *[]pendingLSA) (*packet.LSA, bool) {
+	if len(*q) == 0 {
+		return nil, false
+	}
+	head := (*q)[0]
+	if head.due > a.node.Now() {
+		return nil, false
+	}
+	*q = (*q)[1:]
+	return head.lsa, true
+}
+
+func (a *Agent) floodFrame(l *packet.LSA) *sim.Frame {
+	a.FloodTx++
+	a.node.Emit(telemetry.Event{Aux: int64(l.Origin), Kind: telemetry.KindLSAFlood})
+	return &sim.Frame{From: a.node.ID(), To: graph.Broadcast, Bytes: l.EncodedSize(), Payload: l}
+}
+
+// piggybackMax bounds how many pending LSAs ride one data frame, so a
+// backlog cannot balloon a single frame's airtime.
+const piggybackMax = 4
+
+// Piggyback implements sim.Piggybacker: pending LSAs hitch a ride on a
+// broadcast data frame another layer is about to transmit. Every decoding
+// neighbor sees the ride exactly like a dedicated flood — same payloads,
+// zero extra frames — so a converged network moving data pays almost no
+// dedicated control transmissions.
+func (a *Agent) Piggyback(f *sim.Frame) {
+	if !a.cfg.Piggyback || f.To != graph.Broadcast {
+		return
+	}
+	for n := 0; n < piggybackMax; n++ {
+		var l *packet.LSA
+		if len(a.pendingAdv) > 0 {
+			l = a.pendingAdv[0].lsa
+			a.pendingAdv = a.pendingAdv[1:]
+		} else if len(a.pendingFwd) > 0 {
+			l = a.pendingFwd[0].lsa
+			a.pendingFwd = a.pendingFwd[1:]
+		} else {
+			return
+		}
+		f.Piggyback = append(f.Piggyback, l)
+		f.Bytes += l.EncodedSize()
+		a.PiggyTx++
+	}
 }
 
 // Sent implements sim.Protocol.

@@ -189,11 +189,24 @@ type LSA struct {
 	// encoded at all — the count byte's high bit flags its presence — so
 	// load-unaware runs produce byte-identical LSAs.
 	Load uint8
+	// TTL is the flood scope in hops (fisheye rings): a forwarder drops the
+	// LSA once the TTL it received is 1, so an origin can address a ring of
+	// near neighbors without paying a network-wide flood. Zero means
+	// unscoped — flood everywhere, the classic link-state behavior — and is
+	// not encoded at all (count-byte flag, like Load), so unscoped runs
+	// produce byte-identical LSAs.
+	TTL uint8
 }
 
 // lsaLoadFlag marks an LSA that carries a trailing load byte. It rides the
 // high bit of the neighbor-count byte, capping LSA neighbors at 127.
 const lsaLoadFlag = 0x80
+
+// lsaTTLFlag marks an LSA that carries a trailing scope-TTL byte (after the
+// load byte, when both are present). It rides bit 6 of the neighbor-count
+// byte, lowering the neighbor cap to 63 — still ~6× any simulated
+// neighborhood.
+const lsaTTLFlag = 0x40
 
 // QuantizeProb maps [0,1] to a byte.
 func QuantizeProb(p float64) uint8 {
@@ -209,11 +222,15 @@ func QuantizeProb(p float64) uint8 {
 // UnquantizeProb inverts QuantizeProb.
 func UnquantizeProb(q uint8) float64 { return float64(q) / 255 }
 
-// EncodedSize returns the LSA's on-air size. A nonzero load costs one
-// extra byte; the zero-load size matches the pre-load wire format exactly.
+// EncodedSize returns the LSA's on-air size. A nonzero load or TTL costs
+// one extra byte each; the zero-load, zero-TTL size matches the original
+// wire format exactly.
 func (l *LSA) EncodedSize() int {
 	n := 2 + 4 + 1 + 3*len(l.Neighbors)
 	if l.Load != 0 {
+		n++
+	}
+	if l.TTL != 0 {
 		n++
 	}
 	return n
@@ -224,10 +241,10 @@ func (l *LSA) Encode(dst []byte) ([]byte, error) {
 	if len(l.Neighbors) != len(l.Probs) {
 		return nil, ErrTooMany
 	}
-	// The count byte's high bit is the load flag, so 127 neighbors is the
-	// cap whether or not this LSA carries load (an order of magnitude
-	// above any simulated neighborhood).
-	if len(l.Neighbors) > 127 {
+	// The count byte's high bit is the load flag and bit 6 the TTL flag, so
+	// 63 neighbors is the cap whether or not either is present (an order of
+	// magnitude above any simulated neighborhood).
+	if len(l.Neighbors) > 63 {
 		return nil, ErrTooMany
 	}
 	dst = binary.BigEndian.AppendUint16(dst, uint16(l.Origin))
@@ -236,6 +253,9 @@ func (l *LSA) Encode(dst []byte) ([]byte, error) {
 	if l.Load != 0 {
 		count |= lsaLoadFlag
 	}
+	if l.TTL != 0 {
+		count |= lsaTTLFlag
+	}
 	dst = append(dst, count)
 	for i, nb := range l.Neighbors {
 		dst = binary.BigEndian.AppendUint16(dst, uint16(nb))
@@ -243,6 +263,9 @@ func (l *LSA) Encode(dst []byte) ([]byte, error) {
 	}
 	if l.Load != 0 {
 		dst = append(dst, l.Load)
+	}
+	if l.TTL != 0 {
+		dst = append(dst, l.TTL)
 	}
 	return dst, nil
 }
@@ -258,7 +281,8 @@ func DecodeLSA(b []byte) (*LSA, int, error) {
 	}
 	count := b[6]
 	hasLoad := count&lsaLoadFlag != 0
-	n := int(count &^ byte(lsaLoadFlag))
+	hasTTL := count&lsaTTLFlag != 0
+	n := int(count &^ byte(lsaLoadFlag|lsaTTLFlag))
 	off := 7
 	if off+3*n > len(b) {
 		return nil, 0, ErrTruncated
@@ -273,6 +297,13 @@ func DecodeLSA(b []byte) (*LSA, int, error) {
 			return nil, 0, ErrTruncated
 		}
 		l.Load = b[off]
+		off++
+	}
+	if hasTTL {
+		if off >= len(b) {
+			return nil, 0, ErrTruncated
+		}
+		l.TTL = b[off]
 		off++
 	}
 	return l, off, nil

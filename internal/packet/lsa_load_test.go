@@ -63,8 +63,8 @@ func TestLSAZeroLoadBytesIdentical(t *testing.T) {
 	}
 }
 
-// TestLSANeighborCap: the load flag rides the count byte's high bit, so
-// 127 neighbors is the hard cap regardless of load.
+// TestLSANeighborCap: the load and TTL flags ride the count byte's top two
+// bits, so 63 neighbors is the hard cap regardless of either.
 func TestLSANeighborCap(t *testing.T) {
 	mk := func(n int, load uint8) *LSA {
 		l := &LSA{Origin: 1, Seq: 1, Load: load}
@@ -74,19 +74,21 @@ func TestLSANeighborCap(t *testing.T) {
 		}
 		return l
 	}
-	if _, err := mk(127, 0).Encode(nil); err != nil {
-		t.Fatalf("127 neighbors rejected: %v", err)
+	if _, err := mk(63, 0).Encode(nil); err != nil {
+		t.Fatalf("63 neighbors rejected: %v", err)
 	}
-	if _, err := mk(128, 0).Encode(nil); err == nil {
-		t.Fatal("128 neighbors accepted: count byte would collide with the load flag")
+	if _, err := mk(64, 0).Encode(nil); err == nil {
+		t.Fatal("64 neighbors accepted: count byte would collide with the TTL flag")
 	}
-	l := mk(127, 255)
+	l := mk(63, 255)
+	l.TTL = 9
 	buf, err := l.Encode(nil)
 	if err != nil {
-		t.Fatalf("127 neighbors with load rejected: %v", err)
+		t.Fatalf("63 neighbors with load+TTL rejected: %v", err)
 	}
 	got, _, err := DecodeLSA(buf)
-	if err != nil || got.Load != 255 || len(got.Neighbors) != 127 {
-		t.Fatalf("full LSA round trip: load %d, %d neighbors, err %v", got.Load, len(got.Neighbors), err)
+	if err != nil || got.Load != 255 || got.TTL != 9 || len(got.Neighbors) != 63 {
+		t.Fatalf("full LSA round trip: load %d, ttl %d, %d neighbors, err %v",
+			got.Load, got.TTL, len(got.Neighbors), err)
 	}
 }

@@ -1,0 +1,59 @@
+package packet
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// TestLSATTLRoundTrip: the scope-TTL byte must survive the wire, alone and
+// combined with the load byte, and every truncation must error.
+func TestLSATTLRoundTrip(t *testing.T) {
+	for _, l := range []*LSA{
+		{Origin: 7, Seq: 42, Neighbors: []graph.NodeID{1, 3}, Probs: []uint8{200, 25}, TTL: 2},
+		{Origin: 7, Seq: 42, Neighbors: []graph.NodeID{1, 3}, Probs: []uint8{200, 25}, Load: 90, TTL: 255},
+	} {
+		buf, err := l.Encode(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(buf) != l.EncodedSize() {
+			t.Fatalf("size %d != %d", len(buf), l.EncodedSize())
+		}
+		got, n, err := DecodeLSA(buf)
+		if err != nil || n != len(buf) {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, l) {
+			t.Fatalf("%+v != %+v", got, l)
+		}
+		for cut := 0; cut < len(buf); cut++ {
+			if _, _, err := DecodeLSA(buf[:cut]); err == nil {
+				t.Fatalf("short decode at %d succeeded", cut)
+			}
+		}
+	}
+}
+
+// TestLSAZeroTTLBytesIdentical is the wire-compatibility contract: a TTL of
+// zero (unscoped) encodes to exactly the bytes the pre-TTL format produced,
+// so unscoped runs keep their golden digests.
+func TestLSAZeroTTLBytesIdentical(t *testing.T) {
+	a := &LSA{Origin: 3, Seq: 9, Neighbors: []graph.NodeID{2, 5}, Probs: []uint8{10, 250}}
+	b := &LSA{Origin: 3, Seq: 9, Neighbors: []graph.NodeID{2, 5}, Probs: []uint8{10, 250}, TTL: 0}
+	ab, err := a.Encode(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := b.Encode(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ab, bb) {
+		t.Fatalf("zero TTL changed the encoding: %v vs %v", ab, bb)
+	}
+	if got, _, err := DecodeLSA(ab); err != nil || got.TTL != 0 {
+		t.Fatalf("legacy bytes decoded with TTL %d, err %v", got.TTL, err)
+	}
+}

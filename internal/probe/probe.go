@@ -119,14 +119,29 @@ func (p *Prober) Receive(f *sim.Frame) {
 	if !ok {
 		return
 	}
-	p.received[m.Origin] = append(p.received[m.Origin], m.Seq)
-	p.lastHeard[m.Origin] = p.node.Now()
+	if p.node != nil { // tests drive Receive without a simulated node
+		p.lastHeard[m.Origin] = p.node.Now()
+	}
 	if m.Seq > p.lastSeq[m.Origin] {
 		p.lastSeq[m.Origin] = m.Seq
 	}
-	// Trim the window.
-	horizon := int64(m.Seq) - int64(p.cfg.Window)
+	// A replayed probe must count once: a window holding the same seq twice
+	// would make DeliveryFrom report more arrivals than the origin sent.
 	seqs := p.received[m.Origin]
+	dup := false
+	for _, s := range seqs {
+		if s == m.Seq {
+			dup = true
+			break
+		}
+	}
+	if !dup {
+		seqs = append(seqs, m.Seq)
+	}
+	// Trim against the highest seq heard, not the arriving one: a late
+	// reordered probe must not drag the horizon backward and re-admit (or
+	// fail to evict) entries the window had already aged out.
+	horizon := int64(p.lastSeq[m.Origin]) - int64(p.cfg.Window)
 	keep := seqs[:0]
 	for _, s := range seqs {
 		if int64(s) > horizon {
@@ -168,7 +183,7 @@ func (p *Prober) DeliveryFrom(origin graph.NodeID) float64 {
 	if !ok || last == 0 {
 		return 0
 	}
-	if p.cfg.DeadInterval > 0 {
+	if p.cfg.DeadInterval > 0 && p.node != nil { // standalone probers have no clock
 		if t, heard := p.lastHeard[origin]; !heard || p.node.Now()-t >= p.cfg.DeadInterval {
 			return 0 // silent past the liveness horizon: the link is down
 		}
@@ -182,6 +197,9 @@ func (p *Prober) DeliveryFrom(origin graph.NodeID) float64 {
 		if s > last-window {
 			count++
 		}
+	}
+	if count > int(window) {
+		count = int(window) // a ratio above 1.0 would poison ETX downstream
 	}
 	return float64(count) / float64(window)
 }

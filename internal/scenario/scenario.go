@@ -100,6 +100,16 @@ type StateSpec struct {
 	// MaxAgeS expires LSAs not refreshed within this long (seconds; learned
 	// only, 0 keeps databases immortal).
 	MaxAgeS float64 `json:"max_age_s,omitempty"`
+	// ScopeRings enables fisheye-scoped flooding: ascending hop radii.
+	// Near rings get every update; the network-wide refresh drops to the
+	// summary cadence (learned only; empty floods everything everywhere).
+	ScopeRings []int `json:"scope_rings,omitempty"`
+	// SummaryIntervalS is the network-wide summary flood period with
+	// scope_rings, seconds (0: 8x the advertise interval).
+	SummaryIntervalS float64 `json:"summary_interval_s,omitempty"`
+	// Piggyback rides pending LSAs on outgoing broadcast data frames
+	// instead of dedicated floods (learned only).
+	Piggyback bool `json:"piggyback,omitempty"`
 }
 
 // CCSpec configures the congestion layer.
@@ -334,8 +344,14 @@ func (s *Spec) Validate() error {
 		return fmt.Errorf("scenario %s: unknown state mode %q (want oracle or learned)", s.Name, s.State.Mode)
 	}
 	if s.State.Window < 0 || s.State.AdvertiseS < 0 || s.State.Damp < 0 ||
-		s.State.DeadIntervalS < 0 || s.State.MaxAgeS < 0 {
+		s.State.DeadIntervalS < 0 || s.State.MaxAgeS < 0 || s.State.SummaryIntervalS < 0 {
 		return fmt.Errorf("scenario %s: state knobs must be non-negative", s.Name)
+	}
+	for i, r := range s.State.ScopeRings {
+		if r < 1 || r > 255 || (i > 0 && r <= s.State.ScopeRings[i-1]) {
+			return fmt.Errorf("scenario %s: scope_rings must be ascending hop radii in 1..255 (got %v)",
+				s.Name, s.State.ScopeRings)
+		}
 	}
 	if s.RepairS < 0 {
 		return fmt.Errorf("scenario %s: repair_s must be >= 0 (got %v)", s.Name, s.RepairS)
@@ -692,6 +708,9 @@ func (s *Spec) Options() experiments.Options {
 		if s.State.MaxAgeS > 0 {
 			lcfg.MaxAge = secs(s.State.MaxAgeS)
 		}
+		lcfg.ScopeRings = s.State.ScopeRings
+		lcfg.SummaryInterval = secs(s.State.SummaryIntervalS)
+		lcfg.Piggyback = s.State.Piggyback
 		opts.LinkState = lcfg
 		switch {
 		case s.State.WarmupS > 0:

@@ -133,6 +133,12 @@ type Frame struct {
 	// credit grants) and unattributed frames.
 	FlowID uint32
 
+	// Piggyback carries control payloads riding this frame (opportunistic
+	// LSA dissemination; see Piggybacker). Receivers scan it in addition
+	// to Payload; the simulator never inspects it. Its bytes are already
+	// folded into Bytes by the layer that attached them.
+	Piggyback []interface{}
+
 	// Retries is filled in by the MAC before the Sent callback: how many
 	// retransmissions the frame needed (0 = first attempt succeeded).
 	// Autorate algorithms feed on it.

@@ -21,6 +21,16 @@ type Stack struct {
 	puller Protocol
 }
 
+// Piggybacker is a stack layer that can attach control payloads to a frame
+// another layer is about to transmit (Frame.Piggyback): when Pull selects a
+// frame, every *other* layer implementing this interface is offered it
+// before the MAC takes over. The implementor appends payloads and grows
+// Frame.Bytes accordingly; the attached payloads ride the same broadcast and
+// reach every decoding neighbor for zero extra frames.
+type Piggybacker interface {
+	Piggyback(f *Frame)
+}
+
 // NewStack composes the given protocols, first layer highest priority.
 func NewStack(layers ...Protocol) *Stack {
 	return &Stack{layers: layers}
@@ -41,13 +51,24 @@ func (s *Stack) Receive(f *Frame) {
 }
 
 // Pull implements Protocol: the first layer with traffic wins the
-// transmission opportunity.
+// transmission opportunity, then every other Piggybacker layer may attach
+// pending control payloads to the winning frame.
 func (s *Stack) Pull() *Frame {
-	for _, l := range s.layers {
-		if f := l.Pull(); f != nil {
-			s.puller = l
-			return f
+	for i, l := range s.layers {
+		f := l.Pull()
+		if f == nil {
+			continue
 		}
+		s.puller = l
+		for j, o := range s.layers {
+			if j == i {
+				continue
+			}
+			if pb, ok := o.(Piggybacker); ok {
+				pb.Piggyback(f)
+			}
+		}
+		return f
 	}
 	s.puller = nil
 	return nil
